@@ -1,0 +1,71 @@
+//! Criterion benches for Fig. 10 / Exp-5: the `optVer` HEV-plan optimizer.
+//!
+//! Measures (a) the optimizer's own runtime (it runs once per deployment,
+//! §5: "the algorithm only needs to be run once for given database,
+//! replication scheme, and CFDs"), and (b) the per-update eqid-walk cost
+//! under the default vs. optimized plan. The `experiments exp5` binary
+//! prints the shipment counts themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incdetect::optimize::{optimize, OptimizeConfig};
+use incdetect::{HevPlan, VerticalDetector};
+use workload::tpch::{self, TpchConfig};
+use workload::updates::{self, UpdateMix};
+
+fn optimizer_runtime(c: &mut Criterion) {
+    let schema = tpch::tpch_schema();
+    let scheme = tpch::vertical_scheme(&schema, 10);
+    let mut group = c.benchmark_group("fig10_optimizer_runtime");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for n_cfds in [16usize, 50] {
+        let cfds = workload::rules::tpch_rules(&schema, n_cfds, 1);
+        group.bench_with_input(BenchmarkId::new("optVer", n_cfds), &n_cfds, |b, _| {
+            b.iter(|| optimize(&cfds, &scheme, OptimizeConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn apply_under_plans(c: &mut Criterion) {
+    let schema = tpch::tpch_schema();
+    let cfds = workload::rules::tpch_rules(&schema, 25, 1);
+    let scheme = tpch::vertical_scheme(&schema, 10);
+    let cfg = TpchConfig {
+        n_rows: 2_000,
+        ..TpchConfig::default()
+    };
+    let (_, d) = tpch::generate(&cfg);
+    let fresh = tpch::generate_fresh(&cfg, 1_000_000_000, 160, 99);
+    let dd = updates::generate(&d, &fresh, 200, UpdateMix { insert_fraction: 0.8 }, 7);
+
+    let default = HevPlan::default_chains(&cfds, &scheme);
+    let opt = optimize(&cfds, &scheme, OptimizeConfig::default());
+    let mut group = c.benchmark_group("fig10_apply_under_plan");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (name, plan) in [("default", default), ("optimized", opt)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    VerticalDetector::with_plan(
+                        schema.clone(),
+                        cfds.clone(),
+                        scheme.clone(),
+                        plan.clone(),
+                        &d,
+                    )
+                    .unwrap()
+                },
+                |mut det| det.apply(&dd).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, optimizer_runtime, apply_under_plans);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion benches for Fig. 11 / Exp-10: incremental vs *refined* batch.
+//!
+//! The refined batch algorithms (`ibatVer` / `ibatHor`) rebuild the
+//! incremental indices from scratch over `D ⊕ ΔD`; incremental detection
+//! applies `ΔD` to a warm detector. The paper's crossover (batch wins once
+//! `|ΔD|` approaches `|D|`) shows up as the incremental series growing
+//! with `|ΔD|` toward the flat ibat series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incdetect::{baselines, HorizontalDetector, VerticalDetector};
+use workload::tpch::{self, TpchConfig};
+use workload::updates::{self, UpdateMix};
+
+fn cfg(rows: usize) -> TpchConfig {
+    TpchConfig {
+        n_rows: rows,
+        n_customers: (rows / 20).max(50),
+        n_parts: (rows / 30).max(30),
+        n_suppliers: (rows / 100).max(10),
+        error_rate: 0.02,
+        seed: 42,
+    }
+}
+
+/// 60% insertions / 40% deletions, per Exp-10.
+fn delta(c: &TpchConfig, d: &relation::Relation, n: usize) -> relation::UpdateBatch {
+    let fresh = tpch::generate_fresh(c, 1_000_000_000, (n as f64 * 0.6) as usize + 1, 99);
+    updates::generate(d, &fresh, n, UpdateMix { insert_fraction: 0.6 }, 7)
+}
+
+fn fig11a_vertical(c: &mut Criterion) {
+    let schema = tpch::tpch_schema();
+    let cfds = workload::rules::tpch_rules(&schema, 25, 1);
+    let c0 = cfg(2_000);
+    let (_, d) = tpch::generate(&c0);
+    let scheme = tpch::vertical_scheme(&schema, 10);
+    let mut group = c.benchmark_group("fig11a_vertical_inc_vs_ibat");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for dn in [200usize, 1_000, 3_000] {
+        let dd = delta(&c0, &d, dn);
+        group.bench_with_input(BenchmarkId::new("incVer", dn), &dn, |b, _| {
+            b.iter_batched(
+                || {
+                    VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
+                        .unwrap()
+                },
+                |mut det| det.apply(&dd).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        let mut d_new = d.clone();
+        dd.normalize(&d).apply(&mut d_new).unwrap();
+        group.bench_with_input(BenchmarkId::new("ibatVer", dn), &dn, |b, _| {
+            b.iter(|| {
+                baselines::ibat_ver(schema.clone(), cfds.clone(), scheme.clone(), &d_new)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig11b_horizontal(c: &mut Criterion) {
+    let schema = tpch::tpch_schema();
+    let cfds = workload::rules::tpch_rules(&schema, 25, 1);
+    let c0 = cfg(2_000);
+    let (_, d) = tpch::generate(&c0);
+    let scheme = tpch::horizontal_scheme(&schema, 10);
+    let mut group = c.benchmark_group("fig11b_horizontal_inc_vs_ibat");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for dn in [200usize, 1_000, 3_000] {
+        let dd = delta(&c0, &d, dn);
+        group.bench_with_input(BenchmarkId::new("incHor", dn), &dn, |b, _| {
+            b.iter_batched(
+                || {
+                    HorizontalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
+                        .unwrap()
+                },
+                |mut det| det.apply(&dd).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        let mut d_new = d.clone();
+        dd.normalize(&d).apply(&mut d_new).unwrap();
+        group.bench_with_input(BenchmarkId::new("ibatHor", dn), &dn, |b, _| {
+            b.iter(|| {
+                baselines::ibat_hor(schema.clone(), cfds.clone(), scheme.clone(), &d_new)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11a_vertical, fig11b_horizontal);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion benches for Fig. 9(k,l): DBLP, vertical partitions.
+//!
+//! `incVer` vs `batVer` on the bibliographic workload, varying `|ΔD|`
+//! (9k) and `|Σ|` (9l).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incdetect::{baselines, VerticalDetector};
+use workload::dblp::{self, DblpConfig};
+use workload::updates::{self, UpdateMix};
+
+fn cfg(rows: usize) -> DblpConfig {
+    DblpConfig {
+        n_rows: rows,
+        n_venues: (rows / 25).max(20),
+        n_authors: (rows / 3).max(100),
+        error_rate: 0.02,
+        seed: 7,
+    }
+}
+
+fn delta(c: &DblpConfig, d: &relation::Relation, n: usize) -> relation::UpdateBatch {
+    let fresh = dblp::generate_fresh(c, 1_000_000_000, (n as f64 * 0.8) as usize, 99);
+    updates::generate(d, &fresh, n, UpdateMix { insert_fraction: 0.8 }, 7)
+}
+
+/// Fig. 9(k): vary |ΔD|.
+fn fig9k(c: &mut Criterion) {
+    let schema = dblp::dblp_schema();
+    let cfds = workload::rules::dblp_rules(&schema, 16, 3);
+    let c0 = cfg(3_000);
+    let (_, d) = dblp::generate(&c0);
+    let scheme = dblp::vertical_scheme(&schema, 10);
+    let mut group = c.benchmark_group("fig9k_dblp_vary_dD");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for dn in [200usize, 400, 800] {
+        let dd = delta(&c0, &d, dn);
+        group.bench_with_input(BenchmarkId::new("incVer", dn), &dn, |b, _| {
+            b.iter_batched(
+                || {
+                    VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
+                        .unwrap()
+                },
+                |mut det| det.apply(&dd).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        let mut d_new = d.clone();
+        dd.normalize(&d).apply(&mut d_new).unwrap();
+        group.bench_with_input(BenchmarkId::new("batVer", dn), &dn, |b, _| {
+            b.iter(|| baselines::bat_ver(&cfds, &scheme, &d_new))
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 9(l): vary |Σ| from 8 to 40.
+fn fig9l(c: &mut Criterion) {
+    let schema = dblp::dblp_schema();
+    let c0 = cfg(2_000);
+    let (_, d) = dblp::generate(&c0);
+    let dd = delta(&c0, &d, 300);
+    let scheme = dblp::vertical_scheme(&schema, 10);
+    let mut group = c.benchmark_group("fig9l_dblp_vary_sigma");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for n_cfds in [8usize, 24, 40] {
+        let cfds = workload::rules::dblp_rules(&schema, n_cfds, 3);
+        group.bench_with_input(BenchmarkId::new("incVer", n_cfds), &n_cfds, |b, _| {
+            b.iter_batched(
+                || {
+                    VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
+                        .unwrap()
+                },
+                |mut det| det.apply(&dd).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9k, fig9l);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion benches for Fig. 9(f)–(j): horizontal partitions on TPCH.
+//!
+//! `incHor` applying `ΔD` vs `batHor` recomputing from scratch, across
+//! `|D|`, `|ΔD|` and `|Σ|`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incdetect::{baselines, HorizontalDetector};
+use workload::tpch::{self, TpchConfig};
+use workload::updates::{self, UpdateMix};
+
+fn cfg(rows: usize) -> TpchConfig {
+    TpchConfig {
+        n_rows: rows,
+        n_customers: (rows / 20).max(50),
+        n_parts: (rows / 30).max(30),
+        n_suppliers: (rows / 100).max(10),
+        error_rate: 0.02,
+        seed: 42,
+    }
+}
+
+fn delta(c: &TpchConfig, d: &relation::Relation, n: usize) -> relation::UpdateBatch {
+    let fresh = tpch::generate_fresh(c, 1_000_000_000, (n as f64 * 0.8) as usize, 99);
+    updates::generate(d, &fresh, n, UpdateMix { insert_fraction: 0.8 }, 7)
+}
+
+/// Fig. 9(f): vary |D|.
+fn fig9f(c: &mut Criterion) {
+    let schema = tpch::tpch_schema();
+    let cfds = workload::rules::tpch_rules(&schema, 25, 1);
+    let mut group = c.benchmark_group("fig9f_horizontal_vary_D");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for rows in [1_000usize, 2_000, 4_000] {
+        let c0 = cfg(rows);
+        let (_, d) = tpch::generate(&c0);
+        let dd = delta(&c0, &d, 400);
+        let scheme = tpch::horizontal_scheme(&schema, 10);
+        group.bench_with_input(BenchmarkId::new("incHor", rows), &rows, |b, _| {
+            b.iter_batched(
+                || {
+                    HorizontalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
+                        .unwrap()
+                },
+                |mut det| det.apply(&dd).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        let mut d_new = d.clone();
+        dd.normalize(&d).apply(&mut d_new).unwrap();
+        group.bench_with_input(BenchmarkId::new("batHor", rows), &rows, |b, _| {
+            b.iter(|| baselines::bat_hor(&cfds, &scheme, &d_new))
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 9(g): vary |ΔD|.
+fn fig9g(c: &mut Criterion) {
+    let schema = tpch::tpch_schema();
+    let cfds = workload::rules::tpch_rules(&schema, 25, 1);
+    let c0 = cfg(4_000);
+    let (_, d) = tpch::generate(&c0);
+    let scheme = tpch::horizontal_scheme(&schema, 10);
+    let mut group = c.benchmark_group("fig9g_horizontal_vary_dD");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for dn in [200usize, 400, 800, 1_600] {
+        let dd = delta(&c0, &d, dn);
+        group.bench_with_input(BenchmarkId::new("incHor", dn), &dn, |b, _| {
+            b.iter_batched(
+                || {
+                    HorizontalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
+                        .unwrap()
+                },
+                |mut det| det.apply(&dd).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 9(i): vary |Σ|.
+fn fig9i(c: &mut Criterion) {
+    let schema = tpch::tpch_schema();
+    let c0 = cfg(2_000);
+    let (_, d) = tpch::generate(&c0);
+    let dd = delta(&c0, &d, 400);
+    let scheme = tpch::horizontal_scheme(&schema, 10);
+    let mut group = c.benchmark_group("fig9i_horizontal_vary_sigma");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for n_cfds in [25usize, 75, 125] {
+        let cfds = workload::rules::tpch_rules(&schema, n_cfds, 1);
+        group.bench_with_input(BenchmarkId::new("incHor", n_cfds), &n_cfds, |b, _| {
+            b.iter_batched(
+                || {
+                    HorizontalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
+                        .unwrap()
+                },
+                |mut det| det.apply(&dd).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9f, fig9g, fig9i);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Criterion benches for Fig. 9(a)–(e): vertical partitions on TPCH.
+//!
+//! Measures `incVer` applying `ΔD` against `batVer` recomputing from
+//! scratch, across `|D|`, `|ΔD|` and `|Σ|`. Run with
+//! `cargo bench -p bench --bench fig9_vertical`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incdetect::{baselines, VerticalDetector};
+use workload::tpch::{self, TpchConfig};
+use workload::updates::{self, UpdateMix};
+
+fn cfg(rows: usize) -> TpchConfig {
+    TpchConfig {
+        n_rows: rows,
+        n_customers: (rows / 20).max(50),
+        n_parts: (rows / 30).max(30),
+        n_suppliers: (rows / 100).max(10),
+        error_rate: 0.02,
+        seed: 42,
+    }
+}
+
+fn delta(c: &TpchConfig, d: &relation::Relation, n: usize) -> relation::UpdateBatch {
+    let fresh = tpch::generate_fresh(c, 1_000_000_000, (n as f64 * 0.8) as usize, 99);
+    updates::generate(d, &fresh, n, UpdateMix { insert_fraction: 0.8 }, 7)
+}
+
+/// Fig. 9(a): vary |D|, fixed |ΔD|, |Σ| = 25, n = 10.
+fn fig9a(c: &mut Criterion) {
+    let schema = tpch::tpch_schema();
+    let cfds = workload::rules::tpch_rules(&schema, 25, 1);
+    let mut group = c.benchmark_group("fig9a_vertical_vary_D");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for rows in [1_000usize, 2_000, 4_000] {
+        let c0 = cfg(rows);
+        let (_, d) = tpch::generate(&c0);
+        let dd = delta(&c0, &d, 400);
+        let scheme = tpch::vertical_scheme(&schema, 10);
+        group.bench_with_input(BenchmarkId::new("incVer", rows), &rows, |b, _| {
+            b.iter_batched(
+                || {
+                    VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
+                        .unwrap()
+                },
+                |mut det| det.apply(&dd).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        let mut d_new = d.clone();
+        dd.normalize(&d).apply(&mut d_new).unwrap();
+        group.bench_with_input(BenchmarkId::new("batVer", rows), &rows, |b, _| {
+            b.iter(|| baselines::bat_ver(&cfds, &scheme, &d_new))
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 9(b): vary |ΔD|, fixed |D|, |Σ| = 25, n = 10.
+fn fig9b(c: &mut Criterion) {
+    let schema = tpch::tpch_schema();
+    let cfds = workload::rules::tpch_rules(&schema, 25, 1);
+    let c0 = cfg(4_000);
+    let (_, d) = tpch::generate(&c0);
+    let scheme = tpch::vertical_scheme(&schema, 10);
+    let mut group = c.benchmark_group("fig9b_vertical_vary_dD");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for dn in [200usize, 400, 800, 1_600] {
+        let dd = delta(&c0, &d, dn);
+        group.bench_with_input(BenchmarkId::new("incVer", dn), &dn, |b, _| {
+            b.iter_batched(
+                || {
+                    VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
+                        .unwrap()
+                },
+                |mut det| det.apply(&dd).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 9(d): vary |Σ|.
+fn fig9d(c: &mut Criterion) {
+    let schema = tpch::tpch_schema();
+    let c0 = cfg(2_000);
+    let (_, d) = tpch::generate(&c0);
+    let dd = delta(&c0, &d, 400);
+    let scheme = tpch::vertical_scheme(&schema, 10);
+    let mut group = c.benchmark_group("fig9d_vertical_vary_sigma");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for n_cfds in [25usize, 75, 125] {
+        let cfds = workload::rules::tpch_rules(&schema, n_cfds, 1);
+        group.bench_with_input(BenchmarkId::new("incVer", n_cfds), &n_cfds, |b, _| {
+            b.iter_batched(
+                || {
+                    VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
+                        .unwrap()
+                },
+                |mut det| det.apply(&dd).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9a, fig9b, fig9d);
+criterion_main!(benches);

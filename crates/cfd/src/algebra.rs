@@ -1,0 +1,239 @@
+//! A miniature relational-algebra executor.
+//!
+//! Executes the detection plans behind the "two SQL queries" of §2.3
+//! ([`crate::sqlgen`]) directly on in-memory [`Relation`]s: selection,
+//! projection, grouping with a `COUNT(DISTINCT …) > 1` having-filter, and
+//! semijoin back to the base — exactly the operator shapes `Q_C`/`Q_V`
+//! need. It exists as a second, independently-implemented oracle (the
+//! tests cross-check it against [`crate::naive`]) and as the substrate for
+//! downstream users who want plan-shaped detection rather than the
+//! hand-fused loops of `naive`.
+
+use crate::cfd::Cfd;
+use crate::pattern::PatternValue;
+use crate::violation::Violations;
+use relation::{AttrId, FxHashMap, FxHashSet, Relation, Tid, Tuple, Value};
+
+/// A selection predicate: conjunction of `attr = const` atoms.
+#[derive(Debug, Clone, Default)]
+pub struct EqSelect {
+    atoms: Vec<(AttrId, Value)>,
+}
+
+impl EqSelect {
+    /// Selection from the constant atoms of a CFD's LHS pattern.
+    pub fn from_cfd(cfd: &Cfd) -> Self {
+        EqSelect {
+            atoms: cfd.constant_atoms(),
+        }
+    }
+
+    /// Does the tuple satisfy all atoms?
+    pub fn eval(&self, t: &Tuple) -> bool {
+        self.atoms.iter().all(|(a, v)| t.get(*a) == v)
+    }
+}
+
+/// Streaming selection: tids of tuples satisfying the predicate.
+pub fn select<'a>(d: &'a Relation, pred: &'a EqSelect) -> impl Iterator<Item = &'a Tuple> {
+    d.iter().filter(move |t| pred.eval(t))
+}
+
+/// `GROUP BY keys HAVING COUNT(DISTINCT dep) > 1`, returning for each
+/// surviving group its member tids.
+pub fn group_having_multiple_dep(
+    tuples: impl Iterator<Item = impl std::borrow::Borrow<Tuple>>,
+    keys: &[AttrId],
+    dep: AttrId,
+) -> Vec<Vec<Tid>> {
+    struct G {
+        tids: Vec<Tid>,
+        first: Option<Value>,
+        mixed: bool,
+    }
+    let mut groups: FxHashMap<Vec<Value>, G> = FxHashMap::default();
+    for t in tuples {
+        let t = t.borrow();
+        let key = t.values_at(keys);
+        let b = t.get(dep).clone();
+        let g = groups.entry(key).or_insert(G {
+            tids: Vec::new(),
+            first: None,
+            mixed: false,
+        });
+        g.tids.push(t.tid);
+        match &g.first {
+            None => g.first = Some(b),
+            Some(f) if *f != b => g.mixed = true,
+            Some(_) => {}
+        }
+    }
+    groups
+        .into_values()
+        .filter(|g| g.mixed)
+        .map(|g| g.tids)
+        .collect()
+}
+
+/// Execute the constant-query plan `Q_C` for one constant CFD.
+pub fn run_constant(cfd: &Cfd, d: &Relation) -> Vec<Tid> {
+    let b = match &cfd.rhs_pattern {
+        PatternValue::Const(v) => v.clone(),
+        PatternValue::Wildcard => return Vec::new(),
+    };
+    let pred = EqSelect::from_cfd(cfd);
+    select(d, &pred)
+        .filter(|t| t.get(cfd.rhs) != &b)
+        .map(|t| t.tid)
+        .collect()
+}
+
+/// Execute the variable-query plan `Q_V` for one variable CFD.
+pub fn run_variable(cfd: &Cfd, d: &Relation) -> Vec<Tid> {
+    if cfd.is_constant() {
+        return Vec::new();
+    }
+    let pred = EqSelect::from_cfd(cfd);
+    group_having_multiple_dep(select(d, &pred), &cfd.lhs, cfd.rhs)
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Full plan-based detection: the algebraic equivalent of running the two
+/// generated SQL queries and unioning their answers per CFD.
+pub fn detect(cfds: &[Cfd], d: &Relation) -> Violations {
+    let mut v = Violations::new(cfds.len());
+    for cfd in cfds {
+        let tids = if cfd.is_constant() {
+            run_constant(cfd, d)
+        } else {
+            run_variable(cfd, d)
+        };
+        for t in tids {
+            v.add(cfd.id, t);
+        }
+    }
+    v
+}
+
+/// Semijoin helper: restrict `d` to the given tid set (the outer `JOIN …
+/// ON` of `Q_V`). Exposed for plan-shaped consumers.
+pub fn semijoin_tids<'a>(
+    d: &'a Relation,
+    tids: &'a FxHashSet<Tid>,
+) -> impl Iterator<Item = &'a Tuple> {
+    d.iter().filter(move |t| tids.contains(&t.tid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::Schema;
+    use std::sync::Arc;
+
+    fn emp() -> (Arc<Schema>, Relation, Vec<Cfd>) {
+        let s = Schema::new(
+            "EMP",
+            &["id", "CC", "AC", "zip", "street", "city"],
+            "id",
+        )
+        .unwrap();
+        let rows: Vec<(i64, i64, &str, &str, &str)> = vec![
+            (44, 131, "EH4 8LE", "Mayfield", "NYC"),
+            (44, 131, "EH2 4HF", "Preston", "EDI"),
+            (44, 131, "EH4 8LE", "Mayfield", "EDI"),
+            (44, 131, "EH4 8LE", "Mayfield", "EDI"),
+            (44, 131, "EH4 8LE", "Crichton", "EDI"),
+        ];
+        let mut d = Relation::new(s.clone());
+        for (i, (cc, ac, zip, street, city)) in rows.into_iter().enumerate() {
+            d.insert(Tuple::new(
+                (i + 1) as Tid,
+                vec![
+                    Value::int((i + 1) as i64),
+                    Value::int(cc),
+                    Value::int(ac),
+                    Value::str(zip),
+                    Value::str(street),
+                    Value::str(city),
+                ],
+            ))
+            .unwrap();
+        }
+        let cfds = vec![
+            Cfd::from_names(
+                0,
+                &s,
+                &[("CC", Some(Value::int(44))), ("zip", None)],
+                ("street", None),
+            )
+            .unwrap(),
+            Cfd::from_names(
+                1,
+                &s,
+                &[("CC", Some(Value::int(44))), ("AC", Some(Value::int(131)))],
+                ("city", Some(Value::str("EDI"))),
+            )
+            .unwrap(),
+        ];
+        (s, d, cfds)
+    }
+
+    #[test]
+    fn plan_matches_naive_on_fig1() {
+        let (_, d, cfds) = emp();
+        let a = detect(&cfds, &d);
+        let b = crate::naive::detect(&cfds, &d);
+        assert_eq!(a.marks_sorted(), b.marks_sorted());
+        assert_eq!(a.tids_sorted(), vec![1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn run_constant_finds_single_tuple_violations() {
+        let (_, d, cfds) = emp();
+        let mut tids = run_constant(&cfds[1], &d);
+        tids.sort_unstable();
+        assert_eq!(tids, vec![1]);
+        assert!(run_constant(&cfds[0], &d).is_empty(), "variable CFD → Q_C empty");
+    }
+
+    #[test]
+    fn run_variable_groups_and_filters() {
+        let (_, d, cfds) = emp();
+        let mut tids = run_variable(&cfds[0], &d);
+        tids.sort_unstable();
+        assert_eq!(tids, vec![1, 3, 4, 5]);
+        assert!(run_variable(&cfds[1], &d).is_empty(), "constant CFD → Q_V empty");
+    }
+
+    #[test]
+    fn select_filters_by_atoms() {
+        let (_, d, cfds) = emp();
+        let pred = EqSelect::from_cfd(&cfds[1]);
+        assert_eq!(select(&d, &pred).count(), 5);
+        let none = EqSelect {
+            atoms: vec![(1, Value::int(99))],
+        };
+        assert_eq!(select(&d, &none).count(), 0);
+    }
+
+    #[test]
+    fn group_having_counts_distinct() {
+        let (_, d, _) = emp();
+        // Group by zip, dep = street: EH4 8LE group has two streets.
+        let groups = group_having_multiple_dep(d.iter(), &[3], 4);
+        assert_eq!(groups.len(), 1);
+        let mut tids = groups[0].clone();
+        tids.sort_unstable();
+        assert_eq!(tids, vec![1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn semijoin_restricts() {
+        let (_, d, _) = emp();
+        let keep: FxHashSet<Tid> = [2u64, 5].into_iter().collect();
+        let got: Vec<Tid> = semijoin_tids(&d, &keep).map(|t| t.tid).collect();
+        assert_eq!(got, vec![2, 5]);
+    }
+}

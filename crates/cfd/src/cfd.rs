@@ -1,0 +1,484 @@
+//! The [`Cfd`] type, tableau form and normalization (§2.1).
+//!
+//! Internally every CFD is kept in the *normal form* `(X → B, t_p)` with a
+//! single RHS attribute. Multi-attribute RHS dependencies and pattern
+//! tableaux (`(X → Y, T_p)`) are supported at construction time and
+//! normalized into one `Cfd` per (RHS attribute × tableau row), which is the
+//! form all of the paper's algorithms operate on.
+
+use crate::pattern::{matches_all, PatternValue};
+use crate::CfdError;
+use relation::{AttrId, Schema, Tuple, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a normalized CFD within a rule set `Σ`.
+pub type CfdId = u32;
+
+/// A conditional functional dependency in normal form `(X → B, t_p)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cfd {
+    /// Identifier within `Σ` (positional).
+    pub id: CfdId,
+    /// LHS attributes `X` (deduplicated, construction order preserved).
+    pub lhs: Vec<AttrId>,
+    /// RHS attribute `B`.
+    pub rhs: AttrId,
+    /// Pattern over `X`, positionally aligned with `lhs`.
+    pub lhs_pattern: Vec<PatternValue>,
+    /// Pattern over `B`.
+    pub rhs_pattern: PatternValue,
+}
+
+impl Cfd {
+    /// Build a normal-form CFD, validating attribute ids against `schema`.
+    pub fn new(
+        id: CfdId,
+        schema: &Schema,
+        lhs: Vec<AttrId>,
+        rhs: AttrId,
+        lhs_pattern: Vec<PatternValue>,
+        rhs_pattern: PatternValue,
+    ) -> Result<Self, CfdError> {
+        if lhs.is_empty() {
+            return Err(CfdError::EmptyLhs);
+        }
+        if lhs_pattern.len() != lhs.len() {
+            return Err(CfdError::PatternArity {
+                expected: lhs.len(),
+                got: lhs_pattern.len(),
+            });
+        }
+        for &a in lhs.iter().chain(std::iter::once(&rhs)) {
+            if (a as usize) >= schema.arity() {
+                return Err(CfdError::UnknownAttribute(format!("#{a}")));
+            }
+        }
+        if lhs.contains(&rhs) {
+            return Err(CfdError::RhsInLhs(schema.attr_name(rhs).to_string()));
+        }
+        Ok(Cfd {
+            id,
+            lhs,
+            rhs,
+            lhs_pattern,
+            rhs_pattern,
+        })
+    }
+
+    /// Convenience constructor from attribute names; `None` pattern entries
+    /// are wildcards.
+    #[allow(clippy::type_complexity)]
+    pub fn from_names(
+        id: CfdId,
+        schema: &Schema,
+        lhs: &[(&str, Option<Value>)],
+        rhs: (&str, Option<Value>),
+    ) -> Result<Self, CfdError> {
+        let mut lhs_ids = Vec::with_capacity(lhs.len());
+        let mut lhs_pat = Vec::with_capacity(lhs.len());
+        for (name, pat) in lhs {
+            let a = schema
+                .attr_id(name)
+                .map_err(|_| CfdError::UnknownAttribute(name.to_string()))?;
+            lhs_ids.push(a);
+            lhs_pat.push(match pat {
+                Some(v) => PatternValue::Const(v.clone()),
+                None => PatternValue::Wildcard,
+            });
+        }
+        let rhs_id = schema
+            .attr_id(rhs.0)
+            .map_err(|_| CfdError::UnknownAttribute(rhs.0.to_string()))?;
+        let rhs_pat = match rhs.1 {
+            Some(v) => PatternValue::Const(v),
+            None => PatternValue::Wildcard,
+        };
+        Cfd::new(id, schema, lhs_ids, rhs_id, lhs_pat, rhs_pat)
+    }
+
+    /// Is this a *constant* CFD (`t_p[B]` is a constant)?
+    pub fn is_constant(&self) -> bool {
+        !self.rhs_pattern.is_wildcard()
+    }
+
+    /// Is this a *variable* CFD (`t_p[B] = _`)?
+    pub fn is_variable(&self) -> bool {
+        self.rhs_pattern.is_wildcard()
+    }
+
+    /// Is this a plain FD (every pattern entry is `_`)?
+    pub fn is_fd(&self) -> bool {
+        self.is_variable() && self.lhs_pattern.iter().all(PatternValue::is_wildcard)
+    }
+
+    /// All attributes `X ∪ {B}`.
+    pub fn attrs(&self) -> Vec<AttrId> {
+        let mut v = self.lhs.clone();
+        v.push(self.rhs);
+        v
+    }
+
+    /// The constant atoms of the LHS pattern — the conjunction `F_φ` used by
+    /// the horizontal local-checkability test (§6).
+    pub fn constant_atoms(&self) -> Vec<(AttrId, Value)> {
+        self.lhs
+            .iter()
+            .zip(&self.lhs_pattern)
+            .filter_map(|(&a, p)| p.as_const().map(|v| (a, v.clone())))
+            .collect()
+    }
+
+    /// Does `t[X] ≍ t_p[X]`? (the tuple falls under this CFD's scope)
+    pub fn matches_lhs(&self, t: &Tuple) -> bool {
+        let vals: Vec<&Value> = self.lhs.iter().map(|&a| t.get(a)).collect();
+        matches_all(&vals, &self.lhs_pattern)
+    }
+
+    /// The LHS values `t[X]` of a tuple (the group key for violations).
+    pub fn lhs_values(&self, t: &Tuple) -> Vec<Value> {
+        t.values_at(&self.lhs)
+    }
+
+    /// Does a single tuple violate a *constant* CFD?
+    /// (`t[X] ≍ t_p[X]` and `t[B] 6≍ t_p[B]`.)
+    pub fn constant_violation(&self, t: &Tuple) -> bool {
+        debug_assert!(self.is_constant());
+        self.matches_lhs(t) && !self.rhs_pattern.matches(t.get(self.rhs))
+    }
+
+    /// Do two tuples jointly violate this *variable* CFD?
+    /// (`(t, t′) 6|= φ` in the paper's notation.)
+    pub fn pair_violation(&self, t: &Tuple, u: &Tuple) -> bool {
+        debug_assert!(self.is_variable());
+        self.matches_lhs(t)
+            && self
+                .lhs
+                .iter()
+                .all(|&a| t.get(a) == u.get(a))
+            && t.get(self.rhs) != u.get(self.rhs)
+    }
+
+    /// Render using attribute names from `schema`,
+    /// e.g. `([CC=44, zip] -> [city=EDI])`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> CfdDisplay<'a> {
+        CfdDisplay { cfd: self, schema }
+    }
+}
+
+/// Helper for [`Cfd::display`].
+pub struct CfdDisplay<'a> {
+    cfd: &'a Cfd,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for CfdDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "([")?;
+        for (i, (&a, p)) in self.cfd.lhs.iter().zip(&self.cfd.lhs_pattern).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match p {
+                PatternValue::Wildcard => write!(f, "{}", self.schema.attr_name(a))?,
+                PatternValue::Const(v) => write!(f, "{}={}", self.schema.attr_name(a), v)?,
+            }
+        }
+        write!(f, "] -> [")?;
+        match &self.cfd.rhs_pattern {
+            PatternValue::Wildcard => write!(f, "{}", self.schema.attr_name(self.cfd.rhs))?,
+            PatternValue::Const(v) => {
+                write!(f, "{}={}", self.schema.attr_name(self.cfd.rhs), v)?
+            }
+        }
+        write!(f, "])")
+    }
+}
+
+/// A CFD in tableau form: `(X → Y, T_p)` with possibly several RHS
+/// attributes and several pattern rows (§2.1: "a set of CFDs of the form
+/// `(X→Y, t_pi)` can be converted to an equivalent `(X → Y, T_p)`").
+#[derive(Debug, Clone)]
+pub struct Tableau {
+    /// LHS attributes.
+    pub lhs: Vec<AttrId>,
+    /// RHS attributes.
+    pub rhs: Vec<AttrId>,
+    /// Pattern rows; each row is aligned with `lhs ++ rhs`.
+    pub rows: Vec<Vec<PatternValue>>,
+}
+
+impl Tableau {
+    /// Normalize into single-RHS, single-row CFDs with ids starting at
+    /// `first_id`. Returns the normalized rules in deterministic order.
+    pub fn normalize(&self, schema: &Schema, first_id: CfdId) -> Result<Vec<Cfd>, CfdError> {
+        let width = self.lhs.len() + self.rhs.len();
+        let mut out = Vec::new();
+        let mut id = first_id;
+        for row in &self.rows {
+            if row.len() != width {
+                return Err(CfdError::PatternArity {
+                    expected: width,
+                    got: row.len(),
+                });
+            }
+            for (j, &b) in self.rhs.iter().enumerate() {
+                let cfd = Cfd::new(
+                    id,
+                    schema,
+                    self.lhs.clone(),
+                    b,
+                    row[..self.lhs.len()].to_vec(),
+                    row[self.lhs.len() + j].clone(),
+                )?;
+                out.push(cfd);
+                id += 1;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A rule set `Σ`: normalized CFDs with contiguous ids, plus the schema they
+/// are defined over.
+#[derive(Debug, Clone)]
+pub struct RuleSet {
+    schema: Arc<Schema>,
+    cfds: Vec<Cfd>,
+}
+
+impl RuleSet {
+    /// Build from already-normalized CFDs; re-assigns contiguous ids.
+    pub fn new(schema: Arc<Schema>, mut cfds: Vec<Cfd>) -> Self {
+        for (i, c) in cfds.iter_mut().enumerate() {
+            c.id = i as CfdId;
+        }
+        RuleSet { schema, cfds }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// All CFDs.
+    pub fn cfds(&self) -> &[Cfd] {
+        &self.cfds
+    }
+
+    /// Number of CFDs (`|Σ|`).
+    pub fn len(&self) -> usize {
+        self.cfds.len()
+    }
+
+    /// Is the rule set empty?
+    pub fn is_empty(&self) -> bool {
+        self.cfds.is_empty()
+    }
+
+    /// CFD by id.
+    pub fn get(&self, id: CfdId) -> &Cfd {
+        &self.cfds[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::Schema;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(
+            "EMP",
+            &["id", "CC", "AC", "zip", "street", "city"],
+            "id",
+        )
+        .unwrap()
+    }
+
+    fn phi1(s: &Schema) -> Cfd {
+        // ([CC=44, zip] -> [street])
+        Cfd::from_names(
+            0,
+            s,
+            &[("CC", Some(Value::int(44))), ("zip", None)],
+            ("street", None),
+        )
+        .unwrap()
+    }
+
+    fn phi2(s: &Schema) -> Cfd {
+        // ([CC=44, AC=131] -> [city=EDI])
+        Cfd::from_names(
+            1,
+            s,
+            &[("CC", Some(Value::int(44))), ("AC", Some(Value::int(131)))],
+            ("city", Some(Value::str("EDI"))),
+        )
+        .unwrap()
+    }
+
+    fn tup(tid: u64, cc: i64, ac: i64, zip: &str, street: &str, city: &str) -> Tuple {
+        Tuple::new(
+            tid,
+            vec![
+                Value::int(tid as i64),
+                Value::int(cc),
+                Value::int(ac),
+                Value::str(zip),
+                Value::str(street),
+                Value::str(city),
+            ],
+        )
+    }
+
+    #[test]
+    fn classification() {
+        let s = schema();
+        assert!(phi1(&s).is_variable());
+        assert!(!phi1(&s).is_constant());
+        assert!(phi2(&s).is_constant());
+        assert!(!phi1(&s).is_fd());
+        let fd = Cfd::from_names(2, &s, &[("zip", None)], ("city", None)).unwrap();
+        assert!(fd.is_fd());
+    }
+
+    #[test]
+    fn lhs_matching_respects_constants() {
+        let s = schema();
+        let t_uk = tup(1, 44, 131, "EH4 8LE", "Mayfield", "NYC");
+        let t_us = tup(2, 1, 212, "10001", "5th Ave", "NYC");
+        assert!(phi1(&s).matches_lhs(&t_uk));
+        assert!(!phi1(&s).matches_lhs(&t_us));
+    }
+
+    #[test]
+    fn constant_violation_single_tuple() {
+        let s = schema();
+        let t1 = tup(1, 44, 131, "EH4 8LE", "Mayfield", "NYC");
+        let t2 = tup(2, 44, 131, "EH2 4HF", "Preston", "EDI");
+        assert!(phi2(&s).constant_violation(&t1)); // city NYC ≠ EDI
+        assert!(!phi2(&s).constant_violation(&t2));
+        let t_us = tup(3, 1, 131, "x", "y", "NYC");
+        assert!(!phi2(&s).constant_violation(&t_us)); // pattern not matched
+    }
+
+    #[test]
+    fn pair_violation_example_4() {
+        let s = schema();
+        // t1, t5 of Fig. 2: same CC/zip, different street.
+        let t1 = tup(1, 44, 131, "EH4 8LE", "Mayfield", "NYC");
+        let t5 = tup(5, 44, 131, "EH4 8LE", "Crichton", "EDI");
+        assert!(phi1(&s).pair_violation(&t1, &t5));
+        assert!(phi1(&s).pair_violation(&t5, &t1));
+        // Same street → no violation.
+        let t3 = tup(3, 44, 131, "EH4 8LE", "Mayfield", "EDI");
+        assert!(!phi1(&s).pair_violation(&t1, &t3));
+    }
+
+    #[test]
+    fn constant_atoms_form_f_phi() {
+        let s = schema();
+        let atoms = phi2(&s).constant_atoms();
+        assert_eq!(
+            atoms,
+            vec![
+                (s.attr_id("CC").unwrap(), Value::int(44)),
+                (s.attr_id("AC").unwrap(), Value::int(131)),
+            ]
+        );
+        assert_eq!(phi1(&s).constant_atoms().len(), 1);
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let s = schema();
+        assert_eq!(phi1(&s).display(&s).to_string(), "([CC=44, zip] -> [street])");
+        assert_eq!(
+            phi2(&s).display(&s).to_string(),
+            "([CC=44, AC=131] -> [city=EDI])"
+        );
+    }
+
+    #[test]
+    fn validation_errors() {
+        let s = schema();
+        assert!(matches!(
+            Cfd::new(0, &s, vec![], 1, vec![], PatternValue::Wildcard),
+            Err(CfdError::EmptyLhs)
+        ));
+        assert!(matches!(
+            Cfd::new(
+                0,
+                &s,
+                vec![1],
+                1,
+                vec![PatternValue::Wildcard],
+                PatternValue::Wildcard
+            ),
+            Err(CfdError::RhsInLhs(_))
+        ));
+        assert!(matches!(
+            Cfd::new(
+                0,
+                &s,
+                vec![1, 2],
+                3,
+                vec![PatternValue::Wildcard],
+                PatternValue::Wildcard
+            ),
+            Err(CfdError::PatternArity { expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            Cfd::new(
+                0,
+                &s,
+                vec![99],
+                1,
+                vec![PatternValue::Wildcard],
+                PatternValue::Wildcard
+            ),
+            Err(CfdError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn tableau_normalization() {
+        let s = schema();
+        let tab = Tableau {
+            lhs: vec![s.attr_id("CC").unwrap(), s.attr_id("AC").unwrap()],
+            rhs: vec![s.attr_id("city").unwrap(), s.attr_id("street").unwrap()],
+            rows: vec![
+                vec![
+                    PatternValue::Const(Value::int(44)),
+                    PatternValue::Const(Value::int(131)),
+                    PatternValue::Const(Value::str("EDI")),
+                    PatternValue::Wildcard,
+                ],
+                vec![
+                    PatternValue::Const(Value::int(1)),
+                    PatternValue::Wildcard,
+                    PatternValue::Wildcard,
+                    PatternValue::Wildcard,
+                ],
+            ],
+        };
+        let cfds = tab.normalize(&s, 10).unwrap();
+        assert_eq!(cfds.len(), 4); // 2 rows × 2 RHS attrs
+        assert_eq!(cfds[0].id, 10);
+        assert_eq!(cfds[3].id, 13);
+        assert!(cfds[0].is_constant());
+        assert!(cfds[1].is_variable());
+    }
+
+    #[test]
+    fn ruleset_reassigns_ids() {
+        let s = schema();
+        let rs = RuleSet::new(s.clone(), vec![phi2(&s), phi1(&s)]);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.get(0).id, 0);
+        assert_eq!(rs.get(1).id, 1);
+        assert!(rs.get(0).is_constant());
+    }
+}

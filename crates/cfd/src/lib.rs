@@ -1,0 +1,60 @@
+//! Conditional functional dependencies (CFDs) and violation semantics (§2).
+//!
+//! A CFD `φ = (X → B, t_p)` pairs a functional dependency with a *pattern
+//! tuple* over `X ∪ {B}` whose entries are either constants or the unnamed
+//! variable `_`. Traditional FDs are the special case where the pattern is
+//! all wildcards.
+//!
+//! This crate provides:
+//!
+//! * [`pattern`] — pattern values and the match operator `≍`,
+//! * [`cfd`] — the [`Cfd`] type, tableau form and normalization,
+//! * [`parse`] — a small text format (`[CC=44, zip] -> [street]`),
+//! * [`violation`] — the violation containers `V(Σ, D)` and `ΔV`,
+//! * [`naive`] — a centralized batch detector used as the ground-truth
+//!   oracle in tests and as the reference for the "two SQL queries suffice"
+//!   remark of §1.
+
+pub mod algebra;
+pub mod cfd;
+pub mod naive;
+pub mod parse;
+pub mod pattern;
+pub mod report;
+pub mod sqlgen;
+pub mod violation;
+
+pub use crate::cfd::{Cfd, CfdId, Tableau};
+pub use crate::pattern::PatternValue;
+pub use crate::violation::{DeltaV, Violations};
+
+/// Errors produced when building or parsing CFDs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfdError {
+    /// LHS/RHS attribute missing from the schema.
+    UnknownAttribute(String),
+    /// Pattern arity does not match `X ∪ {B}`.
+    PatternArity { expected: usize, got: usize },
+    /// Text form could not be parsed.
+    Parse(String),
+    /// The RHS attribute also appears on the LHS.
+    RhsInLhs(String),
+    /// A CFD must have at least one LHS attribute.
+    EmptyLhs,
+}
+
+impl std::fmt::Display for CfdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CfdError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            CfdError::PatternArity { expected, got } => {
+                write!(f, "pattern arity {got}, expected {expected}")
+            }
+            CfdError::Parse(s) => write!(f, "parse error: {s}"),
+            CfdError::RhsInLhs(a) => write!(f, "RHS attribute `{a}` also on LHS"),
+            CfdError::EmptyLhs => write!(f, "CFD with empty LHS"),
+        }
+    }
+}
+
+impl std::error::Error for CfdError {}

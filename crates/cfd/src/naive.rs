@@ -1,0 +1,205 @@
+//! Centralized ground-truth detector.
+//!
+//! When `D` is centralized, "two SQL queries suffice to detect violations of
+//! a set of CFDs" (§1, [9]). This module is the algorithmic equivalent: one
+//! pass per CFD for constant patterns (the first "query") and one grouped
+//! pass for variable patterns (the second). It is intentionally simple and
+//! allocation-heavy — it exists as the *oracle* that every distributed and
+//! incremental algorithm in this repository is tested against, and as the
+//! "from scratch" cost reference.
+
+use crate::cfd::{Cfd, CfdId};
+use crate::violation::Violations;
+use relation::{FxHashMap, Relation, Tid, Value};
+
+/// Compute `V(Σ, D)` from scratch on a centralized relation.
+pub fn detect(cfds: &[Cfd], d: &Relation) -> Violations {
+    let mut v = Violations::new(cfds.len());
+    for cfd in cfds {
+        detect_one(cfd, d, &mut v);
+    }
+    v
+}
+
+/// Compute `V(φ, D)` for a single CFD, merging into `out`.
+pub fn detect_one(cfd: &Cfd, d: &Relation, out: &mut Violations) {
+    if cfd.is_constant() {
+        // A constant CFD is violated by a single tuple: pattern-matching LHS
+        // with an RHS that does not match the RHS constant.
+        for t in d.iter() {
+            if cfd.constant_violation(t) {
+                out.add(cfd.id, t.tid);
+            }
+        }
+    } else {
+        // A variable CFD: group pattern-matching tuples by t[X]; every
+        // member of a group with ≥ 2 distinct RHS values is a violation.
+        let mut groups: FxHashMap<Vec<Value>, (Vec<Tid>, Option<Value>, bool)> =
+            FxHashMap::default();
+        for t in d.iter() {
+            if !cfd.matches_lhs(t) {
+                continue;
+            }
+            let key = cfd.lhs_values(t);
+            let b = t.get(cfd.rhs).clone();
+            let entry = groups.entry(key).or_insert((Vec::new(), None, false));
+            entry.0.push(t.tid);
+            match &entry.1 {
+                None => entry.1 = Some(b),
+                Some(first) if *first != b => entry.2 = true,
+                Some(_) => {}
+            }
+        }
+        for (_, (tids, _, mixed)) in groups {
+            if mixed {
+                for tid in tids {
+                    out.add(cfd.id, tid);
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: violations of a single CFD as a fresh container (used in
+/// unit tests).
+pub fn detect_single(cfd: &Cfd, d: &Relation) -> Violations {
+    let mut v = Violations::new(cfd.id as usize + 1);
+    detect_one(cfd, d, &mut v);
+    v
+}
+
+/// Number of (cfd, tid) violation marks a rule set produces on `d` —
+/// convenience for experiment reporting.
+pub fn count_marks(cfds: &[Cfd], d: &Relation) -> usize {
+    detect(cfds, d).total_marks()
+}
+
+/// Ids of CFDs violated by at least one tuple (diagnostic helper).
+pub fn violated_cfds(cfds: &[Cfd], d: &Relation) -> Vec<CfdId> {
+    let v = detect(cfds, d);
+    (0..cfds.len() as CfdId)
+        .filter(|&c| !v.of_cfd(c).is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{Schema, Tuple};
+    use std::sync::Arc;
+
+    /// The EMP relation of Fig. 2 (t1–t5) restricted to the attributes the
+    /// two CFDs of Fig. 1 touch.
+    fn emp() -> (Arc<Schema>, Relation) {
+        let s = Schema::new(
+            "EMP",
+            &["id", "CC", "AC", "zip", "street", "city"],
+            "id",
+        )
+        .unwrap();
+        let rows: Vec<(i64, i64, &str, &str, &str)> = vec![
+            (44, 131, "EH4 8LE", "Mayfield", "NYC"),  // t1
+            (44, 131, "EH2 4HF", "Preston", "EDI"),   // t2
+            (44, 131, "EH4 8LE", "Mayfield", "EDI"),  // t3
+            (44, 131, "EH4 8LE", "Mayfield", "EDI"),  // t4
+            (44, 131, "EH4 8LE", "Crichton", "EDI"),  // t5
+        ];
+        let mut d = Relation::new(s.clone());
+        for (i, (cc, ac, zip, street, city)) in rows.into_iter().enumerate() {
+            let tid = (i + 1) as Tid;
+            d.insert(Tuple::new(
+                tid,
+                vec![
+                    Value::int(tid as i64),
+                    Value::int(cc),
+                    Value::int(ac),
+                    Value::str(zip),
+                    Value::str(street),
+                    Value::str(city),
+                ],
+            ))
+            .unwrap();
+        }
+        (s, d)
+    }
+
+    fn fig1_cfds(s: &Schema) -> Vec<Cfd> {
+        vec![
+            Cfd::from_names(
+                0,
+                s,
+                &[("CC", Some(Value::int(44))), ("zip", None)],
+                ("street", None),
+            )
+            .unwrap(),
+            Cfd::from_names(
+                1,
+                s,
+                &[("CC", Some(Value::int(44))), ("AC", Some(Value::int(131)))],
+                ("city", Some(Value::str("EDI"))),
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn reproduces_fig1_violation_table() {
+        let (s, d) = emp();
+        let cfds = fig1_cfds(&s);
+        let v = detect(&cfds, &d);
+        // φ1: t1, t3, t4, t5 (same zip EH4 8LE, streets Mayfield vs Crichton)
+        let mut phi1: Vec<Tid> = v.of_cfd(0).iter().copied().collect();
+        phi1.sort_unstable();
+        assert_eq!(phi1, vec![1, 3, 4, 5]);
+        // φ2: t1 alone (city NYC under CC=44, AC=131)
+        let mut phi2: Vec<Tid> = v.of_cfd(1).iter().copied().collect();
+        phi2.sort_unstable();
+        assert_eq!(phi2, vec![1]);
+        // Combined: {t1, t3, t4, t5}
+        assert_eq!(v.tids_sorted(), vec![1, 3, 4, 5]);
+        assert_eq!(violated_cfds(&cfds, &d), vec![0, 1]);
+    }
+
+    #[test]
+    fn satisfying_relation_has_no_violations() {
+        let (s, mut d) = emp();
+        let cfds = fig1_cfds(&s);
+        // Remove the offending tuples: t1 (wrong city + street clash) and
+        // t5 (street clash).
+        d.delete(1).unwrap();
+        d.delete(5).unwrap();
+        let v = detect(&cfds, &d);
+        assert!(v.is_empty(), "remaining tuples agree on street and city");
+    }
+
+    #[test]
+    fn variable_cfd_groups_by_full_lhs() {
+        let (s, d) = emp();
+        // zip alone (no CC constant): same groups here, still violations.
+        let cfd = Cfd::from_names(0, &s, &[("zip", None)], ("street", None)).unwrap();
+        let v = detect_single(&cfd, &d);
+        assert_eq!(v.tids_sorted(), vec![1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn pattern_excludes_non_matching_tuples() {
+        let (s, mut d) = emp();
+        // Make t5 a non-UK tuple: the φ1 group loses the Crichton conflict …
+        let t5 = d.delete(5).unwrap();
+        let mut vals: Vec<Value> = t5.values.to_vec();
+        vals[1] = Value::int(1); // CC = 1
+        d.insert(Tuple::new(5, vals)).unwrap();
+        let cfds = fig1_cfds(&s);
+        let v = detect(&cfds, &d);
+        // … so only φ2's single-tuple violation of t1 remains.
+        assert!(v.of_cfd(0).is_empty());
+        assert_eq!(v.tids_sorted(), vec![1]);
+    }
+
+    #[test]
+    fn count_marks_counts_pairs() {
+        let (s, d) = emp();
+        let cfds = fig1_cfds(&s);
+        assert_eq!(count_marks(&cfds, &d), 5); // 4 for φ1 + 1 for φ2
+    }
+}

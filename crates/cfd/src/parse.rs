@@ -1,0 +1,206 @@
+//! A small text format for CFDs.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! cfd   := '(' '[' atoms ']' '->' '[' atom ']' ')' | '[' atoms ']' '->' '[' atom ']'
+//! atoms := atom (',' atom)*
+//! atom  := NAME ('=' value)?          -- no value or '_' means wildcard
+//! value := INT | "'" chars "'" | bare-chars
+//! ```
+//!
+//! Examples (the paper's Fig. 1):
+//!
+//! ```text
+//! ([CC=44, zip] -> [street])
+//! ([CC=44, AC=131] -> [city=EDI])
+//! ```
+//!
+//! Bare values that parse as `i64` become integers; quote them to force
+//! strings (`[CC='44'] -> [street]`).
+
+use crate::cfd::{Cfd, CfdId};
+use crate::pattern::PatternValue;
+use crate::CfdError;
+use relation::{Schema, Value};
+
+/// Parse a single CFD from text against `schema`, assigning `id`.
+pub fn parse_cfd(schema: &Schema, id: CfdId, input: &str) -> Result<Cfd, CfdError> {
+    let s = input.trim();
+    let s = s
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .unwrap_or(s)
+        .trim();
+
+    let (lhs_part, rhs_part) = s
+        .split_once("->")
+        .ok_or_else(|| CfdError::Parse(format!("missing `->` in `{input}`")))?;
+
+    let lhs_atoms = parse_bracketed(lhs_part)?;
+    let rhs_atoms = parse_bracketed(rhs_part)?;
+    if rhs_atoms.len() != 1 {
+        return Err(CfdError::Parse(format!(
+            "RHS must have exactly one attribute, got {}",
+            rhs_atoms.len()
+        )));
+    }
+
+    let mut lhs_ids = Vec::with_capacity(lhs_atoms.len());
+    let mut lhs_pat = Vec::with_capacity(lhs_atoms.len());
+    for (name, pat) in &lhs_atoms {
+        lhs_ids.push(
+            schema
+                .attr_id(name)
+                .map_err(|_| CfdError::UnknownAttribute(name.clone()))?,
+        );
+        lhs_pat.push(pat.clone());
+    }
+    let (rhs_name, rhs_pat) = &rhs_atoms[0];
+    let rhs_id = schema
+        .attr_id(rhs_name)
+        .map_err(|_| CfdError::UnknownAttribute(rhs_name.clone()))?;
+
+    Cfd::new(id, schema, lhs_ids, rhs_id, lhs_pat, rhs_pat.clone())
+}
+
+/// Parse several CFDs, one per non-empty, non-`#`-comment line, assigning
+/// contiguous ids starting at 0.
+pub fn parse_cfds(schema: &Schema, input: &str) -> Result<Vec<Cfd>, CfdError> {
+    let mut out = Vec::new();
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let id = out.len() as CfdId;
+        out.push(parse_cfd(schema, id, line)?);
+    }
+    Ok(out)
+}
+
+fn parse_bracketed(part: &str) -> Result<Vec<(String, PatternValue)>, CfdError> {
+    let part = part.trim();
+    let inner = part
+        .strip_prefix('[')
+        .and_then(|p| p.strip_suffix(']'))
+        .ok_or_else(|| CfdError::Parse(format!("expected `[...]`, got `{part}`")))?;
+    inner
+        .split(',')
+        .map(|atom| parse_atom(atom.trim()))
+        .collect()
+}
+
+fn parse_atom(atom: &str) -> Result<(String, PatternValue), CfdError> {
+    if atom.is_empty() {
+        return Err(CfdError::Parse("empty atom".into()));
+    }
+    match atom.split_once('=') {
+        None => Ok((atom.to_string(), PatternValue::Wildcard)),
+        Some((name, raw)) => {
+            let name = name.trim().to_string();
+            let raw = raw.trim();
+            let pat = if raw == "_" {
+                PatternValue::Wildcard
+            } else if let Some(quoted) = raw
+                .strip_prefix('\'')
+                .and_then(|r| r.strip_suffix('\''))
+            {
+                PatternValue::Const(Value::str(quoted))
+            } else if let Ok(i) = raw.parse::<i64>() {
+                PatternValue::Const(Value::int(i))
+            } else {
+                PatternValue::Const(Value::str(raw))
+            };
+            Ok((name, pat))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(
+            "EMP",
+            &["id", "CC", "AC", "zip", "street", "city"],
+            "id",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_fig1_phi1() {
+        let s = schema();
+        let c = parse_cfd(&s, 0, "([CC=44, zip] -> [street])").unwrap();
+        assert!(c.is_variable());
+        assert_eq!(c.lhs, vec![1, 3]);
+        assert_eq!(c.rhs, 4);
+        assert_eq!(c.lhs_pattern[0], PatternValue::Const(Value::int(44)));
+        assert!(c.lhs_pattern[1].is_wildcard());
+        assert_eq!(c.display(&s).to_string(), "([CC=44, zip] -> [street])");
+    }
+
+    #[test]
+    fn parses_fig1_phi2() {
+        let s = schema();
+        let c = parse_cfd(&s, 1, "([CC=44, AC=131] -> [city=EDI])").unwrap();
+        assert!(c.is_constant());
+        assert_eq!(
+            c.rhs_pattern,
+            PatternValue::Const(Value::str("EDI"))
+        );
+    }
+
+    #[test]
+    fn quoted_values_force_strings_and_allow_spaces() {
+        let s = schema();
+        let c = parse_cfd(&s, 0, "[zip='EH4 8LE'] -> [street]").unwrap();
+        assert_eq!(
+            c.lhs_pattern[0],
+            PatternValue::Const(Value::str("EH4 8LE"))
+        );
+        let c2 = parse_cfd(&s, 0, "[CC='44'] -> [street]").unwrap();
+        assert_eq!(c2.lhs_pattern[0], PatternValue::Const(Value::str("44")));
+    }
+
+    #[test]
+    fn underscore_is_wildcard() {
+        let s = schema();
+        let c = parse_cfd(&s, 0, "[CC=_, zip=_] -> [street=_]").unwrap();
+        assert!(c.is_fd());
+    }
+
+    #[test]
+    fn multi_line_parse_with_comments() {
+        let s = schema();
+        let text = "\n# Fig. 1\n([CC=44, zip] -> [street])\n\n([CC=44, AC=131] -> [city=EDI])\n";
+        let cfds = parse_cfds(&s, text).unwrap();
+        assert_eq!(cfds.len(), 2);
+        assert_eq!(cfds[0].id, 0);
+        assert_eq!(cfds[1].id, 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let s = schema();
+        assert!(matches!(
+            parse_cfd(&s, 0, "[CC=44] [street]"),
+            Err(CfdError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_cfd(&s, 0, "[nope] -> [street]"),
+            Err(CfdError::UnknownAttribute(_))
+        ));
+        assert!(matches!(
+            parse_cfd(&s, 0, "[CC] -> [street, city]"),
+            Err(CfdError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_cfd(&s, 0, "CC -> street"),
+            Err(CfdError::Parse(_))
+        ));
+    }
+}

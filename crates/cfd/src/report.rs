@@ -1,0 +1,213 @@
+//! Human-readable data-quality reports.
+//!
+//! The violation set is the detector's raw output; a data steward wants it
+//! grouped by rule with examples. [`QualityReport`] summarizes a
+//! [`Violations`] container against its rule set and (optionally) the
+//! relation, producing per-CFD counts, sample violating tuples and a
+//! plain-text rendering — the shape of report the paper's motivating
+//! scenarios (§1) imply.
+
+use crate::cfd::{Cfd, CfdId};
+use crate::violation::Violations;
+use relation::{Relation, Schema, Tid};
+
+/// Per-CFD summary.
+#[derive(Debug, Clone)]
+pub struct RuleSummary {
+    /// The rule id.
+    pub cfd: CfdId,
+    /// Rendered rule text (`([CC=44, zip] -> [street])`).
+    pub rule: String,
+    /// Constant or variable CFD.
+    pub constant: bool,
+    /// Number of violating tuples.
+    pub count: usize,
+    /// Up to `sample_limit` violating tuple ids (sorted).
+    pub sample: Vec<Tid>,
+}
+
+/// A full report over a rule set.
+#[derive(Debug, Clone)]
+pub struct QualityReport {
+    /// One summary per CFD, in rule order.
+    pub rules: Vec<RuleSummary>,
+    /// Total distinct violating tuples.
+    pub dirty_tuples: usize,
+    /// Total (cfd, tid) violation marks.
+    pub total_marks: usize,
+    /// Relation size the report was computed against, when known.
+    pub relation_size: Option<usize>,
+}
+
+impl QualityReport {
+    /// Build a report from a violation set. `sample_limit` caps per-rule
+    /// examples.
+    pub fn new(
+        schema: &Schema,
+        cfds: &[Cfd],
+        violations: &Violations,
+        relation: Option<&Relation>,
+        sample_limit: usize,
+    ) -> Self {
+        let rules = cfds
+            .iter()
+            .map(|c| {
+                let set = violations.of_cfd(c.id);
+                let mut sample: Vec<Tid> = set.iter().copied().collect();
+                sample.sort_unstable();
+                sample.truncate(sample_limit);
+                RuleSummary {
+                    cfd: c.id,
+                    rule: c.display(schema).to_string(),
+                    constant: c.is_constant(),
+                    count: set.len(),
+                    sample,
+                }
+            })
+            .collect();
+        QualityReport {
+            rules,
+            dirty_tuples: violations.len(),
+            total_marks: violations.total_marks(),
+            relation_size: relation.map(Relation::len),
+        }
+    }
+
+    /// Fraction of the relation that violates at least one rule
+    /// (`None` when the relation size is unknown or zero).
+    pub fn dirty_ratio(&self) -> Option<f64> {
+        match self.relation_size {
+            Some(n) if n > 0 => Some(self.dirty_tuples as f64 / n as f64),
+            _ => None,
+        }
+    }
+
+    /// Rules sorted by violation count, worst first.
+    pub fn worst_rules(&self) -> Vec<&RuleSummary> {
+        let mut v: Vec<&RuleSummary> = self.rules.iter().filter(|r| r.count > 0).collect();
+        v.sort_by(|a, b| b.count.cmp(&a.count).then(a.cfd.cmp(&b.cfd)));
+        v
+    }
+
+    /// Plain-text rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(s, "Data quality report").unwrap();
+        match (self.relation_size, self.dirty_ratio()) {
+            (Some(n), Some(r)) => writeln!(
+                s,
+                "  {} / {} tuples violate at least one rule ({:.1}%)",
+                self.dirty_tuples,
+                n,
+                100.0 * r
+            )
+            .unwrap(),
+            _ => writeln!(s, "  {} violating tuples", self.dirty_tuples).unwrap(),
+        }
+        writeln!(s, "  {} violation marks across {} rules", self.total_marks, self.rules.len())
+            .unwrap();
+        for r in self.worst_rules() {
+            writeln!(
+                s,
+                "  φ{} {} [{}]: {} violations, e.g. tuples {:?}",
+                r.cfd + 1,
+                r.rule,
+                if r.constant { "constant" } else { "variable" },
+                r.count,
+                r.sample
+            )
+            .unwrap();
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{Schema, Tuple, Value};
+
+    fn setup() -> (std::sync::Arc<Schema>, Relation, Vec<Cfd>, Violations) {
+        let s = Schema::new("EMP", &["id", "CC", "zip", "street", "city"], "id").unwrap();
+        let mut d = Relation::new(s.clone());
+        for (i, (street, city)) in [("Mayfield", "NYC"), ("Mayfield", "EDI"), ("Crichton", "EDI")]
+            .iter()
+            .enumerate()
+        {
+            d.insert(Tuple::new(
+                (i + 1) as Tid,
+                vec![
+                    Value::int((i + 1) as i64),
+                    Value::int(44),
+                    Value::str("EH4"),
+                    Value::str(*street),
+                    Value::str(*city),
+                ],
+            ))
+            .unwrap();
+        }
+        let cfds = vec![
+            Cfd::from_names(
+                0,
+                &s,
+                &[("CC", Some(Value::int(44))), ("zip", None)],
+                ("street", None),
+            )
+            .unwrap(),
+            Cfd::from_names(
+                1,
+                &s,
+                &[("CC", Some(Value::int(44)))],
+                ("city", Some(Value::str("EDI"))),
+            )
+            .unwrap(),
+        ];
+        let v = crate::naive::detect(&cfds, &d);
+        (s, d, cfds, v)
+    }
+
+    #[test]
+    fn summarizes_counts_and_samples() {
+        let (s, d, cfds, v) = setup();
+        let rep = QualityReport::new(&s, &cfds, &v, Some(&d), 2);
+        assert_eq!(rep.rules.len(), 2);
+        assert_eq!(rep.rules[0].count, 3, "street clash hits all three");
+        assert_eq!(rep.rules[1].count, 1, "only t1 has a wrong city");
+        assert_eq!(rep.rules[0].sample.len(), 2, "sample capped");
+        assert_eq!(rep.dirty_tuples, 3);
+        assert_eq!(rep.total_marks, 4);
+        assert_eq!(rep.relation_size, Some(3));
+        let ratio = rep.dirty_ratio().unwrap();
+        assert!((ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_rules_sorted_desc() {
+        let (s, d, cfds, v) = setup();
+        let rep = QualityReport::new(&s, &cfds, &v, Some(&d), 5);
+        let worst = rep.worst_rules();
+        assert_eq!(worst[0].cfd, 0);
+        assert_eq!(worst[1].cfd, 1);
+    }
+
+    #[test]
+    fn render_contains_rule_text() {
+        let (s, d, cfds, v) = setup();
+        let rep = QualityReport::new(&s, &cfds, &v, Some(&d), 3);
+        let text = rep.render();
+        assert!(text.contains("([CC=44, zip] -> [street])"));
+        assert!(text.contains("100.0%"));
+        assert!(text.contains("variable"));
+        assert!(text.contains("constant"));
+    }
+
+    #[test]
+    fn clean_relation_renders_empty_rule_list() {
+        let (s, d, cfds, _) = setup();
+        let v = Violations::new(cfds.len());
+        let rep = QualityReport::new(&s, &cfds, &v, Some(&d), 3);
+        assert!(rep.worst_rules().is_empty());
+        assert_eq!(rep.dirty_ratio(), Some(0.0));
+    }
+}

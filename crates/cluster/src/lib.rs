@@ -1,0 +1,49 @@
+//! Metered in-process distributed substrate.
+//!
+//! The paper evaluates on an Amazon EC2 cluster with one fragment per
+//! instance. This crate is the substitution documented in `DESIGN.md`: sites
+//! are in-process fragment holders and *every* cross-site payload flows
+//! through a [`Network`] that meters messages, bytes and eqid shipments per
+//! `(src, dst)` pair. A configurable [`CostModel`] converts the meter into a
+//! *simulated network time*, so experiments can report both wall-clock time
+//! and the communication-dominated elapsed time the paper measures.
+//!
+//! Modules:
+//!
+//! * [`netstats`] — counters and the cost model,
+//! * [`transport`] — the generic, synchronous, metered message network,
+//! * [`partition`] — vertical (§2.2, projections with key, replication
+//!   allowed) and horizontal (disjoint selections) partitioners.
+
+pub mod netstats;
+pub mod partition;
+pub mod transport;
+
+pub use netstats::{CostModel, NetStats};
+pub use transport::{Network, Wire};
+
+/// Identifier of a site `S_i`. Sites are numbered `0..n`.
+pub type SiteId = usize;
+
+/// Errors from the distribution substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A partition scheme does not cover the schema / violates key rules.
+    BadScheme(String),
+    /// A tuple matched no horizontal fragment (or more than one).
+    Routing(String),
+    /// A site id out of range.
+    UnknownSite(SiteId),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::BadScheme(s) => write!(f, "bad partition scheme: {s}"),
+            ClusterError::Routing(s) => write!(f, "routing error: {s}"),
+            ClusterError::UnknownSite(s) => write!(f, "unknown site {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}

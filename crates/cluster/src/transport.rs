@@ -1,0 +1,206 @@
+//! The metered, synchronous message network.
+//!
+//! Detection algorithms exchange typed messages (eqids, digests, partial
+//! tuples, probe requests/replies). [`Network`] is generic over the message
+//! type; the only requirement is [`Wire`], which reports the payload size so
+//! shipment can be accounted the way the paper counts `|M|`.
+//!
+//! The network is synchronous and deterministic: `send` enqueues into the
+//! destination inbox, `drain` empties an inbox in FIFO order. This models
+//! the round-structured protocols of §4/§6 faithfully while keeping tests
+//! reproducible. Metering is the load-bearing part — the experiments'
+//! communication columns come straight from here.
+
+use crate::netstats::NetStats;
+use crate::{ClusterError, SiteId};
+use std::collections::VecDeque;
+
+/// Payloads that know their wire size (and optionally how many eqids they
+/// carry, for the Fig. 10 metric).
+pub trait Wire {
+    /// Serialized size in bytes.
+    fn wire_size(&self) -> usize;
+
+    /// Number of eqids in the payload (0 for non-eqid messages).
+    fn eqid_count(&self) -> usize {
+        0
+    }
+}
+
+/// A synchronous, metered `n`-site message network.
+#[derive(Debug)]
+pub struct Network<M> {
+    inboxes: Vec<VecDeque<(SiteId, M)>>,
+    stats: NetStats,
+}
+
+impl<M: Wire> Network<M> {
+    /// A network connecting `n` sites.
+    pub fn new(n: usize) -> Self {
+        Network {
+            inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            stats: NetStats::new(n),
+        }
+    }
+
+    /// Number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// Ship `msg` from `src` to `dst`. Local sends are rejected — algorithms
+    /// must branch to local processing instead, so that metering stays
+    /// honest.
+    pub fn send(&mut self, src: SiteId, dst: SiteId, msg: M) -> Result<(), ClusterError> {
+        if src == dst {
+            return Err(ClusterError::Routing(format!(
+                "site {src} attempted a metered send to itself"
+            )));
+        }
+        if dst >= self.inboxes.len() {
+            return Err(ClusterError::UnknownSite(dst));
+        }
+        self.stats.record(src, dst, msg.wire_size(), msg.eqid_count());
+        self.inboxes[dst].push_back((src, msg));
+        Ok(())
+    }
+
+    /// Ship `msg` from `src` to `dst` and consume it immediately at the
+    /// destination — fire-and-forget metering for payloads the receiving
+    /// site absorbs into local state without replying (e.g. eqids fed into
+    /// an HEV). Identical accounting to [`Network::send`], no inbox entry.
+    pub fn ship(&mut self, src: SiteId, dst: SiteId, msg: &M) -> Result<(), ClusterError> {
+        if src == dst {
+            return Err(ClusterError::Routing(format!(
+                "site {src} attempted a metered ship to itself"
+            )));
+        }
+        if dst >= self.inboxes.len() {
+            return Err(ClusterError::UnknownSite(dst));
+        }
+        self.stats.record(src, dst, msg.wire_size(), msg.eqid_count());
+        Ok(())
+    }
+
+    /// Ship `msg` from `src` to every other site (`n−1` messages).
+    pub fn broadcast(&mut self, src: SiteId, msg: M) -> Result<(), ClusterError>
+    where
+        M: Clone,
+    {
+        for dst in 0..self.inboxes.len() {
+            if dst != src {
+                self.send(src, dst, msg.clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain the inbox of `site` in FIFO order.
+    pub fn drain(&mut self, site: SiteId) -> Vec<(SiteId, M)> {
+        self.inboxes[site].drain(..).collect()
+    }
+
+    /// Receive a single message, if any.
+    pub fn recv(&mut self, site: SiteId) -> Option<(SiteId, M)> {
+        self.inboxes[site].pop_front()
+    }
+
+    /// Are all inboxes empty? (protocol-completion assertion)
+    pub fn quiescent(&self) -> bool {
+        self.inboxes.iter().all(VecDeque::is_empty)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Reset statistics (inboxes must be empty).
+    pub fn reset_stats(&mut self) {
+        debug_assert!(self.quiescent());
+        self.stats.reset();
+    }
+}
+
+/// Blanket wire impls for common payload shapes.
+impl Wire for Vec<u8> {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Wire for u64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct EqidMsg(Vec<u64>);
+
+    impl Wire for EqidMsg {
+        fn wire_size(&self) -> usize {
+            8 * self.0.len()
+        }
+        fn eqid_count(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    #[test]
+    fn send_meters_and_delivers_fifo() {
+        let mut net: Network<EqidMsg> = Network::new(3);
+        net.send(0, 2, EqidMsg(vec![1])).unwrap();
+        net.send(1, 2, EqidMsg(vec![2, 3])).unwrap();
+        net.send(0, 2, EqidMsg(vec![4])).unwrap();
+        let got = net.drain(2);
+        assert_eq!(
+            got,
+            vec![
+                (0, EqidMsg(vec![1])),
+                (1, EqidMsg(vec![2, 3])),
+                (0, EqidMsg(vec![4])),
+            ]
+        );
+        assert_eq!(net.stats().total_messages(), 3);
+        assert_eq!(net.stats().total_bytes(), 8 * 4);
+        assert_eq!(net.stats().total_eqids(), 4);
+        assert!(net.quiescent());
+    }
+
+    #[test]
+    fn local_send_is_rejected() {
+        let mut net: Network<EqidMsg> = Network::new(2);
+        assert!(matches!(
+            net.send(1, 1, EqidMsg(vec![1])),
+            Err(ClusterError::Routing(_))
+        ));
+        assert!(matches!(
+            net.send(0, 9, EqidMsg(vec![1])),
+            Err(ClusterError::UnknownSite(9))
+        ));
+    }
+
+    #[test]
+    fn broadcast_counts_n_minus_1_messages() {
+        let mut net: Network<EqidMsg> = Network::new(4);
+        net.broadcast(1, EqidMsg(vec![7])).unwrap();
+        assert_eq!(net.stats().total_messages(), 3);
+        for s in [0usize, 2, 3] {
+            assert_eq!(net.drain(s).len(), 1);
+        }
+        assert!(net.drain(1).is_empty());
+    }
+
+    #[test]
+    fn recv_single() {
+        let mut net: Network<u64> = Network::new(2);
+        net.send(0, 1, 42).unwrap();
+        assert_eq!(net.recv(1), Some((0, 42)));
+        assert_eq!(net.recv(1), None);
+    }
+}

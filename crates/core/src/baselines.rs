@@ -1,0 +1,565 @@
+//! Batch baselines.
+//!
+//! * [`bat_ver`] / [`bat_hor`] — batch detection "from scratch" following
+//!   the coordinator heuristic the paper attributes to [Fan et al., ICDE
+//!   2010] and uses as `batVer` / `batHor` in §7: for each CFD, ship the
+//!   pattern-relevant attributes (vertical) or tuples (horizontal) to a
+//!   per-CFD coordinator site and check the violations there. Their
+//!   communication and computation grow with `|D|`, which is precisely what
+//!   the incremental algorithms avoid.
+//! * [`bat_ver_parallel`] / [`bat_hor_parallel`] — the same work with the
+//!   per-CFD checks running on parallel threads (§7, step 3: "the
+//!   violations of all CFDs are checked in parallel"); each CFD task owns
+//!   a private meter, merged afterwards.
+//! * [`ibat_ver`] / [`ibat_hor`] — the *refined* batch algorithms of
+//!   Exp-10: recompute from scratch, but through the incremental insertion
+//!   machinery and its indices.
+
+use crate::horizontal::{HorizontalDetector, HorizontalError};
+use crate::vertical::{VerticalDetector, VerticalError};
+use cfd::{Cfd, CfdId, Violations};
+use cluster::partition::{HorizontalScheme, VerticalScheme};
+use cluster::{NetStats, Network, SiteId, Wire};
+use relation::{AttrId, FxHashMap, Relation, Schema, Tid, UpdateBatch, Value};
+use std::sync::Arc;
+
+/// Column/tuple payloads shipped by the batch baselines.
+#[derive(Debug, Clone)]
+pub enum BatMsg {
+    /// `(tid, values)` rows of a projected column set.
+    Rows(Vec<(Tid, Vec<Value>)>),
+}
+
+impl Wire for BatMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            BatMsg::Rows(rows) => rows
+                .iter()
+                .map(|(_, vs)| 8 + vs.iter().map(Value::wire_size).sum::<usize>())
+                .sum(),
+        }
+    }
+}
+
+/// Outcome of a batch run: the violations plus the traffic it cost.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// `V(Σ, D)` computed from scratch.
+    pub violations: Violations,
+    /// Shipment metered during the run.
+    pub stats: NetStats,
+}
+
+// ----------------------------------------------------------------------
+// batVer
+// ----------------------------------------------------------------------
+
+/// One CFD's worth of `batVer` work: each site holding attributes of
+/// `X ∪ {B}` ships its `(tid, value…)` columns (pre-filtered by the
+/// constant atoms it can evaluate locally) to the CFD's coordinator,
+/// which sort-merges by tid and checks the violations.
+fn bat_ver_one(cfd: &Cfd, scheme: &VerticalScheme, fragments: &[Relation]) -> (Vec<Tid>, NetStats) {
+    let n = scheme.n_sites();
+    let mut net: Network<BatMsg> = Network::new(n);
+    let mut out: Vec<Tid> = Vec::new();
+
+    // Coordinator: the site holding the most attributes of the CFD.
+    let attrs = cfd.attrs();
+    let coord = (0..n)
+        .max_by_key(|&s| {
+            attrs
+                .iter()
+                .filter(|&&a| scheme.local_pos(s, a).is_some())
+                .count()
+        })
+        .expect("at least one site");
+
+    // Each attribute is served by one site (coordinator if it holds it).
+    let mut serving: FxHashMap<SiteId, Vec<AttrId>> = FxHashMap::default();
+    for &a in &attrs {
+        let site = if scheme.local_pos(coord, a).is_some() {
+            coord
+        } else {
+            scheme.primary_site(a)
+        };
+        serving.entry(site).or_default().push(a);
+    }
+
+    // Remote sites ship their columns, filtered by locally evaluable
+    // constant atoms.
+    let atoms = cfd.constant_atoms();
+    let mut columns: FxHashMap<SiteId, Vec<(Tid, Vec<Value>)>> = FxHashMap::default();
+    let mut sites: Vec<SiteId> = serving.keys().copied().collect();
+    sites.sort_unstable();
+    for site in sites {
+        let served = &serving[&site];
+        let local_atoms: Vec<&(AttrId, Value)> = atoms
+            .iter()
+            .filter(|(a, _)| scheme.local_pos(site, *a).is_some())
+            .collect();
+        let rows: Vec<(Tid, Vec<Value>)> = fragments[site]
+            .iter()
+            .filter(|t| {
+                local_atoms.iter().all(|(a, v)| {
+                    let pos = scheme.local_pos(site, *a).expect("atom attr is local") as AttrId;
+                    t.get(pos) == v
+                })
+            })
+            .map(|t| {
+                let vals: Vec<Value> = served
+                    .iter()
+                    .map(|&a| {
+                        let pos = scheme.local_pos(site, a).expect("served attr is local");
+                        t.get(pos as AttrId).clone()
+                    })
+                    .collect();
+                (t.tid, vals)
+            })
+            .collect();
+        if site != coord {
+            net.send(site, coord, BatMsg::Rows(rows.clone()))
+                .expect("valid sites");
+        }
+        columns.insert(site, rows);
+    }
+
+    // Coordinator: sort-merge the columns by tid, rebuild partial tuples
+    // over `attrs`, and detect violations of this CFD.
+    let mut assembled: FxHashMap<Tid, FxHashMap<AttrId, Value>> = FxHashMap::default();
+    let mut site_count: FxHashMap<Tid, usize> = FxHashMap::default();
+    let n_serving = serving.len();
+    for (site, rows) in &columns {
+        let served = &serving[site];
+        for (tid, vals) in rows {
+            let slot = assembled.entry(*tid).or_default();
+            for (a, v) in served.iter().zip(vals) {
+                slot.insert(*a, v.clone());
+            }
+            *site_count.entry(*tid).or_insert(0) += 1;
+        }
+    }
+    // Only tuples surviving every site's local filter participate.
+    let mut groups: FxHashMap<Vec<Value>, (Vec<Tid>, Option<Value>, bool)> = FxHashMap::default();
+    for (tid, vals) in &assembled {
+        if site_count[tid] != n_serving {
+            continue;
+        }
+        let lhs_vals: Vec<Value> = cfd.lhs.iter().map(|a| vals[a].clone()).collect();
+        let matches = cfd
+            .lhs_pattern
+            .iter()
+            .zip(&lhs_vals)
+            .all(|(p, v)| p.matches(v));
+        if !matches {
+            continue;
+        }
+        let b = vals[&cfd.rhs].clone();
+        if cfd.is_constant() {
+            if !cfd.rhs_pattern.matches(&b) {
+                out.push(*tid);
+            }
+        } else {
+            let e = groups.entry(lhs_vals).or_insert((Vec::new(), None, false));
+            e.0.push(*tid);
+            match &e.1 {
+                None => e.1 = Some(b),
+                Some(first) if *first != b => e.2 = true,
+                Some(_) => {}
+            }
+        }
+    }
+    for (_, (tids, _, mixed)) in groups {
+        if mixed {
+            out.extend(tids);
+        }
+    }
+    (out, net.stats().clone())
+}
+
+/// `batVer`: batch detection over vertical fragments, CFDs checked one
+/// after another.
+pub fn bat_ver(cfds: &[Cfd], scheme: &VerticalScheme, d: &Relation) -> BatchOutcome {
+    let fragments = scheme.partition(d);
+    let mut violations = Violations::new(cfds.len());
+    let mut stats = NetStats::new(scheme.n_sites());
+    for cfd in cfds {
+        let (tids, s) = bat_ver_one(cfd, scheme, &fragments);
+        for t in tids {
+            violations.add(cfd.id, t);
+        }
+        stats.merge(&s);
+    }
+    BatchOutcome { violations, stats }
+}
+
+/// `batVer` with per-CFD checks on parallel threads.
+pub fn bat_ver_parallel(cfds: &[Cfd], scheme: &VerticalScheme, d: &Relation) -> BatchOutcome {
+    let fragments = scheme.partition(d);
+    let results = parallel_per_cfd(cfds, |cfd| bat_ver_one(cfd, scheme, &fragments));
+    merge_results(cfds.len(), scheme.n_sites(), results)
+}
+
+// ----------------------------------------------------------------------
+// batHor
+// ----------------------------------------------------------------------
+
+/// One CFD's worth of `batHor` work. Constant CFDs are checked locally;
+/// variable CFDs ship the `π_{X∪{B}}` projection of each site's
+/// pattern-matching tuples to the CFD's coordinator (round-robin).
+fn bat_hor_one(cfd: &Cfd, n: usize, fragments: &[Relation]) -> (Vec<Tid>, NetStats) {
+    let mut net: Network<BatMsg> = Network::new(n);
+    let mut out: Vec<Tid> = Vec::new();
+
+    if cfd.is_constant() {
+        for frag in fragments {
+            for t in frag.iter() {
+                if cfd.constant_violation(t) {
+                    out.push(t.tid);
+                }
+            }
+        }
+        return (out, net.stats().clone());
+    }
+    let coord = (cfd.id as usize) % n;
+    let proj: Vec<AttrId> = cfd.attrs();
+    let mut all_rows: Vec<(Tid, Vec<Value>)> = Vec::new();
+    for (site, frag) in fragments.iter().enumerate() {
+        let rows: Vec<(Tid, Vec<Value>)> = frag
+            .iter()
+            .filter(|t| cfd.matches_lhs(t))
+            .map(|t| (t.tid, t.values_at(&proj)))
+            .collect();
+        if site != coord {
+            net.send(site, coord, BatMsg::Rows(rows.clone()))
+                .expect("valid sites");
+        }
+        all_rows.extend(rows);
+    }
+    // Group by X values (positions 0..lhs.len() of the projection).
+    let m = cfd.lhs.len();
+    let mut groups: FxHashMap<Vec<Value>, (Vec<Tid>, Option<Value>, bool)> = FxHashMap::default();
+    for (tid, vals) in all_rows {
+        let key = vals[..m].to_vec();
+        let b = vals[m].clone();
+        let e = groups.entry(key).or_insert((Vec::new(), None, false));
+        e.0.push(tid);
+        match &e.1 {
+            None => e.1 = Some(b),
+            Some(first) if *first != b => e.2 = true,
+            Some(_) => {}
+        }
+    }
+    for (_, (tids, _, mixed)) in groups {
+        if mixed {
+            out.extend(tids);
+        }
+    }
+    (out, net.stats().clone())
+}
+
+/// `batHor`: batch detection over horizontal fragments.
+pub fn bat_hor(cfds: &[Cfd], scheme: &HorizontalScheme, d: &Relation) -> BatchOutcome {
+    let n = scheme.n_sites();
+    let fragments = scheme.partition(d).expect("scheme partitions D");
+    let mut violations = Violations::new(cfds.len());
+    let mut stats = NetStats::new(n);
+    for cfd in cfds {
+        let (tids, s) = bat_hor_one(cfd, n, &fragments);
+        for t in tids {
+            violations.add(cfd.id, t);
+        }
+        stats.merge(&s);
+    }
+    BatchOutcome { violations, stats }
+}
+
+/// `batHor` with per-CFD checks on parallel threads.
+pub fn bat_hor_parallel(cfds: &[Cfd], scheme: &HorizontalScheme, d: &Relation) -> BatchOutcome {
+    let n = scheme.n_sites();
+    let fragments = scheme.partition(d).expect("scheme partitions D");
+    let results = parallel_per_cfd(cfds, |cfd| bat_hor_one(cfd, n, &fragments));
+    merge_results(cfds.len(), n, results)
+}
+
+// ----------------------------------------------------------------------
+// Parallel scaffolding
+// ----------------------------------------------------------------------
+
+/// Run `work` for every CFD on a bounded crossbeam thread pool, preserving
+/// CFD association.
+fn parallel_per_cfd<F>(cfds: &[Cfd], work: F) -> Vec<(CfdId, Vec<Tid>, NetStats)>
+where
+    F: Fn(&Cfd) -> (Vec<Tid>, NetStats) + Sync,
+{
+    let n_workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(cfds.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<(CfdId, Vec<Tid>, NetStats)> = Vec::with_capacity(cfds.len());
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                let next = &next;
+                let work = &work;
+                s.spawn(move |_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= cfds.len() {
+                            break;
+                        }
+                        let (tids, stats) = work(&cfds[i]);
+                        local.push((cfds[i].id, tids, stats));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            results.extend(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope join");
+    results.sort_by_key(|(id, _, _)| *id);
+    results
+}
+
+fn merge_results(
+    n_cfds: usize,
+    n_sites: usize,
+    results: Vec<(CfdId, Vec<Tid>, NetStats)>,
+) -> BatchOutcome {
+    let mut violations = Violations::new(n_cfds);
+    let mut stats = NetStats::new(n_sites);
+    for (cfd, tids, s) in results {
+        for t in tids {
+            violations.add(cfd, t);
+        }
+        stats.merge(&s);
+    }
+    BatchOutcome { violations, stats }
+}
+
+// ----------------------------------------------------------------------
+// ibatVer / ibatHor
+// ----------------------------------------------------------------------
+
+/// `ibatVer` (Exp-10): recompute from scratch with the incremental
+/// machinery — build the detector on an empty database and feed the whole
+/// target relation through metered incremental insertions.
+pub fn ibat_ver(
+    schema: Arc<Schema>,
+    cfds: Vec<Cfd>,
+    scheme: VerticalScheme,
+    d: &Relation,
+) -> Result<BatchOutcome, VerticalError> {
+    let empty = Relation::new(schema.clone());
+    let mut det = VerticalDetector::new(schema, cfds, scheme, &empty)?;
+    let mut load = UpdateBatch::new();
+    for t in d.iter() {
+        load.insert(t.clone());
+    }
+    det.apply(&load)?;
+    Ok(BatchOutcome {
+        violations: det.violations().clone(),
+        stats: det.stats().clone(),
+    })
+}
+
+/// `ibatHor` (Exp-10): horizontal counterpart of [`ibat_ver`].
+pub fn ibat_hor(
+    schema: Arc<Schema>,
+    cfds: Vec<Cfd>,
+    scheme: HorizontalScheme,
+    d: &Relation,
+) -> Result<BatchOutcome, HorizontalError> {
+    let empty = Relation::new(schema.clone());
+    let mut det = HorizontalDetector::new(schema, cfds, scheme, &empty)?;
+    let mut load = UpdateBatch::new();
+    for t in d.iter() {
+        load.insert(t.clone());
+    }
+    det.apply(&load)?;
+    Ok(BatchOutcome {
+        violations: det.violations().clone(),
+        stats: det.stats().clone(),
+    })
+}
+
+/// Convenience used by tests and the experiment harness: the oracle
+/// violations computed centrally (no distribution at all).
+pub fn centralized(cfds: &[Cfd], d: &Relation) -> Violations {
+    cfd::naive::detect(cfds, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::Tuple;
+
+    fn emp_schema() -> Arc<Schema> {
+        Schema::new(
+            "EMP",
+            &["id", "grade", "CC", "AC", "zip", "street", "city"],
+            "id",
+        )
+        .unwrap()
+    }
+
+    fn emp_tuple(
+        tid: Tid,
+        grade: &str,
+        cc: i64,
+        ac: i64,
+        zip: &str,
+        street: &str,
+        city: &str,
+    ) -> Tuple {
+        Tuple::new(
+            tid,
+            vec![
+                Value::int(tid as i64),
+                Value::str(grade),
+                Value::int(cc),
+                Value::int(ac),
+                Value::str(zip),
+                Value::str(street),
+                Value::str(city),
+            ],
+        )
+    }
+
+    fn d0() -> Relation {
+        let mut d = Relation::new(emp_schema());
+        d.insert(emp_tuple(1, "A", 44, 131, "EH4 8LE", "Mayfield", "NYC")).unwrap();
+        d.insert(emp_tuple(2, "A", 44, 131, "EH2 4HF", "Preston", "EDI")).unwrap();
+        d.insert(emp_tuple(3, "B", 44, 131, "EH4 8LE", "Mayfield", "EDI")).unwrap();
+        d.insert(emp_tuple(4, "B", 44, 131, "EH4 8LE", "Mayfield", "EDI")).unwrap();
+        d.insert(emp_tuple(5, "C", 44, 131, "EH4 8LE", "Crichton", "EDI")).unwrap();
+        d
+    }
+
+    fn fig1_cfds(s: &Schema) -> Vec<Cfd> {
+        vec![
+            Cfd::from_names(
+                0,
+                s,
+                &[("CC", Some(Value::int(44))), ("zip", None)],
+                ("street", None),
+            )
+            .unwrap(),
+            Cfd::from_names(
+                1,
+                s,
+                &[("CC", Some(Value::int(44))), ("AC", Some(Value::int(131)))],
+                ("city", Some(Value::str("EDI"))),
+            )
+            .unwrap(),
+        ]
+    }
+
+    fn vscheme(s: &Arc<Schema>) -> VerticalScheme {
+        let a = |n: &str| s.attr_id(n).unwrap();
+        VerticalScheme::new(
+            s.clone(),
+            vec![
+                vec![a("grade")],
+                vec![a("street"), a("city"), a("zip")],
+                vec![a("CC"), a("AC")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bat_ver_matches_oracle_and_ships_data() {
+        let s = emp_schema();
+        let scheme = vscheme(&s);
+        let d = d0();
+        let cfds = fig1_cfds(&s);
+        let out = bat_ver(&cfds, &scheme, &d);
+        let oracle = centralized(&cfds, &d);
+        assert_eq!(out.violations.marks_sorted(), oracle.marks_sorted());
+        assert!(out.stats.total_bytes() > 0, "batch must ship attribute data");
+    }
+
+    #[test]
+    fn bat_hor_matches_oracle_and_ships_data() {
+        let s = emp_schema();
+        let scheme = HorizontalScheme::by_values(
+            s.clone(),
+            s.attr_id("grade").unwrap(),
+            vec![
+                vec![Value::str("A")],
+                vec![Value::str("B")],
+                vec![Value::str("C")],
+            ],
+        )
+        .unwrap();
+        let d = d0();
+        let cfds = fig1_cfds(&s);
+        let out = bat_hor(&cfds, &scheme, &d);
+        let oracle = centralized(&cfds, &d);
+        assert_eq!(out.violations.marks_sorted(), oracle.marks_sorted());
+        assert!(out.stats.total_bytes() > 0);
+    }
+
+    #[test]
+    fn parallel_baselines_match_sequential() {
+        let s = emp_schema();
+        let d = d0();
+        let cfds = fig1_cfds(&s);
+        let scheme = vscheme(&s);
+        let seq = bat_ver(&cfds, &scheme, &d);
+        let par = bat_ver_parallel(&cfds, &scheme, &d);
+        assert_eq!(seq.violations.marks_sorted(), par.violations.marks_sorted());
+        assert_eq!(seq.stats.total_bytes(), par.stats.total_bytes());
+
+        let hscheme = HorizontalScheme::by_hash(s.clone(), 0, 3).unwrap();
+        let seq = bat_hor(&cfds, &hscheme, &d);
+        let par = bat_hor_parallel(&cfds, &hscheme, &d);
+        assert_eq!(seq.violations.marks_sorted(), par.violations.marks_sorted());
+        assert_eq!(seq.stats.total_bytes(), par.stats.total_bytes());
+    }
+
+    #[test]
+    fn ibat_matches_oracle() {
+        let s = emp_schema();
+        let d = d0();
+        let cfds = fig1_cfds(&s);
+        let vs = VerticalScheme::round_robin(s.clone(), 3).unwrap();
+        let hv = HorizontalScheme::by_hash(s.clone(), 0, 3).unwrap();
+        let oracle = centralized(&cfds, &d);
+        let o1 = ibat_ver(s.clone(), cfds.clone(), vs, &d).unwrap();
+        assert_eq!(o1.violations.marks_sorted(), oracle.marks_sorted());
+        let o2 = ibat_hor(s, cfds, hv, &d).unwrap();
+        assert_eq!(o2.violations.marks_sorted(), oracle.marks_sorted());
+    }
+
+    #[test]
+    fn batch_ships_more_than_incremental_for_small_updates() {
+        // The headline claim, in miniature: one insertion costs the batch
+        // algorithm |D|-scale shipment but the incremental detector O(1).
+        let s = emp_schema();
+        let scheme = vscheme(&s);
+        let d = d0();
+        let cfds = fig1_cfds(&s);
+        let mut det =
+            VerticalDetector::new(s.clone(), cfds.clone(), scheme.clone(), &d).unwrap();
+        let mut delta = UpdateBatch::new();
+        delta.insert(emp_tuple(6, "C", 44, 131, "EH4 8LE", "Mayfield", "EDI"));
+        det.apply(&delta).unwrap();
+        let inc_bytes = det.stats().total_bytes();
+
+        let mut d2 = d0();
+        delta.apply(&mut d2).unwrap();
+        let bat = bat_ver(&cfds, &scheme, &d2);
+        assert!(
+            bat.stats.total_bytes() > inc_bytes,
+            "batch {} vs incremental {}",
+            bat.stats.total_bytes(),
+            inc_bytes
+        );
+    }
+}

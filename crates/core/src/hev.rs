@@ -1,0 +1,212 @@
+//! HEV index structures (§4).
+//!
+//! For each variable CFD, sites maintain **Hash-based Equivalence-class and
+//! Value indices**. A *base* HEV maps a single attribute's values to eqids;
+//! a *non-base* HEV is a key/value store that, given a vector of input
+//! eqids, returns the eqid of the combined equivalence class:
+//! `eq(id[t_{Y1}], …, id[t_{Ym}]) = id[t_{Y1∪…∪Ym}]`.
+//!
+//! Both kinds are reference-counted by live tuples so deletions
+//! garbage-collect equivalence classes, keeping index size proportional to
+//! the live database. All operations are O(1) hash probes, which is what
+//! makes the computational cost of the detectors `O(|ΔD| + |ΔV|)`.
+
+use relation::{FxHashMap, Value};
+
+/// An equivalence-class identifier, unique within its owning HEV.
+pub type EqId = u64;
+
+/// A base HEV: distinct attribute values → eqids, shared by all CFDs.
+#[derive(Debug, Default)]
+pub struct BaseHev {
+    map: FxHashMap<Value, Entry>,
+    next: EqId,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    id: EqId,
+    refs: u32,
+}
+
+impl BaseHev {
+    /// Fresh empty index.
+    pub fn new() -> Self {
+        BaseHev::default()
+    }
+
+    /// Eqid for `v`, allocating a new class and taking a reference.
+    pub fn acquire(&mut self, v: &Value) -> EqId {
+        if let Some(e) = self.map.get_mut(v) {
+            e.refs += 1;
+            return e.id;
+        }
+        let id = self.next;
+        self.next += 1;
+        self.map.insert(v.clone(), Entry { id, refs: 1 });
+        id
+    }
+
+    /// Eqid for `v` without changing reference counts (pure lookup).
+    pub fn lookup(&self, v: &Value) -> Option<EqId> {
+        self.map.get(v).map(|e| e.id)
+    }
+
+    /// Release one reference on `v`'s class, garbage-collecting it at zero.
+    /// Returns the eqid the value had.
+    ///
+    /// # Panics
+    /// Panics if `v` has no live class — that indicates the caller's
+    /// insert/delete bookkeeping is out of sync.
+    pub fn release(&mut self, v: &Value) -> EqId {
+        let e = self
+            .map
+            .get_mut(v)
+            .expect("release of value with no live equivalence class");
+        let id = e.id;
+        if e.refs > 1 {
+            e.refs -= 1;
+        } else {
+            self.map.remove(v);
+        }
+        id
+    }
+
+    /// Number of live equivalence classes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A non-base HEV: vectors of input eqids → combined eqid.
+#[derive(Debug, Default)]
+pub struct NonBaseHev {
+    map: FxHashMap<Box<[EqId]>, Entry>,
+    next: EqId,
+}
+
+impl NonBaseHev {
+    /// Fresh empty index.
+    pub fn new() -> Self {
+        NonBaseHev::default()
+    }
+
+    /// Eqid for the input-eqid vector, allocating and referencing.
+    pub fn acquire(&mut self, key: &[EqId]) -> EqId {
+        if let Some(e) = self.map.get_mut(key) {
+            e.refs += 1;
+            return e.id;
+        }
+        let id = self.next;
+        self.next += 1;
+        self.map.insert(key.into(), Entry { id, refs: 1 });
+        id
+    }
+
+    /// Pure lookup (the `eq()` function of §4).
+    pub fn lookup(&self, key: &[EqId]) -> Option<EqId> {
+        self.map.get(key).map(|e| e.id)
+    }
+
+    /// Release one reference, garbage-collecting at zero. Returns the eqid.
+    ///
+    /// # Panics
+    /// Panics when the key has no live class (bookkeeping error).
+    pub fn release(&mut self, key: &[EqId]) -> EqId {
+        let e = self
+            .map
+            .get_mut(key)
+            .expect("release of eqid vector with no live class");
+        let id = e.id;
+        if e.refs > 1 {
+            e.refs -= 1;
+        } else {
+            self.map.remove(key);
+        }
+        id
+    }
+
+    /// Number of live classes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_assigns_stable_ids_per_value() {
+        let mut h = BaseHev::new();
+        let a = h.acquire(&Value::int(44));
+        let b = h.acquire(&Value::int(44));
+        let c = h.acquire(&Value::int(1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(h.lookup(&Value::int(44)), Some(a));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn base_refcount_gc() {
+        let mut h = BaseHev::new();
+        let a = h.acquire(&Value::str("x"));
+        h.acquire(&Value::str("x"));
+        assert_eq!(h.release(&Value::str("x")), a);
+        assert_eq!(h.lookup(&Value::str("x")), Some(a), "one ref remains");
+        h.release(&Value::str("x"));
+        assert_eq!(h.lookup(&Value::str("x")), None, "class collected");
+        assert!(h.is_empty());
+        // A re-acquire after GC allocates a fresh class id.
+        let b = h.acquire(&Value::str("x"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "no live equivalence class")]
+    fn base_release_unknown_panics() {
+        let mut h = BaseHev::new();
+        h.release(&Value::int(7));
+    }
+
+    #[test]
+    fn nonbase_eq_function_composes() {
+        let mut h = NonBaseHev::new();
+        // eq(1, 1) for (CC, zip) — the Example 5 lookup.
+        let x = h.acquire(&[1, 1]);
+        assert_eq!(h.lookup(&[1, 1]), Some(x));
+        let y = h.acquire(&[1, 2]);
+        assert_ne!(x, y);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn nonbase_refcount_gc() {
+        let mut h = NonBaseHev::new();
+        let x = h.acquire(&[3, 4]);
+        h.acquire(&[3, 4]);
+        h.release(&[3, 4]);
+        assert_eq!(h.lookup(&[3, 4]), Some(x));
+        h.release(&[3, 4]);
+        assert_eq!(h.lookup(&[3, 4]), None);
+    }
+
+    #[test]
+    fn nonbase_key_order_matters() {
+        let mut h = NonBaseHev::new();
+        let x = h.acquire(&[1, 2]);
+        let y = h.acquire(&[2, 1]);
+        assert_ne!(x, y, "eq() inputs are positional");
+    }
+}

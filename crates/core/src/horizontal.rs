@@ -1,0 +1,1208 @@
+//! Incremental detection over horizontal partitions (§6).
+//!
+//! Per site and per variable CFD, the detector keeps the group state of the
+//! local tuples: for each pattern-matching `X`-value group, its distinct
+//! RHS classes (each with member tids) plus one `violating` flag.
+//!
+//! **Invariant.** For a variable CFD, a tuple violates iff its *global*
+//! group (across all sites) holds ≥ 2 distinct RHS values — so "violating"
+//! is uniform per global group, and every site's flag for a group equals
+//! that global fact. The insert/delete case analysis below maintains the
+//! flags with the minimum communication:
+//!
+//! * inserts ship nothing when a local same-RHS witness or an
+//!   already-violating group decides the outcome (the zero-shipment cases
+//!   of Examples 2 and 9); a broadcast probe/query is needed only when a
+//!   *new* conflict arises or the group is locally unknown;
+//! * deletes ship nothing while a local witness keeps the group's RHS
+//!   multiplicity ≥ 2; otherwise one query round (and possibly a targeted
+//!   flag-clear round) resolves the global state.
+//!
+//! **One shipment per tuple** (§6 complexity analysis: *"each tuple in ΔD
+//! is sent to other sites at most once"*): all per-CFD probes and queries
+//! triggered by one update are coalesced into a single message per peer,
+//! carrying the tuple's *per-attribute* MD5 digests (or raw values in the
+//! unoptimized mode) plus the list of CFD ids concerned. Receivers derive
+//! every CFD's group key from the attribute digests. Hence `O(n)` messages
+//! per update regardless of `|Σ|`, and `O(|ΔD| + |ΔV|)` overall
+//! (Proposition 8).
+//!
+//! **Local checkability.** Constant CFDs never ship (single-tuple checks).
+//! A variable CFD ships nothing at site `i` when `X_{F_i} ⊆ X` (violating
+//! pairs are co-located) and is skipped entirely at sites where
+//! `F_i ∧ F_φ` is unsatisfiable.
+
+use crate::md5::{md5, Digest};
+use cfd::{Cfd, CfdId, DeltaV, Violations};
+use cluster::partition::HorizontalScheme;
+use cluster::{ClusterError, Network, SiteId, Wire};
+use relation::{
+    AttrId, FxHashMap, FxHashSet, RelError, Relation, Schema, Tid, Tuple, Update, UpdateBatch,
+    Value,
+};
+use std::sync::Arc;
+
+/// Digest of one attribute value (tag + payload through MD5).
+fn attr_digest(v: &Value) -> Digest {
+    let mut buf = Vec::with_capacity(16);
+    v.digest_bytes(&mut buf);
+    md5(&buf)
+}
+
+/// Group-key digest of a CFD's LHS: MD5 over the concatenated per-attribute
+/// digests (in LHS order). Computable both from raw values and from shipped
+/// attribute digests, which is what lets one message serve every CFD.
+fn key_digest(attr_digests: &[Digest]) -> Digest {
+    let mut buf = Vec::with_capacity(attr_digests.len() * 16);
+    for d in attr_digests {
+        buf.extend_from_slice(&d.0);
+    }
+    md5(&buf)
+}
+
+/// A shipped attribute: its MD5 code, or the raw value (unoptimized mode).
+#[derive(Debug, Clone)]
+pub enum WireAttr {
+    /// 128-bit MD5 code (16 bytes).
+    Md5(Digest),
+    /// Raw value (full wire size).
+    Raw(Value),
+}
+
+impl WireAttr {
+    fn digest(&self) -> Digest {
+        match self {
+            WireAttr::Md5(d) => *d,
+            WireAttr::Raw(v) => attr_digest(v),
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            WireAttr::Md5(_) => Digest::WIRE_SIZE,
+            WireAttr::Raw(v) => v.wire_size(),
+        }
+    }
+}
+
+/// A shipped RHS value in a deletion reply.
+#[derive(Debug, Clone)]
+pub enum WireBval {
+    /// Digest form.
+    Md5(Digest),
+    /// Raw form.
+    Raw(Value),
+}
+
+impl WireBval {
+    fn digest(&self) -> Digest {
+        match self {
+            WireBval::Md5(d) => *d,
+            WireBval::Raw(v) => attr_digest(v),
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            WireBval::Md5(_) => Digest::WIRE_SIZE,
+            WireBval::Raw(v) => v.wire_size(),
+        }
+    }
+}
+
+/// Messages of the horizontal protocol. One `TupleProbe`/`TupleDelQuery`
+/// carries *all* CFD work for one update — the tuple crosses each link at
+/// most once.
+#[derive(Debug, Clone)]
+pub enum HorMsg {
+    /// Insert-side probe/query for one updated tuple. Receivers know `Σ`,
+    /// so the CFDs to check are *implicit*: every variable CFD whose
+    /// attributes are all present in the payload (and whose pattern the
+    /// digests match) is processed. Only the rare `probes` (brand-new
+    /// local conflicts, which force a flag flip even on agreeing remote
+    /// classes) are listed explicitly.
+    TupleProbe {
+        /// Per-attribute payload for the union of attributes the involved
+        /// CFDs need (attr id + digest/raw value).
+        attrs: Vec<(AttrId, WireAttr)>,
+        /// CFDs whose group gained a brand-new conflict (flip flags).
+        probes: Vec<CfdId>,
+    },
+    /// Reply to a [`HorMsg::TupleProbe`]: the CFD ids whose groups
+    /// conflict with the inserted tuple at the replying site (sparse —
+    /// non-listed CFDs don't conflict).
+    ProbeReply {
+        /// Conflicting CFD ids.
+        conflicts: Vec<CfdId>,
+    },
+    /// Delete-side query: report your distinct RHS values per listed CFD.
+    TupleDelQuery {
+        /// Attribute payload (union of the listed CFDs' LHS attributes).
+        attrs: Vec<(AttrId, WireAttr)>,
+        /// CFDs whose global multiplicity is in doubt.
+        queries: Vec<CfdId>,
+    },
+    /// Reply to [`HorMsg::TupleDelQuery`].
+    DelReply {
+        /// Per CFD, the distinct local RHS values of the group.
+        bvals: Vec<(CfdId, Vec<WireBval>)>,
+    },
+    /// The listed CFDs' groups no longer violate anywhere: clear flags.
+    ClearFlags {
+        /// Attribute payload for group-key derivation.
+        attrs: Vec<(AttrId, WireAttr)>,
+        /// CFDs to clear.
+        cfds: Vec<CfdId>,
+    },
+}
+
+impl Wire for HorMsg {
+    fn wire_size(&self) -> usize {
+        let attrs_size = |attrs: &Vec<(AttrId, WireAttr)>| {
+            attrs.iter().map(|(_, a)| 2 + a.wire_size()).sum::<usize>()
+        };
+        match self {
+            HorMsg::TupleProbe { attrs, probes } => 1 + attrs_size(attrs) + 4 * probes.len(),
+            HorMsg::ProbeReply { conflicts } => 1 + 4 * conflicts.len(),
+            HorMsg::TupleDelQuery { attrs, queries } => attrs_size(attrs) + 4 * queries.len(),
+            HorMsg::DelReply { bvals } => bvals
+                .iter()
+                .map(|(_, vs)| 4 + vs.iter().map(WireBval::wire_size).sum::<usize>())
+                .sum(),
+            HorMsg::ClearFlags { attrs, cfds } => attrs_size(attrs) + 4 * cfds.len(),
+        }
+    }
+}
+
+/// One RHS class within a group at one site.
+#[derive(Debug, Default)]
+struct ClassEntry {
+    tids: FxHashSet<Tid>,
+    /// Representative raw RHS value (shipped in raw-mode replies).
+    raw_b: Option<Value>,
+}
+
+/// Per-site, per-CFD group state.
+#[derive(Debug, Default)]
+struct GroupState {
+    classes: FxHashMap<Digest, ClassEntry>,
+    /// Does the *global* group violate? (uniform across sites)
+    violating: bool,
+}
+
+impl GroupState {
+    fn members(&self) -> impl Iterator<Item = Tid> + '_ {
+        self.classes.values().flat_map(|c| c.tids.iter().copied())
+    }
+}
+
+/// Errors from the horizontal detector.
+#[derive(Debug)]
+pub enum HorizontalError {
+    /// Underlying relational error.
+    Rel(RelError),
+    /// Underlying cluster error.
+    Cluster(ClusterError),
+}
+
+impl std::fmt::Display for HorizontalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HorizontalError::Rel(e) => write!(f, "{e}"),
+            HorizontalError::Cluster(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for HorizontalError {}
+
+impl From<RelError> for HorizontalError {
+    fn from(e: RelError) -> Self {
+        HorizontalError::Rel(e)
+    }
+}
+
+impl From<ClusterError> for HorizontalError {
+    fn from(e: ClusterError) -> Self {
+        HorizontalError::Cluster(e)
+    }
+}
+
+/// The incremental violation detector for horizontally partitioned data.
+pub struct HorizontalDetector {
+    schema: Arc<Schema>,
+    cfds: Arc<[Cfd]>,
+    /// Per CFD: digests of the LHS constant atoms (pattern checks on
+    /// shipped payloads without re-hashing constants).
+    atom_digests: Arc<[Vec<(AttrId, Digest)>]>,
+    /// Variable CFDs grouped by identical LHS attribute list, so receivers
+    /// compute one group-key digest per distinct LHS rather than per CFD.
+    lhs_groups: Arc<[(Vec<AttrId>, Vec<CfdId>)]>,
+    scheme: HorizontalScheme,
+    fragments: Vec<Relation>,
+    /// Which fragment holds each live tuple.
+    site_of_tid: FxHashMap<Tid, SiteId>,
+    /// Group state, indexed `[site][cfd]` (empty maps for constant CFDs).
+    state: Vec<Vec<FxHashMap<Digest, GroupState>>>,
+    /// Mirror of the logical relation (union of fragments).
+    current: Relation,
+    violations: Violations,
+    net: Network<HorMsg>,
+    use_md5: bool,
+    /// `local_ok[cfd][site]`: `X_{F_i} ⊆ X` — no cross-site conflicts.
+    local_ok: Vec<Vec<bool>>,
+    /// `relevant[cfd]`: sites where `F_i ∧ F_φ` is satisfiable.
+    relevant: Vec<Vec<SiteId>>,
+}
+
+impl HorizontalDetector {
+    /// Build a detector over `d` with MD5 digest shipping enabled.
+    pub fn new(
+        schema: Arc<Schema>,
+        cfds: Vec<Cfd>,
+        scheme: HorizontalScheme,
+        d: &Relation,
+    ) -> Result<Self, HorizontalError> {
+        Self::with_options(schema, cfds, scheme, d, true)
+    }
+
+    /// Build with explicit MD5 mode (`false` ships raw values — the
+    /// unoptimized variant of the §6 MD5 discussion).
+    pub fn with_options(
+        schema: Arc<Schema>,
+        cfds: Vec<Cfd>,
+        scheme: HorizontalScheme,
+        d: &Relation,
+        use_md5: bool,
+    ) -> Result<Self, HorizontalError> {
+        let n = scheme.n_sites();
+        let mut local_ok = Vec::with_capacity(cfds.len());
+        let mut relevant = Vec::with_capacity(cfds.len());
+        for cfd in &cfds {
+            let lhs: FxHashSet<_> = cfd.lhs.iter().copied().collect();
+            local_ok.push(
+                (0..n)
+                    .map(|i| {
+                        scheme
+                            .predicate(i)
+                            .attrs()
+                            .iter()
+                            .all(|a| lhs.contains(a))
+                    })
+                    .collect::<Vec<bool>>(),
+            );
+            let atoms = cfd.constant_atoms();
+            relevant.push(
+                (0..n)
+                    .filter(|&i| !scheme.predicate(i).conflicts_with_atoms(&atoms))
+                    .collect::<Vec<SiteId>>(),
+            );
+        }
+        let atom_digests: Arc<[Vec<(AttrId, Digest)>]> = cfds
+            .iter()
+            .map(|c| {
+                c.constant_atoms()
+                    .into_iter()
+                    .map(|(a, v)| (a, attr_digest(&v)))
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+            .into();
+        let mut groups: Vec<(Vec<AttrId>, Vec<CfdId>)> = Vec::new();
+        for c in &cfds {
+            if !c.is_variable() {
+                continue;
+            }
+            match groups.iter_mut().find(|(lhs, _)| *lhs == c.lhs) {
+                Some((_, ids)) => ids.push(c.id),
+                None => groups.push((c.lhs.clone(), vec![c.id])),
+            }
+        }
+        let lhs_groups: Arc<[(Vec<AttrId>, Vec<CfdId>)]> = groups.into();
+        let cfds: Arc<[Cfd]> = cfds.into();
+        let mut det = HorizontalDetector {
+            fragments: (0..n).map(|_| Relation::new(schema.clone())).collect(),
+            site_of_tid: FxHashMap::default(),
+            state: (0..n)
+                .map(|_| (0..cfds.len()).map(|_| FxHashMap::default()).collect())
+                .collect(),
+            current: Relation::new(schema.clone()),
+            violations: Violations::new(cfds.len()),
+            net: Network::new(n),
+            use_md5,
+            local_ok,
+            relevant,
+            schema,
+            cfds,
+            atom_digests,
+            lhs_groups,
+            scheme,
+        };
+        let mut load = UpdateBatch::new();
+        for t in d.iter() {
+            load.insert(t.clone());
+        }
+        det.apply(&load)?;
+        det.net.reset_stats();
+        Ok(det)
+    }
+
+    /// Current violation set `V(Σ, D)`.
+    pub fn violations(&self) -> &Violations {
+        &self.violations
+    }
+
+    /// Network statistics since construction (or last reset).
+    pub fn stats(&self) -> &cluster::NetStats {
+        self.net.stats()
+    }
+
+    /// Reset network statistics.
+    pub fn reset_stats(&mut self) {
+        self.net.reset_stats();
+    }
+
+    /// The rule set.
+    pub fn cfds(&self) -> &[Cfd] {
+        &self.cfds
+    }
+
+    /// The global schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The mirror of the logical relation.
+    pub fn current(&self) -> &Relation {
+        &self.current
+    }
+
+    /// Fragment relation at `site`.
+    pub fn fragment(&self, site: SiteId) -> &Relation {
+        &self.fragments[site]
+    }
+
+    /// Apply a batch update `ΔD`, returning `ΔV` — algorithm `incHor`.
+    pub fn apply(&mut self, delta: &UpdateBatch) -> Result<DeltaV, HorizontalError> {
+        let delta = delta.normalize(&self.current);
+        let mut dv = DeltaV::default();
+        for op in delta.ops() {
+            match op {
+                Update::Insert(t) => self.insert_one(t.clone(), &mut dv)?,
+                Update::Delete(tid) => self.delete_one(*tid, &mut dv)?,
+            }
+        }
+        debug_assert!(self.net.quiescent(), "protocol rounds must complete");
+        Ok(dv)
+    }
+
+    // ------------------------------------------------------------------
+    // Digest helpers
+    // ------------------------------------------------------------------
+
+    /// Group-key digest of `cfd`'s LHS for tuple `t`.
+    fn key_of(&self, cfd: &Cfd, t: &Tuple) -> Digest {
+        let ds: Vec<Digest> = cfd.lhs.iter().map(|&a| attr_digest(t.get(a))).collect();
+        key_digest(&ds)
+    }
+
+    /// Group-key digest derived from shipped attribute payloads.
+    fn key_from_wire(cfd: &Cfd, attrs: &FxHashMap<AttrId, Digest>) -> Digest {
+        let ds: Vec<Digest> = cfd.lhs.iter().map(|a| attrs[a]).collect();
+        key_digest(&ds)
+    }
+
+    /// Wire payload for the union of `attr_set`, from tuple values. In MD5
+    /// mode each attribute ships as whichever representation is smaller —
+    /// the 128-bit code pays off exactly when the value is wider than it
+    /// (§6: the optimization exists "to reduce the shipping cost" of large
+    /// tuples; digesting a 4-byte integer would *grow* it).
+    fn wire_attrs(&self, t: &Tuple, attr_set: &FxHashSet<AttrId>) -> Vec<(AttrId, WireAttr)> {
+        let mut v: Vec<AttrId> = attr_set.iter().copied().collect();
+        v.sort_unstable();
+        v.into_iter()
+            .map(|a| {
+                let val = t.get(a);
+                let w = if self.use_md5 && val.wire_size() > Digest::WIRE_SIZE {
+                    WireAttr::Md5(attr_digest(val))
+                } else {
+                    WireAttr::Raw(val.clone())
+                };
+                (a, w)
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion (§6 insertion case analysis, coalesced shipping)
+    // ------------------------------------------------------------------
+
+    fn insert_one(&mut self, t: Tuple, dv: &mut DeltaV) -> Result<(), HorizontalError> {
+        let cfds = Arc::clone(&self.cfds);
+        let site = self.scheme.route(&t)?;
+        let mut probes: Vec<CfdId> = Vec::new();
+        let mut queries: Vec<CfdId> = Vec::new();
+
+        for c in 0..self.cfds.len() {
+            let cfd = &cfds[c];
+            if cfd.is_constant() {
+                if cfd.constant_violation(&t) && self.violations.add(cfd.id, t.tid) {
+                    dv.add(cfd.id, t.tid);
+                }
+                continue;
+            }
+            if !cfd.matches_lhs(&t) {
+                continue;
+            }
+            let kd = self.key_of(cfd, &t);
+            let bd = attr_digest(t.get(cfd.rhs));
+            let local_only = self.local_ok[c][site];
+
+            let g = self.state[site][c].entry(kd).or_default();
+            let n = g.classes.len();
+            let has_other = g.classes.keys().any(|&k| k != bd);
+            let was_violating = g.violating;
+
+            // Mutate local state first.
+            let entry = g.classes.entry(bd).or_insert_with(|| ClassEntry {
+                tids: FxHashSet::default(),
+                raw_b: Some(t.get(cfd.rhs).clone()),
+            });
+            entry.tids.insert(t.tid);
+
+            if n == 0 {
+                // Group unknown locally.
+                if !local_only {
+                    queries.push(cfd.id);
+                }
+            } else if !has_other {
+                // Single class agreeing with t.
+                if was_violating && self.violations.add(cfd.id, t.tid) {
+                    dv.add(cfd.id, t.tid);
+                }
+            } else if was_violating {
+                // Conflicting class exists but everyone concerned is
+                // already in V (≥2 classes, or a known remote conflict):
+                // only t is new. Zero shipment — Examples 2(1)(b)/9.
+                if self.violations.add(cfd.id, t.tid) {
+                    dv.add(cfd.id, t.tid);
+                }
+            } else {
+                // Exactly one clashing class and the group was satisfied:
+                // a brand-new conflict. Everyone in the group joins V.
+                let g = self.state[site][c].get_mut(&kd).expect("group touched");
+                g.violating = true;
+                let members: Vec<Tid> = g.members().collect();
+                for m in members {
+                    if self.violations.add(cfd.id, m) {
+                        dv.add(cfd.id, m);
+                    }
+                }
+                if !local_only {
+                    probes.push(cfd.id);
+                }
+            }
+        }
+
+        if !probes.is_empty() || !queries.is_empty() {
+            self.ship_probe(&t, site, probes, queries, dv)?;
+        }
+
+        self.fragments[site].insert(t.clone())?;
+        self.site_of_tid.insert(t.tid, site);
+        self.current.insert(t)?;
+        Ok(())
+    }
+
+    /// Ship one coalesced `TupleProbe` per peer covering every CFD that
+    /// needs remote work for this insertion, process it at each peer, and
+    /// fold the query replies back into the inserting site's flags.
+    fn ship_probe(
+        &mut self,
+        t: &Tuple,
+        site: SiteId,
+        probes: Vec<CfdId>,
+        queries: Vec<CfdId>,
+        dv: &mut DeltaV,
+    ) -> Result<(), HorizontalError> {
+        let cfds = Arc::clone(&self.cfds);
+        // Attribute union: probe CFDs need the LHS, query CFDs LHS + RHS.
+        let mut attr_set: FxHashSet<AttrId> = FxHashSet::default();
+        for &c in &probes {
+            attr_set.extend(self.cfds[c as usize].lhs.iter().copied());
+        }
+        for &c in &queries {
+            let cfd = &self.cfds[c as usize];
+            attr_set.extend(cfd.lhs.iter().copied());
+            attr_set.insert(cfd.rhs);
+        }
+        let attrs = self.wire_attrs(t, &attr_set);
+
+        // Peers: any site relevant to at least one involved CFD.
+        let mut peers: FxHashSet<SiteId> = FxHashSet::default();
+        for &c in probes.iter().chain(&queries) {
+            peers.extend(self.relevant[c as usize].iter().copied());
+        }
+        peers.remove(&site);
+        let mut peers: Vec<SiteId> = peers.into_iter().collect();
+        peers.sort_unstable();
+
+        for &j in &peers {
+            self.net.send(
+                site,
+                j,
+                HorMsg::TupleProbe {
+                    attrs: attrs.clone(),
+                    probes: probes.clone(),
+                },
+            )?;
+            // Peer processes immediately (synchronous round).
+            for (_, msg) in self.net.drain(j) {
+                if let HorMsg::TupleProbe { attrs, probes } = msg {
+                    let digests: FxHashMap<AttrId, Digest> =
+                        attrs.iter().map(|(a, w)| (*a, w.digest())).collect();
+                    // Explicit probes: a brand-new conflict at the sender
+                    // flips every remote group of the CFD.
+                    for &c in &probes {
+                        let cfd = &cfds[c as usize];
+                        let kd = Self::key_from_wire(cfd, &digests);
+                        if let Some(h) = self.state[j][c as usize].get_mut(&kd) {
+                            if !h.violating {
+                                h.violating = true;
+                                let members: Vec<Tid> = h.members().collect();
+                                for m in members {
+                                    if self.violations.add(c, m) {
+                                        dv.add(c, m);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Implicit queries: every other derivable variable
+                    // CFD, one key digest per distinct LHS set.
+                    let probe_set: FxHashSet<CfdId> = probes.iter().copied().collect();
+                    let lhs_groups = Arc::clone(&self.lhs_groups);
+                    let mut reply: Vec<CfdId> = Vec::new();
+                    for (lhs, ids) in lhs_groups.iter() {
+                      if !lhs.iter().all(|a| digests.contains_key(a)) {
+                          continue;
+                      }
+                      let lhs_digests: Vec<Digest> =
+                          lhs.iter().map(|a| digests[a]).collect();
+                      let kd = key_digest(&lhs_digests);
+                      for &cid in ids {
+                        let c = cid as usize;
+                        if probe_set.contains(&cid) {
+                            continue;
+                        }
+                        let cfd = &cfds[c];
+                        if !digests.contains_key(&cfd.rhs) {
+                            continue;
+                        }
+                        // Pattern check through precomputed atom digests.
+                        let matches = self.atom_digests[c]
+                            .iter()
+                            .all(|(a, d)| digests[a] == *d);
+                        if !matches {
+                            continue;
+                        }
+                        let bd = digests[&cfd.rhs];
+                        let hit = match self.state[j][c].get_mut(&kd) {
+                            None => false,
+                            Some(h) => {
+                                let other = h.classes.keys().any(|&k| k != bd);
+                                if other && !h.violating {
+                                    h.violating = true;
+                                    let members: Vec<Tid> = h.members().collect();
+                                    for m in members {
+                                        if self.violations.add(cid, m) {
+                                            dv.add(cid, m);
+                                        }
+                                    }
+                                }
+                                other || h.violating
+                            }
+                        };
+                        if hit {
+                            reply.push(cid);
+                        }
+                      }
+                    }
+                    if !reply.is_empty() {
+                        self.net
+                            .send(j, site, HorMsg::ProbeReply { conflicts: reply })?;
+                    }
+                }
+            }
+        }
+        // Fold replies into the querying CFDs' flags.
+        let mut conflicting: FxHashSet<CfdId> = FxHashSet::default();
+        for (_, msg) in self.net.drain(site) {
+            if let HorMsg::ProbeReply { conflicts } = msg {
+                conflicting.extend(conflicts);
+            }
+        }
+        for &c in &queries {
+            if conflicting.contains(&c) {
+                let cfd = &cfds[c as usize];
+                let kd = self.key_of(cfd, t);
+                let g = self.state[site][c as usize]
+                    .get_mut(&kd)
+                    .expect("group created during insert");
+                g.violating = true;
+                if self.violations.add(c, t.tid) {
+                    dv.add(c, t.tid);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion (§6 deletion case analysis, coalesced shipping)
+    // ------------------------------------------------------------------
+
+    fn delete_one(&mut self, tid: Tid, dv: &mut DeltaV) -> Result<(), HorizontalError> {
+        let cfds = Arc::clone(&self.cfds);
+        let t = self
+            .current
+            .get(tid)
+            .ok_or(RelError::MissingTid(tid))?
+            .clone();
+        let site = *self
+            .site_of_tid
+            .get(&tid)
+            .expect("live tuple has a home site");
+
+        let mut queries: Vec<CfdId> = Vec::new();
+        for c in 0..self.cfds.len() {
+            let cfd = &cfds[c];
+            if cfd.is_constant() {
+                if self.violations.remove(cfd.id, tid) {
+                    dv.remove(cfd.id, tid);
+                }
+                continue;
+            }
+            if !cfd.matches_lhs(&t) {
+                continue;
+            }
+            let kd = self.key_of(cfd, &t);
+            let bd = attr_digest(t.get(cfd.rhs));
+            let local_only = self.local_ok[c][site];
+
+            let g = self.state[site][c]
+                .get_mut(&kd)
+                .expect("deleted tuple's group must exist");
+            let cls = g.classes.get_mut(&bd).expect("deleted tuple's class must exist");
+            let was_violating = g.violating;
+            cls.tids.remove(&tid);
+            let class_empty = cls.tids.is_empty();
+            if class_empty {
+                g.classes.remove(&bd);
+            }
+            let n_rem = g.classes.len();
+            if n_rem == 0 {
+                // An empty group carries no information: future inserts
+                // will re-query. Dropping it keeps state proportional to
+                // the live fragment.
+                self.state[site][c].remove(&kd);
+            }
+
+            if !was_violating {
+                continue; // deletions never create violations
+            }
+            // t was a violation; it leaves V in every remaining case.
+            if self.violations.remove(cfd.id, tid) {
+                dv.remove(cfd.id, tid);
+            }
+            if !class_empty || n_rem >= 2 {
+                // Same-RHS witness survives or ≥2 local RHS values remain:
+                // global multiplicity still ≥ 2. Zero shipment —
+                // Example 2(2).
+                continue;
+            }
+            if local_only {
+                // Global = local: the group dropped to ≤ 1 RHS value.
+                self.clear_group_local(cfd.id, site, kd, dv);
+                continue;
+            }
+            queries.push(cfd.id);
+        }
+
+        if !queries.is_empty() {
+            self.ship_del_query(&t, site, queries, dv)?;
+        }
+
+        self.fragments[site].delete(tid)?;
+        self.site_of_tid.remove(&tid);
+        self.current.delete(tid)?;
+        Ok(())
+    }
+
+    /// One coalesced `TupleDelQuery` per peer; fold the per-CFD RHS-value
+    /// replies, and send (coalesced) `ClearFlags` where groups stopped
+    /// violating globally.
+    fn ship_del_query(
+        &mut self,
+        t: &Tuple,
+        site: SiteId,
+        queries: Vec<CfdId>,
+        dv: &mut DeltaV,
+    ) -> Result<(), HorizontalError> {
+        let all_cfds = Arc::clone(&self.cfds);
+        let mut attr_set: FxHashSet<AttrId> = FxHashSet::default();
+        for &c in &queries {
+            attr_set.extend(self.cfds[c as usize].lhs.iter().copied());
+        }
+        let attrs = self.wire_attrs(t, &attr_set);
+
+        let mut peers: FxHashSet<SiteId> = FxHashSet::default();
+        for &c in &queries {
+            peers.extend(self.relevant[c as usize].iter().copied());
+        }
+        peers.remove(&site);
+        let mut peers: Vec<SiteId> = peers.into_iter().collect();
+        peers.sort_unstable();
+
+        // Per CFD: global distinct bvals and the peers holding members.
+        let mut global: FxHashMap<CfdId, FxHashSet<Digest>> =
+            queries.iter().map(|&c| (c, FxHashSet::default())).collect();
+        let mut holders: FxHashMap<CfdId, Vec<SiteId>> =
+            queries.iter().map(|&c| (c, Vec::new())).collect();
+
+        for &j in &peers {
+            self.net.send(
+                site,
+                j,
+                HorMsg::TupleDelQuery {
+                    attrs: attrs.clone(),
+                    queries: queries.clone(),
+                },
+            )?;
+            for (_, msg) in self.net.drain(j) {
+                if let HorMsg::TupleDelQuery { attrs, queries } = msg {
+                    let digests: FxHashMap<AttrId, Digest> =
+                        attrs.iter().map(|(a, w)| (*a, w.digest())).collect();
+                    let mut reply: Vec<(CfdId, Vec<WireBval>)> = Vec::new();
+                    for &c in &queries {
+                        let cfd = &all_cfds[c as usize];
+                        let kd = Self::key_from_wire(cfd, &digests);
+                        let bvals: Vec<WireBval> = match self.state[j][c as usize].get(&kd) {
+                            None => Vec::new(),
+                            Some(h) => h
+                                .classes
+                                .iter()
+                                .map(|(d, cls)| {
+                                    let raw = cls.raw_b.clone().unwrap_or(Value::Null);
+                                    if self.use_md5 && raw.wire_size() > Digest::WIRE_SIZE {
+                                        WireBval::Md5(*d)
+                                    } else {
+                                        WireBval::Raw(raw)
+                                    }
+                                })
+                                .collect(),
+                        };
+                        if !bvals.is_empty() {
+                            reply.push((c, bvals));
+                        }
+                    }
+                    if !reply.is_empty() {
+                        self.net.send(j, site, HorMsg::DelReply { bvals: reply })?;
+                    }
+                }
+            }
+        }
+        for (from, msg) in self.net.drain(site) {
+            if let HorMsg::DelReply { bvals } = msg {
+                for (c, vs) in bvals {
+                    holders.get_mut(&c).expect("queried cfd").push(from);
+                    let set = global.get_mut(&c).expect("queried cfd");
+                    for v in vs {
+                        set.insert(v.digest());
+                    }
+                }
+            }
+        }
+
+        // Decide per CFD; coalesce clears per peer.
+        let mut clears_by_peer: FxHashMap<SiteId, Vec<CfdId>> = FxHashMap::default();
+        for &c in &queries {
+            let cfd = &all_cfds[c as usize];
+            let kd = self.key_of(cfd, t);
+            let mut all = global.remove(&c).expect("queried cfd");
+            if let Some(h) = self.state[site][c as usize].get(&kd) {
+                all.extend(h.classes.keys().copied());
+            }
+            if all.len() >= 2 {
+                continue; // still violating everywhere
+            }
+            self.clear_group_local(c, site, kd, dv);
+            for &j in &holders[&c] {
+                clears_by_peer.entry(j).or_default().push(c);
+            }
+        }
+        let mut clear_peers: Vec<SiteId> = clears_by_peer.keys().copied().collect();
+        clear_peers.sort_unstable();
+        for j in clear_peers {
+            let clear_list = clears_by_peer.remove(&j).expect("listed peer");
+            let mut attr_set: FxHashSet<AttrId> = FxHashSet::default();
+            for &c in &clear_list {
+                attr_set.extend(self.cfds[c as usize].lhs.iter().copied());
+            }
+            let attrs = self.wire_attrs(t, &attr_set);
+            self.net
+                .send(site, j, HorMsg::ClearFlags { attrs, cfds: clear_list })?;
+            for (_, msg) in self.net.drain(j) {
+                if let HorMsg::ClearFlags { attrs, cfds: to_clear } = msg {
+                    let digests: FxHashMap<AttrId, Digest> =
+                        attrs.iter().map(|(a, w)| (*a, w.digest())).collect();
+                    for c in to_clear {
+                        let cfd = &all_cfds[c as usize];
+                        let kd = Self::key_from_wire(cfd, &digests);
+                        self.clear_group_local(c, j, kd, dv);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Clear the violating flag of a local group, removing its members
+    /// from V (drops empty groups).
+    fn clear_group_local(&mut self, cfd: CfdId, site: SiteId, kd: Digest, dv: &mut DeltaV) {
+        if let Some(h) = self.state[site][cfd as usize].get_mut(&kd) {
+            h.violating = false;
+            let members: Vec<Tid> = h.members().collect();
+            for m in members {
+                if self.violations.remove(cfd, m) {
+                    dv.remove(cfd, m);
+                }
+            }
+            if h.classes.is_empty() {
+                self.state[site][cfd as usize].remove(&kd);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::partition::HorizontalScheme;
+
+    fn emp_schema() -> Arc<Schema> {
+        Schema::new(
+            "EMP",
+            &["id", "grade", "CC", "AC", "zip", "street", "city"],
+            "id",
+        )
+        .unwrap()
+    }
+
+    fn emp_tuple(
+        tid: Tid,
+        grade: &str,
+        cc: i64,
+        ac: i64,
+        zip: &str,
+        street: &str,
+        city: &str,
+    ) -> Tuple {
+        Tuple::new(
+            tid,
+            vec![
+                Value::int(tid as i64),
+                Value::str(grade),
+                Value::int(cc),
+                Value::int(ac),
+                Value::str(zip),
+                Value::str(street),
+                Value::str(city),
+            ],
+        )
+    }
+
+    fn d0() -> Relation {
+        let mut d = Relation::new(emp_schema());
+        d.insert(emp_tuple(1, "A", 44, 131, "EH4 8LE", "Mayfield", "NYC")).unwrap();
+        d.insert(emp_tuple(2, "A", 44, 131, "EH2 4HF", "Preston", "EDI")).unwrap();
+        d.insert(emp_tuple(3, "B", 44, 131, "EH4 8LE", "Mayfield", "EDI")).unwrap();
+        d.insert(emp_tuple(4, "B", 44, 131, "EH4 8LE", "Mayfield", "EDI")).unwrap();
+        d.insert(emp_tuple(5, "C", 44, 131, "EH4 8LE", "Crichton", "EDI")).unwrap();
+        d
+    }
+
+    fn fig1_cfds(s: &Schema) -> Vec<Cfd> {
+        vec![
+            Cfd::from_names(
+                0,
+                s,
+                &[("CC", Some(Value::int(44))), ("zip", None)],
+                ("street", None),
+            )
+            .unwrap(),
+            Cfd::from_names(
+                1,
+                s,
+                &[("CC", Some(Value::int(44))), ("AC", Some(Value::int(131)))],
+                ("city", Some(Value::str("EDI"))),
+            )
+            .unwrap(),
+        ]
+    }
+
+    /// Fig. 2: grade A / B / C fragments.
+    fn fig2_scheme(s: &Arc<Schema>) -> HorizontalScheme {
+        HorizontalScheme::by_values(
+            s.clone(),
+            s.attr_id("grade").unwrap(),
+            vec![
+                vec![Value::str("A")],
+                vec![Value::str("B")],
+                vec![Value::str("C")],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn detector() -> HorizontalDetector {
+        let s = emp_schema();
+        HorizontalDetector::new(s.clone(), fig1_cfds(&s), fig2_scheme(&s), &d0()).unwrap()
+    }
+
+    #[test]
+    fn initial_violations_match_fig1() {
+        let det = detector();
+        let v = det.violations();
+        let mut phi1: Vec<Tid> = v.of_cfd(0).iter().copied().collect();
+        phi1.sort_unstable();
+        assert_eq!(phi1, vec![1, 3, 4, 5]);
+        assert_eq!(v.of_cfd(1).iter().copied().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(det.stats().total_bytes(), 0, "load is unmetered");
+    }
+
+    #[test]
+    fn example9_insert_t6_ships_nothing() {
+        let mut det = detector();
+        let mut delta = UpdateBatch::new();
+        delta.insert(emp_tuple(6, "C", 44, 131, "EH4 8LE", "Mayfield", "EDI"));
+        let dv = det.apply(&delta).unwrap();
+        // ΔV⁺ = {t6} (Example 9); t5 is a known violation at the same site,
+        // so no data is shipped (Example 2(1)(b), horizontal case).
+        assert_eq!(dv.added, vec![(0, 6)]);
+        assert!(dv.removed.is_empty());
+        assert_eq!(det.stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn example2_delete_t4_ships_nothing() {
+        let mut det = detector();
+        let mut d1 = UpdateBatch::new();
+        d1.insert(emp_tuple(6, "C", 44, 131, "EH4 8LE", "Mayfield", "EDI"));
+        det.apply(&d1).unwrap();
+        det.reset_stats();
+        let mut d2 = UpdateBatch::new();
+        d2.delete(4);
+        let dv = det.apply(&d2).unwrap();
+        // t3 remains in t4's class at the same site: only t4 leaves V.
+        assert_eq!(dv.removed, vec![(0, 4)]);
+        assert!(dv.added.is_empty());
+        assert_eq!(det.stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn cross_site_conflict_detected_on_insert() {
+        let mut det = detector();
+        let mut d1 = UpdateBatch::new();
+        d1.insert(emp_tuple(10, "A", 44, 131, "EH7 7AA", "Foo", "EDI"));
+        let dv1 = det.apply(&d1).unwrap();
+        assert!(dv1.added.is_empty(), "single member group");
+        det.reset_stats();
+        let mut d2 = UpdateBatch::new();
+        d2.insert(emp_tuple(11, "B", 44, 131, "EH7 7AA", "Bar", "EDI"));
+        let dv2 = det.apply(&d2).unwrap();
+        assert_eq!(dv2.added_tids_sorted(), vec![10, 11]);
+        assert!(det.stats().total_bytes() > 0, "query round was needed");
+    }
+
+    #[test]
+    fn cross_site_deletion_clears_remote_marks() {
+        let mut det = detector();
+        let mut d1 = UpdateBatch::new();
+        d1.insert(emp_tuple(10, "A", 44, 131, "EH7 7AA", "Foo", "EDI"));
+        d1.insert(emp_tuple(11, "B", 44, 131, "EH7 7AA", "Bar", "EDI"));
+        det.apply(&d1).unwrap();
+        assert!(det.violations().is_violation(10));
+        // Deleting t11 leaves t10 as the only member: both marks must go.
+        let mut d2 = UpdateBatch::new();
+        d2.delete(11);
+        let dv = det.apply(&d2).unwrap();
+        assert_eq!(dv.removed_tids_sorted(), vec![10, 11]);
+        assert!(!det.violations().is_violation(10));
+    }
+
+    #[test]
+    fn one_message_per_peer_regardless_of_cfd_count() {
+        // §6: "each tuple in ΔD is sent to other sites at most once". Ten
+        // variable CFDs all needing a query must still produce exactly one
+        // probe per peer (plus at most one reply each).
+        let s = emp_schema();
+        let mut cfds = Vec::new();
+        for (i, rhs) in ["street", "city", "AC", "street", "city"].iter().enumerate() {
+            cfds.push(
+                Cfd::from_names(
+                    i as u32,
+                    &s,
+                    &[("CC", Some(Value::int(44))), ("zip", None)],
+                    (rhs, None),
+                )
+                .unwrap(),
+            );
+        }
+        for (i, rhs) in ["grade", "AC"].iter().enumerate() {
+            cfds.push(
+                Cfd::from_names((5 + i) as u32, &s, &[("zip", None)], (rhs, None)).unwrap(),
+            );
+        }
+        let mut det =
+            HorizontalDetector::new(s.clone(), cfds, fig2_scheme(&s), &d0()).unwrap();
+        det.reset_stats();
+        let mut d = UpdateBatch::new();
+        // Brand-new zip → every variable CFD queries.
+        d.insert(emp_tuple(30, "A", 44, 131, "ZZ1 1ZZ", "Somewhere", "EDI"));
+        det.apply(&d).unwrap();
+        // 2 peers: ≤ 1 probe + ≤ 1 reply each.
+        assert!(
+            det.stats().total_messages() <= 4,
+            "got {} messages",
+            det.stats().total_messages()
+        );
+    }
+
+    #[test]
+    fn md5_mode_ships_fewer_bytes_than_raw() {
+        let s = emp_schema();
+        let mk = |use_md5: bool| {
+            HorizontalDetector::with_options(
+                s.clone(),
+                fig1_cfds(&s),
+                fig2_scheme(&s),
+                &d0(),
+                use_md5,
+            )
+            .unwrap()
+        };
+        let run = |det: &mut HorizontalDetector| {
+            let mut d = UpdateBatch::new();
+            d.insert(emp_tuple(
+                20,
+                "A",
+                44,
+                131,
+                "a-very-long-postal-code-value-0001",
+                "An Extremely Long Street Name Indeed",
+                "EDI",
+            ));
+            det.apply(&d).unwrap();
+            det.stats().total_bytes()
+        };
+        let md5_bytes = run(&mut mk(true));
+        let raw_bytes = run(&mut mk(false));
+        assert!(
+            md5_bytes > 0 && raw_bytes > md5_bytes,
+            "md5 {md5_bytes} vs raw {raw_bytes}"
+        );
+    }
+
+    #[test]
+    fn constant_cfd_is_local() {
+        let mut det = detector();
+        det.reset_stats();
+        let mut d = UpdateBatch::new();
+        d.insert(emp_tuple(30, "B", 44, 131, "EH8 8XX", "Baz", "GLA"));
+        let dv = det.apply(&d).unwrap();
+        assert!(dv.added.contains(&(1, 30)));
+        let mut d2 = UpdateBatch::new();
+        d2.delete(30);
+        let dv2 = det.apply(&d2).unwrap();
+        assert!(dv2.removed.contains(&(1, 30)));
+    }
+
+    #[test]
+    fn local_ok_partition_never_ships() {
+        // Partition on zip (⊆ X of φ1): conflicts are always co-located.
+        let s = emp_schema();
+        let zip = s.attr_id("zip").unwrap();
+        let scheme = HorizontalScheme::by_hash(s.clone(), zip, 4).unwrap();
+        let cfds = vec![fig1_cfds(&s).remove(0)];
+        let mut det = HorizontalDetector::new(s, cfds, scheme, &d0()).unwrap();
+        let mut d = UpdateBatch::new();
+        d.insert(emp_tuple(40, "A", 44, 131, "EH4 8LE", "Zig", "EDI"));
+        d.insert(emp_tuple(41, "B", 44, 131, "ZZ9 9ZZ", "Zag", "EDI"));
+        d.delete(5);
+        d.delete(40);
+        det.apply(&d).unwrap();
+        assert_eq!(det.stats().total_bytes(), 0, "X_{{F_i}} ⊆ X ⇒ no shipment");
+        let oracle = cfd::naive::detect(det.cfds(), det.current());
+        assert_eq!(det.violations().marks_sorted(), oracle.marks_sorted());
+    }
+
+    #[test]
+    fn irrelevant_sites_are_skipped() {
+        let s = emp_schema();
+        let cc = s.attr_id("CC").unwrap();
+        let scheme = HorizontalScheme::by_values(
+            s.clone(),
+            cc,
+            vec![vec![Value::int(44)], vec![Value::int(1)]],
+        )
+        .unwrap();
+        let cfds = vec![Cfd::from_names(
+            0,
+            &s,
+            &[("CC", Some(Value::int(44))), ("zip", None)],
+            ("street", None),
+        )
+        .unwrap()];
+        let mut det = HorizontalDetector::new(s, cfds, scheme, &d0()).unwrap();
+        det.reset_stats();
+        let mut d = UpdateBatch::new();
+        d.insert(emp_tuple(50, "A", 44, 131, "NEW 111", "Foo", "EDI"));
+        det.apply(&d).unwrap();
+        // Only peer (CC=1) is irrelevant (F_j ∧ F_φ unsat) → nothing sent.
+        assert_eq!(det.stats().total_messages(), 0);
+    }
+
+    #[test]
+    fn matches_oracle_after_mixed_batch() {
+        let mut det = detector();
+        let mut delta = UpdateBatch::new();
+        delta.insert(emp_tuple(6, "C", 44, 131, "EH4 8LE", "Mayfield", "EDI"));
+        delta.delete(4);
+        delta.insert(emp_tuple(9, "B", 44, 131, "EH2 4HF", "Lauriston", "EDI"));
+        delta.delete(2);
+        delta.insert(emp_tuple(12, "A", 44, 131, "EH2 4HF", "Lauriston", "NYC"));
+        det.apply(&delta).unwrap();
+        let oracle = cfd::naive::detect(det.cfds(), det.current());
+        assert_eq!(det.violations().marks_sorted(), oracle.marks_sorted());
+    }
+
+    #[test]
+    fn group_state_garbage_collected() {
+        let mut det = detector();
+        let mut delta = UpdateBatch::new();
+        for tid in 1..=5 {
+            delta.delete(tid);
+        }
+        det.apply(&delta).unwrap();
+        assert!(det.violations().is_empty());
+        for site in 0..3 {
+            for c in 0..det.cfds().len() {
+                assert!(
+                    det.state[site][c].is_empty(),
+                    "site {site} cfd {c} retains groups"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The IDX index (§4).
+//!
+//! For each variable CFD `φ = (X → B, t_p)`, one IDX lives at the site
+//! maintaining `id[t_X]`. Given the eqid of `[t]_X` it returns
+//! `set(t[X])` — the distinct eqids of the classes `[t′]_{X∪{B}}` inside the
+//! group, each with the set of member tuple ids. In other words, per
+//! pattern-matching group the IDX stores the distinct `B`-values (as
+//! `X∪{B}` eqids) and their tuples.
+
+use crate::hev::EqId;
+use relation::{FxHashMap, FxHashSet, Tid};
+
+/// IDX: `id[t_X]` → { `id[t_{X∪B}]` → member tids }.
+#[derive(Debug, Default)]
+pub struct Idx {
+    groups: FxHashMap<EqId, FxHashMap<EqId, FxHashSet<Tid>>>,
+}
+
+impl Idx {
+    /// Fresh empty index.
+    pub fn new() -> Self {
+        Idx::default()
+    }
+
+    /// `set(t[X])`: the classes of the group keyed by `eq_x`, if any.
+    pub fn classes(&self, eq_x: EqId) -> Option<&FxHashMap<EqId, FxHashSet<Tid>>> {
+        self.groups.get(&eq_x)
+    }
+
+    /// Number of distinct `X∪{B}` classes in the group (`|set(t[X])|`).
+    pub fn n_classes(&self, eq_x: EqId) -> usize {
+        self.groups.get(&eq_x).map_or(0, |g| g.len())
+    }
+
+    /// Size of the class `[t]_{X∪B}` within the group.
+    pub fn class_size(&self, eq_x: EqId, eq_xb: EqId) -> usize {
+        self.groups
+            .get(&eq_x)
+            .and_then(|g| g.get(&eq_xb))
+            .map_or(0, |s| s.len())
+    }
+
+    /// Member tids of one class.
+    pub fn class_members(&self, eq_x: EqId, eq_xb: EqId) -> Option<&FxHashSet<Tid>> {
+        self.groups.get(&eq_x).and_then(|g| g.get(&eq_xb))
+    }
+
+    /// The single class *other than* `eq_xb` in the group, when the group
+    /// has exactly two classes (the `|set(t[X])| = 2` deletion case).
+    pub fn other_class(&self, eq_x: EqId, eq_xb: EqId) -> Option<(EqId, &FxHashSet<Tid>)> {
+        let g = self.groups.get(&eq_x)?;
+        if g.len() != 2 {
+            return None;
+        }
+        g.iter()
+            .find(|(&k, _)| k != eq_xb)
+            .map(|(&k, v)| (k, v))
+    }
+
+    /// Add `tid` to the class `(eq_x, eq_xb)`.
+    pub fn insert(&mut self, eq_x: EqId, eq_xb: EqId, tid: Tid) {
+        self.groups
+            .entry(eq_x)
+            .or_default()
+            .entry(eq_xb)
+            .or_default()
+            .insert(tid);
+    }
+
+    /// Remove `tid`; empty classes and groups are dropped. Returns whether
+    /// the tid was present.
+    pub fn remove(&mut self, eq_x: EqId, eq_xb: EqId, tid: Tid) -> bool {
+        let Some(g) = self.groups.get_mut(&eq_x) else {
+            return false;
+        };
+        let Some(cls) = g.get_mut(&eq_xb) else {
+            return false;
+        };
+        let present = cls.remove(&tid);
+        if cls.is_empty() {
+            g.remove(&eq_xb);
+        }
+        if g.is_empty() {
+            self.groups.remove(&eq_x);
+        }
+        present
+    }
+
+    /// Number of live groups (distinct pattern-matching `X` values).
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total indexed tuples.
+    pub fn n_tuples(&self) -> usize {
+        self.groups
+            .values()
+            .flat_map(|g| g.values())
+            .map(|s| s.len())
+            .sum()
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrors_fig3_example() {
+        // Fig. 3: group eq(z,c)=1 has classes {Mayfield: t1,t3,t4} and
+        // {Crichton: t5}; group 2 has {Preston: t2}.
+        let mut idx = Idx::new();
+        for t in [1, 3, 4] {
+            idx.insert(1, 10, t);
+        }
+        idx.insert(1, 30, 5);
+        idx.insert(2, 20, 2);
+
+        assert_eq!(idx.n_classes(1), 2);
+        assert_eq!(idx.n_classes(2), 1);
+        assert_eq!(idx.n_classes(99), 0);
+        assert_eq!(idx.class_size(1, 10), 3);
+        assert_eq!(idx.class_size(1, 30), 1);
+        let (other, members) = idx.other_class(1, 30).unwrap();
+        assert_eq!(other, 10);
+        assert_eq!(members.len(), 3);
+        assert_eq!(idx.other_class(2, 20), None, "needs exactly two classes");
+        assert_eq!(idx.n_groups(), 2);
+        assert_eq!(idx.n_tuples(), 5);
+    }
+
+    #[test]
+    fn remove_cleans_up() {
+        let mut idx = Idx::new();
+        idx.insert(1, 10, 7);
+        idx.insert(1, 11, 8);
+        assert!(idx.remove(1, 10, 7));
+        assert!(!idx.remove(1, 10, 7), "already gone");
+        assert_eq!(idx.n_classes(1), 1);
+        assert!(idx.remove(1, 11, 8));
+        assert_eq!(idx.n_classes(1), 0);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn other_class_requires_two() {
+        let mut idx = Idx::new();
+        idx.insert(5, 1, 1);
+        idx.insert(5, 2, 2);
+        idx.insert(5, 3, 3);
+        assert_eq!(idx.other_class(5, 1), None, "three classes");
+    }
+}

@@ -1,0 +1,35 @@
+//! `incdetect` — the paper's contribution: incremental detection of CFD
+//! violations in distributed data (Fan, Li, Tang, Yu — ICDE 2012 / TKDE
+//! 2014).
+//!
+//! Given a database `D` fragmented vertically or horizontally over `n`
+//! sites, a fixed rule set `Σ` of CFDs, the current violations `V(Σ, D)`
+//! and a batch update `ΔD`, the detectors compute `ΔV` with communication
+//! and computational costs in `O(|ΔD| + |ΔV|)` — independent of `|D|`
+//! (Theorem 5 / Propositions 6 and 8).
+//!
+//! * [`vertical::VerticalDetector`] — HEV/IDX-based `incVer` (§4),
+//! * [`optimize`] — the `optVer` heuristic minimizing eqid shipment (§5),
+//! * [`horizontal::HorizontalDetector`] — `incHor` with the broadcast case
+//!   analysis and MD5 digest shipping (§6),
+//! * [`baselines`] — `batVer` / `batHor` (batch recomputation following
+//!   Fan et al., ICDE 2010) and `ibatVer` / `ibatHor` (batch via the
+//!   incremental machinery, Exp-10),
+//! * [`plan`] — HEV plans and the static eqid-shipment count (Fig. 10),
+//! * [`hev`], [`idx`] — the index structures themselves,
+//! * [`md5`] — RFC 1321, used to ship 128-bit digests instead of tuples.
+
+pub mod baselines;
+pub mod hev;
+pub mod horizontal;
+pub mod hybrid;
+pub mod idx;
+pub mod md5;
+pub mod optimize;
+pub mod plan;
+pub mod vertical;
+
+pub use horizontal::HorizontalDetector;
+pub use hybrid::HybridDetector;
+pub use plan::HevPlan;
+pub use vertical::VerticalDetector;

@@ -1,0 +1,323 @@
+//! Minimal CSV import/export for relations.
+//!
+//! A downstream user's data lives in files, not in generator closures;
+//! this module round-trips [`Relation`]s through RFC-4180-style CSV
+//! (quoted fields, embedded commas/quotes/newlines). The first column must
+//! be the key attribute and is also used as the tuple id when it parses as
+//! an unsigned integer; otherwise sequential tids are assigned.
+//!
+//! Typing is by sniffing: a field that parses as `i64` becomes
+//! [`Value::Int`], an empty unquoted field becomes [`Value::Null`], and
+//! everything else is a string. Quoted fields are always strings
+//! (`"42"` stays textual).
+
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::{Tid, Tuple};
+use crate::value::Value;
+use crate::RelError;
+use std::sync::Arc;
+
+/// CSV errors.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Malformed CSV (unbalanced quote, ragged row, empty input…).
+    Parse(String),
+    /// Schema/tuple-level failure while loading rows.
+    Rel(RelError),
+    /// Underlying IO failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Parse(s) => write!(f, "csv parse error: {s}"),
+            CsvError::Rel(e) => write!(f, "{e}"),
+            CsvError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<RelError> for CsvError {
+    fn from(e: RelError) -> Self {
+        CsvError::Rel(e)
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// One parsed field: raw text plus whether it was quoted.
+#[derive(Debug, PartialEq)]
+struct Field {
+    text: String,
+    quoted: bool,
+}
+
+/// Parse one CSV record starting at `chars`; returns the fields and the
+/// remaining input. Handles quoted fields with embedded delimiters,
+/// escaped quotes (`""`) and newlines.
+fn parse_record(input: &str) -> Result<(Vec<Field>, &str), CsvError> {
+    let mut fields = Vec::new();
+    let mut rest = input;
+    loop {
+        let (field, after) = parse_field(rest)?;
+        fields.push(field);
+        let mut chars = after.char_indices();
+        match chars.next() {
+            None => return Ok((fields, "")),
+            Some((_, ',')) => rest = &after[1..],
+            Some((_, '\n')) => return Ok((fields, &after[1..])),
+            Some((_, '\r')) => {
+                let after2 = after[1..].strip_prefix('\n').unwrap_or(&after[1..]);
+                return Ok((fields, after2));
+            }
+            Some((i, c)) => {
+                return Err(CsvError::Parse(format!(
+                    "unexpected character {c:?} at offset {i} after field"
+                )))
+            }
+        }
+    }
+}
+
+fn parse_field(input: &str) -> Result<(Field, &str), CsvError> {
+    if let Some(rest) = input.strip_prefix('"') {
+        // Quoted field: scan for the closing quote, honouring "".
+        let mut out = String::new();
+        let mut chars = rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            if c == '"' {
+                if rest[i + 1..].starts_with('"') {
+                    out.push('"');
+                    chars.next();
+                } else {
+                    return Ok((
+                        Field {
+                            text: out,
+                            quoted: true,
+                        },
+                        &rest[i + 1..],
+                    ));
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        Err(CsvError::Parse("unterminated quoted field".into()))
+    } else {
+        let end = input
+            .find([',', '\n', '\r'])
+            .unwrap_or(input.len());
+        Ok((
+            Field {
+                text: input[..end].to_string(),
+                quoted: false,
+            },
+            &input[end..],
+        ))
+    }
+}
+
+fn field_value(f: &Field) -> Value {
+    if f.quoted {
+        return Value::str(f.text.clone());
+    }
+    if f.text.is_empty() {
+        return Value::Null;
+    }
+    match f.text.parse::<i64>() {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::str(f.text.clone()),
+    }
+}
+
+/// Parse a relation from CSV text. The header row gives the attribute
+/// names; the first column is the key.
+pub fn read_str(name: &str, input: &str) -> Result<Relation, CsvError> {
+    let (header, mut rest) = parse_record(input)?;
+    if header.is_empty() || header.iter().all(|f| f.text.is_empty()) {
+        return Err(CsvError::Parse("empty header".into()));
+    }
+    let names: Vec<&str> = header.iter().map(|f| f.text.as_str()).collect();
+    let schema: Arc<Schema> = Schema::new(name, &names, names[0]).map_err(CsvError::Rel)?;
+    let mut rel = Relation::new(schema.clone());
+    let mut next_tid: Tid = 0;
+    let mut row_no = 1usize;
+    while !rest.is_empty() {
+        let (fields, after) = parse_record(rest)?;
+        rest = after;
+        row_no += 1;
+        if fields.len() == 1 && fields[0].text.is_empty() {
+            continue; // trailing blank line
+        }
+        if fields.len() != names.len() {
+            return Err(CsvError::Parse(format!(
+                "row {row_no}: {} fields, expected {}",
+                fields.len(),
+                names.len()
+            )));
+        }
+        let values: Vec<Value> = fields.iter().map(field_value).collect();
+        let tid = match &values[0] {
+            Value::Int(i) if *i >= 0 => *i as Tid,
+            _ => {
+                let t = next_tid;
+                next_tid += 1;
+                t
+            }
+        };
+        next_tid = next_tid.max(tid + 1);
+        rel.insert(Tuple::new(tid, values))?;
+    }
+    Ok(rel)
+}
+
+/// Read a relation from a CSV file.
+pub fn read_file(name: &str, path: impl AsRef<std::path::Path>) -> Result<Relation, CsvError> {
+    let text = std::fs::read_to_string(path)?;
+    read_str(name, &text)
+}
+
+fn write_field(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => {}
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Str(s) => {
+            let needs_quote = s.contains(',')
+                || s.contains('"')
+                || s.contains('\n')
+                || s.contains('\r')
+                || s.parse::<i64>().is_ok()
+                || s.is_empty();
+            if needs_quote {
+                out.push('"');
+                out.push_str(&s.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(s);
+            }
+        }
+    }
+}
+
+/// Serialize a relation to CSV text (header + one row per tuple, in tid
+/// order). `read_str(write_str(r)) == r` up to tid assignment.
+pub fn write_str(rel: &Relation) -> String {
+    let schema = rel.schema();
+    let mut out = String::new();
+    for (i, a) in schema.attributes().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_field(&mut out, &Value::str(a.name.clone()));
+    }
+    out.push('\n');
+    for t in rel.iter() {
+        for (i, v) in t.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_field(&mut out, v);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a relation to a CSV file.
+pub fn write_file(rel: &Relation, path: impl AsRef<std::path::Path>) -> Result<(), CsvError> {
+    std::fs::write(path, write_str(rel))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_csv() {
+        let r = read_str("EMP", "id,name,cc\n1,Mike,44\n2,Sam,44\n").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.schema().to_string(), "EMP(*id, name, cc)");
+        let t = r.get(1).unwrap();
+        assert_eq!(t.get(1), &Value::str("Mike"));
+        assert_eq!(t.get(2), &Value::int(44));
+    }
+
+    #[test]
+    fn quoted_fields_keep_commas_quotes_newlines() {
+        let r = read_str(
+            "R",
+            "id,note\n1,\"a,b\"\n2,\"say \"\"hi\"\"\"\n3,\"two\nlines\"\n",
+        )
+        .unwrap();
+        assert_eq!(r.get(1).unwrap().get(1), &Value::str("a,b"));
+        assert_eq!(r.get(2).unwrap().get(1), &Value::str("say \"hi\""));
+        assert_eq!(r.get(3).unwrap().get(1), &Value::str("two\nlines"));
+    }
+
+    #[test]
+    fn quoted_numbers_stay_strings_and_empty_is_null() {
+        let r = read_str("R", "id,a,b\n1,\"42\",\n").unwrap();
+        let t = r.get(1).unwrap();
+        assert_eq!(t.get(1), &Value::str("42"));
+        assert_eq!(t.get(2), &Value::Null);
+    }
+
+    #[test]
+    fn integer_keys_become_tids_others_sequential() {
+        let r = read_str("R", "code,x\nA7,1\nB9,2\n").unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(0) && r.contains(1));
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(matches!(
+            read_str("R", "id,a\n1,2,3\n"),
+            Err(CsvError::Parse(_))
+        ));
+        assert!(matches!(
+            read_str("R", "id,a\n1,\"open\n"),
+            Err(CsvError::Parse(_))
+        ));
+        assert!(matches!(read_str("R", ""), Err(CsvError::Parse(_))));
+    }
+
+    #[test]
+    fn round_trip() {
+        let src = "id,name,cc,note\n1,Mike,44,\"a,b\"\n2,\"42\",44,plain\n";
+        let r = read_str("EMP", src).unwrap();
+        let out = write_str(&r);
+        let r2 = read_str("EMP", &out).unwrap();
+        assert_eq!(r.len(), r2.len());
+        for (a, b) in r.iter().zip(r2.iter()) {
+            assert_eq!(a, b, "round trip must preserve tuples");
+        }
+    }
+
+    #[test]
+    fn file_io() {
+        let dir = std::env::temp_dir().join("inc_cfd_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("emp.csv");
+        let r = read_str("EMP", "id,a\n1,x\n2,y\n").unwrap();
+        write_file(&r, &path).unwrap();
+        let r2 = read_file("EMP", &path).unwrap();
+        assert_eq!(r2.len(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let r = read_str("R", "id,a\r\n1,x\r\n2,y\r\n").unwrap();
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Keyed tuple storage.
+//!
+//! A [`Relation`] stores tuples by tuple id. Iteration order is the insertion
+//! order of tids (via `BTreeMap`), which keeps everything deterministic —
+//! important both for reproducible experiments and for the coordinator-side
+//! sort-merge of `incVer` (Fig. 5, line 7), which relies on tid order.
+
+use crate::schema::Schema;
+use crate::tuple::{Tid, Tuple};
+use crate::RelError;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// An instance of a schema: a set of tuples keyed by tuple id.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    tuples: BTreeMap<Tid, Tuple>,
+}
+
+impl Relation {
+    /// Empty relation over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        Relation {
+            schema,
+            tuples: BTreeMap::new(),
+        }
+    }
+
+    /// Build from tuples, checking arity and tid uniqueness.
+    pub fn from_tuples(
+        schema: Arc<Schema>,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self, RelError> {
+        let mut r = Relation::new(schema);
+        for t in tuples {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Insert a tuple; errors on arity mismatch or duplicate tid.
+    pub fn insert(&mut self, t: Tuple) -> Result<(), RelError> {
+        if t.arity() != self.schema.arity() {
+            return Err(RelError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: t.arity(),
+            });
+        }
+        match self.tuples.entry(t.tid) {
+            std::collections::btree_map::Entry::Occupied(_) => Err(RelError::DuplicateTid(t.tid)),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(t);
+                Ok(())
+            }
+        }
+    }
+
+    /// Delete by tuple id, returning the removed tuple.
+    pub fn delete(&mut self, tid: Tid) -> Result<Tuple, RelError> {
+        self.tuples.remove(&tid).ok_or(RelError::MissingTid(tid))
+    }
+
+    /// Get a tuple by id.
+    pub fn get(&self, tid: Tid) -> Option<&Tuple> {
+        self.tuples.get(&tid)
+    }
+
+    /// Does the relation contain `tid`?
+    pub fn contains(&self, tid: Tid) -> bool {
+        self.tuples.contains_key(&tid)
+    }
+
+    /// Iterate tuples in tid order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.values()
+    }
+
+    /// Iterate tuple ids in order.
+    pub fn tids(&self) -> impl Iterator<Item = Tid> + '_ {
+        self.tuples.keys().copied()
+    }
+
+    /// Largest tid present (useful for allocating fresh tids in generators).
+    pub fn max_tid(&self) -> Option<Tid> {
+        self.tuples.keys().next_back().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new("R", &["id", "a"], "id").unwrap()
+    }
+
+    fn t(tid: Tid, a: i64) -> Tuple {
+        Tuple::new(tid, vec![Value::int(tid as i64), Value::int(a)])
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let mut r = Relation::new(schema());
+        r.insert(t(1, 10)).unwrap();
+        r.insert(t(2, 20)).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(1).unwrap().get(1), &Value::int(10));
+        let removed = r.delete(1).unwrap();
+        assert_eq!(removed.tid, 1);
+        assert!(!r.contains(1));
+        assert!(r.delete(1).is_err());
+    }
+
+    #[test]
+    fn duplicate_tid_rejected() {
+        let mut r = Relation::new(schema());
+        r.insert(t(1, 10)).unwrap();
+        assert!(matches!(r.insert(t(1, 11)), Err(RelError::DuplicateTid(1))));
+        // Original survives.
+        assert_eq!(r.get(1).unwrap().get(1), &Value::int(10));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut r = Relation::new(schema());
+        let bad = Tuple::new(1, vec![Value::int(1)]);
+        assert!(matches!(
+            r.insert(bad),
+            Err(RelError::ArityMismatch { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn iteration_in_tid_order() {
+        let mut r = Relation::new(schema());
+        for tid in [5, 1, 3] {
+            r.insert(t(tid, 0)).unwrap();
+        }
+        let order: Vec<Tid> = r.tids().collect();
+        assert_eq!(order, vec![1, 3, 5]);
+        assert_eq!(r.max_tid(), Some(5));
+    }
+}

@@ -1,0 +1,264 @@
+//! The update model `ΔD` (§3).
+//!
+//! A batch update is a list of tuple insertions and deletions; a modification
+//! is a deletion followed by an insertion. [`UpdateBatch::normalize`]
+//! implements line 1 of `incVer`/`incHor`: updates on the same tuple id that
+//! cancel each other (insert then delete of a tid not in `D`, or delete then
+//! re-insert of an identical tuple) are removed before detection.
+
+use crate::relation::Relation;
+use crate::tuple::{Tid, Tuple};
+use crate::RelError;
+
+/// A single update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Update {
+    /// Insert a full tuple.
+    Insert(Tuple),
+    /// Delete the tuple with this id.
+    Delete(Tid),
+}
+
+impl Update {
+    /// The tuple id this update concerns.
+    pub fn tid(&self) -> Tid {
+        match self {
+            Update::Insert(t) => t.tid,
+            Update::Delete(tid) => *tid,
+        }
+    }
+
+    /// Is this an insertion?
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Update::Insert(_))
+    }
+}
+
+/// A batch update `ΔD`: an ordered list of insertions and deletions.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateBatch {
+    ops: Vec<Update>,
+}
+
+impl UpdateBatch {
+    /// Empty batch.
+    pub fn new() -> Self {
+        UpdateBatch::default()
+    }
+
+    /// Build from a list of updates.
+    pub fn from_ops(ops: Vec<Update>) -> Self {
+        UpdateBatch { ops }
+    }
+
+    /// Append an insertion.
+    pub fn insert(&mut self, t: Tuple) {
+        self.ops.push(Update::Insert(t));
+    }
+
+    /// Append a deletion.
+    pub fn delete(&mut self, tid: Tid) {
+        self.ops.push(Update::Delete(tid));
+    }
+
+    /// All operations in order.
+    pub fn ops(&self) -> &[Update] {
+        &self.ops
+    }
+
+    /// Number of operations (`|ΔD|`).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The insertion sub-list `ΔD⁺` (post-normalization order preserved).
+    pub fn insertions(&self) -> impl Iterator<Item = &Tuple> {
+        self.ops.iter().filter_map(|u| match u {
+            Update::Insert(t) => Some(t),
+            Update::Delete(_) => None,
+        })
+    }
+
+    /// The deletion sub-list `ΔD⁻`.
+    pub fn deletions(&self) -> impl Iterator<Item = Tid> + '_ {
+        self.ops.iter().filter_map(|u| match u {
+            Update::Delete(tid) => Some(*tid),
+            Update::Insert(_) => None,
+        })
+    }
+
+    /// Remove updates with the same tuple id that cancel each other
+    /// (`incVer` line 1). For each tid, the *net effect* relative to `D` is
+    /// kept:
+    ///
+    /// * tid absent from `D`, net effect "inserted as t" → single `Insert(t)`;
+    /// * tid present in `D`, net effect "deleted" → single `Delete`;
+    /// * tid present, net effect "replaced by t" → `Delete` then `Insert(t)`
+    ///   (a modification);
+    /// * no net effect → nothing.
+    pub fn normalize(&self, base: &Relation) -> UpdateBatch {
+        use crate::fx::FxHashMap;
+        // Last-writer-wins state per tid, in first-touch order.
+        #[derive(Clone)]
+        enum Net {
+            Inserted(Tuple),
+            Deleted,
+        }
+        let mut order: Vec<Tid> = Vec::new();
+        let mut state: FxHashMap<Tid, Net> = FxHashMap::default();
+        for op in &self.ops {
+            let tid = op.tid();
+            if !state.contains_key(&tid) {
+                order.push(tid);
+            }
+            match op {
+                Update::Insert(t) => {
+                    state.insert(tid, Net::Inserted(t.clone()));
+                }
+                Update::Delete(_) => {
+                    state.insert(tid, Net::Deleted);
+                }
+            }
+        }
+        let mut out = UpdateBatch::new();
+        for tid in order {
+            let present = base.contains(tid);
+            match state.remove(&tid).expect("state populated above") {
+                Net::Inserted(t) => {
+                    if present {
+                        // Modification: only emit if the value actually changed.
+                        if base.get(tid).map(|old| old != &t).unwrap_or(true) {
+                            out.delete(tid);
+                            out.insert(t);
+                        }
+                    } else {
+                        out.insert(t);
+                    }
+                }
+                Net::Deleted => {
+                    if present {
+                        out.delete(tid);
+                    }
+                    // else: insert+delete of a new tid cancels entirely.
+                }
+            }
+        }
+        out
+    }
+
+    /// Apply this batch to `base` (`D ⊕ ΔD`), consuming nothing. Deletions of
+    /// missing tids and duplicate insertions are errors — callers should
+    /// normalize first.
+    pub fn apply(&self, base: &mut Relation) -> Result<(), RelError> {
+        for op in &self.ops {
+            match op {
+                Update::Insert(t) => base.insert(t.clone())?,
+                Update::Delete(tid) => {
+                    base.delete(*tid)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::Value;
+
+    fn rel_with(tids: &[Tid]) -> Relation {
+        let s = Schema::new("R", &["id", "a"], "id").unwrap();
+        let mut r = Relation::new(s);
+        for &tid in tids {
+            r.insert(Tuple::new(tid, vec![Value::int(tid as i64), Value::int(0)]))
+                .unwrap();
+        }
+        r
+    }
+
+    fn tup(tid: Tid, a: i64) -> Tuple {
+        Tuple::new(tid, vec![Value::int(tid as i64), Value::int(a)])
+    }
+
+    #[test]
+    fn plus_minus_split() {
+        let mut b = UpdateBatch::new();
+        b.insert(tup(10, 1));
+        b.delete(3);
+        b.insert(tup(11, 2));
+        assert_eq!(b.insertions().count(), 2);
+        assert_eq!(b.deletions().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn normalize_cancels_insert_then_delete_of_new_tid() {
+        let base = rel_with(&[1]);
+        let mut b = UpdateBatch::new();
+        b.insert(tup(99, 5));
+        b.delete(99);
+        let n = b.normalize(&base);
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn normalize_delete_then_identical_reinsert_cancels() {
+        let base = rel_with(&[1]);
+        let mut b = UpdateBatch::new();
+        b.delete(1);
+        b.insert(tup(1, 0)); // identical to the stored tuple
+        let n = b.normalize(&base);
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn normalize_modification_becomes_delete_insert() {
+        let base = rel_with(&[1]);
+        let mut b = UpdateBatch::new();
+        b.delete(1);
+        b.insert(tup(1, 7));
+        let n = b.normalize(&base);
+        assert_eq!(n.ops().len(), 2);
+        assert!(matches!(n.ops()[0], Update::Delete(1)));
+        assert!(matches!(&n.ops()[1], Update::Insert(t) if t.get(1) == &Value::int(7)));
+    }
+
+    #[test]
+    fn normalize_keeps_last_write() {
+        let base = rel_with(&[]);
+        let mut b = UpdateBatch::new();
+        b.insert(tup(9, 1));
+        b.delete(9);
+        b.insert(tup(9, 2));
+        let n = b.normalize(&base);
+        assert_eq!(n.ops().len(), 1);
+        assert!(matches!(&n.ops()[0], Update::Insert(t) if t.get(1) == &Value::int(2)));
+    }
+
+    #[test]
+    fn normalize_drops_delete_of_missing_tid() {
+        let base = rel_with(&[]);
+        let mut b = UpdateBatch::new();
+        b.delete(42);
+        assert!(b.normalize(&base).is_empty());
+    }
+
+    #[test]
+    fn apply_produces_d_oplus_delta() {
+        let mut base = rel_with(&[1, 2]);
+        let mut b = UpdateBatch::new();
+        b.delete(2);
+        b.insert(tup(3, 9));
+        b.normalize(&base).apply(&mut base).unwrap();
+        assert!(base.contains(1));
+        assert!(!base.contains(2));
+        assert!(base.contains(3));
+    }
+}

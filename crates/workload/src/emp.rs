@@ -1,0 +1,169 @@
+//! The paper's running example: the EMP relation (Fig. 2), the CFDs of
+//! Fig. 1, and the partitions used in Examples 1–9.
+
+use cfd::Cfd;
+use cluster::partition::{HorizontalScheme, VerticalScheme};
+use relation::{Relation, Schema, Tid, Tuple, Value};
+use std::sync::Arc;
+
+/// The EMP schema:
+/// `EMP(id, name, sex, grade, street, city, zip, CC, AC, phn, salary, hd)`.
+pub fn emp_schema() -> Arc<Schema> {
+    Schema::new(
+        "EMP",
+        &[
+            "id", "name", "sex", "grade", "street", "city", "zip", "CC", "AC", "phn",
+            "salary", "hd",
+        ],
+        "id",
+    )
+    .expect("EMP schema is valid")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emp_tuple(
+    tid: Tid,
+    name: &str,
+    sex: &str,
+    grade: &str,
+    street: &str,
+    city: &str,
+    zip: &str,
+    cc: i64,
+    ac: i64,
+    phn: &str,
+    salary: &str,
+    hd: &str,
+) -> Tuple {
+    Tuple::new(
+        tid,
+        vec![
+            Value::int(tid as i64),
+            Value::str(name),
+            Value::str(sex),
+            Value::str(grade),
+            Value::str(street),
+            Value::str(city),
+            Value::str(zip),
+            Value::int(cc),
+            Value::int(ac),
+            Value::str(phn),
+            Value::str(salary),
+            Value::str(hd),
+        ],
+    )
+}
+
+/// The relation `D₀` of Fig. 2 (tuples t1–t5; see [`t6`] for the insert).
+pub fn emp_relation() -> (Arc<Schema>, Relation) {
+    let s = emp_schema();
+    let mut d = Relation::new(s.clone());
+    let rows = vec![
+        emp_tuple(1, "Mike", "M", "A", "Mayfield", "NYC", "EH4 8LE", 44, 131, "8693784", "65k", "01/10/2005"),
+        emp_tuple(2, "Sam", "M", "A", "Preston", "EDI", "EH2 4HF", 44, 131, "8765432", "65k", "01/05/2009"),
+        emp_tuple(3, "Molina", "F", "B", "Mayfield", "EDI", "EH4 8LE", 44, 131, "3456789", "80k", "01/03/2010"),
+        emp_tuple(4, "Philip", "M", "B", "Mayfield", "EDI", "EH4 8LE", 44, 131, "2909209", "85k", "01/05/2010"),
+        emp_tuple(5, "Adam", "M", "C", "Crichton", "EDI", "EH4 8LE", 44, 131, "7478626", "120k", "01/05/1995"),
+    ];
+    for t in rows {
+        d.insert(t).expect("distinct tids");
+    }
+    (s, d)
+}
+
+/// The tuple t6 inserted in Example 2 / Fig. 2.
+pub fn t6() -> Tuple {
+    emp_tuple(6, "George", "M", "C", "Mayfield", "EDI", "EH4 8LE", 44, 131, "9595858", "120k", "01/07/1993")
+}
+
+/// The CFDs of Fig. 1:
+/// `φ1: ([CC=44, zip] → [street])` and
+/// `φ2: ([CC=44, AC=131] → [city=EDI])`.
+pub fn emp_cfds(schema: &Schema) -> Vec<Cfd> {
+    vec![
+        Cfd::from_names(
+            0,
+            schema,
+            &[("CC", Some(Value::int(44))), ("zip", None)],
+            ("street", None),
+        )
+        .expect("φ1 is well-formed"),
+        Cfd::from_names(
+            1,
+            schema,
+            &[("CC", Some(Value::int(44))), ("AC", Some(Value::int(131)))],
+            ("city", Some(Value::str("EDI"))),
+        )
+        .expect("φ2 is well-formed"),
+    ]
+}
+
+/// The vertical partition of Fig. 2: `DV1(name, sex, grade)`,
+/// `DV2(street, city, zip)`, `DV3(CC, AC, phn, salary, hd)` — each with the
+/// key replica.
+pub fn emp_vertical_scheme(schema: &Arc<Schema>) -> VerticalScheme {
+    let a = |n: &str| schema.attr_id(n).expect("EMP attribute");
+    VerticalScheme::new(
+        schema.clone(),
+        vec![
+            vec![a("name"), a("sex"), a("grade")],
+            vec![a("street"), a("city"), a("zip")],
+            vec![a("CC"), a("AC"), a("phn"), a("salary"), a("hd")],
+        ],
+    )
+    .expect("Fig. 2 scheme covers the schema")
+}
+
+/// The horizontal partition of Fig. 2: fragments by salary grade
+/// `A` / `B` / `C`.
+pub fn emp_horizontal_scheme(schema: &Arc<Schema>) -> HorizontalScheme {
+    HorizontalScheme::by_values(
+        schema.clone(),
+        schema.attr_id("grade").expect("grade attribute"),
+        vec![
+            vec![Value::str("A")],
+            vec![Value::str("B")],
+            vec![Value::str("C")],
+        ],
+    )
+    .expect("three grade fragments")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_violations_reproduced_centrally() {
+        let (s, d) = emp_relation();
+        let cfds = emp_cfds(&s);
+        let v = cfd::naive::detect(&cfds, &d);
+        assert_eq!(v.tids_sorted(), vec![1, 3, 4, 5]);
+        let mut phi1: Vec<Tid> = v.of_cfd(0).iter().copied().collect();
+        phi1.sort_unstable();
+        assert_eq!(phi1, vec![1, 3, 4, 5]);
+        assert_eq!(v.of_cfd(1).iter().copied().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn schemes_partition_d0() {
+        let (s, d) = emp_relation();
+        let vs = emp_vertical_scheme(&s);
+        assert_eq!(vs.n_sites(), 3);
+        let frags = vs.partition(&d);
+        assert!(frags.iter().all(|f| f.len() == 5));
+        let hs = emp_horizontal_scheme(&s);
+        let frags = hs.partition(&d).unwrap();
+        assert_eq!(
+            frags.iter().map(Relation::len).collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
+    }
+
+    #[test]
+    fn t6_routes_to_grade_c() {
+        let (s, _) = emp_relation();
+        let hs = emp_horizontal_scheme(&s);
+        assert_eq!(hs.route(&t6()).unwrap(), 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! CFD rule generation, following the paper's methodology (§7): *"CFDs were
+//! designed manually. We first designed functional dependencies (FDs), and
+//! then produced CFDs by adding patterns (i.e., conditions) to the FDs."*
+//!
+//! Each workload has a hand-designed FD catalog that the clean generator
+//! output genuinely satisfies; scaling `|Σ|` adds pattern-conditioned
+//! variants (constants on an extra LHS attribute) and constant CFDs whose
+//! RHS constants come from the generators' ground-truth functions — so
+//! violations correspond exactly to seeded errors.
+
+use cfd::{Cfd, CfdId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relation::{Schema, Value};
+
+/// An FD template: LHS attribute names → RHS attribute name.
+struct FdTemplate {
+    lhs: &'static [&'static str],
+    rhs: &'static str,
+}
+
+/// TPCH FD catalog (all satisfied by error-free generator output).
+const TPCH_FDS: &[FdTemplate] = &[
+    FdTemplate { lhs: &["custkey"], rhs: "custname" },
+    FdTemplate { lhs: &["custkey"], rhs: "nation" },
+    FdTemplate { lhs: &["custkey"], rhs: "mktsegment" },
+    FdTemplate { lhs: &["nationkey"], rhs: "nation" },
+    FdTemplate { lhs: &["nation"], rhs: "region" },
+    FdTemplate { lhs: &["partkey"], rhs: "brand" },
+    FdTemplate { lhs: &["partkey"], rhs: "ptype" },
+    FdTemplate { lhs: &["partkey"], rhs: "container" },
+    FdTemplate { lhs: &["suppkey"], rhs: "suppnation" },
+    FdTemplate { lhs: &["custkey", "partkey"], rhs: "brand" },
+    FdTemplate { lhs: &["nationkey", "suppkey"], rhs: "region" },
+];
+
+/// Condition attributes and values for TPCH pattern expansion (independent
+/// of every catalog FD's attributes).
+const TPCH_CONDS: &[(&str, &[&str])] = &[
+    ("shipmode", &["AIR", "RAIL", "TRUCK", "MAIL", "SHIP", "FOB", "REG AIR"]),
+    (
+        "orderpriority",
+        &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPEC", "5-LOW"],
+    ),
+];
+
+/// DBLP FD catalog.
+const DBLP_FDS: &[FdTemplate] = &[
+    FdTemplate { lhs: &["venuekey"], rhs: "venue" },
+    FdTemplate { lhs: &["venuekey"], rhs: "publisher" },
+    FdTemplate { lhs: &["venue"], rhs: "publisher" },
+    FdTemplate { lhs: &["venuekey", "volume"], rhs: "year" },
+    FdTemplate { lhs: &["venue", "volume"], rhs: "year" },
+];
+
+const DBLP_CONDS: &[(&str, &[&str])] = &[(
+    "etype",
+    &["article", "inproceedings", "book", "phdthesis"],
+)];
+
+fn expand(
+    schema: &Schema,
+    fds: &[FdTemplate],
+    conds: &[(&str, &[&str])],
+    constants: &dyn Fn(usize, &mut StdRng, &Schema, CfdId) -> Option<Cfd>,
+    n: usize,
+    seed: u64,
+) -> Vec<Cfd> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Cfd> = Vec::with_capacity(n);
+    let mut i = 0usize;
+    while out.len() < n {
+        let id = out.len() as CfdId;
+        // Every 4th rule is a constant CFD drawn from the ground truth.
+        if i % 4 == 3 {
+            if let Some(c) = constants(i, &mut rng, schema, id) {
+                out.push(c);
+                i += 1;
+                continue;
+            }
+        }
+        let fd = &fds[i % fds.len()];
+        let variant = i / fds.len();
+        let mut lhs: Vec<(&str, Option<Value>)> =
+            fd.lhs.iter().map(|a| (*a, None)).collect();
+        if variant > 0 {
+            // Add a pattern condition on an independent attribute.
+            let (cond_attr, values) = conds[variant % conds.len()];
+            if cond_attr != fd.rhs && !fd.lhs.contains(&cond_attr) {
+                let v = values[(variant / conds.len()) % values.len()];
+                lhs.push((cond_attr, Some(Value::str(v))));
+            }
+        }
+        let cfd = Cfd::from_names(id, schema, &lhs, (fd.rhs, None))
+            .expect("catalog attributes exist in the schema");
+        out.push(cfd);
+        i += 1;
+    }
+    out
+}
+
+/// Generate `n` CFDs for the TPCH workload (mix of plain FDs,
+/// pattern-conditioned variable CFDs and ground-truth constant CFDs).
+pub fn tpch_rules(schema: &Schema, n: usize, seed: u64) -> Vec<Cfd> {
+    expand(
+        schema,
+        TPCH_FDS,
+        TPCH_CONDS,
+        &|i, rng, schema, id| {
+            // Constant CFDs from the nation/region ground truth.
+            match i % 2 {
+                0 => {
+                    let k = rng.random_range(0..25i64);
+                    Cfd::from_names(
+                        id,
+                        schema,
+                        &[("nationkey", Some(Value::int(k)))],
+                        ("nation", Some(Value::str(crate::tpch::truth::nation_name(k)))),
+                    )
+                    .ok()
+                }
+                _ => {
+                    let k = rng.random_range(0..25i64);
+                    Cfd::from_names(
+                        id,
+                        schema,
+                        &[("nation", Some(Value::str(crate::tpch::truth::nation_name(k))))],
+                        (
+                            "region",
+                            Some(Value::str(crate::tpch::truth::region_of_nation(k))),
+                        ),
+                    )
+                    .ok()
+                }
+            }
+        },
+        n,
+        seed,
+    )
+}
+
+/// Generate `n` CFDs for the DBLP workload.
+pub fn dblp_rules(schema: &Schema, n: usize, seed: u64) -> Vec<Cfd> {
+    expand(
+        schema,
+        DBLP_FDS,
+        DBLP_CONDS,
+        &|_i, rng, schema, id| {
+            let k = rng.random_range(0..50i64);
+            Cfd::from_names(
+                id,
+                schema,
+                &[("venuekey", Some(Value::int(k)))],
+                ("venue", Some(Value::str(crate::dblp::truth::venue_name(k)))),
+            )
+            .ok()
+        },
+        n,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_exactly_n_with_contiguous_ids() {
+        let s = crate::tpch::tpch_schema();
+        for n in [1usize, 8, 25, 125] {
+            let rules = tpch_rules(&s, n, 1);
+            assert_eq!(rules.len(), n);
+            for (i, r) in rules.iter().enumerate() {
+                assert_eq!(r.id, i as CfdId);
+            }
+        }
+    }
+
+    #[test]
+    fn mixes_constant_and_variable() {
+        let s = crate::tpch::tpch_schema();
+        let rules = tpch_rules(&s, 40, 1);
+        let n_const = rules.iter().filter(|c| c.is_constant()).count();
+        let n_var = rules.len() - n_const;
+        assert!(n_const >= 5, "got {n_const} constant CFDs");
+        assert!(n_var >= 20, "got {n_var} variable CFDs");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = crate::dblp::dblp_schema();
+        let a = dblp_rules(&s, 16, 9);
+        let b = dblp_rules(&s, 16, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pattern_variants_differ_from_plain_fds() {
+        let s = crate::tpch::tpch_schema();
+        let rules = tpch_rules(&s, 60, 1);
+        // Later variants must carry constant atoms on condition attrs.
+        assert!(rules
+            .iter()
+            .any(|c| c.is_variable() && !c.constant_atoms().is_empty()));
+        // And the first |catalog| variable rules are plain FDs.
+        assert!(rules[0].is_fd());
+    }
+}

@@ -1,0 +1,187 @@
+//! Batch-update generation (§7): *"Batch updates contain 80% insertions
+//! and 20% deletions, since insertions happen more often than deletions in
+//! practice."* Exp-10 uses 60% insertions / 40% deletions.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use relation::{Relation, Tid, Tuple, UpdateBatch};
+
+/// Mix of insertions vs. deletions.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateMix {
+    /// Fraction of insertions in the batch (0.8 in most experiments).
+    pub insert_fraction: f64,
+}
+
+impl Default for UpdateMix {
+    fn default() -> Self {
+        UpdateMix {
+            insert_fraction: 0.8,
+        }
+    }
+}
+
+/// Generate a batch of `n` updates against `base`: deletions draw existing
+/// tids without replacement, insertions come from `fresh` (pre-generated
+/// new tuples — see `tpch::generate_fresh` / `dblp::generate_fresh`).
+///
+/// The interleaving is shuffled deterministically so insert/delete
+/// processing order is realistic rather than phase-separated.
+///
+/// # Panics
+/// Panics when `fresh` holds fewer tuples than the insertions requested or
+/// `base` holds fewer tuples than the deletions requested.
+pub fn generate(
+    base: &Relation,
+    fresh: &[Tuple],
+    n: usize,
+    mix: UpdateMix,
+    seed: u64,
+) -> UpdateBatch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_ins = ((n as f64) * mix.insert_fraction).round() as usize;
+    let n_del = n - n_ins;
+    assert!(
+        fresh.len() >= n_ins,
+        "need {n_ins} fresh tuples, got {}",
+        fresh.len()
+    );
+    assert!(
+        base.len() >= n_del,
+        "need {n_del} deletable tuples, base has {}",
+        base.len()
+    );
+
+    // Sample deletions without replacement.
+    let mut tids: Vec<Tid> = base.tids().collect();
+    tids.shuffle(&mut rng);
+    tids.truncate(n_del);
+
+    #[derive(Clone)]
+    enum Op {
+        Ins(usize),
+        Del(Tid),
+    }
+    let mut ops: Vec<Op> = (0..n_ins)
+        .map(Op::Ins)
+        .chain(tids.into_iter().map(Op::Del))
+        .collect();
+    ops.shuffle(&mut rng);
+
+    let mut batch = UpdateBatch::new();
+    for op in ops {
+        match op {
+            Op::Ins(i) => batch.insert(fresh[i].clone()),
+            Op::Del(tid) => batch.delete(tid),
+        }
+    }
+    batch
+}
+
+/// Convenience for "modification-heavy" workloads: `n` modifications that
+/// re-insert an existing tuple with one attribute rewritten by `mutate`.
+pub fn generate_modifications(
+    base: &Relation,
+    n: usize,
+    seed: u64,
+    mutate: impl Fn(&Tuple, &mut StdRng) -> Tuple,
+) -> UpdateBatch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tids: Vec<Tid> = base.tids().collect();
+    tids.shuffle(&mut rng);
+    tids.truncate(n);
+    let mut batch = UpdateBatch::new();
+    for tid in tids {
+        let t = base.get(tid).expect("sampled live tid");
+        let t2 = mutate(t, &mut rng);
+        assert_eq!(t2.tid, tid, "modification must keep the tuple id");
+        batch.delete(tid);
+        batch.insert(t2);
+    }
+    batch
+}
+
+/// Deterministically corrupt one attribute of a tuple (used by example
+/// binaries and tests to create violations on demand).
+pub fn corrupt_attr(t: &Tuple, attr: relation::AttrId, rng: &mut StdRng) -> Tuple {
+    let mut vals: Vec<relation::Value> = t.values.to_vec();
+    vals[attr as usize] = relation::Value::str(format!("ERR_{}", rng.random_range(0..1_000_000)));
+    Tuple::new(t.tid, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch::{self, TpchConfig};
+
+    #[test]
+    fn respects_mix_and_determinism() {
+        let cfg = TpchConfig {
+            n_rows: 500,
+            ..TpchConfig::default()
+        };
+        let (_, d) = tpch::generate(&cfg);
+        let fresh = tpch::generate_fresh(&cfg, 10_000, 400, 99);
+        let b1 = generate(&d, &fresh, 500, UpdateMix::default(), 5);
+        let b2 = generate(&d, &fresh, 500, UpdateMix::default(), 5);
+        assert_eq!(b1.ops().len(), 500);
+        assert_eq!(b1.insertions().count(), 400);
+        assert_eq!(b1.deletions().count(), 100);
+        assert_eq!(format!("{b1:?}"), format!("{b2:?}"));
+    }
+
+    #[test]
+    fn deletions_are_unique_and_live() {
+        let cfg = TpchConfig {
+            n_rows: 100,
+            ..TpchConfig::default()
+        };
+        let (_, d) = tpch::generate(&cfg);
+        let fresh = tpch::generate_fresh(&cfg, 10_000, 0, 1);
+        let b = generate(
+            &d,
+            &fresh,
+            50,
+            UpdateMix {
+                insert_fraction: 0.0,
+            },
+            2,
+        );
+        let dels: Vec<Tid> = b.deletions().collect();
+        let mut uniq = dels.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(dels.len(), uniq.len());
+        assert!(dels.iter().all(|&t| d.contains(t)));
+    }
+
+    #[test]
+    fn modifications_keep_tids() {
+        let cfg = TpchConfig {
+            n_rows: 50,
+            ..TpchConfig::default()
+        };
+        let (s, d) = tpch::generate(&cfg);
+        let region = s.attr_id("region").unwrap();
+        let b = generate_modifications(&d, 10, 3, |t, rng| corrupt_attr(t, region, rng));
+        assert_eq!(b.ops().len(), 20); // delete + insert each
+        let mut base = d.clone();
+        b.normalize(&base.clone()).apply(&mut base).unwrap();
+        assert_eq!(base.len(), d.len());
+    }
+
+    #[test]
+    fn applying_batch_keeps_relation_consistent() {
+        let cfg = TpchConfig {
+            n_rows: 200,
+            ..TpchConfig::default()
+        };
+        let (_, d) = tpch::generate(&cfg);
+        let fresh = tpch::generate_fresh(&cfg, 10_000, 80, 4);
+        let b = generate(&d, &fresh, 100, UpdateMix::default(), 6);
+        let mut d2 = d.clone();
+        b.normalize(&d).apply(&mut d2).unwrap();
+        assert_eq!(d2.len(), 200 + 80 - 20);
+    }
+}

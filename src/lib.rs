@@ -1,0 +1,64 @@
+//! `inc-cfd` — facade crate for the reproduction of
+//! *Incremental Detection of Inconsistencies in Distributed Data*
+//! (Fan, Li, Tang, Yu — ICDE 2012 / TKDE 2014).
+//!
+//! This crate re-exports the workspace members under one roof so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`relation`] — values, schemas, tuples, relations, updates, predicates;
+//! * [`cfd`] — conditional functional dependencies, violation semantics and
+//!   the centralized ground-truth detector;
+//! * [`cluster`] — the metered in-process distributed substrate (sites,
+//!   transport, partitioners, network statistics);
+//! * [`incdetect`] — the paper's contribution: HEV/IDX indices, the optimal
+//!   incremental detectors for vertical (§4) and horizontal (§6) partitions,
+//!   the HEV-plan optimizer (§5), and the batch baselines;
+//! * [`workload`] — TPCH-like / DBLP-like / EMP generators, CFD rule
+//!   generators and update generators used by the experiment harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use inc_cfd::prelude::*;
+//!
+//! // The paper's running example: the EMP relation of Fig. 2 and the two
+//! // CFDs of Fig. 1.
+//! let (schema, d0) = workload::emp::emp_relation();
+//! let sigma = workload::emp::emp_cfds(&schema);
+//!
+//! // Partition horizontally by salary grade across 3 sites and build the
+//! // incremental detector.
+//! let scheme = workload::emp::emp_horizontal_scheme(&schema);
+//! let mut det = HorizontalDetector::new(schema.clone(), sigma.clone(), scheme, &d0).unwrap();
+//!
+//! // Initial violations: t1, t3, t4, t5 (φ1) and t1 (φ2).
+//! let v = det.violations().tids_sorted();
+//! assert_eq!(v, vec![1, 3, 4, 5]);
+//!
+//! // Insert t6 (Fig. 2): only t6 becomes a new violation.
+//! let mut delta = UpdateBatch::new();
+//! delta.insert(workload::emp::t6());
+//! let dv = det.apply(&delta).unwrap();
+//! assert_eq!(dv.added_tids_sorted(), vec![6]);
+//! assert!(dv.removed_tids_sorted().is_empty());
+//! ```
+
+pub use cfd;
+pub use cluster;
+pub use incdetect;
+pub use relation;
+pub use workload;
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude {
+    pub use cfd::{Cfd, Violations};
+    pub use cluster::{
+        partition::{HorizontalScheme, VerticalScheme},
+        NetStats, SiteId,
+    };
+    pub use incdetect::{HorizontalDetector, VerticalDetector};
+    pub use relation::{
+        Predicate, Relation, Schema, Tid, Tuple, Update, UpdateBatch, Value,
+    };
+    pub use {cfd, cluster, incdetect, relation, workload};
+}

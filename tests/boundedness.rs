@@ -1,0 +1,191 @@
+//! Experimental verification of the boundedness result (Theorem 5):
+//! the incremental detectors' *communication* is a function of
+//! `|ΔD| + |ΔV|` only, independent of `|D|` — while the batch baselines
+//! grow with `|D|`.
+
+use inc_cfd::prelude::*;
+use incdetect::baselines;
+use workload::tpch::{self, TpchConfig};
+use workload::updates::{self, UpdateMix};
+
+fn cfg(rows: usize) -> TpchConfig {
+    TpchConfig {
+        n_rows: rows,
+        n_customers: 100,
+        n_parts: 60,
+        n_suppliers: 20,
+        error_rate: 0.02,
+        seed: 42,
+    }
+}
+
+/// The same physical ΔD applied on top of a small and a large base
+/// relation must ship the same number of eqids in the vertical detector.
+#[test]
+fn vertical_shipment_independent_of_base_size() {
+    let schema = tpch::tpch_schema();
+    let cfds = workload::rules::tpch_rules(&schema, 25, 1);
+    let scheme = tpch::vertical_scheme(&schema, 8);
+
+    // Fresh tuples with tids far above either base.
+    let c_small = cfg(500);
+    let fresh = tpch::generate_fresh(&c_small, 1_000_000_000, 200, 99);
+    let mut delta = UpdateBatch::new();
+    for t in &fresh {
+        delta.insert(t.clone());
+    }
+
+    let mut ships = Vec::new();
+    for rows in [500usize, 4_000] {
+        let (_, d) = tpch::generate(&cfg(rows));
+        let mut det =
+            VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap();
+        det.apply(&delta).unwrap();
+        ships.push(det.stats().total_eqids());
+    }
+    assert_eq!(
+        ships[0], ships[1],
+        "insert-only eqid shipment must not depend on |D|"
+    );
+}
+
+/// Pure insertions of pattern-matching tuples ship O(1) eqids per tuple.
+#[test]
+fn vertical_shipment_linear_in_delta() {
+    let schema = tpch::tpch_schema();
+    let cfds = workload::rules::tpch_rules(&schema, 25, 1);
+    let scheme = tpch::vertical_scheme(&schema, 8);
+    let c = cfg(1_000);
+    let (_, d) = tpch::generate(&c);
+
+    let mut per_op = Vec::new();
+    for n_ops in [100usize, 400] {
+        let fresh = tpch::generate_fresh(&c, 1_000_000_000, n_ops, 99);
+        let mut delta = UpdateBatch::new();
+        for t in &fresh {
+            delta.insert(t.clone());
+        }
+        let mut det =
+            VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap();
+        det.apply(&delta).unwrap();
+        per_op.push(det.stats().total_eqids() as f64 / n_ops as f64);
+    }
+    let ratio = per_op[1] / per_op[0];
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "per-op eqid cost must be flat in |ΔD|: {per_op:?}"
+    );
+}
+
+/// Batch shipment grows with |D|; incremental does not.
+#[test]
+fn batch_grows_with_base_but_incremental_does_not() {
+    let schema = tpch::tpch_schema();
+    let cfds = workload::rules::tpch_rules(&schema, 25, 1);
+    let scheme = tpch::vertical_scheme(&schema, 8);
+
+    let mut inc_bytes = Vec::new();
+    let mut bat_bytes = Vec::new();
+    for rows in [500usize, 2_000] {
+        let c = cfg(rows);
+        let (_, d) = tpch::generate(&c);
+        let fresh = tpch::generate_fresh(&c, 1_000_000_000, 80, 99);
+        let delta = updates::generate(
+            &d,
+            &fresh,
+            100,
+            UpdateMix { insert_fraction: 0.8 },
+            5,
+        );
+        let mut det =
+            VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap();
+        det.apply(&delta).unwrap();
+        inc_bytes.push(det.stats().total_bytes());
+
+        let mut d_new = d.clone();
+        delta.normalize(&d).apply(&mut d_new).unwrap();
+        let out = baselines::bat_ver(&cfds, &scheme, &d_new);
+        bat_bytes.push(out.stats.total_bytes());
+    }
+    // Batch grows roughly with |D| (4× base → ~4× shipment).
+    assert!(
+        bat_bytes[1] as f64 > 2.5 * bat_bytes[0] as f64,
+        "batch must scale with |D|: {bat_bytes:?}"
+    );
+    // Incremental stays within 2× despite a 4× larger base.
+    assert!(
+        (inc_bytes[1] as f64) < 2.0 * inc_bytes[0].max(1) as f64,
+        "incremental must not scale with |D|: {inc_bytes:?}"
+    );
+}
+
+/// Horizontal: insertions that find a same-RHS witness or a violating
+/// group locally ship nothing; overall traffic is bounded by O(n) per op,
+/// independent of |D|.
+#[test]
+fn horizontal_shipment_independent_of_base_size() {
+    let schema = tpch::tpch_schema();
+    let cfds = workload::rules::tpch_rules(&schema, 25, 1);
+    let scheme = tpch::horizontal_scheme(&schema, 8);
+    let c = cfg(500);
+    let fresh = tpch::generate_fresh(&c, 1_000_000_000, 150, 99);
+    let mut delta = UpdateBatch::new();
+    for t in &fresh {
+        delta.insert(t.clone());
+    }
+
+    let mut msgs = Vec::new();
+    for rows in [500usize, 4_000] {
+        let (_, d) = tpch::generate(&cfg(rows));
+        let mut det =
+            incdetect::HorizontalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
+                .unwrap();
+        det.apply(&delta).unwrap();
+        msgs.push(det.stats().total_messages());
+    }
+    // More base data means groups are better known locally: message count
+    // must not *grow* with |D|.
+    assert!(
+        msgs[1] <= msgs[0].max(1) * 2,
+        "horizontal traffic must not scale with |D|: {msgs:?}"
+    );
+}
+
+/// |ΔV| participates in the bound: deleting tuples that collapse large
+/// groups produces ΔV proportional to the group sizes, and the detector
+/// touches exactly those marks.
+#[test]
+fn delta_v_reflects_group_collapse() {
+    let schema = tpch::tpch_schema();
+    // One FD: custkey → custname.
+    let cfds = workload::rules::tpch_rules(&schema, 1, 1);
+    let scheme = tpch::vertical_scheme(&schema, 4);
+    let c = TpchConfig {
+        n_rows: 300,
+        n_customers: 10, // large groups
+        error_rate: 0.3,
+        ..cfg(300)
+    };
+    let (_, d) = tpch::generate(&c);
+    let mut det = VerticalDetector::new(schema, cfds.clone(), scheme, &d).unwrap();
+    let before = det.violations().len();
+    assert!(before > 0);
+
+    // Delete every corrupted tuple (those whose custname disagrees with
+    // the ground truth): all remaining groups become clean.
+    let name_attr = det.schema().attr_id("custname").unwrap();
+    let cust_attr = det.schema().attr_id("custkey").unwrap();
+    let mut delta = UpdateBatch::new();
+    for t in d.iter() {
+        let custkey = match t.get(cust_attr) {
+            Value::Int(i) => *i,
+            _ => unreachable!(),
+        };
+        if t.get(name_attr) != &Value::str(tpch::truth::cust_name(custkey)) {
+            delta.delete(t.tid);
+        }
+    }
+    let dv = det.apply(&delta).unwrap();
+    assert!(det.violations().is_empty(), "all violations must clear");
+    assert!(dv.removed.len() >= before);
+}
