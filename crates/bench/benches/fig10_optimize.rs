@@ -38,7 +38,15 @@ fn apply_under_plans(c: &mut Criterion) {
     };
     let (_, d) = tpch::generate(&cfg);
     let fresh = tpch::generate_fresh(&cfg, 1_000_000_000, 160, 99);
-    let dd = updates::generate(&d, &fresh, 200, UpdateMix { insert_fraction: 0.8 }, 7);
+    let dd = updates::generate(
+        &d,
+        &fresh,
+        200,
+        UpdateMix {
+            insert_fraction: 0.8,
+        },
+        7,
+    );
 
     let default = HevPlan::default_chains(&cfds, &scheme);
     let opt = optimize(&cfds, &scheme, OptimizeConfig::default());

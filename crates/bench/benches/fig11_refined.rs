@@ -25,7 +25,15 @@ fn cfg(rows: usize) -> TpchConfig {
 /// 60% insertions / 40% deletions, per Exp-10.
 fn delta(c: &TpchConfig, d: &relation::Relation, n: usize) -> relation::UpdateBatch {
     let fresh = tpch::generate_fresh(c, 1_000_000_000, (n as f64 * 0.6) as usize + 1, 99);
-    updates::generate(d, &fresh, n, UpdateMix { insert_fraction: 0.6 }, 7)
+    updates::generate(
+        d,
+        &fresh,
+        n,
+        UpdateMix {
+            insert_fraction: 0.6,
+        },
+        7,
+    )
 }
 
 fn fig11a_vertical(c: &mut Criterion) {
@@ -42,10 +50,7 @@ fn fig11a_vertical(c: &mut Criterion) {
         let dd = delta(&c0, &d, dn);
         group.bench_with_input(BenchmarkId::new("incVer", dn), &dn, |b, _| {
             b.iter_batched(
-                || {
-                    VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
-                        .unwrap()
-                },
+                || VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap(),
                 |mut det| det.apply(&dd).unwrap(),
                 criterion::BatchSize::LargeInput,
             )
@@ -54,8 +59,7 @@ fn fig11a_vertical(c: &mut Criterion) {
         dd.normalize(&d).apply(&mut d_new).unwrap();
         group.bench_with_input(BenchmarkId::new("ibatVer", dn), &dn, |b, _| {
             b.iter(|| {
-                baselines::ibat_ver(schema.clone(), cfds.clone(), scheme.clone(), &d_new)
-                    .unwrap()
+                baselines::ibat_ver(schema.clone(), cfds.clone(), scheme.clone(), &d_new).unwrap()
             })
         });
     }
@@ -88,8 +92,7 @@ fn fig11b_horizontal(c: &mut Criterion) {
         dd.normalize(&d).apply(&mut d_new).unwrap();
         group.bench_with_input(BenchmarkId::new("ibatHor", dn), &dn, |b, _| {
             b.iter(|| {
-                baselines::ibat_hor(schema.clone(), cfds.clone(), scheme.clone(), &d_new)
-                    .unwrap()
+                baselines::ibat_hor(schema.clone(), cfds.clone(), scheme.clone(), &d_new).unwrap()
             })
         });
     }

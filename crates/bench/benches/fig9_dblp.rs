@@ -20,7 +20,15 @@ fn cfg(rows: usize) -> DblpConfig {
 
 fn delta(c: &DblpConfig, d: &relation::Relation, n: usize) -> relation::UpdateBatch {
     let fresh = dblp::generate_fresh(c, 1_000_000_000, (n as f64 * 0.8) as usize, 99);
-    updates::generate(d, &fresh, n, UpdateMix { insert_fraction: 0.8 }, 7)
+    updates::generate(
+        d,
+        &fresh,
+        n,
+        UpdateMix {
+            insert_fraction: 0.8,
+        },
+        7,
+    )
 }
 
 /// Fig. 9(k): vary |ΔD|.
@@ -38,10 +46,7 @@ fn fig9k(c: &mut Criterion) {
         let dd = delta(&c0, &d, dn);
         group.bench_with_input(BenchmarkId::new("incVer", dn), &dn, |b, _| {
             b.iter_batched(
-                || {
-                    VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
-                        .unwrap()
-                },
+                || VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap(),
                 |mut det| det.apply(&dd).unwrap(),
                 criterion::BatchSize::LargeInput,
             )
@@ -70,10 +75,7 @@ fn fig9l(c: &mut Criterion) {
         let cfds = workload::rules::dblp_rules(&schema, n_cfds, 3);
         group.bench_with_input(BenchmarkId::new("incVer", n_cfds), &n_cfds, |b, _| {
             b.iter_batched(
-                || {
-                    VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
-                        .unwrap()
-                },
+                || VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap(),
                 |mut det| det.apply(&dd).unwrap(),
                 criterion::BatchSize::LargeInput,
             )

@@ -21,7 +21,15 @@ fn cfg(rows: usize) -> TpchConfig {
 
 fn delta(c: &TpchConfig, d: &relation::Relation, n: usize) -> relation::UpdateBatch {
     let fresh = tpch::generate_fresh(c, 1_000_000_000, (n as f64 * 0.8) as usize, 99);
-    updates::generate(d, &fresh, n, UpdateMix { insert_fraction: 0.8 }, 7)
+    updates::generate(
+        d,
+        &fresh,
+        n,
+        UpdateMix {
+            insert_fraction: 0.8,
+        },
+        7,
+    )
 }
 
 /// Fig. 9(f): vary |D|.

@@ -22,7 +22,15 @@ fn cfg(rows: usize) -> TpchConfig {
 
 fn delta(c: &TpchConfig, d: &relation::Relation, n: usize) -> relation::UpdateBatch {
     let fresh = tpch::generate_fresh(c, 1_000_000_000, (n as f64 * 0.8) as usize, 99);
-    updates::generate(d, &fresh, n, UpdateMix { insert_fraction: 0.8 }, 7)
+    updates::generate(
+        d,
+        &fresh,
+        n,
+        UpdateMix {
+            insert_fraction: 0.8,
+        },
+        7,
+    )
 }
 
 /// Fig. 9(a): vary |D|, fixed |ΔD|, |Σ| = 25, n = 10.
@@ -40,10 +48,7 @@ fn fig9a(c: &mut Criterion) {
         let scheme = tpch::vertical_scheme(&schema, 10);
         group.bench_with_input(BenchmarkId::new("incVer", rows), &rows, |b, _| {
             b.iter_batched(
-                || {
-                    VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
-                        .unwrap()
-                },
+                || VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap(),
                 |mut det| det.apply(&dd).unwrap(),
                 criterion::BatchSize::LargeInput,
             )
@@ -72,10 +77,7 @@ fn fig9b(c: &mut Criterion) {
         let dd = delta(&c0, &d, dn);
         group.bench_with_input(BenchmarkId::new("incVer", dn), &dn, |b, _| {
             b.iter_batched(
-                || {
-                    VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
-                        .unwrap()
-                },
+                || VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap(),
                 |mut det| det.apply(&dd).unwrap(),
                 criterion::BatchSize::LargeInput,
             )
@@ -99,10 +101,7 @@ fn fig9d(c: &mut Criterion) {
         let cfds = workload::rules::tpch_rules(&schema, n_cfds, 1);
         group.bench_with_input(BenchmarkId::new("incVer", n_cfds), &n_cfds, |b, _| {
             b.iter_batched(
-                || {
-                    VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
-                        .unwrap()
-                },
+                || VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap(),
                 |mut det| det.apply(&dd).unwrap(),
                 criterion::BatchSize::LargeInput,
             )

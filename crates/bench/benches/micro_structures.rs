@@ -48,7 +48,9 @@ fn hashing_ablation(c: &mut Criterion) {
 }
 
 fn hev_stores(c: &mut Criterion) {
-    let values: Vec<Value> = (0..512).map(|i| Value::str(format!("value-{i:05}"))).collect();
+    let values: Vec<Value> = (0..512)
+        .map(|i| Value::str(format!("value-{i:05}")))
+        .collect();
     let mut group = c.benchmark_group("hev_stores");
     group.bench_function("base_acquire_release_cycle", |b| {
         b.iter(|| {

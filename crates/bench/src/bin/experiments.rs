@@ -9,8 +9,8 @@
 //! EC2 runs correspond to roughly `--scale 100` upwards.
 
 use bench::{
-    all_experiments, exp1, exp10, exp2, exp2_dblp, exp3, exp3_dblp, exp4, exp5, exp6, exp7,
-    exp8, exp9, exp_small_updates, Scale, Table,
+    all_experiments, exp1, exp10, exp2, exp2_dblp, exp3, exp3_dblp, exp4, exp5, exp6, exp7, exp8,
+    exp9, exp_small_updates, Scale, Table,
 };
 
 fn main() {
@@ -31,9 +31,7 @@ fn main() {
                 scale = Scale(v);
             }
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: experiments [--scale S] [exp1..exp10|exp2-dblp|exp3-dblp|all]"
-                );
+                eprintln!("usage: experiments [--scale S] [exp1..exp10|exp2-dblp|exp3-dblp|all]");
                 return;
             }
             other => which.push(other.to_string()),

@@ -13,10 +13,10 @@
 //! batch growing with `|D|` and shipping orders of magnitude more data.
 
 use cfd::Cfd;
-use cluster::{CostModel, NetStats};
-use incdetect::baselines;
+use cluster::partition::{HorizontalScheme, VerticalScheme};
+use cluster::{CostModel, NetReport};
 use incdetect::optimize::{optimize, OptimizeConfig};
-use incdetect::{HevPlan, HorizontalDetector, VerticalDetector};
+use incdetect::{BaselineStrategy, Detector, DetectorBuilder, HevPlan};
 use relation::{Relation, Schema, UpdateBatch};
 use std::sync::Arc;
 use std::time::Instant;
@@ -92,9 +92,11 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// time of the metered traffic under pipelined links (the EC2
 /// substitution — see DESIGN.md). Pipelined, because both the paper's
 /// implementation and any real deployment stream payloads over persistent
-/// connections rather than paying an RTT per eqid.
-fn elapsed(wall: f64, stats: &NetStats) -> f64 {
-    wall + CostModel::default().pipelined_seconds(stats)
+/// connections rather than paying an RTT per eqid. The roll-up over
+/// single- or two-tier traffic lives in [`NetReport`], shared by every
+/// strategy.
+fn elapsed(wall: f64, net: &NetReport) -> f64 {
+    wall + net.pipelined_seconds(&CostModel::default())
 }
 
 fn tpch_cfg(rows: usize) -> tpch::TpchConfig {
@@ -118,9 +120,79 @@ fn dblp_cfg(rows: usize) -> dblp::DblpConfig {
     }
 }
 
-/// Measure one vertical configuration: returns (inc elapsed, bat elapsed,
-/// inc shipped bytes, bat shipped bytes).
-#[allow(clippy::too_many_arguments)]
+/// Drive one incremental/batch pair through the unified [`Detector`]
+/// trait: apply the same `ΔD` to both, assert they agree, and report
+/// (inc elapsed, bat elapsed, inc shipped bytes, bat shipped bytes).
+///
+/// Every experiment goes through this single driver — the per-strategy
+/// run functions only choose schemes.
+fn run_pair(
+    mut inc: Box<dyn Detector>,
+    mut bat: Box<dyn Detector>,
+    delta: &UpdateBatch,
+) -> (f64, f64, u64, u64) {
+    let (_, inc_wall) = time(|| inc.apply(delta).expect("incremental apply succeeds"));
+    let inc_net = inc.net();
+    let (_, bat_wall) = time(|| bat.apply(delta).expect("batch apply succeeds"));
+    let bat_net = bat.net();
+    assert_eq!(
+        inc.violations().marks_sorted(),
+        bat.violations().marks_sorted(),
+        "{} and {} must agree",
+        inc.strategy(),
+        bat.strategy()
+    );
+    (
+        elapsed(inc_wall, &inc_net),
+        elapsed(bat_wall, &bat_net),
+        inc_net.total_bytes(),
+        bat_net.total_bytes(),
+    )
+}
+
+/// `incVer` vs `batVer` over an explicit vertical scheme. The baseline
+/// reuses the incremental detector's `V(Σ, D₀)` instead of recomputing
+/// it — construction stays off the measured path either way.
+fn run_vertical_scheme(
+    schema: &Arc<Schema>,
+    cfds: &[Cfd],
+    scheme: VerticalScheme,
+    d: &Relation,
+    delta: &UpdateBatch,
+) -> (f64, f64, u64, u64) {
+    let inc = DetectorBuilder::new(schema.clone(), cfds.to_vec())
+        .vertical(scheme.clone())
+        .build_dyn(d)
+        .expect("incVer builds");
+    let bat = DetectorBuilder::new(schema.clone(), cfds.to_vec())
+        .baseline(BaselineStrategy::BatVer(scheme))
+        .initial_violations(inc.violations().clone())
+        .build_dyn(d)
+        .expect("batVer builds");
+    run_pair(inc, bat, delta)
+}
+
+/// `incHor` vs `batHor` over an explicit horizontal scheme.
+fn run_horizontal_scheme(
+    schema: &Arc<Schema>,
+    cfds: &[Cfd],
+    scheme: HorizontalScheme,
+    d: &Relation,
+    delta: &UpdateBatch,
+) -> (f64, f64, u64, u64) {
+    let inc = DetectorBuilder::new(schema.clone(), cfds.to_vec())
+        .horizontal(scheme.clone())
+        .build_dyn(d)
+        .expect("incHor builds");
+    let bat = DetectorBuilder::new(schema.clone(), cfds.to_vec())
+        .baseline(BaselineStrategy::BatHor(scheme))
+        .initial_violations(inc.violations().clone())
+        .build_dyn(d)
+        .expect("batHor builds");
+    run_pair(inc, bat, delta)
+}
+
+/// TPCH layouts used by Exp-1…Exp-9.
 fn run_vertical(
     schema: &Arc<Schema>,
     cfds: &[Cfd],
@@ -128,29 +200,15 @@ fn run_vertical(
     d: &Relation,
     delta: &UpdateBatch,
 ) -> (f64, f64, u64, u64) {
-    let scheme = tpch::vertical_scheme(schema, n_sites);
-    let mut det = VerticalDetector::new(schema.clone(), cfds.to_vec(), scheme.clone(), d)
-        .expect("detector builds");
-    let (_, inc_wall) = time(|| det.apply(delta).expect("apply succeeds"));
-    let inc_bytes = det.stats().total_bytes();
-    let inc_elapsed = elapsed(inc_wall, det.stats());
-
-    let mut d_new = d.clone();
-    delta
-        .normalize(d)
-        .apply(&mut d_new)
-        .expect("batch applies");
-    let (bat, bat_wall) = time(|| baselines::bat_ver(cfds, &scheme, &d_new));
-    let bat_elapsed = elapsed(bat_wall, &bat.stats);
-    assert_eq!(
-        det.violations().marks_sorted(),
-        bat.violations.marks_sorted(),
-        "incremental and batch must agree"
-    );
-    (inc_elapsed, bat_elapsed, inc_bytes, bat.stats.total_bytes())
+    run_vertical_scheme(
+        schema,
+        cfds,
+        tpch::vertical_scheme(schema, n_sites),
+        d,
+        delta,
+    )
 }
 
-/// Measure one horizontal configuration.
 fn run_horizontal(
     schema: &Arc<Schema>,
     cfds: &[Cfd],
@@ -158,26 +216,13 @@ fn run_horizontal(
     d: &Relation,
     delta: &UpdateBatch,
 ) -> (f64, f64, u64, u64) {
-    let scheme = tpch::horizontal_scheme(schema, n_sites);
-    let mut det = HorizontalDetector::new(schema.clone(), cfds.to_vec(), scheme.clone(), d)
-        .expect("detector builds");
-    let (_, inc_wall) = time(|| det.apply(delta).expect("apply succeeds"));
-    let inc_bytes = det.stats().total_bytes();
-    let inc_elapsed = elapsed(inc_wall, det.stats());
-
-    let mut d_new = d.clone();
-    delta
-        .normalize(d)
-        .apply(&mut d_new)
-        .expect("batch applies");
-    let (bat, bat_wall) = time(|| baselines::bat_hor(cfds, &scheme, &d_new));
-    let bat_elapsed = elapsed(bat_wall, &bat.stats);
-    assert_eq!(
-        det.violations().marks_sorted(),
-        bat.violations.marks_sorted(),
-        "incremental and batch must agree"
-    );
-    (inc_elapsed, bat_elapsed, inc_bytes, bat.stats.total_bytes())
+    run_horizontal_scheme(
+        schema,
+        cfds,
+        tpch::horizontal_scheme(schema, n_sites),
+        d,
+        delta,
+    )
 }
 
 fn tpch_delta(cfg: &tpch::TpchConfig, d: &Relation, n: usize, frac: f64) -> UpdateBatch {
@@ -248,10 +293,7 @@ pub fn exp2(scale: Scale) -> Table {
         let dn = scale.rows(step).min(d.len());
         let delta = tpch_delta(&cfg, &d, dn, 0.8);
         let (inc, bat, inc_b, bat_b) = run_vertical(&schema, &cfds, 10, &d, &delta);
-        rows.push((
-            format!("{dn}"),
-            vec![inc, bat, inc_b as f64, bat_b as f64],
-        ));
+        rows.push((format!("{dn}"), vec![inc, bat, inc_b as f64, bat_b as f64]));
     }
     Table {
         id: "Exp-2 / Fig. 9(b,c): TPCH vertical, varying |ΔD|".into(),
@@ -383,10 +425,7 @@ pub fn exp7(scale: Scale) -> Table {
         let dn = scale.rows(step).min(d.len());
         let delta = tpch_delta(&cfg, &d, dn, 0.8);
         let (inc, bat, inc_b, bat_b) = run_horizontal(&schema, &cfds, 10, &d, &delta);
-        rows.push((
-            format!("{dn}"),
-            vec![inc, bat, inc_b as f64, bat_b as f64],
-        ));
+        rows.push((format!("{dn}"), vec![inc, bat, inc_b as f64, bat_b as f64]));
     }
     Table {
         id: "Exp-7 / Fig. 9(g,h): TPCH horizontal, varying |ΔD|".into(),
@@ -461,15 +500,8 @@ pub fn exp2_dblp(scale: Scale) -> Table {
         let dn = scale.rows(step).min(d.len());
         let delta = dblp_delta(&cfg, &d, dn, 0.8);
         let scheme = dblp::vertical_scheme(&schema, 10);
-        let mut det =
-            VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap();
-        let (_, inc_wall) = time(|| det.apply(&delta).unwrap());
-        let inc = elapsed(inc_wall, det.stats());
-        let mut d_new = d.clone();
-        delta.normalize(&d).apply(&mut d_new).unwrap();
-        let (bat, bat_wall) = time(|| baselines::bat_ver(&cfds, &scheme, &d_new));
-        let bat_t = elapsed(bat_wall, &bat.stats);
-        rows.push((format!("{dn}"), vec![inc, bat_t]));
+        let (inc, bat, _, _) = run_vertical_scheme(&schema, &cfds, scheme, &d, &delta);
+        rows.push((format!("{dn}"), vec![inc, bat]));
     }
     Table {
         id: "Exp-2 / Fig. 9(k): DBLP vertical, varying |ΔD|".into(),
@@ -490,15 +522,8 @@ pub fn exp3_dblp(scale: Scale) -> Table {
     for n_cfds in [8usize, 16, 24, 32, 40] {
         let cfds = workload::rules::dblp_rules(&schema, n_cfds, 3);
         let scheme = dblp::vertical_scheme(&schema, 10);
-        let mut det =
-            VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap();
-        let (_, inc_wall) = time(|| det.apply(&delta).unwrap());
-        let inc = elapsed(inc_wall, det.stats());
-        let mut d_new = d.clone();
-        delta.normalize(&d).apply(&mut d_new).unwrap();
-        let (bat, bat_wall) = time(|| baselines::bat_ver(&cfds, &scheme, &d_new));
-        let bat_t = elapsed(bat_wall, &bat.stats);
-        rows.push((format!("{n_cfds}"), vec![inc, bat_t]));
+        let (inc, bat, _, _) = run_vertical_scheme(&schema, &cfds, scheme, &d, &delta);
+        rows.push((format!("{n_cfds}"), vec![inc, bat]));
     }
     Table {
         id: "Exp-3 / Fig. 9(l): DBLP vertical, varying |Σ|".into(),
@@ -525,10 +550,7 @@ pub fn exp_small_updates(scale: Scale) -> Table {
         let delta = tpch_delta(&cfg, &d, dn, 0.8);
         let (inc_v, bat_v, _, _) = run_vertical(&schema, &cfds, 10, &d, &delta);
         let (inc_h, bat_h, _, _) = run_horizontal(&schema, &cfds, 10, &d, &delta);
-        rows.push((
-            format!("{pct}% ({dn})"),
-            vec![inc_v, bat_v, inc_h, bat_h],
-        ));
+        rows.push((format!("{pct}% ({dn})"), vec![inc_v, bat_v, inc_h, bat_h]));
     }
     Table {
         id: "Exp-S (paper §1 motivation): small updates, |D| fixed".into(),
@@ -565,26 +587,28 @@ pub fn exp10(scale: Scale) -> Table {
         let delta = tpch_delta(&cfg, &d, dn, 0.6);
 
         let vs = tpch::vertical_scheme(&schema, 10);
-        let mut det =
-            VerticalDetector::new(schema.clone(), cfds.clone(), vs.clone(), &d).unwrap();
-        let (_, inc_v_wall) = time(|| det.apply(&delta).unwrap());
-        let inc_v = elapsed(inc_v_wall, det.stats());
-        let mut d_new = d.clone();
-        delta.normalize(&d).apply(&mut d_new).unwrap();
-        let (ib_v, ib_v_wall) = time(|| {
-            baselines::ibat_ver(schema.clone(), cfds.clone(), vs.clone(), &d_new).unwrap()
-        });
-        let ibat_v = elapsed(ib_v_wall, &ib_v.stats);
+        let inc = DetectorBuilder::new(schema.clone(), cfds.clone())
+            .vertical(vs.clone())
+            .build_dyn(&d)
+            .unwrap();
+        let ibat = DetectorBuilder::new(schema.clone(), cfds.clone())
+            .baseline(BaselineStrategy::IbatVer(vs))
+            .initial_violations(inc.violations().clone())
+            .build_dyn(&d)
+            .unwrap();
+        let (inc_v, ibat_v, _, _) = run_pair(inc, ibat, &delta);
 
         let hs = tpch::horizontal_scheme(&schema, 10);
-        let mut det =
-            HorizontalDetector::new(schema.clone(), cfds.clone(), hs.clone(), &d).unwrap();
-        let (_, inc_h_wall) = time(|| det.apply(&delta).unwrap());
-        let inc_h = elapsed(inc_h_wall, det.stats());
-        let (ib_h, ib_h_wall) = time(|| {
-            baselines::ibat_hor(schema.clone(), cfds.clone(), hs.clone(), &d_new).unwrap()
-        });
-        let ibat_h = elapsed(ib_h_wall, &ib_h.stats);
+        let inc = DetectorBuilder::new(schema.clone(), cfds.clone())
+            .horizontal(hs.clone())
+            .build_dyn(&d)
+            .unwrap();
+        let ibat = DetectorBuilder::new(schema.clone(), cfds.clone())
+            .baseline(BaselineStrategy::IbatHor(hs))
+            .initial_violations(inc.violations().clone())
+            .build_dyn(&d)
+            .unwrap();
+        let (inc_h, ibat_h, _, _) = run_pair(inc, ibat, &delta);
 
         rows.push((format!("{dn}"), vec![inc_v, ibat_v, inc_h, ibat_h]));
     }
@@ -639,7 +663,12 @@ mod tests {
         let t = exp2(Scale(0.01));
         // Incremental ships less than batch at every ΔD size at this scale.
         for (_, vals) in &t.rows {
-            assert!(vals[2] < vals[3], "inc ship {} < bat ship {}", vals[2], vals[3]);
+            assert!(
+                vals[2] < vals[3],
+                "inc ship {} < bat ship {}",
+                vals[2],
+                vals[3]
+            );
         }
     }
 

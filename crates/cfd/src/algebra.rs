@@ -133,12 +133,7 @@ mod tests {
     use std::sync::Arc;
 
     fn emp() -> (Arc<Schema>, Relation, Vec<Cfd>) {
-        let s = Schema::new(
-            "EMP",
-            &["id", "CC", "AC", "zip", "street", "city"],
-            "id",
-        )
-        .unwrap();
+        let s = Schema::new("EMP", &["id", "CC", "AC", "zip", "street", "city"], "id").unwrap();
         let rows: Vec<(i64, i64, &str, &str, &str)> = vec![
             (44, 131, "EH4 8LE", "Mayfield", "NYC"),
             (44, 131, "EH2 4HF", "Preston", "EDI"),
@@ -195,7 +190,10 @@ mod tests {
         let mut tids = run_constant(&cfds[1], &d);
         tids.sort_unstable();
         assert_eq!(tids, vec![1]);
-        assert!(run_constant(&cfds[0], &d).is_empty(), "variable CFD → Q_C empty");
+        assert!(
+            run_constant(&cfds[0], &d).is_empty(),
+            "variable CFD → Q_C empty"
+        );
     }
 
     #[test]
@@ -204,7 +202,10 @@ mod tests {
         let mut tids = run_variable(&cfds[0], &d);
         tids.sort_unstable();
         assert_eq!(tids, vec![1, 3, 4, 5]);
-        assert!(run_variable(&cfds[1], &d).is_empty(), "constant CFD → Q_V empty");
+        assert!(
+            run_variable(&cfds[1], &d).is_empty(),
+            "constant CFD → Q_V empty"
+        );
     }
 
     #[test]

@@ -9,7 +9,6 @@
 use crate::pattern::{matches_all, PatternValue};
 use crate::CfdError;
 use relation::{AttrId, Schema, Tuple, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
@@ -17,7 +16,7 @@ use std::sync::Arc;
 pub type CfdId = u32;
 
 /// A conditional functional dependency in normal form `(X → B, t_p)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cfd {
     /// Identifier within `Σ` (positional).
     pub id: CfdId,
@@ -153,10 +152,7 @@ impl Cfd {
     pub fn pair_violation(&self, t: &Tuple, u: &Tuple) -> bool {
         debug_assert!(self.is_variable());
         self.matches_lhs(t)
-            && self
-                .lhs
-                .iter()
-                .all(|&a| t.get(a) == u.get(a))
+            && self.lhs.iter().all(|&a| t.get(a) == u.get(a))
             && t.get(self.rhs) != u.get(self.rhs)
     }
 
@@ -188,9 +184,7 @@ impl fmt::Display for CfdDisplay<'_> {
         write!(f, "] -> [")?;
         match &self.cfd.rhs_pattern {
             PatternValue::Wildcard => write!(f, "{}", self.schema.attr_name(self.cfd.rhs))?,
-            PatternValue::Const(v) => {
-                write!(f, "{}={}", self.schema.attr_name(self.cfd.rhs), v)?
-            }
+            PatternValue::Const(v) => write!(f, "{}={}", self.schema.attr_name(self.cfd.rhs), v)?,
         }
         write!(f, "])")
     }
@@ -289,12 +283,7 @@ mod tests {
     use relation::Schema;
 
     fn schema() -> Arc<Schema> {
-        Schema::new(
-            "EMP",
-            &["id", "CC", "AC", "zip", "street", "city"],
-            "id",
-        )
-        .unwrap()
+        Schema::new("EMP", &["id", "CC", "AC", "zip", "street", "city"], "id").unwrap()
     }
 
     fn phi1(s: &Schema) -> Cfd {
@@ -394,7 +383,10 @@ mod tests {
     #[test]
     fn display_round_trip_shape() {
         let s = schema();
-        assert_eq!(phi1(&s).display(&s).to_string(), "([CC=44, zip] -> [street])");
+        assert_eq!(
+            phi1(&s).display(&s).to_string(),
+            "([CC=44, zip] -> [street])"
+        );
         assert_eq!(
             phi2(&s).display(&s).to_string(),
             "([CC=44, AC=131] -> [city=EDI])"
@@ -428,7 +420,10 @@ mod tests {
                 vec![PatternValue::Wildcard],
                 PatternValue::Wildcard
             ),
-            Err(CfdError::PatternArity { expected: 2, got: 1 })
+            Err(CfdError::PatternArity {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(matches!(
             Cfd::new(

@@ -91,18 +91,13 @@ mod tests {
     /// The EMP relation of Fig. 2 (t1–t5) restricted to the attributes the
     /// two CFDs of Fig. 1 touch.
     fn emp() -> (Arc<Schema>, Relation) {
-        let s = Schema::new(
-            "EMP",
-            &["id", "CC", "AC", "zip", "street", "city"],
-            "id",
-        )
-        .unwrap();
+        let s = Schema::new("EMP", &["id", "CC", "AC", "zip", "street", "city"], "id").unwrap();
         let rows: Vec<(i64, i64, &str, &str, &str)> = vec![
-            (44, 131, "EH4 8LE", "Mayfield", "NYC"),  // t1
-            (44, 131, "EH2 4HF", "Preston", "EDI"),   // t2
-            (44, 131, "EH4 8LE", "Mayfield", "EDI"),  // t3
-            (44, 131, "EH4 8LE", "Mayfield", "EDI"),  // t4
-            (44, 131, "EH4 8LE", "Crichton", "EDI"),  // t5
+            (44, 131, "EH4 8LE", "Mayfield", "NYC"), // t1
+            (44, 131, "EH2 4HF", "Preston", "EDI"),  // t2
+            (44, 131, "EH4 8LE", "Mayfield", "EDI"), // t3
+            (44, 131, "EH4 8LE", "Mayfield", "EDI"), // t4
+            (44, 131, "EH4 8LE", "Crichton", "EDI"), // t5
         ];
         let mut d = Relation::new(s.clone());
         for (i, (cc, ac, zip, street, city)) in rows.into_iter().enumerate() {

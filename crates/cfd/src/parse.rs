@@ -102,10 +102,7 @@ fn parse_atom(atom: &str) -> Result<(String, PatternValue), CfdError> {
             let raw = raw.trim();
             let pat = if raw == "_" {
                 PatternValue::Wildcard
-            } else if let Some(quoted) = raw
-                .strip_prefix('\'')
-                .and_then(|r| r.strip_suffix('\''))
-            {
+            } else if let Some(quoted) = raw.strip_prefix('\'').and_then(|r| r.strip_suffix('\'')) {
                 PatternValue::Const(Value::str(quoted))
             } else if let Ok(i) = raw.parse::<i64>() {
                 PatternValue::Const(Value::int(i))
@@ -123,12 +120,7 @@ mod tests {
     use std::sync::Arc;
 
     fn schema() -> Arc<Schema> {
-        Schema::new(
-            "EMP",
-            &["id", "CC", "AC", "zip", "street", "city"],
-            "id",
-        )
-        .unwrap()
+        Schema::new("EMP", &["id", "CC", "AC", "zip", "street", "city"], "id").unwrap()
     }
 
     #[test]
@@ -148,20 +140,14 @@ mod tests {
         let s = schema();
         let c = parse_cfd(&s, 1, "([CC=44, AC=131] -> [city=EDI])").unwrap();
         assert!(c.is_constant());
-        assert_eq!(
-            c.rhs_pattern,
-            PatternValue::Const(Value::str("EDI"))
-        );
+        assert_eq!(c.rhs_pattern, PatternValue::Const(Value::str("EDI")));
     }
 
     #[test]
     fn quoted_values_force_strings_and_allow_spaces() {
         let s = schema();
         let c = parse_cfd(&s, 0, "[zip='EH4 8LE'] -> [street]").unwrap();
-        assert_eq!(
-            c.lhs_pattern[0],
-            PatternValue::Const(Value::str("EH4 8LE"))
-        );
+        assert_eq!(c.lhs_pattern[0], PatternValue::Const(Value::str("EH4 8LE")));
         let c2 = parse_cfd(&s, 0, "[CC='44'] -> [street]").unwrap();
         assert_eq!(c2.lhs_pattern[0], PatternValue::Const(Value::str("44")));
     }

@@ -5,11 +5,10 @@
 //! `v ≍ p` iff `p` is `_` or `p` is the constant `v`.
 
 use relation::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One entry of a pattern tuple: a constant or the unnamed variable `_`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum PatternValue {
     /// The unnamed variable `_`: matches any value.
     Wildcard,
@@ -87,8 +86,14 @@ mod tests {
         let v131 = Value::int(131);
         let edi = Value::str("EDI");
         let vals = [&v131, &edi];
-        let p_ok = [PatternValue::Wildcard, PatternValue::Const(Value::str("EDI"))];
-        let p_no = [PatternValue::Wildcard, PatternValue::Const(Value::str("NYC"))];
+        let p_ok = [
+            PatternValue::Wildcard,
+            PatternValue::Const(Value::str("EDI")),
+        ];
+        let p_no = [
+            PatternValue::Wildcard,
+            PatternValue::Const(Value::str("NYC")),
+        ];
         assert!(matches_all(&vals, &p_ok));
         assert!(!matches_all(&vals, &p_no));
     }

@@ -105,8 +105,13 @@ impl QualityReport {
             .unwrap(),
             _ => writeln!(s, "  {} violating tuples", self.dirty_tuples).unwrap(),
         }
-        writeln!(s, "  {} violation marks across {} rules", self.total_marks, self.rules.len())
-            .unwrap();
+        writeln!(
+            s,
+            "  {} violation marks across {} rules",
+            self.total_marks,
+            self.rules.len()
+        )
+        .unwrap();
         for r in self.worst_rules() {
             writeln!(
                 s,
@@ -131,9 +136,13 @@ mod tests {
     fn setup() -> (std::sync::Arc<Schema>, Relation, Vec<Cfd>, Violations) {
         let s = Schema::new("EMP", &["id", "CC", "zip", "street", "city"], "id").unwrap();
         let mut d = Relation::new(s.clone());
-        for (i, (street, city)) in [("Mayfield", "NYC"), ("Mayfield", "EDI"), ("Crichton", "EDI")]
-            .iter()
-            .enumerate()
+        for (i, (street, city)) in [
+            ("Mayfield", "NYC"),
+            ("Mayfield", "EDI"),
+            ("Crichton", "EDI"),
+        ]
+        .iter()
+        .enumerate()
         {
             d.insert(Tuple::new(
                 (i + 1) as Tid,

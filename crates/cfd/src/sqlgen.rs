@@ -126,12 +126,7 @@ mod tests {
     use std::sync::Arc;
 
     fn schema() -> Arc<Schema> {
-        Schema::new(
-            "EMP",
-            &["id", "CC", "AC", "zip", "street", "city"],
-            "id",
-        )
-        .unwrap()
+        Schema::new("EMP", &["id", "CC", "AC", "zip", "street", "city"], "id").unwrap()
     }
 
     fn phi1(s: &Schema) -> Cfd {

@@ -169,10 +169,39 @@ impl DeltaV {
         self.added.is_empty() && self.removed.is_empty()
     }
 
-    /// Merge another delta into this one.
+    /// Merge another delta into this one, then [`settle`](Self::settle):
+    /// a mark added by one delta and removed by the other nets to a no-op.
     pub fn merge(&mut self, other: DeltaV) {
         self.added.extend(other.added);
         self.removed.extend(other.removed);
+        self.settle();
+    }
+
+    /// Canonicalize to the *net* change: a mark that was removed and
+    /// re-added (or added and re-removed) within the delta cancels out,
+    /// duplicates collapse, and both lists come out sorted. Since `V(Σ,D)`
+    /// is a set, recorded transitions for one `(cfd, tid)` mark strictly
+    /// alternate between add and remove, so the net effect is determined
+    /// by the count difference alone.
+    pub fn settle(&mut self) {
+        let mut net: FxHashMap<(CfdId, Tid), i64> = FxHashMap::default();
+        for &m in &self.added {
+            *net.entry(m).or_insert(0) += 1;
+        }
+        for &m in &self.removed {
+            *net.entry(m).or_insert(0) -= 1;
+        }
+        self.added.clear();
+        self.removed.clear();
+        for (m, n) in net {
+            match n.cmp(&0) {
+                std::cmp::Ordering::Greater => self.added.push(m),
+                std::cmp::Ordering::Less => self.removed.push(m),
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        self.added.sort_unstable();
+        self.removed.sort_unstable();
     }
 
     /// Distinct tids with added marks, sorted.
@@ -258,5 +287,38 @@ mod tests {
         assert_eq!(d.len(), 4);
         assert_eq!(d.added_tids_sorted(), vec![1, 4]);
         assert_eq!(d.removed_tids_sorted(), vec![2]);
+    }
+
+    #[test]
+    fn settle_cancels_remove_then_readd() {
+        // A mark removed and re-added within one batch is a no-op.
+        let mut d = DeltaV::default();
+        d.remove(0, 7);
+        d.add(0, 7);
+        d.add(1, 7);
+        d.settle();
+        assert_eq!(d.added, vec![(1, 7)]);
+        assert!(d.removed.is_empty());
+
+        // Alternating transitions net to the count difference.
+        let mut d = DeltaV::default();
+        d.add(0, 3); // in
+        d.remove(0, 3); // out
+        d.add(0, 3); // in again → net add
+        d.settle();
+        assert_eq!(d.added, vec![(0, 3)]);
+        assert!(d.removed.is_empty());
+    }
+
+    #[test]
+    fn merge_nets_across_deltas() {
+        let mut d = DeltaV::default();
+        d.add(0, 1);
+        let mut e = DeltaV::default();
+        e.remove(0, 1);
+        e.add(0, 2);
+        d.merge(e);
+        assert_eq!(d.added, vec![(0, 2)]);
+        assert!(d.removed.is_empty());
     }
 }

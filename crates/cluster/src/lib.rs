@@ -19,7 +19,7 @@ pub mod netstats;
 pub mod partition;
 pub mod transport;
 
-pub use netstats::{CostModel, NetStats};
+pub use netstats::{CostModel, NetReport, NetStats};
 pub use transport::{Network, Wire};
 
 /// Identifier of a site `S_i`. Sites are numbered `0..n`.

@@ -125,6 +125,89 @@ impl NetStats {
     }
 }
 
+/// A normalized view of a detector's cumulative network traffic.
+///
+/// Detectors differ in how many *tiers* of communication they meter: the
+/// single-tier vertical/horizontal detectors and the batch baselines have
+/// one [`NetStats`], while the hybrid detector meters inter-region protocol
+/// traffic and intra-region digest assembly separately. `NetReport` is the
+/// uniform shape the `Detector::net()` trait method returns, so harnesses
+/// roll up bytes/messages/eqids and simulated time without knowing which
+/// strategy produced them.
+///
+/// Tiers represent *sequential* protocol phases of the same logical
+/// operation (assembly feeds the inter-region rounds), so the time
+/// roll-ups sum over tiers.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    tiers: Vec<(String, NetStats)>,
+}
+
+impl NetReport {
+    /// Report with explicit named tiers.
+    pub fn from_tiers(tiers: Vec<(String, NetStats)>) -> Self {
+        assert!(!tiers.is_empty(), "a report needs at least one tier");
+        NetReport { tiers }
+    }
+
+    /// Single-tier report (vertical/horizontal detectors, batch baselines).
+    pub fn single(stats: NetStats) -> Self {
+        Self::from_tiers(vec![("net".to_string(), stats)])
+    }
+
+    /// Two-tier report (the hybrid detector: §6 protocol between region
+    /// gateways plus digest assembly within regions).
+    pub fn two_tier(inter: NetStats, intra: NetStats) -> Self {
+        Self::from_tiers(vec![
+            ("inter".to_string(), inter),
+            ("intra".to_string(), intra),
+        ])
+    }
+
+    /// All tiers, in protocol order.
+    pub fn tiers(&self) -> &[(String, NetStats)] {
+        &self.tiers
+    }
+
+    /// Stats of the named tier, if present.
+    pub fn tier(&self, label: &str) -> Option<&NetStats> {
+        self.tiers.iter().find(|(l, _)| l == label).map(|(_, s)| s)
+    }
+
+    /// Total payload bytes over all tiers (`|M|`).
+    pub fn total_bytes(&self) -> u64 {
+        self.tiers.iter().map(|(_, s)| s.total_bytes()).sum()
+    }
+
+    /// Total messages over all tiers.
+    pub fn total_messages(&self) -> u64 {
+        self.tiers.iter().map(|(_, s)| s.total_messages()).sum()
+    }
+
+    /// Total eqids shipped over all tiers (the Fig. 10 metric).
+    pub fn total_eqids(&self) -> u64 {
+        self.tiers.iter().map(|(_, s)| s.total_eqids()).sum()
+    }
+
+    /// Simulated elapsed seconds under `model` (per-message latency),
+    /// summed over the sequential tiers.
+    pub fn simulated_seconds(&self, model: &CostModel) -> f64 {
+        self.tiers
+            .iter()
+            .map(|(_, s)| model.simulated_seconds(s))
+            .sum()
+    }
+
+    /// Simulated elapsed seconds under `model` with pipelined links,
+    /// summed over the sequential tiers.
+    pub fn pipelined_seconds(&self, model: &CostModel) -> f64 {
+        self.tiers
+            .iter()
+            .map(|(_, s)| model.pipelined_seconds(s))
+            .sum()
+    }
+}
+
 /// A simple latency/bandwidth model of the network, used to convert metered
 /// traffic into simulated elapsed seconds.
 ///
@@ -204,6 +287,26 @@ impl CostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn net_report_rolls_up_tiers() {
+        let mut inter = NetStats::new(3);
+        inter.record(0, 1, 100, 2);
+        let mut intra = NetStats::new(6);
+        intra.record(3, 4, 50, 0);
+        intra.record(5, 4, 30, 1);
+        let r = NetReport::two_tier(inter.clone(), intra);
+        assert_eq!(r.total_bytes(), 180);
+        assert_eq!(r.total_messages(), 3);
+        assert_eq!(r.total_eqids(), 3);
+        assert_eq!(r.tier("inter").unwrap().total_bytes(), 100);
+        assert!(r.tier("missing").is_none());
+        let m = CostModel::default();
+        let single = NetReport::single(inter.clone());
+        assert_eq!(single.simulated_seconds(&m), m.simulated_seconds(&inter));
+        assert!(r.simulated_seconds(&m) > single.simulated_seconds(&m));
+        assert!(r.pipelined_seconds(&m) > 0.0);
+    }
 
     #[test]
     fn records_per_pair_and_totals() {

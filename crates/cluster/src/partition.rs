@@ -210,10 +210,7 @@ impl HorizontalScheme {
         attr: AttrId,
         groups: Vec<Vec<Value>>,
     ) -> Result<Self, ClusterError> {
-        let preds = groups
-            .into_iter()
-            .map(|g| Predicate::In(attr, g))
-            .collect();
+        let preds = groups.into_iter().map(|g| Predicate::In(attr, g)).collect();
         HorizontalScheme::new(schema, preds)
     }
 
@@ -247,9 +244,7 @@ impl HorizontalScheme {
                 hit = Some(i);
             }
         }
-        hit.ok_or_else(|| {
-            ClusterError::Routing(format!("tuple {} matches no fragment", t.tid))
-        })
+        hit.ok_or_else(|| ClusterError::Routing(format!("tuple {} matches no fragment", t.tid)))
     }
 
     /// Partition a relation: `D_i = σ_{F_i}(D)`.
@@ -321,8 +316,7 @@ mod tests {
     #[test]
     fn vertical_replication_reported() {
         let s = schema();
-        let v =
-            VerticalScheme::new(s, vec![vec![1, 2], vec![2, 3, 4]]).unwrap();
+        let v = VerticalScheme::new(s, vec![vec![1, 2], vec![2, 3, 4]]).unwrap();
         assert_eq!(v.sites_of(2), vec![0, 1]);
         assert_eq!(v.sites_of(1), vec![0]);
     }
@@ -421,16 +415,9 @@ mod tests {
         )
         .unwrap();
         let d = rel(1);
-        assert!(matches!(
-            h.partition(&d),
-            Err(ClusterError::Routing(_))
-        ));
+        assert!(matches!(h.partition(&d), Err(ClusterError::Routing(_))));
         // Non-total: grade C matches nothing.
-        let h2 = HorizontalScheme::new(
-            s,
-            vec![Predicate::Eq(grade, Value::str("A"))],
-        )
-        .unwrap();
+        let h2 = HorizontalScheme::new(s, vec![Predicate::Eq(grade, Value::str("A"))]).unwrap();
         let d3 = rel(3);
         assert!(matches!(h2.partition(&d3), Err(ClusterError::Routing(_))));
     }

@@ -60,7 +60,8 @@ impl<M: Wire> Network<M> {
         if dst >= self.inboxes.len() {
             return Err(ClusterError::UnknownSite(dst));
         }
-        self.stats.record(src, dst, msg.wire_size(), msg.eqid_count());
+        self.stats
+            .record(src, dst, msg.wire_size(), msg.eqid_count());
         self.inboxes[dst].push_back((src, msg));
         Ok(())
     }
@@ -78,7 +79,8 @@ impl<M: Wire> Network<M> {
         if dst >= self.inboxes.len() {
             return Err(ClusterError::UnknownSite(dst));
         }
-        self.stats.record(src, dst, msg.wire_size(), msg.eqid_count());
+        self.stats
+            .record(src, dst, msg.wire_size(), msg.eqid_count());
         Ok(())
     }
 

@@ -15,11 +15,12 @@
 //!   Exp-10: recompute from scratch, but through the incremental insertion
 //!   machinery and its indices.
 
-use crate::horizontal::{HorizontalDetector, HorizontalError};
-use crate::vertical::{VerticalDetector, VerticalError};
-use cfd::{Cfd, CfdId, Violations};
+use crate::detector::{DetectError, Detector};
+use crate::horizontal::HorizontalDetector;
+use crate::vertical::VerticalDetector;
+use cfd::{Cfd, CfdId, DeltaV, Violations};
 use cluster::partition::{HorizontalScheme, VerticalScheme};
-use cluster::{NetStats, Network, SiteId, Wire};
+use cluster::{NetReport, NetStats, Network, SiteId, Wire};
 use relation::{AttrId, FxHashMap, Relation, Schema, Tid, UpdateBatch, Value};
 use std::sync::Arc;
 
@@ -285,7 +286,7 @@ pub fn bat_hor_parallel(cfds: &[Cfd], scheme: &HorizontalScheme, d: &Relation) -
 // Parallel scaffolding
 // ----------------------------------------------------------------------
 
-/// Run `work` for every CFD on a bounded crossbeam thread pool, preserving
+/// Run `work` for every CFD on a bounded scoped thread pool, preserving
 /// CFD association.
 fn parallel_per_cfd<F>(cfds: &[Cfd], work: F) -> Vec<(CfdId, Vec<Tid>, NetStats)>
 where
@@ -297,12 +298,12 @@ where
         .min(cfds.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut results: Vec<(CfdId, Vec<Tid>, NetStats)> = Vec::with_capacity(cfds.len());
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = (0..n_workers)
             .map(|_| {
                 let next = &next;
                 let work = &work;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -319,8 +320,7 @@ where
         for h in handles {
             results.extend(h.join().expect("worker panicked"));
         }
-    })
-    .expect("scope join");
+    });
     results.sort_by_key(|(id, _, _)| *id);
     results
 }
@@ -353,7 +353,7 @@ pub fn ibat_ver(
     cfds: Vec<Cfd>,
     scheme: VerticalScheme,
     d: &Relation,
-) -> Result<BatchOutcome, VerticalError> {
+) -> Result<BatchOutcome, DetectError> {
     let empty = Relation::new(schema.clone());
     let mut det = VerticalDetector::new(schema, cfds, scheme, &empty)?;
     let mut load = UpdateBatch::new();
@@ -373,7 +373,7 @@ pub fn ibat_hor(
     cfds: Vec<Cfd>,
     scheme: HorizontalScheme,
     d: &Relation,
-) -> Result<BatchOutcome, HorizontalError> {
+) -> Result<BatchOutcome, DetectError> {
     let empty = Relation::new(schema.clone());
     let mut det = HorizontalDetector::new(schema, cfds, scheme, &empty)?;
     let mut load = UpdateBatch::new();
@@ -392,6 +392,164 @@ pub fn ibat_hor(
 pub fn centralized(cfds: &[Cfd], d: &Relation) -> Violations {
     cfd::naive::detect(cfds, d)
 }
+
+// ----------------------------------------------------------------------
+// Baselines as maintained detectors
+// ----------------------------------------------------------------------
+
+/// Scheme-side validation of a normalized batch, so a bad update (e.g.
+/// an unroutable tuple) surfaces as `Err` from `apply` *before* any
+/// state is mutated — matching the incremental detectors' behavior —
+/// instead of panicking inside the batch recompute.
+trait BatScheme {
+    fn check_delta(&self, delta: &UpdateBatch) -> Result<(), DetectError>;
+}
+
+impl BatScheme for VerticalScheme {
+    fn check_delta(&self, _delta: &UpdateBatch) -> Result<(), DetectError> {
+        Ok(()) // projections exist for every tuple
+    }
+}
+
+impl BatScheme for HorizontalScheme {
+    fn check_delta(&self, delta: &UpdateBatch) -> Result<(), DetectError> {
+        for t in delta.insertions() {
+            self.route(t)?;
+        }
+        Ok(())
+    }
+}
+
+/// Implements the stateful parts shared by the four baseline wrappers:
+/// construction (initial `V(Σ, D)` is taken as given, per the paper's
+/// problem statement, so it is supplied by the caller or computed
+/// centrally, unmetered either way) and the `apply` cycle (validate and
+/// fold `ΔD` into the mirror, recompute from scratch with the wrapped
+/// batch algorithm, return the settled diff).
+macro_rules! batch_detector {
+    ($(#[$doc:meta])* $name:ident, $strategy:literal, $scheme_ty:ty,
+     |$self_:ident| $recompute:expr) => {
+        $(#[$doc])*
+        pub struct $name {
+            schema: Arc<Schema>,
+            cfds: Vec<Cfd>,
+            scheme: $scheme_ty,
+            current: Relation,
+            violations: Violations,
+            stats: NetStats,
+        }
+
+        impl $name {
+            /// Build over `d`. The initial violation computation is not
+            /// metered; traffic accrues per [`Detector::apply`] recompute.
+            pub fn new(
+                schema: Arc<Schema>,
+                cfds: Vec<Cfd>,
+                scheme: $scheme_ty,
+                d: &Relation,
+            ) -> Result<Self, DetectError> {
+                let initial = centralized(&cfds, d);
+                Self::with_initial(schema, cfds, scheme, d, initial)
+            }
+
+            /// Build over `d` with `V(Σ, D)` supplied by the caller (the
+            /// paper's problem statement takes it as given). Skips the
+            /// centralized pass of [`new`](Self::new) — harnesses that
+            /// already computed the initial violations (e.g. beside an
+            /// incremental detector over the same `D`) should use this.
+            pub fn with_initial(
+                schema: Arc<Schema>,
+                cfds: Vec<Cfd>,
+                scheme: $scheme_ty,
+                d: &Relation,
+                initial: Violations,
+            ) -> Result<Self, DetectError> {
+                let n = scheme.n_sites();
+                Ok($name {
+                    violations: initial,
+                    current: d.clone(),
+                    stats: NetStats::new(n),
+                    schema,
+                    cfds,
+                    scheme,
+                })
+            }
+
+            /// Cumulative recompute traffic.
+            pub fn stats(&self) -> &NetStats {
+                &self.stats
+            }
+        }
+
+        impl Detector for $name {
+            fn strategy(&self) -> &'static str {
+                $strategy
+            }
+
+            fn schema(&self) -> &Arc<Schema> {
+                &self.schema
+            }
+
+            fn cfds(&self) -> &[Cfd] {
+                &self.cfds
+            }
+
+            fn current(&self) -> &Relation {
+                &self.current
+            }
+
+            fn violations(&self) -> &Violations {
+                &self.violations
+            }
+
+            fn apply(&mut self, delta: &UpdateBatch) -> Result<DeltaV, DetectError> {
+                let delta = delta.normalize(&self.current);
+                self.scheme.check_delta(&delta)?;
+                delta.apply(&mut self.current)?;
+                let $self_ = &*self;
+                let out: BatchOutcome = $recompute;
+                self.stats.merge(&out.stats);
+                let dv = self.violations.diff(&out.violations);
+                self.violations = out.violations;
+                Ok(dv)
+            }
+
+            fn net(&self) -> NetReport {
+                NetReport::single(self.stats.clone())
+            }
+
+            fn reset_stats(&mut self) {
+                self.stats.reset();
+            }
+        }
+    };
+}
+
+batch_detector!(
+    /// `batVer` as a maintained [`Detector`]: every `apply` recomputes
+    /// `V(Σ, D ⊕ ΔD)` from scratch with [`bat_ver`] and reports the diff.
+    BatVer, "batVer", VerticalScheme,
+    |det| bat_ver(&det.cfds, &det.scheme, &det.current)
+);
+
+batch_detector!(
+    /// `batHor` as a maintained [`Detector`], wrapping [`bat_hor`].
+    BatHor, "batHor", HorizontalScheme,
+    |det| bat_hor(&det.cfds, &det.scheme, &det.current)
+);
+
+batch_detector!(
+    /// `ibatVer` (Exp-10) as a maintained [`Detector`]: recompute through
+    /// the incremental machinery via [`ibat_ver`].
+    IbatVer, "ibatVer", VerticalScheme,
+    |det| ibat_ver(det.schema.clone(), det.cfds.clone(), det.scheme.clone(), &det.current)?
+);
+
+batch_detector!(
+    /// `ibatHor` (Exp-10) as a maintained [`Detector`], via [`ibat_hor`].
+    IbatHor, "ibatHor", HorizontalScheme,
+    |det| ibat_hor(det.schema.clone(), det.cfds.clone(), det.scheme.clone(), &det.current)?
+);
 
 #[cfg(test)]
 mod tests {
@@ -432,11 +590,16 @@ mod tests {
 
     fn d0() -> Relation {
         let mut d = Relation::new(emp_schema());
-        d.insert(emp_tuple(1, "A", 44, 131, "EH4 8LE", "Mayfield", "NYC")).unwrap();
-        d.insert(emp_tuple(2, "A", 44, 131, "EH2 4HF", "Preston", "EDI")).unwrap();
-        d.insert(emp_tuple(3, "B", 44, 131, "EH4 8LE", "Mayfield", "EDI")).unwrap();
-        d.insert(emp_tuple(4, "B", 44, 131, "EH4 8LE", "Mayfield", "EDI")).unwrap();
-        d.insert(emp_tuple(5, "C", 44, 131, "EH4 8LE", "Crichton", "EDI")).unwrap();
+        d.insert(emp_tuple(1, "A", 44, 131, "EH4 8LE", "Mayfield", "NYC"))
+            .unwrap();
+        d.insert(emp_tuple(2, "A", 44, 131, "EH2 4HF", "Preston", "EDI"))
+            .unwrap();
+        d.insert(emp_tuple(3, "B", 44, 131, "EH4 8LE", "Mayfield", "EDI"))
+            .unwrap();
+        d.insert(emp_tuple(4, "B", 44, 131, "EH4 8LE", "Mayfield", "EDI"))
+            .unwrap();
+        d.insert(emp_tuple(5, "C", 44, 131, "EH4 8LE", "Crichton", "EDI"))
+            .unwrap();
         d
     }
 
@@ -481,7 +644,10 @@ mod tests {
         let out = bat_ver(&cfds, &scheme, &d);
         let oracle = centralized(&cfds, &d);
         assert_eq!(out.violations.marks_sorted(), oracle.marks_sorted());
-        assert!(out.stats.total_bytes() > 0, "batch must ship attribute data");
+        assert!(
+            out.stats.total_bytes() > 0,
+            "batch must ship attribute data"
+        );
     }
 
     #[test]
@@ -545,8 +711,7 @@ mod tests {
         let scheme = vscheme(&s);
         let d = d0();
         let cfds = fig1_cfds(&s);
-        let mut det =
-            VerticalDetector::new(s.clone(), cfds.clone(), scheme.clone(), &d).unwrap();
+        let mut det = VerticalDetector::new(s.clone(), cfds.clone(), scheme.clone(), &d).unwrap();
         let mut delta = UpdateBatch::new();
         delta.insert(emp_tuple(6, "C", 44, 131, "EH4 8LE", "Mayfield", "EDI"));
         det.apply(&delta).unwrap();

@@ -1,0 +1,236 @@
+//! Session-style construction of detectors.
+//!
+//! [`DetectorBuilder`] is the single entry point for standing up any
+//! detection strategy over an initial database:
+//!
+//! ```text
+//! DetectorBuilder::new(schema, sigma)
+//!     .vertical(scheme)          // or .horizontal(..) / .hybrid(..)
+//!     .with_plan(plan)           // strategy-specific options
+//!     .build(&d0)?               // concrete detector
+//! ```
+//!
+//! Every second-stage builder also offers `build_dyn`, returning
+//! `Box<dyn Detector>` for heterogeneous collections (harnesses, the
+//! oracle tests). The batch baselines are reachable through
+//! [`DetectorBuilder::baseline`], so a driver can stand up all seven
+//! strategies through one construction path.
+
+use crate::baselines::{BatHor, BatVer, IbatHor, IbatVer};
+use crate::detector::{DetectError, Detector};
+use crate::horizontal::HorizontalDetector;
+use crate::hybrid::{HybridDetector, HybridScheme};
+use crate::optimize::{optimize, OptimizeConfig};
+use crate::plan::HevPlan;
+use crate::vertical::VerticalDetector;
+use cfd::{Cfd, Violations};
+use cluster::partition::{HorizontalScheme, VerticalScheme};
+use relation::{Relation, Schema};
+use std::sync::Arc;
+
+/// First stage: the problem instance `(R, Σ)` shared by every strategy.
+#[derive(Debug, Clone)]
+pub struct DetectorBuilder {
+    schema: Arc<Schema>,
+    cfds: Vec<Cfd>,
+}
+
+impl DetectorBuilder {
+    /// Start a build over `schema` with rule set `cfds`.
+    pub fn new(schema: Arc<Schema>, cfds: Vec<Cfd>) -> Self {
+        DetectorBuilder { schema, cfds }
+    }
+
+    /// Incremental detection over a vertical partition (§4, `incVer`).
+    pub fn vertical(self, scheme: VerticalScheme) -> VerticalDetectorBuilder {
+        VerticalDetectorBuilder {
+            schema: self.schema,
+            cfds: self.cfds,
+            scheme,
+            plan: PlanChoice::DefaultChains,
+        }
+    }
+
+    /// Incremental detection over a horizontal partition (§6, `incHor`).
+    pub fn horizontal(self, scheme: HorizontalScheme) -> HorizontalDetectorBuilder {
+        HorizontalDetectorBuilder {
+            schema: self.schema,
+            cfds: self.cfds,
+            scheme,
+            use_md5: true,
+        }
+    }
+
+    /// Incremental detection over a hybrid topology (§8, `incHyb`):
+    /// horizontal regions, each vertically split.
+    pub fn hybrid(self, topology: HybridScheme) -> HybridDetectorBuilder {
+        HybridDetectorBuilder {
+            schema: self.schema,
+            cfds: self.cfds,
+            scheme: topology,
+        }
+    }
+
+    /// One of the four batch baselines of §7 / Exp-10.
+    pub fn baseline(self, strategy: BaselineStrategy) -> BaselineDetectorBuilder {
+        BaselineDetectorBuilder {
+            schema: self.schema,
+            cfds: self.cfds,
+            strategy,
+            initial: None,
+        }
+    }
+}
+
+/// How the vertical builder obtains its HEV plan.
+#[derive(Debug, Clone)]
+enum PlanChoice {
+    /// The id-ordered default chains of §4.
+    DefaultChains,
+    /// A caller-supplied plan.
+    Explicit(HevPlan),
+    /// Run the `optVer` heuristic (§5) at build time.
+    Optimized(OptimizeConfig),
+}
+
+/// Second stage for [`VerticalDetector`].
+#[derive(Debug, Clone)]
+pub struct VerticalDetectorBuilder {
+    schema: Arc<Schema>,
+    cfds: Vec<Cfd>,
+    scheme: VerticalScheme,
+    plan: PlanChoice,
+}
+
+impl VerticalDetectorBuilder {
+    /// Use an explicit (e.g. hand-placed) HEV plan.
+    pub fn with_plan(mut self, plan: HevPlan) -> Self {
+        self.plan = PlanChoice::Explicit(plan);
+        self
+    }
+
+    /// Run the `optVer` plan optimizer (§5) at build time.
+    pub fn optimized(mut self, config: OptimizeConfig) -> Self {
+        self.plan = PlanChoice::Optimized(config);
+        self
+    }
+
+    /// Build over the initial database `d0`.
+    pub fn build(self, d0: &Relation) -> Result<VerticalDetector, DetectError> {
+        let plan = match self.plan {
+            PlanChoice::DefaultChains => HevPlan::default_chains(&self.cfds, &self.scheme),
+            PlanChoice::Explicit(p) => p,
+            PlanChoice::Optimized(cfg) => optimize(&self.cfds, &self.scheme, cfg),
+        };
+        VerticalDetector::with_plan(self.schema, self.cfds, self.scheme, plan, d0)
+    }
+
+    /// Build boxed, for heterogeneous strategy collections.
+    pub fn build_dyn(self, d0: &Relation) -> Result<Box<dyn Detector>, DetectError> {
+        Ok(Box::new(self.build(d0)?))
+    }
+}
+
+/// Second stage for [`HorizontalDetector`].
+#[derive(Debug, Clone)]
+pub struct HorizontalDetectorBuilder {
+    schema: Arc<Schema>,
+    cfds: Vec<Cfd>,
+    scheme: HorizontalScheme,
+    use_md5: bool,
+}
+
+impl HorizontalDetectorBuilder {
+    /// Toggle the §6 MD5 digest-shipping optimization (default: on).
+    pub fn md5(mut self, enable: bool) -> Self {
+        self.use_md5 = enable;
+        self
+    }
+
+    /// Ship raw values instead of digests (the unoptimized §6 variant).
+    pub fn raw_values(self) -> Self {
+        self.md5(false)
+    }
+
+    /// Build over the initial database `d0`.
+    pub fn build(self, d0: &Relation) -> Result<HorizontalDetector, DetectError> {
+        HorizontalDetector::with_options(self.schema, self.cfds, self.scheme, d0, self.use_md5)
+    }
+
+    /// Build boxed, for heterogeneous strategy collections.
+    pub fn build_dyn(self, d0: &Relation) -> Result<Box<dyn Detector>, DetectError> {
+        Ok(Box::new(self.build(d0)?))
+    }
+}
+
+/// Second stage for [`HybridDetector`].
+#[derive(Debug, Clone)]
+pub struct HybridDetectorBuilder {
+    schema: Arc<Schema>,
+    cfds: Vec<Cfd>,
+    scheme: HybridScheme,
+}
+
+impl HybridDetectorBuilder {
+    /// Build over the initial database `d0`.
+    pub fn build(self, d0: &Relation) -> Result<HybridDetector, DetectError> {
+        HybridDetector::new(self.schema, self.cfds, self.scheme, d0)
+    }
+
+    /// Build boxed, for heterogeneous strategy collections.
+    pub fn build_dyn(self, d0: &Relation) -> Result<Box<dyn Detector>, DetectError> {
+        Ok(Box::new(self.build(d0)?))
+    }
+}
+
+/// Which batch baseline to stand up, with its partition scheme.
+#[derive(Debug, Clone)]
+pub enum BaselineStrategy {
+    /// `batVer`: batch recomputation over vertical fragments.
+    BatVer(VerticalScheme),
+    /// `batHor`: batch recomputation over horizontal fragments.
+    BatHor(HorizontalScheme),
+    /// `ibatVer`: batch recomputation through the incremental machinery.
+    IbatVer(VerticalScheme),
+    /// `ibatHor`: horizontal counterpart of `ibatVer`.
+    IbatHor(HorizontalScheme),
+}
+
+/// Second stage for the batch baselines.
+#[derive(Debug, Clone)]
+pub struct BaselineDetectorBuilder {
+    schema: Arc<Schema>,
+    cfds: Vec<Cfd>,
+    strategy: BaselineStrategy,
+    initial: Option<Violations>,
+}
+
+impl BaselineDetectorBuilder {
+    /// Supply a pre-computed `V(Σ, D₀)` (the paper takes it as given),
+    /// skipping the centralized pass `build_dyn` would otherwise run —
+    /// use when another detector over the same `D₀` already holds it.
+    pub fn initial_violations(mut self, v: Violations) -> Self {
+        self.initial = Some(v);
+        self
+    }
+
+    /// Build over the initial database `d0`. Boxed, since the concrete
+    /// type depends on the chosen strategy.
+    pub fn build_dyn(self, d0: &Relation) -> Result<Box<dyn Detector>, DetectError> {
+        macro_rules! construct {
+            ($ty:ident, $scheme:expr) => {
+                match self.initial {
+                    Some(v) => Box::new($ty::with_initial(self.schema, self.cfds, $scheme, d0, v)?)
+                        as Box<dyn Detector>,
+                    None => Box::new($ty::new(self.schema, self.cfds, $scheme, d0)?),
+                }
+            };
+        }
+        Ok(match self.strategy {
+            BaselineStrategy::BatVer(s) => construct!(BatVer, s),
+            BaselineStrategy::BatHor(s) => construct!(BatHor, s),
+            BaselineStrategy::IbatVer(s) => construct!(IbatVer, s),
+            BaselineStrategy::IbatHor(s) => construct!(IbatHor, s),
+        })
+    }
+}

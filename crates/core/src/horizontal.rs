@@ -32,6 +32,7 @@
 //! pairs are co-located) and is skipped entirely at sites where
 //! `F_i ∧ F_φ` is unsatisfiable.
 
+use crate::detector::{DetectError, Detector};
 use crate::md5::{md5, Digest};
 use cfd::{Cfd, CfdId, DeltaV, Violations};
 use cluster::partition::HorizontalScheme;
@@ -262,7 +263,7 @@ impl HorizontalDetector {
         cfds: Vec<Cfd>,
         scheme: HorizontalScheme,
         d: &Relation,
-    ) -> Result<Self, HorizontalError> {
+    ) -> Result<Self, DetectError> {
         Self::with_options(schema, cfds, scheme, d, true)
     }
 
@@ -274,7 +275,7 @@ impl HorizontalDetector {
         scheme: HorizontalScheme,
         d: &Relation,
         use_md5: bool,
-    ) -> Result<Self, HorizontalError> {
+    ) -> Result<Self, DetectError> {
         let n = scheme.n_sites();
         let mut local_ok = Vec::with_capacity(cfds.len());
         let mut relevant = Vec::with_capacity(cfds.len());
@@ -282,13 +283,7 @@ impl HorizontalDetector {
             let lhs: FxHashSet<_> = cfd.lhs.iter().copied().collect();
             local_ok.push(
                 (0..n)
-                    .map(|i| {
-                        scheme
-                            .predicate(i)
-                            .attrs()
-                            .iter()
-                            .all(|a| lhs.contains(a))
-                    })
+                    .map(|i| scheme.predicate(i).attrs().iter().all(|a| lhs.contains(a)))
                     .collect::<Vec<bool>>(),
             );
             let atoms = cfd.constant_atoms();
@@ -383,7 +378,7 @@ impl HorizontalDetector {
     }
 
     /// Apply a batch update `ΔD`, returning `ΔV` — algorithm `incHor`.
-    pub fn apply(&mut self, delta: &UpdateBatch) -> Result<DeltaV, HorizontalError> {
+    pub fn apply(&mut self, delta: &UpdateBatch) -> Result<DeltaV, DetectError> {
         let delta = delta.normalize(&self.current);
         let mut dv = DeltaV::default();
         for op in delta.ops() {
@@ -393,6 +388,7 @@ impl HorizontalDetector {
             }
         }
         debug_assert!(self.net.quiescent(), "protocol rounds must complete");
+        dv.settle();
         Ok(dv)
     }
 
@@ -584,49 +580,47 @@ impl HorizontalDetector {
                     let lhs_groups = Arc::clone(&self.lhs_groups);
                     let mut reply: Vec<CfdId> = Vec::new();
                     for (lhs, ids) in lhs_groups.iter() {
-                      if !lhs.iter().all(|a| digests.contains_key(a)) {
-                          continue;
-                      }
-                      let lhs_digests: Vec<Digest> =
-                          lhs.iter().map(|a| digests[a]).collect();
-                      let kd = key_digest(&lhs_digests);
-                      for &cid in ids {
-                        let c = cid as usize;
-                        if probe_set.contains(&cid) {
+                        if !lhs.iter().all(|a| digests.contains_key(a)) {
                             continue;
                         }
-                        let cfd = &cfds[c];
-                        if !digests.contains_key(&cfd.rhs) {
-                            continue;
-                        }
-                        // Pattern check through precomputed atom digests.
-                        let matches = self.atom_digests[c]
-                            .iter()
-                            .all(|(a, d)| digests[a] == *d);
-                        if !matches {
-                            continue;
-                        }
-                        let bd = digests[&cfd.rhs];
-                        let hit = match self.state[j][c].get_mut(&kd) {
-                            None => false,
-                            Some(h) => {
-                                let other = h.classes.keys().any(|&k| k != bd);
-                                if other && !h.violating {
-                                    h.violating = true;
-                                    let members: Vec<Tid> = h.members().collect();
-                                    for m in members {
-                                        if self.violations.add(cid, m) {
-                                            dv.add(cid, m);
+                        let lhs_digests: Vec<Digest> = lhs.iter().map(|a| digests[a]).collect();
+                        let kd = key_digest(&lhs_digests);
+                        for &cid in ids {
+                            let c = cid as usize;
+                            if probe_set.contains(&cid) {
+                                continue;
+                            }
+                            let cfd = &cfds[c];
+                            if !digests.contains_key(&cfd.rhs) {
+                                continue;
+                            }
+                            // Pattern check through precomputed atom digests.
+                            let matches =
+                                self.atom_digests[c].iter().all(|(a, d)| digests[a] == *d);
+                            if !matches {
+                                continue;
+                            }
+                            let bd = digests[&cfd.rhs];
+                            let hit = match self.state[j][c].get_mut(&kd) {
+                                None => false,
+                                Some(h) => {
+                                    let other = h.classes.keys().any(|&k| k != bd);
+                                    if other && !h.violating {
+                                        h.violating = true;
+                                        let members: Vec<Tid> = h.members().collect();
+                                        for m in members {
+                                            if self.violations.add(cid, m) {
+                                                dv.add(cid, m);
+                                            }
                                         }
                                     }
+                                    other || h.violating
                                 }
-                                other || h.violating
+                            };
+                            if hit {
+                                reply.push(cid);
                             }
-                        };
-                        if hit {
-                            reply.push(cid);
                         }
-                      }
                     }
                     if !reply.is_empty() {
                         self.net
@@ -693,7 +687,10 @@ impl HorizontalDetector {
             let g = self.state[site][c]
                 .get_mut(&kd)
                 .expect("deleted tuple's group must exist");
-            let cls = g.classes.get_mut(&bd).expect("deleted tuple's class must exist");
+            let cls = g
+                .classes
+                .get_mut(&bd)
+                .expect("deleted tuple's class must exist");
             let was_violating = g.violating;
             cls.tids.remove(&tid);
             let class_empty = cls.tids.is_empty();
@@ -850,10 +847,20 @@ impl HorizontalDetector {
                 attr_set.extend(self.cfds[c as usize].lhs.iter().copied());
             }
             let attrs = self.wire_attrs(t, &attr_set);
-            self.net
-                .send(site, j, HorMsg::ClearFlags { attrs, cfds: clear_list })?;
+            self.net.send(
+                site,
+                j,
+                HorMsg::ClearFlags {
+                    attrs,
+                    cfds: clear_list,
+                },
+            )?;
             for (_, msg) in self.net.drain(j) {
-                if let HorMsg::ClearFlags { attrs, cfds: to_clear } = msg {
+                if let HorMsg::ClearFlags {
+                    attrs,
+                    cfds: to_clear,
+                } = msg
+                {
                     let digests: FxHashMap<AttrId, Digest> =
                         attrs.iter().map(|(a, w)| (*a, w.digest())).collect();
                     for c in to_clear {
@@ -882,6 +889,40 @@ impl HorizontalDetector {
                 self.state[site][cfd as usize].remove(&kd);
             }
         }
+    }
+}
+
+impl Detector for HorizontalDetector {
+    fn strategy(&self) -> &'static str {
+        "incHor"
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        HorizontalDetector::schema(self)
+    }
+
+    fn cfds(&self) -> &[Cfd] {
+        HorizontalDetector::cfds(self)
+    }
+
+    fn current(&self) -> &Relation {
+        HorizontalDetector::current(self)
+    }
+
+    fn violations(&self) -> &Violations {
+        HorizontalDetector::violations(self)
+    }
+
+    fn apply(&mut self, delta: &UpdateBatch) -> Result<DeltaV, DetectError> {
+        HorizontalDetector::apply(self, delta)
+    }
+
+    fn net(&self) -> cluster::NetReport {
+        cluster::NetReport::single(self.net.stats().clone())
+    }
+
+    fn reset_stats(&mut self) {
+        HorizontalDetector::reset_stats(self)
     }
 }
 
@@ -924,11 +965,16 @@ mod tests {
 
     fn d0() -> Relation {
         let mut d = Relation::new(emp_schema());
-        d.insert(emp_tuple(1, "A", 44, 131, "EH4 8LE", "Mayfield", "NYC")).unwrap();
-        d.insert(emp_tuple(2, "A", 44, 131, "EH2 4HF", "Preston", "EDI")).unwrap();
-        d.insert(emp_tuple(3, "B", 44, 131, "EH4 8LE", "Mayfield", "EDI")).unwrap();
-        d.insert(emp_tuple(4, "B", 44, 131, "EH4 8LE", "Mayfield", "EDI")).unwrap();
-        d.insert(emp_tuple(5, "C", 44, 131, "EH4 8LE", "Crichton", "EDI")).unwrap();
+        d.insert(emp_tuple(1, "A", 44, 131, "EH4 8LE", "Mayfield", "NYC"))
+            .unwrap();
+        d.insert(emp_tuple(2, "A", 44, 131, "EH2 4HF", "Preston", "EDI"))
+            .unwrap();
+        d.insert(emp_tuple(3, "B", 44, 131, "EH4 8LE", "Mayfield", "EDI"))
+            .unwrap();
+        d.insert(emp_tuple(4, "B", 44, 131, "EH4 8LE", "Mayfield", "EDI"))
+            .unwrap();
+        d.insert(emp_tuple(5, "C", 44, 131, "EH4 8LE", "Crichton", "EDI"))
+            .unwrap();
         d
     }
 
@@ -1048,7 +1094,10 @@ mod tests {
         // probe per peer (plus at most one reply each).
         let s = emp_schema();
         let mut cfds = Vec::new();
-        for (i, rhs) in ["street", "city", "AC", "street", "city"].iter().enumerate() {
+        for (i, rhs) in ["street", "city", "AC", "street", "city"]
+            .iter()
+            .enumerate()
+        {
             cfds.push(
                 Cfd::from_names(
                     i as u32,
@@ -1060,12 +1109,9 @@ mod tests {
             );
         }
         for (i, rhs) in ["grade", "AC"].iter().enumerate() {
-            cfds.push(
-                Cfd::from_names((5 + i) as u32, &s, &[("zip", None)], (rhs, None)).unwrap(),
-            );
+            cfds.push(Cfd::from_names((5 + i) as u32, &s, &[("zip", None)], (rhs, None)).unwrap());
         }
-        let mut det =
-            HorizontalDetector::new(s.clone(), cfds, fig2_scheme(&s), &d0()).unwrap();
+        let mut det = HorizontalDetector::new(s.clone(), cfds, fig2_scheme(&s), &d0()).unwrap();
         det.reset_stats();
         let mut d = UpdateBatch::new();
         // Brand-new zip → every variable CFD queries.

@@ -23,14 +23,13 @@
 //! Costs therefore stay `O(|ΔD| + |ΔV|)`: O(1) intra-region messages per
 //! update per CFD plus the `O(n)` worst-case inter-region rounds of §6.
 
-use crate::horizontal::{HorizontalDetector, HorizontalError};
+use crate::detector::{DetectError, Detector};
+use crate::horizontal::HorizontalDetector;
 use crate::md5::Digest;
 use cfd::{Cfd, DeltaV, Violations};
 use cluster::partition::{HorizontalScheme, VerticalScheme};
 use cluster::{ClusterError, NetStats, Network, SiteId, Wire};
-use relation::{
-    AttrId, FxHashSet, RelError, Relation, Schema, Tuple, Update, UpdateBatch,
-};
+use relation::{AttrId, FxHashSet, RelError, Relation, Schema, Tuple, Update, UpdateBatch};
 use std::sync::Arc;
 
 /// A hybrid partition scheme: horizontal regions, each vertically split.
@@ -146,14 +145,11 @@ impl HybridDetector {
         cfds: Vec<Cfd>,
         scheme: HybridScheme,
         d: &Relation,
-    ) -> Result<Self, HorizontalError> {
+    ) -> Result<Self, DetectError> {
         let inner =
             HorizontalDetector::new(schema.clone(), cfds.clone(), scheme.regions.clone(), d)?;
         let mut fragments: Vec<Vec<Relation>> = Vec::with_capacity(scheme.n_regions());
-        let region_frags = scheme
-            .regions
-            .partition(d)
-            .map_err(HorizontalError::Cluster)?;
+        let region_frags = scheme.regions.partition(d).map_err(DetectError::Cluster)?;
         for (r, frag) in region_frags.iter().enumerate() {
             fragments.push(scheme.verticals[r].partition(frag));
         }
@@ -165,7 +161,10 @@ impl HybridDetector {
             .iter()
             .map(|c| {
                 c.is_constant().then(|| {
-                    c.constant_atoms().into_iter().map(|(a, _)| a).collect::<Vec<_>>()
+                    c.constant_atoms()
+                        .into_iter()
+                        .map(|(a, _)| a)
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();
@@ -182,6 +181,17 @@ impl HybridDetector {
     /// Current violation set.
     pub fn violations(&self) -> &Violations {
         self.inner.violations()
+    }
+
+    /// The global schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        self.inner.schema()
+    }
+
+    /// Reset both traffic meters.
+    pub fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+        self.intra.reset_stats();
     }
 
     /// Inter-region traffic (the §6 protocol).
@@ -216,23 +226,19 @@ impl HybridDetector {
 
     /// Apply a batch update, metering intra-region assembly and running
     /// the inter-region §6 protocol.
-    pub fn apply(&mut self, delta: &UpdateBatch) -> Result<DeltaV, HorizontalError> {
+    pub fn apply(&mut self, delta: &UpdateBatch) -> Result<DeltaV, DetectError> {
         let delta = delta.normalize(self.inner.current());
         // Meter assembly and maintain sub-fragments per op.
         for op in delta.ops() {
             match op {
                 Update::Insert(t) => {
-                    let region = self
-                        .scheme
-                        .regions
-                        .route(t)
-                        .map_err(HorizontalError::Cluster)?;
+                    let region = self.scheme.regions.route(t).map_err(DetectError::Cluster)?;
                     self.meter_assembly(region, t)?;
                     let vs = &self.scheme.verticals[region];
                     for sub in 0..vs.n_sites() {
                         self.fragments[region][sub]
                             .insert(t.project(vs.attrs_of(sub)))
-                            .map_err(HorizontalError::Rel)?;
+                            .map_err(DetectError::Rel)?;
                     }
                 }
                 Update::Delete(tid) => {
@@ -240,16 +246,16 @@ impl HybridDetector {
                         .inner
                         .current()
                         .get(*tid)
-                        .ok_or(HorizontalError::Rel(RelError::MissingTid(*tid)))?
+                        .ok_or(DetectError::Rel(RelError::MissingTid(*tid)))?
                         .clone();
                     let region = self
                         .scheme
                         .regions
                         .route(&t)
-                        .map_err(HorizontalError::Cluster)?;
+                        .map_err(DetectError::Cluster)?;
                     self.meter_assembly(region, &t)?;
                     for frag in &mut self.fragments[region] {
-                        frag.delete(*tid).map_err(HorizontalError::Rel)?;
+                        frag.delete(*tid).map_err(DetectError::Rel)?;
                     }
                 }
             }
@@ -261,7 +267,7 @@ impl HybridDetector {
     /// relevant attributes (other than the gateway) ships one message —
     /// per-attribute digests for the variable CFDs the tuple matches, a
     /// candidate tid per matched constant CFD.
-    fn meter_assembly(&mut self, region: usize, t: &Tuple) -> Result<(), HorizontalError> {
+    fn meter_assembly(&mut self, region: usize, t: &Tuple) -> Result<(), DetectError> {
         let vs = &self.scheme.verticals[region];
         let gateway = self.scheme.gateway(region);
         // Digest attributes needed by matching variable CFDs.
@@ -281,14 +287,12 @@ impl HybridDetector {
             }
             let held: u32 = needed
                 .iter()
-                .filter(|&&a| {
-                    vs.local_pos(sub, a).is_some() && vs.primary_site(a) == sub
-                })
+                .filter(|&&a| vs.local_pos(sub, a).is_some() && vs.primary_site(a) == sub)
                 .count() as u32;
             if held > 0 {
                 self.intra
                     .ship(gsite, gateway, &AsmMsg::Digests(held))
-                    .map_err(HorizontalError::Cluster)?;
+                    .map_err(DetectError::Cluster)?;
             }
         }
         // Constant CFDs: candidate tids from atom-owning sub-sites.
@@ -304,12 +308,46 @@ impl HybridDetector {
                     if gsite != gateway {
                         self.intra
                             .ship(gsite, gateway, &AsmMsg::Cand)
-                            .map_err(HorizontalError::Cluster)?;
+                            .map_err(DetectError::Cluster)?;
                     }
                 }
             }
         }
         Ok(())
+    }
+}
+
+impl Detector for HybridDetector {
+    fn strategy(&self) -> &'static str {
+        "incHyb"
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        HybridDetector::schema(self)
+    }
+
+    fn cfds(&self) -> &[Cfd] {
+        HybridDetector::cfds(self)
+    }
+
+    fn current(&self) -> &Relation {
+        HybridDetector::current(self)
+    }
+
+    fn violations(&self) -> &Violations {
+        HybridDetector::violations(self)
+    }
+
+    fn apply(&mut self, delta: &UpdateBatch) -> Result<DeltaV, DetectError> {
+        HybridDetector::apply(self, delta)
+    }
+
+    fn net(&self) -> cluster::NetReport {
+        cluster::NetReport::two_tier(self.inner.stats().clone(), self.intra.stats().clone())
+    }
+
+    fn reset_stats(&mut self) {
+        HybridDetector::reset_stats(self)
     }
 }
 
@@ -339,8 +377,14 @@ mod tests {
         let s = schema();
         let mut r = Relation::new(s);
         for i in 0..n as u64 {
-            r.insert(tup(i, (i % 5) as i64, (i % 3) as i64, (i % 7) as i64, (i % 2) as i64))
-                .unwrap();
+            r.insert(tup(
+                i,
+                (i % 5) as i64,
+                (i % 3) as i64,
+                (i % 7) as i64,
+                (i % 2) as i64,
+            ))
+            .unwrap();
         }
         r
     }
@@ -348,8 +392,13 @@ mod tests {
     fn cfds(s: &Schema) -> Vec<Cfd> {
         vec![
             Cfd::from_names(0, s, &[("a", None), ("b", None)], ("c", None)).unwrap(),
-            Cfd::from_names(1, s, &[("a", Some(Value::int(1)))], ("d", Some(Value::int(1))))
-                .unwrap(),
+            Cfd::from_names(
+                1,
+                s,
+                &[("a", Some(Value::int(1)))],
+                ("d", Some(Value::int(1))),
+            )
+            .unwrap(),
         ]
     }
 
@@ -420,8 +469,11 @@ mod tests {
                 assert_eq!(det.fragment(r, sub).len(), det.fragment(r, 0).len());
             }
         }
-        assert!(det.fragment(0, 0).get(200).is_some() || det.fragment(1, 0).get(200).is_some()
-            || det.fragment(2, 0).get(200).is_some());
+        assert!(
+            det.fragment(0, 0).get(200).is_some()
+                || det.fragment(1, 0).get(200).is_some()
+                || det.fragment(2, 0).get(200).is_some()
+        );
     }
 
     #[test]

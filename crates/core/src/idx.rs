@@ -52,9 +52,7 @@ impl Idx {
         if g.len() != 2 {
             return None;
         }
-        g.iter()
-            .find(|(&k, _)| k != eq_xb)
-            .map(|(&k, v)| (k, v))
+        g.iter().find(|(&k, _)| k != eq_xb).map(|(&k, v)| (k, v))
     }
 
     /// Add `tid` to the class `(eq_x, eq_xb)`.

@@ -18,8 +18,14 @@
 //! * [`plan`] — HEV plans and the static eqid-shipment count (Fig. 10),
 //! * [`hev`], [`idx`] — the index structures themselves,
 //! * [`md5`] — RFC 1321, used to ship 128-bit digests instead of tuples.
+//!
+//! All strategies implement the object-safe [`Detector`] trait and are
+//! constructed through [`DetectorBuilder`]; errors cross the public
+//! boundary as [`DetectError`].
 
 pub mod baselines;
+pub mod builder;
+pub mod detector;
 pub mod hev;
 pub mod horizontal;
 pub mod hybrid;
@@ -29,7 +35,9 @@ pub mod optimize;
 pub mod plan;
 pub mod vertical;
 
+pub use builder::{BaselineStrategy, DetectorBuilder};
+pub use detector::{DetectError, Detector};
 pub use horizontal::HorizontalDetector;
-pub use hybrid::HybridDetector;
+pub use hybrid::{HybridDetector, HybridScheme};
 pub use plan::HevPlan;
 pub use vertical::VerticalDetector;

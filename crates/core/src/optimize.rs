@@ -97,8 +97,7 @@ pub fn optimize(cfds: &[Cfd], scheme: &VerticalScheme, config: OptimizeConfig) -
     for (i, a) in variable.iter().enumerate() {
         for b in variable.iter().skip(i + 1) {
             let xa: FxHashSet<AttrId> = a.lhs.iter().copied().collect();
-            let mut inter: Vec<AttrId> =
-                b.lhs.iter().copied().filter(|x| xa.contains(x)).collect();
+            let mut inter: Vec<AttrId> = b.lhs.iter().copied().filter(|x| xa.contains(x)).collect();
             inter.sort_unstable();
             inter.dedup();
             push(inter, false, &mut cand_sets);
@@ -250,12 +249,7 @@ fn find_loc(attrs: &[AttrId], scheme: &VerticalScheme, placed: &[Cand]) -> SiteI
 
 /// Materialize a plan for a subset of candidates: greedy input cover per
 /// node, consumer-aware base placement, `X∪{B}` nodes at IDX sites.
-fn build_plan(
-    cfds: &[Cfd],
-    scheme: &VerticalScheme,
-    cands: &[Cand],
-    subset: &[usize],
-) -> HevPlan {
+fn build_plan(cfds: &[Cfd], scheme: &VerticalScheme, cands: &[Cand], subset: &[usize]) -> HevPlan {
     // Order by attr-set size so inputs (strict subsets) come first.
     let mut order: Vec<usize> = subset.to_vec();
     order.sort_by_key(|&i| (cands[i].attrs.len(), cands[i].attrs.clone()));
@@ -503,14 +497,9 @@ mod tests {
                 .collect();
             d.insert(relation::Tuple::new(i, vals)).unwrap();
         }
-        let det_opt = crate::VerticalDetector::with_plan(
-            s.clone(),
-            cfds.clone(),
-            scheme.clone(),
-            opt,
-            &d,
-        )
-        .unwrap();
+        let det_opt =
+            crate::VerticalDetector::with_plan(s.clone(), cfds.clone(), scheme.clone(), opt, &d)
+                .unwrap();
         let det_def = crate::VerticalDetector::new(s, cfds.clone(), scheme, &d).unwrap();
         assert_eq!(
             det_opt.violations().marks_sorted(),
@@ -538,8 +527,7 @@ mod tests {
     #[test]
     fn single_attr_lhs_handled() {
         let s = Schema::new("R", &["id", "a", "b"], "id").unwrap();
-        let scheme =
-            VerticalScheme::new(s.clone(), vec![vec![1], vec![2]]).unwrap();
+        let scheme = VerticalScheme::new(s.clone(), vec![vec![1], vec![2]]).unwrap();
         let cfd = Cfd::from_names(0, &s, &[("a", None)], ("b", None)).unwrap();
         let plan = optimize(&[cfd], &scheme, OptimizeConfig::default());
         plan.validate(&scheme).unwrap();

@@ -85,7 +85,10 @@ impl std::fmt::Display for PlanError {
             PlanError::BadCover(n) => write!(f, "node {n}: inputs do not cover attrs"),
             PlanError::NotTopological(n) => write!(f, "node {n}: forward input reference"),
             PlanError::BadBaseSite(a, s) => {
-                write!(f, "base HEV for attr #{a} at site {s} which does not hold it")
+                write!(
+                    f,
+                    "base HEV for attr #{a} at site {s} which does not hold it"
+                )
             }
             PlanError::BadTarget(c) => write!(f, "CFD {c}: malformed target"),
         }

@@ -22,6 +22,7 @@
 //! at most a constant number per update) and the computational cost (O(1)
 //! hash probes per update per CFD) are `O(|ΔD| + |ΔV|)` — Proposition 6.
 
+use crate::detector::{DetectError, Detector};
 use crate::hev::{BaseHev, EqId, NonBaseHev};
 use crate::idx::Idx;
 use crate::plan::{HevPlan, Input, NodeId};
@@ -120,7 +121,7 @@ impl VerticalDetector {
         cfds: Vec<Cfd>,
         scheme: VerticalScheme,
         d: &Relation,
-    ) -> Result<Self, VerticalError> {
+    ) -> Result<Self, DetectError> {
         let plan = HevPlan::default_chains(&cfds, &scheme);
         Self::with_plan(schema, cfds, scheme, plan, d)
     }
@@ -132,7 +133,7 @@ impl VerticalDetector {
         scheme: VerticalScheme,
         plan: HevPlan,
         d: &Relation,
-    ) -> Result<Self, VerticalError> {
+    ) -> Result<Self, DetectError> {
         let n = scheme.n_sites();
         let mut det = VerticalDetector {
             bases: FxHashMap::default(),
@@ -205,7 +206,7 @@ impl VerticalDetector {
     }
 
     /// Apply a batch update `ΔD`, returning `ΔV` — algorithm `incVer`.
-    pub fn apply(&mut self, delta: &UpdateBatch) -> Result<DeltaV, VerticalError> {
+    pub fn apply(&mut self, delta: &UpdateBatch) -> Result<DeltaV, DetectError> {
         // Line 1: remove updates cancelling each other.
         let delta = delta.normalize(&self.current);
         let mut dv = DeltaV::default();
@@ -221,6 +222,7 @@ impl VerticalDetector {
                 Update::Delete(tid) => self.delete_variable(*tid, &mut dv)?,
             }
         }
+        dv.settle();
         Ok(dv)
     }
 
@@ -273,7 +275,8 @@ impl VerticalDetector {
                 // batch order interleaves insertions arbitrarily.
                 cands.sort_unstable();
                 if site != coord {
-                    self.net.ship(site, coord, &VerMsg::ConstCands(cands.clone()))?;
+                    self.net
+                        .ship(site, coord, &VerMsg::ConstCands(cands.clone()))?;
                 }
                 cand_lists.push(cands);
             }
@@ -284,10 +287,12 @@ impl VerticalDetector {
             };
             let mut surviving: FxHashSet<Tid> = survivors.into_iter().collect();
             for t in delta.insertions() {
-                if surviving.remove(&t.tid) && !cfd.rhs_pattern.matches(t.get(cfd.rhs))
-                    && self.violations.add(cfd.id, t.tid) {
-                        dv.add(cfd.id, t.tid);
-                    }
+                if surviving.remove(&t.tid)
+                    && !cfd.rhs_pattern.matches(t.get(cfd.rhs))
+                    && self.violations.add(cfd.id, t.tid)
+                {
+                    dv.add(cfd.id, t.tid);
+                }
             }
         }
         Ok(())
@@ -381,7 +386,13 @@ impl VerticalDetector {
 
     /// Release HEV references after a deletion, in reverse topological
     /// order so parents release before their inputs disappear.
-    fn release(&mut self, t: &Tuple, nodes: &[NodeId], bases: &[AttrId], eqids: &FxHashMap<Input, EqId>) {
+    fn release(
+        &mut self,
+        t: &Tuple,
+        nodes: &[NodeId],
+        bases: &[AttrId],
+        eqids: &FxHashMap<Input, EqId>,
+    ) {
         for &n in nodes.iter().rev() {
             let key: Vec<EqId> = self.plan.nodes()[n]
                 .inputs
@@ -391,7 +402,10 @@ impl VerticalDetector {
             self.node_stores[n].release(&key);
         }
         for &a in bases {
-            self.bases.get_mut(&a).expect("acquired earlier").release(t.get(a));
+            self.bases
+                .get_mut(&a)
+                .expect("acquired earlier")
+                .release(t.get(a));
         }
     }
 
@@ -496,6 +510,40 @@ impl VerticalDetector {
     }
 }
 
+impl Detector for VerticalDetector {
+    fn strategy(&self) -> &'static str {
+        "incVer"
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        VerticalDetector::schema(self)
+    }
+
+    fn cfds(&self) -> &[Cfd] {
+        VerticalDetector::cfds(self)
+    }
+
+    fn current(&self) -> &Relation {
+        VerticalDetector::current(self)
+    }
+
+    fn violations(&self) -> &Violations {
+        VerticalDetector::violations(self)
+    }
+
+    fn apply(&mut self, delta: &UpdateBatch) -> Result<DeltaV, DetectError> {
+        VerticalDetector::apply(self, delta)
+    }
+
+    fn net(&self) -> cluster::NetReport {
+        cluster::NetReport::single(self.net.stats().clone())
+    }
+
+    fn reset_stats(&mut self) {
+        VerticalDetector::reset_stats(self)
+    }
+}
+
 /// Sort-merge intersection of ascending tid lists (`incVer` line 7).
 fn intersect_sorted(lists: &[Vec<Tid>]) -> Vec<Tid> {
     debug_assert!(!lists.is_empty());
@@ -534,7 +582,15 @@ mod tests {
         .unwrap()
     }
 
-    fn emp_tuple(tid: Tid, grade: &str, cc: i64, ac: i64, zip: &str, street: &str, city: &str) -> Tuple {
+    fn emp_tuple(
+        tid: Tid,
+        grade: &str,
+        cc: i64,
+        ac: i64,
+        zip: &str,
+        street: &str,
+        city: &str,
+    ) -> Tuple {
         Tuple::new(
             tid,
             vec![
@@ -552,18 +608,28 @@ mod tests {
     /// D0 of Fig. 2 (t1–t5).
     fn d0() -> Relation {
         let mut d = Relation::new(emp_schema());
-        d.insert(emp_tuple(1, "A", 44, 131, "EH4 8LE", "Mayfield", "NYC")).unwrap();
-        d.insert(emp_tuple(2, "A", 44, 131, "EH2 4HF", "Preston", "EDI")).unwrap();
-        d.insert(emp_tuple(3, "B", 44, 131, "EH4 8LE", "Mayfield", "EDI")).unwrap();
-        d.insert(emp_tuple(4, "B", 44, 131, "EH4 8LE", "Mayfield", "EDI")).unwrap();
-        d.insert(emp_tuple(5, "C", 44, 131, "EH4 8LE", "Crichton", "EDI")).unwrap();
+        d.insert(emp_tuple(1, "A", 44, 131, "EH4 8LE", "Mayfield", "NYC"))
+            .unwrap();
+        d.insert(emp_tuple(2, "A", 44, 131, "EH2 4HF", "Preston", "EDI"))
+            .unwrap();
+        d.insert(emp_tuple(3, "B", 44, 131, "EH4 8LE", "Mayfield", "EDI"))
+            .unwrap();
+        d.insert(emp_tuple(4, "B", 44, 131, "EH4 8LE", "Mayfield", "EDI"))
+            .unwrap();
+        d.insert(emp_tuple(5, "C", 44, 131, "EH4 8LE", "Crichton", "EDI"))
+            .unwrap();
         d
     }
 
     fn fig1_cfds(s: &Schema) -> Vec<Cfd> {
         vec![
-            Cfd::from_names(0, s, &[("CC", Some(Value::int(44))), ("zip", None)], ("street", None))
-                .unwrap(),
+            Cfd::from_names(
+                0,
+                s,
+                &[("CC", Some(Value::int(44))), ("zip", None)],
+                ("street", None),
+            )
+            .unwrap(),
             Cfd::from_names(
                 1,
                 s,
@@ -684,7 +750,11 @@ mod tests {
         delta.insert(emp_tuple(8, "A", 1, 212, "10001", "5th Ave", "NYC"));
         let dv = det.apply(&delta).unwrap();
         assert!(dv.is_empty());
-        assert_eq!(det.stats().total_bytes(), 0, "pattern filter avoids all shipment");
+        assert_eq!(
+            det.stats().total_bytes(),
+            0,
+            "pattern filter avoids all shipment"
+        );
     }
 
     #[test]

@@ -112,9 +112,7 @@ fn parse_field(input: &str) -> Result<(Field, &str), CsvError> {
         }
         Err(CsvError::Parse("unterminated quoted field".into()))
     } else {
-        let end = input
-            .find([',', '\n', '\r'])
-            .unwrap_or(input.len());
+        let end = input.find([',', '\n', '\r']).unwrap_or(input.len());
         Ok((
             Field {
                 text: input[..end].to_string(),

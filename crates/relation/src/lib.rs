@@ -50,7 +50,10 @@ impl std::fmt::Display for RelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RelError::ArityMismatch { expected, got } => {
-                write!(f, "tuple arity {got} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {got} does not match schema arity {expected}"
+                )
             }
             RelError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
             RelError::DuplicateTid(t) => write!(f, "duplicate tuple id {t}"),

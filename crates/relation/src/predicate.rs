@@ -62,9 +62,11 @@ impl Predicate {
                 Value::Int(i) => lo <= i && i < hi,
                 _ => false,
             },
-            Predicate::HashMod { attr, buckets, which } => {
-                (stable_hash(t.get(*attr)) % *buckets as u64) as u32 == *which
-            }
+            Predicate::HashMod {
+                attr,
+                buckets,
+                which,
+            } => (stable_hash(t.get(*attr)) % *buckets as u64) as u32 == *which,
             Predicate::And(ps) => ps.iter().all(|p| p.eval(t)),
         }
     }
@@ -97,9 +99,7 @@ impl Predicate {
         match self {
             Predicate::True => false,
             Predicate::Eq(a, v) => atoms.iter().any(|(b, w)| b == a && w != v),
-            Predicate::In(a, vs) => atoms
-                .iter()
-                .any(|(b, w)| b == a && !vs.contains(w)),
+            Predicate::In(a, vs) => atoms.iter().any(|(b, w)| b == a && !vs.contains(w)),
             Predicate::IntRange(a, lo, hi) => atoms.iter().any(|(b, w)| {
                 b == a
                     && match w {
@@ -107,9 +107,13 @@ impl Predicate {
                         _ => true, // non-integer constant can never be in range
                     }
             }),
-            Predicate::HashMod { attr, buckets, which } => atoms.iter().any(|(b, w)| {
-                b == attr && (stable_hash(w) % *buckets as u64) as u32 != *which
-            }),
+            Predicate::HashMod {
+                attr,
+                buckets,
+                which,
+            } => atoms
+                .iter()
+                .any(|(b, w)| b == attr && (stable_hash(w) % *buckets as u64) as u32 != *which),
             Predicate::And(ps) => ps.iter().any(|p| p.conflicts_with_atoms(atoms)),
         }
     }
@@ -149,7 +153,12 @@ mod tests {
             let tup = t(vec![Value::int(i)]);
             let matched = (0..buckets)
                 .filter(|&which| {
-                    Predicate::HashMod { attr: 0, buckets, which }.eval(&tup)
+                    Predicate::HashMod {
+                        attr: 0,
+                        buckets,
+                        which,
+                    }
+                    .eval(&tup)
                 })
                 .count();
             assert_eq!(matched, 1, "value {i} must land in exactly one bucket");

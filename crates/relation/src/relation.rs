@@ -143,7 +143,10 @@ mod tests {
         let bad = Tuple::new(1, vec![Value::int(1)]);
         assert!(matches!(
             r.insert(bad),
-            Err(RelError::ArityMismatch { expected: 2, got: 1 })
+            Err(RelError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 

@@ -5,7 +5,6 @@
 //! we model the key explicitly so partitioners can enforce that).
 
 use crate::RelError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
@@ -13,7 +12,7 @@ use std::sync::Arc;
 pub type AttrId = u16;
 
 /// A named, typed-by-convention attribute.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
     /// Attribute name, unique within the schema.
     pub name: String,
@@ -30,7 +29,7 @@ impl Attribute {
 ///
 /// Schemas are immutable once built and shared via `Arc` between fragments,
 /// detectors and workload generators.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     name: String,
     attrs: Vec<Attribute>,
@@ -149,7 +148,10 @@ mod tests {
     #[test]
     fn unknown_attribute_is_error() {
         let s = emp();
-        assert!(matches!(s.attr_id("salary"), Err(RelError::UnknownAttribute(_))));
+        assert!(matches!(
+            s.attr_id("salary"),
+            Err(RelError::UnknownAttribute(_))
+        ));
         assert!(Schema::new("R", &["a", "b"], "c").is_err());
     }
 

@@ -7,7 +7,6 @@
 
 use crate::schema::AttrId;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
@@ -16,7 +15,7 @@ pub type Tid = u64;
 
 /// A tuple: an id plus one value per schema attribute (or per fragment
 /// attribute when the tuple is a projection).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Tuple {
     /// Unique tuple id.
     pub tid: Tid,
@@ -44,13 +43,19 @@ impl Tuple {
     pub fn project(&self, attrs: &[AttrId]) -> Tuple {
         Tuple::new(
             self.tid,
-            attrs.iter().map(|&a| self.values[a as usize].clone()).collect(),
+            attrs
+                .iter()
+                .map(|&a| self.values[a as usize].clone())
+                .collect(),
         )
     }
 
     /// Values at `attrs`, cloned into a vector (the `t[X]` notation).
     pub fn values_at(&self, attrs: &[AttrId]) -> Vec<Value> {
-        attrs.iter().map(|&a| self.values[a as usize].clone()).collect()
+        attrs
+            .iter()
+            .map(|&a| self.values[a as usize].clone())
+            .collect()
     }
 
     /// Arity of this tuple.
@@ -90,7 +95,10 @@ mod tests {
     use super::*;
 
     fn t() -> Tuple {
-        Tuple::new(5, vec![Value::int(5), Value::str("Adam"), Value::str("EDI")])
+        Tuple::new(
+            5,
+            vec![Value::int(5), Value::str("Adam"), Value::str("EDI")],
+        )
     }
 
     #[test]

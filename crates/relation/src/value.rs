@@ -7,11 +7,10 @@
 //! violation detection needs: two tuples agree on an attribute iff their
 //! values compare equal here.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single attribute value.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// Absent / unknown value (groups with itself).
     Null,

@@ -1,0 +1,234 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The container has no crates.io registry, so the workspace vendors the
+//! slice of criterion the `bench` crate uses: groups, `bench_function`,
+//! `bench_with_input`, `iter`/`iter_batched` and the two entry macros. It
+//! is a plain timing harness — median of `sample_size` samples, no
+//! statistics, no plots — sufficient to *run* the figures' measurement
+//! loops and print comparable numbers.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does) every
+//! routine executes exactly once, so benches double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+/// How batched setup output is grouped (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// A `function / parameter` pair naming one measurement.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/param`, as criterion renders it.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+/// Measurement configuration shared by groups.
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_secs(1),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Open a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            config: self.config,
+            _name: name,
+            _parent: self,
+        }
+    }
+
+    /// Measure a single function outside any group.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&self.config, &id.to_string(), &mut f);
+    }
+}
+
+/// A group of measurements sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    config: Config,
+    _name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per measurement.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up budget before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Measure a named closure.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&self.config, &id.to_string(), &mut f);
+    }
+
+    /// Measure a closure parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(&self.config, &id.id, &mut |b| f(b, input));
+    }
+
+    /// End the group (criterion renders summaries here; the shim is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one(config: &Config, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size: if config.test_mode {
+            1
+        } else {
+            config.sample_size
+        },
+        warm_up: if config.test_mode {
+            Duration::ZERO
+        } else {
+            config.warm_up
+        },
+        measurement: if config.test_mode {
+            Duration::ZERO
+        } else {
+            config.measurement
+        },
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    println!(
+        "{label:<40} median {:>12.3?}  ({} samples)",
+        Duration::from_nanos(median),
+        b.samples.len()
+    );
+}
+
+/// Per-measurement timing handle.
+pub struct Bencher {
+    samples: Vec<u64>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, repeating until the sample and time budgets are met.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+        }
+        let started = Instant::now();
+        for i in 0..self.sample_size.max(1) {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed().as_nanos() as u64);
+            if i > 0 && started.elapsed() > self.measurement {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` over fresh `setup` output each iteration; only the
+    /// routine is on the clock.
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        let started = Instant::now();
+        for i in 0..self.sample_size.max(1) {
+            let state = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(state));
+            self.samples.push(t0.elapsed().as_nanos() as u64);
+            if i > 0 && started.elapsed() > self.measurement {
+                break;
+            }
+        }
+    }
+}
+
+/// Opaque value barrier (re-export of the std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

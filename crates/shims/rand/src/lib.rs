@@ -1,0 +1,180 @@
+//! Offline drop-in subset of the `rand` 0.9 API.
+//!
+//! The container has no crates.io registry, so the workspace vendors the
+//! tiny slice of `rand` the workload generators use: a seedable `StdRng`,
+//! `Rng::{random_range, random_bool}` and `seq::SliceRandom::shuffle`.
+//! The generator is xoshiro256** seeded through splitmix64 — deterministic
+//! per seed, which is all the synthetic workloads need (they never claim
+//! cryptographic or statistical-suite quality).
+
+use std::ops::Range;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    /// The standard generator: xoshiro256**.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `lo..hi` (panics on an empty range).
+    fn sample_range(word: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(word: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u128;
+                lo.wrapping_add((word as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i32, i64, u32, u64, usize, isize);
+
+/// High-level sampling interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self.next_u64(), range.start, range.end)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 uniform mantissa bits → [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Slice helpers (subset of `rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// In-place slice shuffling.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0..1_000_000i64),
+                b.random_range(0..1_000_000i64)
+            );
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: usize = (0..100)
+            .filter(|_| {
+                StdRng::seed_from_u64(42).random_range(0..u64::MAX) == c.random_range(0..u64::MAX)
+            })
+            .count();
+        assert!(same < 100);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.random_range(10..20usize);
+            assert!((10..20).contains(&v));
+            let w = r.random_range(-5..5i64);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..64).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "64 elements virtually never shuffle to identity");
+    }
+}

@@ -44,9 +44,16 @@ pub fn dblp_schema() -> Arc<Schema> {
     Schema::new(
         "PUBS",
         &[
-            "pid",      // key
-            "author", "title", "venuekey", "venue", "publisher", "volume", "year",
-            "pages", "etype",
+            "pid", // key
+            "author",
+            "title",
+            "venuekey",
+            "venue",
+            "publisher",
+            "volume",
+            "year",
+            "pages",
+            "etype",
         ],
         "pid",
     )
@@ -121,7 +128,9 @@ pub fn generate(cfg: &DblpConfig) -> (Arc<Schema>, Relation) {
 /// Generate `n` fresh tuples with tids from `start` (for insertions).
 pub fn generate_fresh(cfg: &DblpConfig, start: Tid, n: usize, seed: u64) -> Vec<Tuple> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n as Tid).map(|i| gen_tuple(start + i, cfg, &mut rng)).collect()
+    (0..n as Tid)
+        .map(|i| gen_tuple(start + i, cfg, &mut rng))
+        .collect()
 }
 
 /// Default vertical scheme over `n` sites.

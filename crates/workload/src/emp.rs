@@ -12,8 +12,8 @@ pub fn emp_schema() -> Arc<Schema> {
     Schema::new(
         "EMP",
         &[
-            "id", "name", "sex", "grade", "street", "city", "zip", "CC", "AC", "phn",
-            "salary", "hd",
+            "id", "name", "sex", "grade", "street", "city", "zip", "CC", "AC", "phn", "salary",
+            "hd",
         ],
         "id",
     )
@@ -59,11 +59,76 @@ pub fn emp_relation() -> (Arc<Schema>, Relation) {
     let s = emp_schema();
     let mut d = Relation::new(s.clone());
     let rows = vec![
-        emp_tuple(1, "Mike", "M", "A", "Mayfield", "NYC", "EH4 8LE", 44, 131, "8693784", "65k", "01/10/2005"),
-        emp_tuple(2, "Sam", "M", "A", "Preston", "EDI", "EH2 4HF", 44, 131, "8765432", "65k", "01/05/2009"),
-        emp_tuple(3, "Molina", "F", "B", "Mayfield", "EDI", "EH4 8LE", 44, 131, "3456789", "80k", "01/03/2010"),
-        emp_tuple(4, "Philip", "M", "B", "Mayfield", "EDI", "EH4 8LE", 44, 131, "2909209", "85k", "01/05/2010"),
-        emp_tuple(5, "Adam", "M", "C", "Crichton", "EDI", "EH4 8LE", 44, 131, "7478626", "120k", "01/05/1995"),
+        emp_tuple(
+            1,
+            "Mike",
+            "M",
+            "A",
+            "Mayfield",
+            "NYC",
+            "EH4 8LE",
+            44,
+            131,
+            "8693784",
+            "65k",
+            "01/10/2005",
+        ),
+        emp_tuple(
+            2,
+            "Sam",
+            "M",
+            "A",
+            "Preston",
+            "EDI",
+            "EH2 4HF",
+            44,
+            131,
+            "8765432",
+            "65k",
+            "01/05/2009",
+        ),
+        emp_tuple(
+            3,
+            "Molina",
+            "F",
+            "B",
+            "Mayfield",
+            "EDI",
+            "EH4 8LE",
+            44,
+            131,
+            "3456789",
+            "80k",
+            "01/03/2010",
+        ),
+        emp_tuple(
+            4,
+            "Philip",
+            "M",
+            "B",
+            "Mayfield",
+            "EDI",
+            "EH4 8LE",
+            44,
+            131,
+            "2909209",
+            "85k",
+            "01/05/2010",
+        ),
+        emp_tuple(
+            5,
+            "Adam",
+            "M",
+            "C",
+            "Crichton",
+            "EDI",
+            "EH4 8LE",
+            44,
+            131,
+            "7478626",
+            "120k",
+            "01/05/1995",
+        ),
     ];
     for t in rows {
         d.insert(t).expect("distinct tids");
@@ -73,7 +138,20 @@ pub fn emp_relation() -> (Arc<Schema>, Relation) {
 
 /// The tuple t6 inserted in Example 2 / Fig. 2.
 pub fn t6() -> Tuple {
-    emp_tuple(6, "George", "M", "C", "Mayfield", "EDI", "EH4 8LE", 44, 131, "9595858", "120k", "01/07/1993")
+    emp_tuple(
+        6,
+        "George",
+        "M",
+        "C",
+        "Mayfield",
+        "EDI",
+        "EH4 8LE",
+        44,
+        131,
+        "9595858",
+        "120k",
+        "01/07/1993",
+    )
 }
 
 /// The CFDs of Fig. 1:

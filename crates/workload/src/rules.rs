@@ -21,23 +21,59 @@ struct FdTemplate {
 
 /// TPCH FD catalog (all satisfied by error-free generator output).
 const TPCH_FDS: &[FdTemplate] = &[
-    FdTemplate { lhs: &["custkey"], rhs: "custname" },
-    FdTemplate { lhs: &["custkey"], rhs: "nation" },
-    FdTemplate { lhs: &["custkey"], rhs: "mktsegment" },
-    FdTemplate { lhs: &["nationkey"], rhs: "nation" },
-    FdTemplate { lhs: &["nation"], rhs: "region" },
-    FdTemplate { lhs: &["partkey"], rhs: "brand" },
-    FdTemplate { lhs: &["partkey"], rhs: "ptype" },
-    FdTemplate { lhs: &["partkey"], rhs: "container" },
-    FdTemplate { lhs: &["suppkey"], rhs: "suppnation" },
-    FdTemplate { lhs: &["custkey", "partkey"], rhs: "brand" },
-    FdTemplate { lhs: &["nationkey", "suppkey"], rhs: "region" },
+    FdTemplate {
+        lhs: &["custkey"],
+        rhs: "custname",
+    },
+    FdTemplate {
+        lhs: &["custkey"],
+        rhs: "nation",
+    },
+    FdTemplate {
+        lhs: &["custkey"],
+        rhs: "mktsegment",
+    },
+    FdTemplate {
+        lhs: &["nationkey"],
+        rhs: "nation",
+    },
+    FdTemplate {
+        lhs: &["nation"],
+        rhs: "region",
+    },
+    FdTemplate {
+        lhs: &["partkey"],
+        rhs: "brand",
+    },
+    FdTemplate {
+        lhs: &["partkey"],
+        rhs: "ptype",
+    },
+    FdTemplate {
+        lhs: &["partkey"],
+        rhs: "container",
+    },
+    FdTemplate {
+        lhs: &["suppkey"],
+        rhs: "suppnation",
+    },
+    FdTemplate {
+        lhs: &["custkey", "partkey"],
+        rhs: "brand",
+    },
+    FdTemplate {
+        lhs: &["nationkey", "suppkey"],
+        rhs: "region",
+    },
 ];
 
 /// Condition attributes and values for TPCH pattern expansion (independent
 /// of every catalog FD's attributes).
 const TPCH_CONDS: &[(&str, &[&str])] = &[
-    ("shipmode", &["AIR", "RAIL", "TRUCK", "MAIL", "SHIP", "FOB", "REG AIR"]),
+    (
+        "shipmode",
+        &["AIR", "RAIL", "TRUCK", "MAIL", "SHIP", "FOB", "REG AIR"],
+    ),
     (
         "orderpriority",
         &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPEC", "5-LOW"],
@@ -46,17 +82,30 @@ const TPCH_CONDS: &[(&str, &[&str])] = &[
 
 /// DBLP FD catalog.
 const DBLP_FDS: &[FdTemplate] = &[
-    FdTemplate { lhs: &["venuekey"], rhs: "venue" },
-    FdTemplate { lhs: &["venuekey"], rhs: "publisher" },
-    FdTemplate { lhs: &["venue"], rhs: "publisher" },
-    FdTemplate { lhs: &["venuekey", "volume"], rhs: "year" },
-    FdTemplate { lhs: &["venue", "volume"], rhs: "year" },
+    FdTemplate {
+        lhs: &["venuekey"],
+        rhs: "venue",
+    },
+    FdTemplate {
+        lhs: &["venuekey"],
+        rhs: "publisher",
+    },
+    FdTemplate {
+        lhs: &["venue"],
+        rhs: "publisher",
+    },
+    FdTemplate {
+        lhs: &["venuekey", "volume"],
+        rhs: "year",
+    },
+    FdTemplate {
+        lhs: &["venue", "volume"],
+        rhs: "year",
+    },
 ];
 
-const DBLP_CONDS: &[(&str, &[&str])] = &[(
-    "etype",
-    &["article", "inproceedings", "book", "phdthesis"],
-)];
+const DBLP_CONDS: &[(&str, &[&str])] =
+    &[("etype", &["article", "inproceedings", "book", "phdthesis"])];
 
 fn expand(
     schema: &Schema,
@@ -81,8 +130,7 @@ fn expand(
         }
         let fd = &fds[i % fds.len()];
         let variant = i / fds.len();
-        let mut lhs: Vec<(&str, Option<Value>)> =
-            fd.lhs.iter().map(|a| (*a, None)).collect();
+        let mut lhs: Vec<(&str, Option<Value>)> = fd.lhs.iter().map(|a| (*a, None)).collect();
         if variant > 0 {
             // Add a pattern condition on an independent attribute.
             let (cond_attr, values) = conds[variant % conds.len()];
@@ -115,7 +163,10 @@ pub fn tpch_rules(schema: &Schema, n: usize, seed: u64) -> Vec<Cfd> {
                         id,
                         schema,
                         &[("nationkey", Some(Value::int(k)))],
-                        ("nation", Some(Value::str(crate::tpch::truth::nation_name(k)))),
+                        (
+                            "nation",
+                            Some(Value::str(crate::tpch::truth::nation_name(k))),
+                        ),
                     )
                     .ok()
                 }
@@ -124,7 +175,10 @@ pub fn tpch_rules(schema: &Schema, n: usize, seed: u64) -> Vec<Cfd> {
                     Cfd::from_names(
                         id,
                         schema,
-                        &[("nation", Some(Value::str(crate::tpch::truth::nation_name(k))))],
+                        &[(
+                            "nation",
+                            Some(Value::str(crate::tpch::truth::nation_name(k))),
+                        )],
                         (
                             "region",
                             Some(Value::str(crate::tpch::truth::region_of_nation(k))),

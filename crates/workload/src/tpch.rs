@@ -50,11 +50,22 @@ pub fn tpch_schema() -> Arc<Schema> {
     Schema::new(
         "ORDERS_WIDE",
         &[
-            "okey",        // key
-            "custkey", "custname", "nationkey", "nation", "region", "mktsegment",
-            "partkey", "brand", "ptype", "container",
-            "suppkey", "suppnation",
-            "shipmode", "orderpriority", "clerk",
+            "okey", // key
+            "custkey",
+            "custname",
+            "nationkey",
+            "nation",
+            "region",
+            "mktsegment",
+            "partkey",
+            "brand",
+            "ptype",
+            "container",
+            "suppkey",
+            "suppnation",
+            "shipmode",
+            "orderpriority",
+            "clerk",
         ],
         "okey",
     )
@@ -65,7 +76,13 @@ const N_NATIONS: usize = 25;
 const N_REGIONS: usize = 5;
 const SHIPMODES: [&str; 7] = ["AIR", "RAIL", "TRUCK", "MAIL", "SHIP", "FOB", "REG AIR"];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPEC", "5-LOW"];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 /// Ground-truth hierarchy functions (the "clean" values). Exposed so rule
 /// generators can build *constant* CFDs whose RHS is the true value.
@@ -186,7 +203,9 @@ pub fn generate(cfg: &TpchConfig) -> (Arc<Schema>, Relation) {
 /// Generate `n` fresh tuples with tids following `start` (for insertions).
 pub fn generate_fresh(cfg: &TpchConfig, start: Tid, n: usize, seed: u64) -> Vec<Tuple> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n as Tid).map(|i| gen_tuple(start + i, cfg, &mut rng)).collect()
+    (0..n as Tid)
+        .map(|i| gen_tuple(start + i, cfg, &mut rng))
+        .collect()
 }
 
 /// Default vertical scheme: non-key attributes dealt round-robin over `n`

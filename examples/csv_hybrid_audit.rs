@@ -10,7 +10,6 @@
 //! Without an argument a small built-in employee CSV is used.
 
 use inc_cfd::prelude::*;
-use incdetect::hybrid::{HybridDetector, HybridScheme};
 
 const BUILTIN: &str = "\
 id,name,grade,street,city,zip,CC,AC
@@ -47,8 +46,10 @@ fn main() {
         scheme.n_regions(),
         scheme.n_sites()
     );
-    let mut det =
-        HybridDetector::new(schema.clone(), sigma, scheme, &d).expect("detector builds");
+    let mut det = DetectorBuilder::new(schema.clone(), sigma)
+        .hybrid(scheme)
+        .build(&d)
+        .expect("detector builds");
     println!("initial violations: {:?}", det.violations().tids_sorted());
 
     // Stream one correction and one insertion.
@@ -66,10 +67,13 @@ fn main() {
         dv.removed_tids_sorted(),
         dv.added_tids_sorted()
     );
+    // The normalized NetReport exposes both tiers of the hybrid traffic.
+    let net = det.net();
     println!(
-        "traffic: inter-region {} B, intra-region assembly {} B",
-        det.inter_stats().total_bytes(),
-        det.intra_stats().total_bytes()
+        "traffic: inter-region {} B, intra-region assembly {} B ({} B total)",
+        net.tier("inter").map(NetStats::total_bytes).unwrap_or(0),
+        net.tier("intra").map(NetStats::total_bytes).unwrap_or(0),
+        net.total_bytes()
     );
 
     // Verify against the centralized oracle and export the cleaned data.

@@ -1,6 +1,6 @@
 //! A guided walk through the paper's §1–§6 examples on the EMP relation,
 //! in *both* partition layouts, with shipment accounting printed at every
-//! step.
+//! step — all through the unified `Detector` / `DetectorBuilder` API.
 //!
 //! ```sh
 //! cargo run --example employee_audit
@@ -24,7 +24,11 @@ fn main() {
             "  φ{}: {}  [{}]",
             cfd.id + 1,
             cfd.display(&schema),
-            if cfd.is_constant() { "constant" } else { "variable" }
+            if cfd.is_constant() {
+                "constant"
+            } else {
+                "variable"
+            }
         );
     }
 
@@ -44,14 +48,11 @@ fn main() {
         opt_plan.neqid()
     );
 
-    let mut vdet = VerticalDetector::with_plan(
-        schema.clone(),
-        sigma.clone(),
-        vscheme,
-        opt_plan,
-        &d0,
-    )
-    .expect("vertical detector builds");
+    let mut vdet = DetectorBuilder::new(schema.clone(), sigma.clone())
+        .vertical(vscheme)
+        .with_plan(opt_plan)
+        .build(&d0)
+        .expect("vertical detector builds");
     println!(
         "  V(Σ, D₀) = {:?}  (Fig. 1: t1,t3,t4,t5 for φ1; t1 for φ2)",
         vdet.violations().tids_sorted()
@@ -64,8 +65,8 @@ fn main() {
     println!(
         "  insert t6 → ΔV⁺={:?}, eqids shipped={}, bytes={}",
         dv.added_tids_sorted(),
-        vdet.stats().total_eqids(),
-        vdet.stats().total_bytes()
+        vdet.net().total_eqids(),
+        vdet.net().total_bytes()
     );
 
     // Example 2(2): delete t4 — only t4 leaves V.
@@ -76,7 +77,7 @@ fn main() {
     println!(
         "  delete t4 → ΔV⁻={:?}, eqids shipped={}",
         dv.removed_tids_sorted(),
-        vdet.stats().total_eqids()
+        vdet.net().total_eqids()
     );
 
     // ------------------------------------------------------------------
@@ -84,7 +85,9 @@ fn main() {
     // ------------------------------------------------------------------
     println!("\n=== Horizontal partitions (§6) ===");
     let hscheme = workload::emp::emp_horizontal_scheme(&schema);
-    let mut hdet = HorizontalDetector::new(schema.clone(), sigma.clone(), hscheme, &d0)
+    let mut hdet = DetectorBuilder::new(schema.clone(), sigma.clone())
+        .horizontal(hscheme)
+        .build(&d0)
         .expect("horizontal detector builds");
     println!("  V(Σ, D₀) = {:?}", hdet.violations().tids_sorted());
 
@@ -96,7 +99,7 @@ fn main() {
     println!(
         "  insert t6 → ΔV⁺={:?}, bytes shipped={} (Example 9: zero)",
         dv.added_tids_sorted(),
-        hdet.stats().total_bytes()
+        hdet.net().total_bytes()
     );
 
     // A cross-site conflict: a grade-A tuple clashing with a grade-B tuple
@@ -141,12 +144,15 @@ fn main() {
     println!(
         "  insert t20,t21 (cross-site clash) → ΔV⁺={:?}, messages={}, bytes={}",
         dv.added_tids_sorted(),
-        hdet.stats().total_messages(),
-        hdet.stats().total_bytes()
+        hdet.net().total_messages(),
+        hdet.net().total_bytes()
     );
 
-    // Ground truth check at the end.
-    let oracle = cfd::naive::detect(hdet.cfds(), hdet.current());
-    assert_eq!(hdet.violations().marks_sorted(), oracle.marks_sorted());
+    // Ground truth check at the end, uniformly through the trait.
+    let detectors: [&dyn Detector; 2] = [&vdet, &hdet];
+    for det in detectors {
+        let oracle = cfd::naive::detect(det.cfds(), det.current());
+        assert_eq!(det.violations().marks_sorted(), oracle.marks_sorted());
+    }
     println!("\nall detector states verified against the centralized oracle ✓");
 }

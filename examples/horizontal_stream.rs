@@ -22,14 +22,11 @@ fn run(use_md5: bool, rows: usize, batches: usize) -> (u64, u64, usize) {
     let (schema, mut d) = dblp::generate(&cfg);
     let cfds = workload::rules::dblp_rules(&schema, 16, 3);
     let scheme = dblp::horizontal_scheme(&schema, 8);
-    let mut det = incdetect::HorizontalDetector::with_options(
-        schema.clone(),
-        cfds,
-        scheme,
-        &d,
-        use_md5,
-    )
-    .expect("detector builds");
+    let mut det = DetectorBuilder::new(schema, cfds)
+        .horizontal(scheme)
+        .md5(use_md5)
+        .build(&d)
+        .expect("detector builds");
 
     let mut next_tid = 1_000_000_000u64;
     let mut total_dv = 0usize;
@@ -40,18 +37,17 @@ fn run(use_md5: bool, rows: usize, batches: usize) -> (u64, u64, usize) {
             &d,
             &fresh,
             100,
-            UpdateMix { insert_fraction: 0.8 },
+            UpdateMix {
+                insert_fraction: 0.8,
+            },
             round as u64 ^ 0x77,
         );
         let dv = det.apply(&delta).expect("apply succeeds");
         total_dv += dv.len();
         delta.normalize(&d).apply(&mut d).expect("mirror applies");
     }
-    (
-        det.stats().total_bytes(),
-        det.stats().total_messages(),
-        total_dv,
-    )
+    let net = det.net();
+    (net.total_bytes(), net.total_messages(), total_dv)
 }
 
 fn main() {

@@ -17,10 +17,13 @@ fn main() {
         println!("φ{}: {}", cfd.id + 1, cfd.display(&schema));
     }
 
-    // Partition horizontally by salary grade (A / B / C) across 3 sites.
+    // Partition horizontally by salary grade (A / B / C) across 3 sites
+    // and build the incremental detector session.
     let scheme = workload::emp::emp_horizontal_scheme(&schema);
-    let mut det =
-        HorizontalDetector::new(schema.clone(), sigma, scheme, &d0).expect("detector builds");
+    let mut det = DetectorBuilder::new(schema.clone(), sigma)
+        .horizontal(scheme)
+        .build(&d0)
+        .expect("detector builds");
 
     // V(Σ, D₀) — the violation table of Fig. 1.
     println!("\ninitial violations: {:?}", det.violations().tids_sorted());
@@ -34,10 +37,10 @@ fn main() {
     println!(
         "after inserting t6: ΔV⁺ = {:?}, bytes shipped = {}",
         dv.added_tids_sorted(),
-        det.stats().total_bytes()
+        det.net().total_bytes()
     );
     assert_eq!(dv.added_tids_sorted(), vec![6]);
-    assert_eq!(det.stats().total_bytes(), 0);
+    assert_eq!(det.net().total_bytes(), 0);
 
     // Delete t4 (Example 2 continued): only t4 leaves the violation set.
     let mut delta = UpdateBatch::new();
@@ -46,7 +49,7 @@ fn main() {
     println!(
         "after deleting t4:  ΔV⁻ = {:?}, total bytes shipped = {}",
         dv.removed_tids_sorted(),
-        det.stats().total_bytes()
+        det.net().total_bytes()
     );
     assert_eq!(dv.removed_tids_sorted(), vec![4]);
 

@@ -1,14 +1,14 @@
 //! TPCH-scale pipeline: generate a wide denormalized order relation,
 //! partition it vertically over 10 sites, install a 50-CFD rule set, and
 //! compare incremental maintenance against batch recomputation over a
-//! sequence of update batches.
+//! sequence of update batches — both sides driven through the unified
+//! `Detector` trait.
 //!
 //! ```sh
 //! cargo run --release --example tpch_pipeline [-- <rows> <batch> <rounds>]
 //! ```
 
 use inc_cfd::prelude::*;
-use incdetect::baselines;
 use std::time::Instant;
 use workload::tpch::{self, TpchConfig};
 use workload::updates::{self, UpdateMix};
@@ -33,8 +33,15 @@ fn main() {
     let scheme = tpch::vertical_scheme(&schema, 10);
 
     let t0 = Instant::now();
-    let mut det = VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
+    let mut det: Box<dyn Detector> = DetectorBuilder::new(schema.clone(), cfds.clone())
+        .vertical(scheme.clone())
+        .build_dyn(&d)
         .expect("detector builds");
+    let mut bat: Box<dyn Detector> = DetectorBuilder::new(schema.clone(), cfds.clone())
+        .baseline(BaselineStrategy::BatVer(scheme))
+        .initial_violations(det.violations().clone())
+        .build_dyn(&d)
+        .expect("baseline builds");
     println!(
         "initial V(Σ, D): {} violating tuples ({} marks), built in {:.2}s",
         det.violations().len(),
@@ -44,38 +51,50 @@ fn main() {
 
     let mut next_tid = 1_000_000_000u64;
     for round in 1..=rounds {
-        let fresh = tpch::generate_fresh(&cfg, next_tid, (batch as f64 * 0.8) as usize, round as u64);
+        let fresh =
+            tpch::generate_fresh(&cfg, next_tid, (batch as f64 * 0.8) as usize, round as u64);
         next_tid += fresh.len() as u64;
         let delta = updates::generate(
             &d,
             &fresh,
             batch,
-            UpdateMix { insert_fraction: 0.8 },
+            UpdateMix {
+                insert_fraction: 0.8,
+            },
             round as u64 ^ 0xabcd,
         );
 
         det.reset_stats();
+        bat.reset_stats();
         let t_inc = Instant::now();
         let dv = det.apply(&delta).expect("apply succeeds");
         let inc_s = t_inc.elapsed().as_secs_f64();
 
         // Batch recomputation over the updated database, for comparison.
-        delta.normalize(&d).apply(&mut d).expect("batch applies");
         let t_bat = Instant::now();
-        let bat = baselines::bat_ver(&cfds, &scheme, &d);
+        bat.apply(&delta).expect("batch applies");
         let bat_s = t_bat.elapsed().as_secs_f64();
-        assert_eq!(det.violations().marks_sorted(), bat.violations.marks_sorted());
+        assert_eq!(
+            det.violations().marks_sorted(),
+            bat.violations().marks_sorted()
+        );
+        delta
+            .normalize(&d.clone())
+            .apply(&mut d)
+            .expect("mirror applies");
 
         println!(
-            "round {round}: |ΔD|={} → |ΔV|={} | incVer {:.3}s / {} B shipped ({} eqids) \
-             | batVer {:.3}s / {} B shipped | speedup {:.0}×",
+            "round {round}: |ΔD|={} → |ΔV|={} | {} {:.3}s / {} B shipped ({} eqids) \
+             | {} {:.3}s / {} B shipped | speedup {:.0}×",
             delta.len(),
             dv.len(),
+            det.strategy(),
             inc_s,
-            det.stats().total_bytes(),
-            det.stats().total_eqids(),
+            det.net().total_bytes(),
+            det.net().total_eqids(),
+            bat.strategy(),
             bat_s,
-            bat.stats.total_bytes(),
+            bat.net().total_bytes(),
             bat_s / inc_s.max(1e-9),
         );
     }

@@ -12,11 +12,17 @@
 //!   transport, partitioners, network statistics);
 //! * [`incdetect`] — the paper's contribution: HEV/IDX indices, the optimal
 //!   incremental detectors for vertical (§4) and horizontal (§6) partitions,
-//!   the HEV-plan optimizer (§5), and the batch baselines;
+//!   the HEV-plan optimizer (§5), and the batch baselines — all behind the
+//!   unified [`Detector`](incdetect::Detector) trait;
 //! * [`workload`] — TPCH-like / DBLP-like / EMP generators, CFD rule
 //!   generators and update generators used by the experiment harness.
 //!
 //! # Quickstart
+//!
+//! Detectors are constructed through [`DetectorBuilder`](incdetect::DetectorBuilder)
+//! and all implement the [`Detector`](incdetect::Detector) trait —
+//! `violations()`, `apply(ΔD) → ΔV`, and `net()` for traffic accounting —
+//! regardless of the partition strategy.
 //!
 //! ```
 //! use inc_cfd::prelude::*;
@@ -29,18 +35,41 @@
 //! // Partition horizontally by salary grade across 3 sites and build the
 //! // incremental detector.
 //! let scheme = workload::emp::emp_horizontal_scheme(&schema);
-//! let mut det = HorizontalDetector::new(schema.clone(), sigma.clone(), scheme, &d0).unwrap();
+//! let mut det = DetectorBuilder::new(schema.clone(), sigma.clone())
+//!     .horizontal(scheme)
+//!     .build(&d0)
+//!     .unwrap();
 //!
 //! // Initial violations: t1, t3, t4, t5 (φ1) and t1 (φ2).
 //! let v = det.violations().tids_sorted();
 //! assert_eq!(v, vec![1, 3, 4, 5]);
 //!
-//! // Insert t6 (Fig. 2): only t6 becomes a new violation.
+//! // Insert t6 (Fig. 2): only t6 becomes a new violation, and the §6
+//! // case analysis ships zero bytes to find that out.
 //! let mut delta = UpdateBatch::new();
 //! delta.insert(workload::emp::t6());
 //! let dv = det.apply(&delta).unwrap();
 //! assert_eq!(dv.added_tids_sorted(), vec![6]);
 //! assert!(dv.removed_tids_sorted().is_empty());
+//! assert_eq!(det.net().total_bytes(), 0);
+//!
+//! // The same session works for any strategy through `dyn Detector`:
+//! let (schema, d0) = workload::emp::emp_relation();
+//! let vscheme = workload::emp::emp_vertical_scheme(&schema);
+//! let mut dets: Vec<Box<dyn Detector>> = vec![
+//!     DetectorBuilder::new(schema.clone(), sigma.clone())
+//!         .vertical(vscheme.clone())
+//!         .build_dyn(&d0)
+//!         .unwrap(),
+//!     DetectorBuilder::new(schema.clone(), sigma.clone())
+//!         .baseline(BaselineStrategy::BatVer(vscheme))
+//!         .build_dyn(&d0)
+//!         .unwrap(),
+//! ];
+//! for det in &mut dets {
+//!     let dv = det.apply(&delta).unwrap();
+//!     assert_eq!(dv.added_tids_sorted(), vec![6], "{}", det.strategy());
+//! }
 //! ```
 
 pub use cfd;
@@ -51,14 +80,15 @@ pub use workload;
 
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
-    pub use cfd::{Cfd, Violations};
+    pub use cfd::{Cfd, DeltaV, Violations};
     pub use cluster::{
         partition::{HorizontalScheme, VerticalScheme},
-        NetStats, SiteId,
+        CostModel, NetReport, NetStats, SiteId,
     };
-    pub use incdetect::{HorizontalDetector, VerticalDetector};
-    pub use relation::{
-        Predicate, Relation, Schema, Tid, Tuple, Update, UpdateBatch, Value,
+    pub use incdetect::{
+        BaselineStrategy, DetectError, Detector, DetectorBuilder, HorizontalDetector,
+        HybridDetector, HybridScheme, VerticalDetector,
     };
+    pub use relation::{Predicate, Relation, Schema, Tid, Tuple, Update, UpdateBatch, Value};
     pub use {cfd, cluster, incdetect, relation, workload};
 }

@@ -33,16 +33,32 @@ fn all_four_baselines_agree_with_oracle_on_tpch() {
     let hs = tpch::horizontal_scheme(&s, 6);
 
     let bv = baselines::bat_ver(&cfds, &vs, &d);
-    assert_eq!(bv.violations.marks_sorted(), oracle.marks_sorted(), "batVer");
+    assert_eq!(
+        bv.violations.marks_sorted(),
+        oracle.marks_sorted(),
+        "batVer"
+    );
 
     let bh = baselines::bat_hor(&cfds, &hs, &d);
-    assert_eq!(bh.violations.marks_sorted(), oracle.marks_sorted(), "batHor");
+    assert_eq!(
+        bh.violations.marks_sorted(),
+        oracle.marks_sorted(),
+        "batHor"
+    );
 
     let iv = baselines::ibat_ver(s.clone(), cfds.clone(), vs, &d).unwrap();
-    assert_eq!(iv.violations.marks_sorted(), oracle.marks_sorted(), "ibatVer");
+    assert_eq!(
+        iv.violations.marks_sorted(),
+        oracle.marks_sorted(),
+        "ibatVer"
+    );
 
     let ih = baselines::ibat_hor(s, cfds, hs, &d).unwrap();
-    assert_eq!(ih.violations.marks_sorted(), oracle.marks_sorted(), "ibatHor");
+    assert_eq!(
+        ih.violations.marks_sorted(),
+        oracle.marks_sorted(),
+        "ibatHor"
+    );
 }
 
 #[test]
@@ -98,10 +114,15 @@ fn optimized_plan_detects_identically_on_tpch_updates() {
     let scheme = tpch::vertical_scheme(&s, 6);
     let opt = optimize(&cfds, &scheme, OptimizeConfig::default());
 
-    let mut det_def =
-        VerticalDetector::new(s.clone(), cfds.clone(), scheme.clone(), &d).unwrap();
-    let mut det_opt =
-        VerticalDetector::with_plan(s.clone(), cfds.clone(), scheme, opt, &d).unwrap();
+    let mut det_def = DetectorBuilder::new(s.clone(), cfds.clone())
+        .vertical(scheme.clone())
+        .build(&d)
+        .unwrap();
+    let mut det_opt = DetectorBuilder::new(s.clone(), cfds.clone())
+        .vertical(scheme)
+        .with_plan(opt)
+        .build(&d)
+        .unwrap();
 
     let cfg = TpchConfig {
         n_rows: 800,
@@ -116,7 +137,9 @@ fn optimized_plan_detects_identically_on_tpch_updates() {
         &d,
         &fresh,
         150,
-        workload::updates::UpdateMix { insert_fraction: 0.8 },
+        workload::updates::UpdateMix {
+            insert_fraction: 0.8,
+        },
         9,
     );
     det_def.apply(&delta).unwrap();
@@ -126,7 +149,7 @@ fn optimized_plan_detects_identically_on_tpch_updates() {
         det_opt.violations().marks_sorted()
     );
     // The optimized plan must not ship more eqids than the default.
-    assert!(det_opt.stats().total_eqids() <= det_def.stats().total_eqids());
+    assert!(det_opt.net().total_eqids() <= det_def.net().total_eqids());
 }
 
 #[test]
@@ -144,8 +167,13 @@ fn md5_and_raw_horizontal_agree_with_less_traffic_for_md5() {
             ("mktsegment", None),
         )
         .unwrap(),
-        Cfd::from_names(1, &s, &[("ptype", None), ("container", None)], ("brand", None))
-            .unwrap(),
+        Cfd::from_names(
+            1,
+            &s,
+            &[("ptype", None), ("container", None)],
+            ("brand", None),
+        )
+        .unwrap(),
     ];
     let hs = tpch::horizontal_scheme(&s, 6);
     let cfg = TpchConfig {
@@ -161,27 +189,32 @@ fn md5_and_raw_horizontal_agree_with_less_traffic_for_md5() {
         &d,
         &fresh,
         200,
-        workload::updates::UpdateMix { insert_fraction: 0.8 },
+        workload::updates::UpdateMix {
+            insert_fraction: 0.8,
+        },
         10,
     );
 
-    let mut md5 = incdetect::HorizontalDetector::with_options(
-        s.clone(),
-        cfds.clone(),
-        hs.clone(),
-        &d,
-        true,
-    )
-    .unwrap();
-    let mut raw =
-        incdetect::HorizontalDetector::with_options(s, cfds, hs, &d, false).unwrap();
+    let mut md5 = DetectorBuilder::new(s.clone(), cfds.clone())
+        .horizontal(hs.clone())
+        .md5(true)
+        .build(&d)
+        .unwrap();
+    let mut raw = DetectorBuilder::new(s, cfds)
+        .horizontal(hs)
+        .raw_values()
+        .build(&d)
+        .unwrap();
     md5.apply(&delta).unwrap();
     raw.apply(&delta).unwrap();
-    assert_eq!(md5.violations().marks_sorted(), raw.violations().marks_sorted());
+    assert_eq!(
+        md5.violations().marks_sorted(),
+        raw.violations().marks_sorted()
+    );
     assert!(
-        md5.stats().total_bytes() <= raw.stats().total_bytes(),
+        md5.net().total_bytes() <= raw.net().total_bytes(),
         "MD5 digests must not increase traffic: {} vs {}",
-        md5.stats().total_bytes(),
-        raw.stats().total_bytes()
+        md5.net().total_bytes(),
+        raw.net().total_bytes()
     );
 }

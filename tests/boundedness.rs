@@ -5,6 +5,18 @@
 
 use inc_cfd::prelude::*;
 use incdetect::baselines;
+
+fn vertical(
+    schema: &std::sync::Arc<Schema>,
+    cfds: &[Cfd],
+    scheme: &VerticalScheme,
+    d: &Relation,
+) -> VerticalDetector {
+    DetectorBuilder::new(schema.clone(), cfds.to_vec())
+        .vertical(scheme.clone())
+        .build(d)
+        .unwrap()
+}
 use workload::tpch::{self, TpchConfig};
 use workload::updates::{self, UpdateMix};
 
@@ -38,10 +50,9 @@ fn vertical_shipment_independent_of_base_size() {
     let mut ships = Vec::new();
     for rows in [500usize, 4_000] {
         let (_, d) = tpch::generate(&cfg(rows));
-        let mut det =
-            VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap();
+        let mut det = vertical(&schema, &cfds, &scheme, &d);
         det.apply(&delta).unwrap();
-        ships.push(det.stats().total_eqids());
+        ships.push(det.net().total_eqids());
     }
     assert_eq!(
         ships[0], ships[1],
@@ -65,10 +76,9 @@ fn vertical_shipment_linear_in_delta() {
         for t in &fresh {
             delta.insert(t.clone());
         }
-        let mut det =
-            VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap();
+        let mut det = vertical(&schema, &cfds, &scheme, &d);
         det.apply(&delta).unwrap();
-        per_op.push(det.stats().total_eqids() as f64 / n_ops as f64);
+        per_op.push(det.net().total_eqids() as f64 / n_ops as f64);
     }
     let ratio = per_op[1] / per_op[0];
     assert!(
@@ -94,13 +104,14 @@ fn batch_grows_with_base_but_incremental_does_not() {
             &d,
             &fresh,
             100,
-            UpdateMix { insert_fraction: 0.8 },
+            UpdateMix {
+                insert_fraction: 0.8,
+            },
             5,
         );
-        let mut det =
-            VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap();
+        let mut det = vertical(&schema, &cfds, &scheme, &d);
         det.apply(&delta).unwrap();
-        inc_bytes.push(det.stats().total_bytes());
+        inc_bytes.push(det.net().total_bytes());
 
         let mut d_new = d.clone();
         delta.normalize(&d).apply(&mut d_new).unwrap();
@@ -137,11 +148,12 @@ fn horizontal_shipment_independent_of_base_size() {
     let mut msgs = Vec::new();
     for rows in [500usize, 4_000] {
         let (_, d) = tpch::generate(&cfg(rows));
-        let mut det =
-            incdetect::HorizontalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d)
-                .unwrap();
+        let mut det = DetectorBuilder::new(schema.clone(), cfds.clone())
+            .horizontal(scheme.clone())
+            .build(&d)
+            .unwrap();
         det.apply(&delta).unwrap();
-        msgs.push(det.stats().total_messages());
+        msgs.push(det.net().total_messages());
     }
     // More base data means groups are better known locally: message count
     // must not *grow* with |D|.
@@ -167,7 +179,10 @@ fn delta_v_reflects_group_collapse() {
         ..cfg(300)
     };
     let (_, d) = tpch::generate(&c);
-    let mut det = VerticalDetector::new(schema, cfds.clone(), scheme, &d).unwrap();
+    let mut det = DetectorBuilder::new(schema, cfds.clone())
+        .vertical(scheme)
+        .build(&d)
+        .unwrap();
     let before = det.violations().len();
     assert!(before > 0);
 

@@ -3,7 +3,6 @@
 //! feeding the detectors.
 
 use inc_cfd::prelude::*;
-use incdetect::hybrid::{HybridDetector, HybridScheme};
 use workload::tpch::{self, TpchConfig};
 use workload::updates::{self, UpdateMix};
 
@@ -25,7 +24,10 @@ fn tpch_small() -> (std::sync::Arc<Schema>, Relation, Vec<Cfd>, TpchConfig) {
 fn hybrid_detector_matches_oracle_over_update_rounds() {
     let (s, mut d, cfds, cfg) = tpch_small();
     let scheme = HybridScheme::uniform(s.clone(), 3, 3).unwrap();
-    let mut det = HybridDetector::new(s.clone(), cfds.clone(), scheme, &d).unwrap();
+    let mut det = DetectorBuilder::new(s.clone(), cfds.clone())
+        .hybrid(scheme)
+        .build(&d)
+        .unwrap();
     let oracle0 = cfd::naive::detect(&cfds, &d);
     assert_eq!(det.violations().marks_sorted(), oracle0.marks_sorted());
 
@@ -35,7 +37,9 @@ fn hybrid_detector_matches_oracle_over_update_rounds() {
             &d,
             &fresh,
             75,
-            UpdateMix { insert_fraction: 0.8 },
+            UpdateMix {
+                insert_fraction: 0.8,
+            },
             round ^ 0x51,
         );
         det.apply(&delta).unwrap();
@@ -47,8 +51,12 @@ fn hybrid_detector_matches_oracle_over_update_rounds() {
             "round {round} diverged"
         );
     }
-    assert!(det.total_bytes() > 0, "hybrid traffic is metered");
-    assert!(det.intra_stats().total_bytes() > 0, "assembly is metered");
+    let net = det.net();
+    assert!(net.total_bytes() > 0, "hybrid traffic is metered");
+    assert!(
+        net.tier("intra").unwrap().total_bytes() > 0,
+        "assembly is metered"
+    );
 }
 
 #[test]
@@ -122,6 +130,9 @@ id,grade,CC,AC,zip,street,city
     )
     .unwrap();
     let scheme = cluster::partition::VerticalScheme::round_robin(s.clone(), 3).unwrap();
-    let det = VerticalDetector::new(s, sigma, scheme, &d).unwrap();
+    let det = DetectorBuilder::new(s, sigma)
+        .vertical(scheme)
+        .build(&d)
+        .unwrap();
     assert_eq!(det.violations().tids_sorted(), vec![1, 3, 4, 5]);
 }

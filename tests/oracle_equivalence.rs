@@ -1,61 +1,59 @@
-//! Property-based equivalence: on randomized relations, rule sets and
-//! update batches, both distributed incremental detectors must maintain
-//! exactly the violation set the centralized oracle computes — for every
-//! partition layout, with and without the HEV-plan optimizer and the MD5
-//! optimization.
+//! Randomized equivalence: on seeded random relations, rule sets and
+//! update batches, every strategy behind the `Detector` trait must
+//! maintain exactly the violation set the centralized oracle computes —
+//! for every partition layout, with and without the HEV-plan optimizer
+//! and the MD5 optimization, and for the batch baselines.
+//!
+//! Deterministic replacement for the former proptest suite: cases are
+//! generated from explicit seeds with the workspace PRNG, so a failing
+//! seed reproduces with no external shrinking machinery.
 
-use cfd::Cfd;
 use inc_cfd::prelude::*;
-use incdetect::optimize::{optimize, OptimizeConfig};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// Small domains on purpose: collisions (groups, conflicts) are the
 /// interesting cases.
-fn small_value() -> impl Strategy<Value = i64> {
-    0..4i64
+fn small_value(rng: &mut StdRng) -> i64 {
+    rng.random_range(0..4i64)
 }
 
 fn schema() -> Arc<Schema> {
     Schema::new("R", &["id", "a", "b", "c", "d", "e"], "id").unwrap()
 }
 
-prop_compose! {
-    fn arb_tuple(tid: u64)(vals in prop::collection::vec(small_value(), 5)) -> Tuple {
-        let mut v = vec![Value::int(tid as i64)];
-        v.extend(vals.into_iter().map(Value::int));
-        Tuple::new(tid, v)
+fn rand_tuple(tid: u64, rng: &mut StdRng) -> Tuple {
+    let mut v = vec![Value::int(tid as i64)];
+    for _ in 0..5 {
+        v.push(Value::int(small_value(rng)));
     }
+    Tuple::new(tid, v)
 }
 
-fn arb_relation(n: usize) -> impl Strategy<Value = Vec<Tuple>> {
-    (0..n as u64)
-        .map(arb_tuple)
-        .collect::<Vec<_>>()
+fn rand_relation(n: usize, rng: &mut StdRng) -> Vec<Tuple> {
+    (0..n as u64).map(|tid| rand_tuple(tid, rng)).collect()
 }
 
-/// A random rule set over attributes a..e: variable and constant CFDs with
-/// random patterns.
-fn arb_cfds() -> impl Strategy<Value = Vec<(Vec<(usize, Option<i64>)>, usize, Option<i64>)>> {
-    prop::collection::vec(
-        (
-            prop::collection::vec((1usize..6, prop::option::of(small_value())), 1..3),
-            1usize..6,
-            prop::option::of(small_value()),
-        ),
-        1..5,
-    )
-}
-
-fn build_cfds(
-    schema: &Schema,
-    spec: Vec<(Vec<(usize, Option<i64>)>, usize, Option<i64>)>,
-) -> Vec<Cfd> {
+/// A random rule set over attributes a..e: variable and constant CFDs
+/// with random patterns.
+fn rand_cfds(rng: &mut StdRng) -> Vec<Cfd> {
+    let s = schema();
+    let n_rules = rng.random_range(1..5usize);
     let mut out = Vec::new();
-    for (lhs_spec, rhs, rhs_const) in spec {
-        let mut lhs: Vec<(relation::AttrId, Option<Value>)> = lhs_spec
-            .into_iter()
-            .map(|(a, c)| (a as relation::AttrId, c.map(Value::int)))
+    for _ in 0..n_rules {
+        let rhs = rng.random_range(1..6usize);
+        let n_lhs = rng.random_range(1..3usize);
+        let mut lhs: Vec<(relation::AttrId, Option<i64>)> = (0..n_lhs)
+            .map(|_| {
+                let a = rng.random_range(1..6usize) as relation::AttrId;
+                let c = if rng.random_bool(0.4) {
+                    Some(small_value(rng))
+                } else {
+                    None
+                };
+                (a, c)
+            })
             .collect();
         lhs.sort_by_key(|(a, _)| *a);
         lhs.dedup_by_key(|(a, _)| *a);
@@ -63,16 +61,21 @@ fn build_cfds(
         if lhs.is_empty() {
             continue;
         }
+        let rhs_const = if rng.random_bool(0.3) {
+            Some(small_value(rng))
+        } else {
+            None
+        };
         let id = out.len() as u32;
         let (attrs, pats): (Vec<_>, Vec<_>) = lhs.into_iter().unzip();
         let cfd = Cfd::new(
             id,
-            schema,
+            &s,
             attrs,
             rhs as relation::AttrId,
             pats.into_iter()
                 .map(|p| match p {
-                    Some(v) => cfd::PatternValue::Const(v),
+                    Some(v) => cfd::PatternValue::Const(Value::int(v)),
                     None => cfd::PatternValue::Wildcard,
                 })
                 .collect(),
@@ -88,159 +91,137 @@ fn build_cfds(
     out
 }
 
-/// Random update batch: deletions of live tids, insertions of fresh
-/// tuples, occasional re-insertion after deletion (modification).
-fn arb_updates(base_n: u64, n_ops: usize) -> impl Strategy<Value = Vec<(bool, u64, Vec<i64>)>> {
-    prop::collection::vec(
-        (
-            any::<bool>(),
-            0..(base_n + n_ops as u64),
-            prop::collection::vec(small_value(), 5),
-        ),
-        0..n_ops,
-    )
-}
-
-fn run_case(
-    tuples: Vec<Tuple>,
-    cfd_spec: Vec<(Vec<(usize, Option<i64>)>, usize, Option<i64>)>,
-    ops: Vec<(bool, u64, Vec<i64>)>,
-    n_sites: usize,
-) {
-    let s = schema();
-    let cfds = build_cfds(&s, cfd_spec);
-    if cfds.is_empty() {
-        return;
-    }
-    let d = Relation::from_tuples(s.clone(), tuples).unwrap();
-
-    // Build the update batch: op=true → upsert (delete if present, then
-    // insert), op=false → delete if present.
+/// Random update batch against the live tid set: deletions of live tids,
+/// insertions of fresh tuples, re-insertion after deletion (modification).
+fn rand_updates(
+    live: &mut std::collections::BTreeSet<u64>,
+    base_n: u64,
+    n_ops: usize,
+    rng: &mut StdRng,
+) -> UpdateBatch {
     let mut delta = UpdateBatch::new();
-    let mut live: std::collections::BTreeSet<u64> = d.tids().collect();
-    for (is_insert, tid, vals) in ops {
-        if is_insert {
+    for _ in 0..rng.random_range(0..n_ops.max(1)) {
+        let tid = rng.random_range(0..base_n + n_ops as u64);
+        if rng.random_bool(0.5) {
             if live.contains(&tid) {
                 delta.delete(tid);
             }
-            let mut v = vec![Value::int(tid as i64)];
-            v.extend(vals.into_iter().map(Value::int));
-            delta.insert(Tuple::new(tid, v));
+            delta.insert(rand_tuple(tid, rng));
             live.insert(tid);
         } else if live.remove(&tid) {
             delta.delete(tid);
         }
     }
+    delta
+}
 
-    // Ground truth.
-    let mut d_new = d.clone();
-    delta.normalize(&d).apply(&mut d_new).unwrap();
-    let oracle = cfd::naive::detect(&cfds, &d_new);
+/// Stand up every strategy over `(s, cfds, d)` and `n_sites` sites.
+fn strategies(
+    s: &Arc<Schema>,
+    cfds: &[Cfd],
+    d: &Relation,
+    n_sites: usize,
+) -> Vec<Box<dyn Detector>> {
+    let vscheme = VerticalScheme::round_robin(s.clone(), n_sites).unwrap();
+    let hscheme = HorizontalScheme::by_hash(s.clone(), 1, n_sites).unwrap();
+    let yscheme = HybridScheme::uniform(s.clone(), n_sites.min(3), 2).unwrap();
+    let b = || DetectorBuilder::new(s.clone(), cfds.to_vec());
+    vec![
+        b().vertical(vscheme.clone()).build_dyn(d).unwrap(),
+        b().vertical(vscheme.clone())
+            .optimized(incdetect::optimize::OptimizeConfig {
+                k: 3,
+                eval_budget: 500,
+                relocate: true,
+            })
+            .build_dyn(d)
+            .unwrap(),
+        b().horizontal(hscheme.clone()).build_dyn(d).unwrap(),
+        b().horizontal(hscheme.clone())
+            .raw_values()
+            .build_dyn(d)
+            .unwrap(),
+        b().hybrid(yscheme).build_dyn(d).unwrap(),
+        b().baseline(BaselineStrategy::BatVer(vscheme.clone()))
+            .build_dyn(d)
+            .unwrap(),
+        b().baseline(BaselineStrategy::BatHor(hscheme.clone()))
+            .build_dyn(d)
+            .unwrap(),
+        b().baseline(BaselineStrategy::IbatVer(vscheme))
+            .build_dyn(d)
+            .unwrap(),
+        b().baseline(BaselineStrategy::IbatHor(hscheme))
+            .build_dyn(d)
+            .unwrap(),
+    ]
+}
 
-    // Vertical, default plan.
-    let vscheme = cluster::partition::VerticalScheme::round_robin(s.clone(), n_sites).unwrap();
-    let mut vdet =
-        VerticalDetector::new(s.clone(), cfds.clone(), vscheme.clone(), &d).unwrap();
-    vdet.apply(&delta).unwrap();
-    assert_eq!(
-        vdet.violations().marks_sorted(),
-        oracle.marks_sorted(),
-        "vertical/default diverged from oracle"
-    );
+#[test]
+fn detectors_match_oracle() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = schema();
+        let cfds = rand_cfds(&mut rng);
+        if cfds.is_empty() {
+            continue;
+        }
+        let d = Relation::from_tuples(s.clone(), rand_relation(24, &mut rng)).unwrap();
+        let n_sites = rng.random_range(2..5usize);
 
-    // Vertical, optimized plan.
-    let plan = optimize(&cfds, &vscheme, OptimizeConfig { k: 3, eval_budget: 500, relocate: true });
-    let mut vdet2 =
-        VerticalDetector::with_plan(s.clone(), cfds.clone(), vscheme, plan, &d).unwrap();
-    vdet2.apply(&delta).unwrap();
-    assert_eq!(
-        vdet2.violations().marks_sorted(),
-        oracle.marks_sorted(),
-        "vertical/optimized diverged from oracle"
-    );
+        let mut live: std::collections::BTreeSet<u64> = d.tids().collect();
+        let delta = rand_updates(&mut live, 24, 30, &mut rng);
 
-    // Horizontal, hash partitioning, MD5 on and off.
-    for use_md5 in [true, false] {
-        let hscheme =
-            cluster::partition::HorizontalScheme::by_hash(s.clone(), 1, n_sites).unwrap();
-        let mut hdet = incdetect::HorizontalDetector::with_options(
-            s.clone(),
-            cfds.clone(),
-            hscheme,
-            &d,
-            use_md5,
-        )
-        .unwrap();
-        hdet.apply(&delta).unwrap();
-        assert_eq!(
-            hdet.violations().marks_sorted(),
-            oracle.marks_sorted(),
-            "horizontal (md5={use_md5}) diverged from oracle"
-        );
+        // Ground truth.
+        let mut d_new = d.clone();
+        delta.normalize(&d).apply(&mut d_new).unwrap();
+        let oracle = cfd::naive::detect(&cfds, &d_new);
+
+        for det in &mut strategies(&s, &cfds, &d, n_sites) {
+            det.apply(&delta)
+                .unwrap_or_else(|e| panic!("seed {seed}: {} failed: {e}", det.strategy()));
+            assert_eq!(
+                det.violations().marks_sorted(),
+                oracle.marks_sorted(),
+                "seed {seed}: {} diverged from oracle",
+                det.strategy()
+            );
+        }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 64,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn detectors_match_oracle(
-        tuples in arb_relation(24),
-        cfd_spec in arb_cfds(),
-        ops in arb_updates(24, 30),
-        n_sites in 2usize..5,
-    ) {
-        run_case(tuples, cfd_spec, ops, n_sites);
-    }
-
-    /// Sequential batches: apply three consecutive update batches and
-    /// check the oracle after each (catches state corruption that a single
-    /// batch would miss).
-    #[test]
-    fn detectors_match_oracle_across_batches(
-        tuples in arb_relation(16),
-        cfd_spec in arb_cfds(),
-        ops1 in arb_updates(16, 12),
-        ops2 in arb_updates(16, 12),
-        ops3 in arb_updates(16, 12),
-    ) {
+/// Sequential batches: apply three consecutive update batches and check
+/// the oracle after each (catches state corruption that a single batch
+/// would miss).
+#[test]
+fn detectors_match_oracle_across_batches() {
+    for seed in 100..124u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
         let s = schema();
-        let cfds = build_cfds(&s, cfd_spec);
+        let cfds = rand_cfds(&mut rng);
         if cfds.is_empty() {
-            return Ok(());
+            continue;
         }
-        let d = Relation::from_tuples(s.clone(), tuples).unwrap();
-        let vscheme = cluster::partition::VerticalScheme::round_robin(s.clone(), 3).unwrap();
-        let hscheme = cluster::partition::HorizontalScheme::by_hash(s.clone(), 2, 3).unwrap();
-        let mut vdet = VerticalDetector::new(s.clone(), cfds.clone(), vscheme, &d).unwrap();
-        let mut hdet = incdetect::HorizontalDetector::new(s.clone(), cfds.clone(), hscheme, &d).unwrap();
+        let d = Relation::from_tuples(s.clone(), rand_relation(16, &mut rng)).unwrap();
+        let mut dets = strategies(&s, &cfds, &d, 3);
         let mut mirror = d;
 
-        for ops in [ops1, ops2, ops3] {
-            let mut delta = UpdateBatch::new();
+        for round in 0..3 {
             let mut live: std::collections::BTreeSet<u64> = mirror.tids().collect();
-            for (is_insert, tid, vals) in ops {
-                if is_insert {
-                    if live.contains(&tid) {
-                        delta.delete(tid);
-                    }
-                    let mut v = vec![Value::int(tid as i64)];
-                    v.extend(vals.into_iter().map(Value::int));
-                    delta.insert(Tuple::new(tid, v));
-                    live.insert(tid);
-                } else if live.remove(&tid) {
-                    delta.delete(tid);
-                }
-            }
-            vdet.apply(&delta).unwrap();
-            hdet.apply(&delta).unwrap();
+            let delta = rand_updates(&mut live, 16, 12, &mut rng);
             delta.normalize(&mirror.clone()).apply(&mut mirror).unwrap();
             let oracle = cfd::naive::detect(&cfds, &mirror);
-            prop_assert_eq!(vdet.violations().marks_sorted(), oracle.marks_sorted());
-            prop_assert_eq!(hdet.violations().marks_sorted(), oracle.marks_sorted());
+            for det in &mut dets {
+                det.apply(&delta).unwrap_or_else(|e| {
+                    panic!("seed {seed} round {round}: {} failed: {e}", det.strategy())
+                });
+                assert_eq!(
+                    det.violations().marks_sorted(),
+                    oracle.marks_sorted(),
+                    "seed {seed} round {round}: {} diverged",
+                    det.strategy()
+                );
+            }
         }
     }
 }

@@ -1,9 +1,14 @@
 //! End-to-end reproduction of the paper's worked examples through the
 //! public facade: Fig. 1's violation table, Example 2 (incremental insert
 //! and delete), Example 6 (single-eqid shipment), and Example 9
-//! (horizontal zero-shipment insert).
+//! (horizontal zero-shipment insert) — all constructed through
+//! `DetectorBuilder` and driven through the `Detector` trait surface.
 
 use inc_cfd::prelude::*;
+
+fn builder(schema: &std::sync::Arc<Schema>, sigma: &[Cfd]) -> DetectorBuilder {
+    DetectorBuilder::new(schema.clone(), sigma.to_vec())
+}
 
 fn setup() -> (std::sync::Arc<Schema>, Relation, Vec<Cfd>) {
     let (schema, d0) = workload::emp::emp_relation();
@@ -15,7 +20,10 @@ fn setup() -> (std::sync::Arc<Schema>, Relation, Vec<Cfd>) {
 fn fig1_violation_table_vertical() {
     let (schema, d0, sigma) = setup();
     let scheme = workload::emp::emp_vertical_scheme(&schema);
-    let det = VerticalDetector::new(schema, sigma, scheme, &d0).unwrap();
+    let det = builder(&schema, &sigma)
+        .vertical(scheme)
+        .build(&d0)
+        .unwrap();
     // φ1: t1, t3, t4, t5; φ2: t1.
     let mut phi1: Vec<Tid> = det.violations().of_cfd(0).iter().copied().collect();
     phi1.sort_unstable();
@@ -28,7 +36,10 @@ fn fig1_violation_table_vertical() {
 fn fig1_violation_table_horizontal() {
     let (schema, d0, sigma) = setup();
     let scheme = workload::emp::emp_horizontal_scheme(&schema);
-    let det = HorizontalDetector::new(schema, sigma, scheme, &d0).unwrap();
+    let det = builder(&schema, &sigma)
+        .horizontal(scheme)
+        .build(&d0)
+        .unwrap();
     assert_eq!(det.violations().tids_sorted(), vec![1, 3, 4, 5]);
 }
 
@@ -36,7 +47,10 @@ fn fig1_violation_table_horizontal() {
 fn example2_vertical_insert_t6_then_delete_t4() {
     let (schema, d0, sigma) = setup();
     let scheme = workload::emp::emp_vertical_scheme(&schema);
-    let mut det = VerticalDetector::new(schema, sigma, scheme, &d0).unwrap();
+    let mut det = builder(&schema, &sigma)
+        .vertical(scheme)
+        .build(&d0)
+        .unwrap();
 
     // (1) Insertion of t6: ΔV = {t6}.
     let mut delta = UpdateBatch::new();
@@ -70,39 +84,46 @@ fn example6_single_eqid_shipped_for_phi1() {
         incdetect::optimize::OptimizeConfig::default(),
     );
     assert_eq!(plan.neqid(), 1, "optVer finds the Fig. 3 placement");
-    let mut det = VerticalDetector::with_plan(schema, phi1, scheme, plan, &d0).unwrap();
+    let mut det = builder(&schema, &phi1)
+        .vertical(scheme)
+        .with_plan(plan)
+        .build(&d0)
+        .unwrap();
 
     let mut delta = UpdateBatch::new();
     delta.insert(workload::emp::t6());
     let dv = det.apply(&delta).unwrap();
     assert_eq!(dv.added_tids_sorted(), vec![6]);
-    assert_eq!(det.stats().total_eqids(), 1, "Example 6: a single eqid");
+    assert_eq!(det.net().total_eqids(), 1, "Example 6: a single eqid");
 
     det.reset_stats();
     let mut delta = UpdateBatch::new();
     delta.delete(4);
     let dv = det.apply(&delta).unwrap();
     assert_eq!(dv.removed_tids_sorted(), vec![4]);
-    assert_eq!(det.stats().total_eqids(), 1, "Example 6: again a single eqid");
+    assert_eq!(det.net().total_eqids(), 1, "Example 6: again a single eqid");
 }
 
 #[test]
 fn example9_horizontal_zero_shipment() {
     let (schema, d0, sigma) = setup();
     let scheme = workload::emp::emp_horizontal_scheme(&schema);
-    let mut det = HorizontalDetector::new(schema, sigma, scheme, &d0).unwrap();
+    let mut det = builder(&schema, &sigma)
+        .horizontal(scheme)
+        .build(&d0)
+        .unwrap();
 
     let mut delta = UpdateBatch::new();
     delta.insert(workload::emp::t6());
     let dv = det.apply(&delta).unwrap();
     assert_eq!(dv.added_tids_sorted(), vec![6]);
-    assert_eq!(det.stats().total_bytes(), 0, "Example 2/9: no data shipped");
+    assert_eq!(det.net().total_bytes(), 0, "Example 2/9: no data shipped");
 
     let mut delta = UpdateBatch::new();
     delta.delete(4);
     let dv = det.apply(&delta).unwrap();
     assert_eq!(dv.removed_tids_sorted(), vec![4]);
-    assert_eq!(det.stats().total_bytes(), 0, "Example 2(2): no data shipped");
+    assert_eq!(det.net().total_bytes(), 0, "Example 2(2): no data shipped");
 }
 
 #[test]
@@ -123,10 +144,14 @@ fn batch_and_incremental_agree_after_example_updates() {
     let (schema, d0, sigma) = setup();
     let vscheme = workload::emp::emp_vertical_scheme(&schema);
     let hscheme = workload::emp::emp_horizontal_scheme(&schema);
-    let mut vdet =
-        VerticalDetector::new(schema.clone(), sigma.clone(), vscheme.clone(), &d0).unwrap();
-    let mut hdet =
-        HorizontalDetector::new(schema.clone(), sigma.clone(), hscheme.clone(), &d0).unwrap();
+    let mut vdet = builder(&schema, &sigma)
+        .vertical(vscheme.clone())
+        .build(&d0)
+        .unwrap();
+    let mut hdet = builder(&schema, &sigma)
+        .horizontal(hscheme.clone())
+        .build(&d0)
+        .unwrap();
 
     let mut delta = UpdateBatch::new();
     delta.insert(workload::emp::t6());
