@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use incdetect::hev::{BaseHev, NonBaseHev};
 use incdetect::idx::Idx;
 use incdetect::md5::{digest_values, md5};
-use relation::{FxHashMap, Value};
+use relation::{FxHashMap, Sym, Value, ValuePool};
 use std::collections::HashMap;
 use std::hint::black_box;
 
@@ -54,15 +54,19 @@ fn hev_stores(c: &mut Criterion) {
     let mut group = c.benchmark_group("hev_stores");
     group.bench_function("base_acquire_release_cycle", |b| {
         b.iter(|| {
+            // Intern at ingest (one string hash per value), then probe the
+            // HEV on symbols — the detector's actual per-update shape.
+            let mut pool = ValuePool::new();
             let mut h = BaseHev::new();
-            for v in &values {
-                black_box(h.acquire(v));
+            let syms: Vec<Sym> = values.iter().map(|v| pool.acquire(v)).collect();
+            for &s in &syms {
+                black_box(h.acquire(s));
             }
-            for v in &values {
-                black_box(h.lookup(v));
+            for &s in &syms {
+                black_box(h.lookup(s));
             }
-            for v in &values {
-                h.release(v);
+            for &s in &syms {
+                h.release(s);
             }
         })
     });

@@ -1,0 +1,50 @@
+//! `bench_report` — emit the tracked benchmark baseline (`BENCH_*.json`).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_report [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks sizes and sample budgets to a CI-smoke footprint
+//! (seconds); the default full run takes on the order of a minute and is
+//! what gets committed as `BENCH_2.json`. Without `--out` the report goes
+//! to stdout only, so CI can smoke-run without touching the tree.
+
+use std::io::Write;
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }))
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: bench_report [--quick] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = bench::report::build_report(quick).render();
+    match out {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            f.write_all(report.as_bytes()).expect("write report");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{report}"),
+    }
+}

@@ -12,6 +12,8 @@
 //! EXPERIMENTS.md: incremental flat in `|D|`, linear in `|ΔD|`/`|Σ|`,
 //! batch growing with `|D|` and shipping orders of magnitude more data.
 
+pub mod report;
+
 use cfd::Cfd;
 use cluster::partition::{HorizontalScheme, VerticalScheme};
 use cluster::{CostModel, NetReport};
@@ -225,7 +227,7 @@ fn run_horizontal(
     )
 }
 
-fn tpch_delta(cfg: &tpch::TpchConfig, d: &Relation, n: usize, frac: f64) -> UpdateBatch {
+pub(crate) fn tpch_delta(cfg: &tpch::TpchConfig, d: &Relation, n: usize, frac: f64) -> UpdateBatch {
     let n_ins = ((n as f64) * frac).round() as usize;
     let fresh = tpch::generate_fresh(cfg, 1_000_000_000, n_ins, cfg.seed ^ 0xdead);
     updates::generate(

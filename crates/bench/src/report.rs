@@ -1,0 +1,750 @@
+//! The tracked benchmark baseline behind `BENCH_*.json`.
+//!
+//! `bench_report` (the binary in `src/bin/bench_report.rs`) runs two kinds
+//! of measurements and emits one JSON document per PR so the perf
+//! trajectory of the repository is held to numbers:
+//!
+//! * **Micro before/after** — the data-structure changes of the
+//!   dictionary-encoding PR, measured against faithful inline
+//!   re-implementations of the *legacy* representations (clone-keyed
+//!   grouping maps, `Value`-keyed base HEVs, `Box<[EqId]>`-keyed non-base
+//!   HEVs, fresh-buffer digesting). Reported as ops/sec plus speedup.
+//! * **Figure harnesses** — the fig9/fig10/fig11 configurations at fixed
+//!   seeds: shipped bytes, simulated network seconds, eqid counts and peak
+//!   index sizes. Byte/eqid numbers are deterministic, so later PRs can
+//!   diff them for regressions; wall-clock numbers are informational.
+//!
+//! Everything here uses explicit seeds — two runs of the same binary on
+//! the same machine produce identical deterministic sections.
+
+use cfd::Cfd;
+use cluster::{CostModel, DictMeter, NetReport};
+use incdetect::hev::{BaseHev, NonBaseHev};
+use incdetect::md5::{digest_values, digest_values_into, Digest};
+use incdetect::optimize::{optimize, OptimizeConfig};
+use incdetect::{BaselineStrategy, Detector, DetectorBuilder, HevPlan, VerticalDetector};
+use relation::{FxHashMap, Relation, SmallVec, Sym, Tid, Value, ValuePool};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use workload::{dblp, tpch};
+
+// ----------------------------------------------------------------------
+// Minimal JSON document builder (no serde in the offline crate set)
+// ----------------------------------------------------------------------
+
+/// A JSON value restricted to what the report needs.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// Number rendered with enough precision to round-trip.
+    Num(f64),
+    /// Unsigned integer (bytes, counts).
+    Int(u64),
+    /// String.
+    Str(String),
+    /// Ordered object.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience object constructor.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Num(x) => {
+                if x.is_finite() {
+                    write!(out, "{x:.4}").unwrap();
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(n) => write!(out, "{n}").unwrap(),
+            Json::Str(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).unwrap(),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    for _ in 0..indent + 2 {
+                        out.push(' ');
+                    }
+                    write!(out, "\"{k}\": ").unwrap();
+                    v.render_into(out, indent + 2);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                for _ in 0..indent {
+                    out.push(' ');
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Render as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.render_into(&mut s, 0);
+        s.push('\n');
+        s
+    }
+}
+
+// ----------------------------------------------------------------------
+// Measurement scaffolding
+// ----------------------------------------------------------------------
+
+/// Peak throughput of `pass` in ops/sec: repeat until the time budget is
+/// spent (at least `min_iters` passes) and keep the best sample. `pass`
+/// returns the number of operations it performed.
+fn measure(budget: Duration, min_iters: usize, mut pass: impl FnMut() -> usize) -> f64 {
+    let mut best = 0.0f64;
+    let started = Instant::now();
+    let mut iters = 0usize;
+    loop {
+        let t0 = Instant::now();
+        let ops = std::hint::black_box(pass());
+        let dt = t0.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(ops as f64 / dt);
+        iters += 1;
+        if iters >= min_iters && started.elapsed() >= budget {
+            break;
+        }
+    }
+    best
+}
+
+/// One before/after micro result.
+struct Micro {
+    legacy_ops_per_sec: f64,
+    current_ops_per_sec: f64,
+}
+
+impl Micro {
+    fn json(&self) -> Json {
+        Json::obj(vec![
+            ("legacy_ops_per_sec", Json::Num(self.legacy_ops_per_sec)),
+            ("current_ops_per_sec", Json::Num(self.current_ops_per_sec)),
+            (
+                "speedup",
+                Json::Num(self.current_ops_per_sec / self.legacy_ops_per_sec.max(1e-12)),
+            ),
+        ])
+    }
+}
+
+// ----------------------------------------------------------------------
+// Micro workload: string-heavy tuples with skewed domains
+// ----------------------------------------------------------------------
+
+/// `(tid, values)` rows shaped like the coordinator-side grouping input:
+/// two key attributes and one dependent, drawn from small string domains
+/// (where clone-keyed grouping pays `Box<str>` clones per row).
+fn grouping_rows(n: usize) -> Vec<(Tid, Vec<Value>)> {
+    (0..n)
+        .map(|i| {
+            let zip = format!("EH{:02} {}XY", i % 97, i % 7);
+            let street = format!("Street-{:04}", i % 211);
+            let city = format!("City-of-{:02}", i % 13);
+            (
+                i as Tid,
+                vec![Value::str(zip), Value::str(street), Value::str(city)],
+            )
+        })
+        .collect()
+}
+
+/// The pre-PR grouping loop: clone the key vector and the dependent value
+/// out of every row (this is verbatim what `naive`/`algebra`/the batch
+/// coordinators used to do).
+fn legacy_grouping_pass(rows: &[(Tid, Vec<Value>)]) -> usize {
+    let mut groups: FxHashMap<Vec<Value>, (Vec<Tid>, Option<Value>, bool)> = FxHashMap::default();
+    for (tid, vals) in rows {
+        let key = vals[..2].to_vec();
+        let b = vals[2].clone();
+        let e = groups.entry(key).or_insert((Vec::new(), None, false));
+        e.0.push(*tid);
+        match &e.1 {
+            None => e.1 = Some(b),
+            Some(first) if *first != b => e.2 = true,
+            Some(_) => {}
+        }
+    }
+    std::hint::black_box(groups.len());
+    rows.len()
+}
+
+/// The current grouping loop: intern once, group on inline symbol keys.
+fn interned_grouping_pass(rows: &[(Tid, Vec<Value>)]) -> usize {
+    let mut pool = ValuePool::new();
+    let mut groups: FxHashMap<SmallVec<Sym, 4>, (Vec<Tid>, Sym, bool)> = FxHashMap::default();
+    for (tid, vals) in rows {
+        let key: SmallVec<Sym, 4> = vals[..2].iter().map(|v| pool.acquire(v)).collect();
+        let b = pool.acquire(&vals[2]);
+        let e = groups.entry(key).or_insert((Vec::new(), b, false));
+        e.0.push(*tid);
+        if e.1 != b {
+            e.2 = true;
+        }
+    }
+    std::hint::black_box(groups.len());
+    rows.len()
+}
+
+/// The pre-PR base HEV: keyed on cloned `Value`s.
+#[derive(Default)]
+struct LegacyBaseHev {
+    map: FxHashMap<Value, (u64, u32)>,
+    next: u64,
+}
+
+impl LegacyBaseHev {
+    fn acquire(&mut self, v: &Value) -> u64 {
+        if let Some(e) = self.map.get_mut(v) {
+            e.1 += 1;
+            return e.0;
+        }
+        let id = self.next;
+        self.next += 1;
+        self.map.insert(v.clone(), (id, 1));
+        id
+    }
+
+    fn lookup(&self, v: &Value) -> Option<u64> {
+        self.map.get(v).map(|e| e.0)
+    }
+
+    fn release(&mut self, v: &Value) {
+        let e = self.map.get_mut(v).expect("live class");
+        if e.1 > 1 {
+            e.1 -= 1;
+        } else {
+            self.map.remove(v);
+        }
+    }
+}
+
+/// Base-HEV acquire/lookup/release cycle over a skewed value stream.
+fn hev_base_micro(values: &[Value], budget: Duration, min_iters: usize) -> Micro {
+    let legacy = measure(budget, min_iters, || {
+        let mut h = LegacyBaseHev::default();
+        for v in values {
+            std::hint::black_box(h.acquire(v));
+        }
+        for v in values {
+            std::hint::black_box(h.lookup(v));
+        }
+        for v in values {
+            h.release(v);
+        }
+        values.len() * 3
+    });
+    let current = measure(budget, min_iters, || {
+        // Ingest interns once; every subsequent probe is symbol-keyed, as
+        // in the detector (the deletion walk looks up by stored symbol).
+        let mut pool = ValuePool::new();
+        let mut h = BaseHev::new();
+        let syms: Vec<Sym> = values.iter().map(|v| pool.acquire(v)).collect();
+        for &s in &syms {
+            std::hint::black_box(h.acquire(s));
+        }
+        for &s in &syms {
+            std::hint::black_box(h.lookup(s));
+        }
+        for &s in &syms {
+            h.release(s);
+        }
+        for &s in &syms {
+            pool.release(s);
+        }
+        values.len() * 3
+    });
+    Micro {
+        legacy_ops_per_sec: legacy,
+        current_ops_per_sec: current,
+    }
+}
+
+/// The pre-PR non-base HEV keyed on `Box<[u64]>` (one heap allocation per
+/// newly acquired class).
+#[derive(Default)]
+struct LegacyNonBaseHev {
+    map: FxHashMap<Box<[u64]>, (u64, u32)>,
+    next: u64,
+}
+
+impl LegacyNonBaseHev {
+    fn acquire(&mut self, key: &[u64]) -> u64 {
+        if let Some(e) = self.map.get_mut(key) {
+            e.1 += 1;
+            return e.0;
+        }
+        let id = self.next;
+        self.next += 1;
+        self.map.insert(key.into(), (id, 1));
+        id
+    }
+
+    fn release(&mut self, key: &[u64]) {
+        let e = self.map.get_mut(key).expect("live class");
+        if e.1 > 1 {
+            e.1 -= 1;
+        } else {
+            self.map.remove(key);
+        }
+    }
+}
+
+/// The non-base probe as the plan walk performs it: every probe first
+/// *constructs* its key from the input eqids. Pre-PR that was a
+/// `Vec<EqId>` collect per walk step (acquire, lookup and release alike)
+/// plus a `Box<[EqId]>` per newly acquired class; now the key is an
+/// inline [`incdetect::hev::EqKey`] and storage reuses it.
+fn hev_nonbase_micro(budget: Duration, min_iters: usize) -> Micro {
+    const N: u64 = 4096;
+    let inputs = |i: u64| [i % 61, i % 13, i % 7];
+    let legacy = measure(budget, min_iters, || {
+        let mut h = LegacyNonBaseHev::default();
+        for i in 0..N {
+            let key: Vec<u64> = inputs(i).into_iter().collect();
+            std::hint::black_box(h.acquire(&key));
+        }
+        for i in 0..N {
+            let key: Vec<u64> = inputs(i).into_iter().collect();
+            h.release(&key);
+        }
+        (N * 2) as usize
+    });
+    let current = measure(budget, min_iters, || {
+        let mut h = NonBaseHev::new();
+        for i in 0..N {
+            let key: incdetect::hev::EqKey = inputs(i).into_iter().collect();
+            std::hint::black_box(h.acquire(&key));
+        }
+        for i in 0..N {
+            let key: incdetect::hev::EqKey = inputs(i).into_iter().collect();
+            h.release(&key);
+        }
+        (N * 2) as usize
+    });
+    Micro {
+        legacy_ops_per_sec: legacy,
+        current_ops_per_sec: current,
+    }
+}
+
+/// Digesting: fresh scratch per call vs one reused buffer.
+fn digest_micro(budget: Duration, min_iters: usize) -> Micro {
+    let vals = vec![
+        Value::int(42),
+        Value::str("Customer#000042"),
+        Value::str("a fairly long street address line"),
+    ];
+    const R: usize = 2048;
+    let legacy = measure(budget, min_iters, || {
+        for _ in 0..R {
+            std::hint::black_box(digest_values(&vals));
+        }
+        R
+    });
+    let current = measure(budget, min_iters, || {
+        let mut scratch = Vec::with_capacity(64);
+        for _ in 0..R {
+            std::hint::black_box(digest_values_into(&mut scratch, &vals));
+        }
+        R
+    });
+    Micro {
+        legacy_ops_per_sec: legacy,
+        current_ops_per_sec: current,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Figure harnesses at fixed seeds
+// ----------------------------------------------------------------------
+
+struct NetNumbers {
+    inc_bytes: u64,
+    bat_bytes: u64,
+    inc_eqids: u64,
+    inc_sim_s: f64,
+    bat_sim_s: f64,
+    inc_wall_s: f64,
+    bat_wall_s: f64,
+}
+
+impl NetNumbers {
+    fn json(&self) -> Json {
+        Json::obj(vec![
+            ("inc_wire_bytes", Json::Int(self.inc_bytes)),
+            ("bat_wire_bytes", Json::Int(self.bat_bytes)),
+            ("inc_eqids", Json::Int(self.inc_eqids)),
+            ("inc_simulated_net_seconds", Json::Num(self.inc_sim_s)),
+            ("bat_simulated_net_seconds", Json::Num(self.bat_sim_s)),
+            ("inc_wall_seconds_info", Json::Num(self.inc_wall_s)),
+            ("bat_wall_seconds_info", Json::Num(self.bat_wall_s)),
+        ])
+    }
+}
+
+fn sim(net: &NetReport) -> f64 {
+    net.pipelined_seconds(&CostModel::default())
+}
+
+fn run_fixed_pair(
+    mut inc: Box<dyn Detector>,
+    mut bat: Box<dyn Detector>,
+    delta: &relation::UpdateBatch,
+) -> NetNumbers {
+    let t0 = Instant::now();
+    inc.apply(delta).expect("incremental apply");
+    let inc_wall = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    bat.apply(delta).expect("batch apply");
+    let bat_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        inc.violations().marks_sorted(),
+        bat.violations().marks_sorted(),
+        "{} and {} must agree",
+        inc.strategy(),
+        bat.strategy()
+    );
+    let (inc_net, bat_net) = (inc.net(), bat.net());
+    NetNumbers {
+        inc_bytes: inc_net.total_bytes(),
+        bat_bytes: bat_net.total_bytes(),
+        inc_eqids: inc_net.total_eqids(),
+        inc_sim_s: sim(&inc_net),
+        bat_sim_s: sim(&bat_net),
+        inc_wall_s: inc_wall,
+        bat_wall_s: bat_wall,
+    }
+}
+
+/// Fixed-seed TPCH instance shared by the fig9/fig11 sections.
+fn fixed_tpch(
+    quick: bool,
+) -> (
+    std::sync::Arc<relation::Schema>,
+    Vec<Cfd>,
+    Relation,
+    relation::UpdateBatch,
+) {
+    let schema = tpch::tpch_schema();
+    let cfds = workload::rules::tpch_rules(&schema, if quick { 10 } else { 50 }, 1);
+    let n_rows = if quick { 400 } else { 4_000 };
+    let cfg = tpch::TpchConfig {
+        n_rows,
+        n_customers: (n_rows / 20).max(50),
+        n_parts: (n_rows / 30).max(30),
+        n_suppliers: (n_rows / 100).max(10),
+        error_rate: 0.02,
+        seed: 42,
+    };
+    let (_, d) = tpch::generate(&cfg);
+    let delta = crate::tpch_delta(&cfg, &d, n_rows / 2, 0.8);
+    (schema, cfds, d, delta)
+}
+
+/// Fig. 9 shape: incremental vs batch over both layouts, plus the
+/// md5-vs-raw wire split of the horizontal detector. All byte counts are
+/// deterministic at the fixed seed.
+fn fig9(quick: bool) -> Json {
+    let (schema, cfds, d, delta) = fixed_tpch(quick);
+    let n_sites = 10;
+
+    let vs = tpch::vertical_scheme(&schema, n_sites);
+    let inc = DetectorBuilder::new(schema.clone(), cfds.clone())
+        .vertical(vs.clone())
+        .build_dyn(&d)
+        .unwrap();
+    let bat = DetectorBuilder::new(schema.clone(), cfds.clone())
+        .baseline(BaselineStrategy::BatVer(vs))
+        .initial_violations(inc.violations().clone())
+        .build_dyn(&d)
+        .unwrap();
+    let vertical = run_fixed_pair(inc, bat, &delta);
+
+    let hs = tpch::horizontal_scheme(&schema, n_sites);
+    let inc = DetectorBuilder::new(schema.clone(), cfds.clone())
+        .horizontal(hs.clone())
+        .build_dyn(&d)
+        .unwrap();
+    let bat = DetectorBuilder::new(schema.clone(), cfds.clone())
+        .baseline(BaselineStrategy::BatHor(hs.clone()))
+        .initial_violations(inc.violations().clone())
+        .build_dyn(&d)
+        .unwrap();
+    let horizontal_md5 = run_fixed_pair(inc, bat, &delta);
+
+    let inc = DetectorBuilder::new(schema.clone(), cfds.clone())
+        .horizontal(hs.clone())
+        .raw_values()
+        .build_dyn(&d)
+        .unwrap();
+    let bat = DetectorBuilder::new(schema.clone(), cfds.clone())
+        .baseline(BaselineStrategy::BatHor(hs))
+        .initial_violations(inc.violations().clone())
+        .build_dyn(&d)
+        .unwrap();
+    let horizontal_raw = run_fixed_pair(inc, bat, &delta);
+
+    Json::obj(vec![
+        ("vertical", vertical.json()),
+        ("horizontal_md5", horizontal_md5.json()),
+        ("horizontal_raw", horizontal_raw.json()),
+    ])
+}
+
+/// Fig. 10 shape: eqid shipments per unit update with/without the §5 plan
+/// optimizer (fully deterministic).
+fn fig10() -> Json {
+    let mut out = Vec::new();
+    {
+        let schema = tpch::tpch_schema();
+        let cfds = workload::rules::tpch_rules(&schema, 50, 1);
+        let scheme = tpch::vertical_scheme(&schema, 10);
+        let default = HevPlan::default_chains(&cfds, &scheme);
+        let opt = optimize(&cfds, &scheme, OptimizeConfig::default());
+        out.push((
+            "tpch",
+            Json::obj(vec![
+                ("default_neqid", Json::Int(default.neqid() as u64)),
+                ("optimized_neqid", Json::Int(opt.neqid() as u64)),
+            ]),
+        ));
+    }
+    {
+        let schema = dblp::dblp_schema();
+        let cfds = workload::rules::dblp_rules(&schema, 16, 3);
+        let scheme = dblp::vertical_scheme(&schema, 10);
+        let default = HevPlan::default_chains(&cfds, &scheme);
+        let opt = optimize(&cfds, &scheme, OptimizeConfig::default());
+        out.push((
+            "dblp",
+            Json::obj(vec![
+                ("default_neqid", Json::Int(default.neqid() as u64)),
+                ("optimized_neqid", Json::Int(opt.neqid() as u64)),
+            ]),
+        ));
+    }
+    Json::obj(out)
+}
+
+/// Fig. 11 shape: incremental vs refined batch, both layouts.
+fn fig11(quick: bool) -> Json {
+    let (schema, cfds, d, delta) = fixed_tpch(quick);
+    let vs = tpch::vertical_scheme(&schema, 10);
+    let inc = DetectorBuilder::new(schema.clone(), cfds.clone())
+        .vertical(vs.clone())
+        .build_dyn(&d)
+        .unwrap();
+    let ibat = DetectorBuilder::new(schema.clone(), cfds.clone())
+        .baseline(BaselineStrategy::IbatVer(vs))
+        .initial_violations(inc.violations().clone())
+        .build_dyn(&d)
+        .unwrap();
+    let ver = run_fixed_pair(inc, ibat, &delta);
+
+    let hs = tpch::horizontal_scheme(&schema, 10);
+    let inc = DetectorBuilder::new(schema.clone(), cfds.clone())
+        .horizontal(hs.clone())
+        .build_dyn(&d)
+        .unwrap();
+    let ibat = DetectorBuilder::new(schema.clone(), cfds.clone())
+        .baseline(BaselineStrategy::IbatHor(hs))
+        .initial_violations(inc.violations().clone())
+        .build_dyn(&d)
+        .unwrap();
+    let hor = run_fixed_pair(inc, ibat, &delta);
+    Json::obj(vec![("vertical", ver.json()), ("horizontal", hor.json())])
+}
+
+/// Peak index sizes of the vertical detector after load + delta: the
+/// dictionary, HEV and IDX footprints the paper's Proposition 6 bounds.
+fn peak_index_sizes(quick: bool) -> Json {
+    let (schema, cfds, d, delta) = fixed_tpch(quick);
+    let vs = tpch::vertical_scheme(&schema, 10);
+    let mut det = VerticalDetector::new(schema, cfds, vs, &d).unwrap();
+    det.apply(&delta).unwrap();
+    let (dict, base, nonbase, idx) = det.index_sizes();
+    Json::obj(vec![
+        ("dict_entries", Json::Int(dict as u64)),
+        ("base_hev_classes", Json::Int(base as u64)),
+        ("nonbase_hev_classes", Json::Int(nonbase as u64)),
+        ("idx_member_tuples", Json::Int(idx as u64)),
+    ])
+}
+
+/// Projected wire cost of shipping the delta's CFD-relevant attribute
+/// values over one link under three models: raw values, the §6 MD5 rule
+/// (digest iff smaller), and dictionary shipment ([`DictMeter`]: 4 B per
+/// symbol + one-time dictionary entries). The md5/raw numbers are the
+/// per-value costs the horizontal detector's modes actually charge.
+fn wire_model(quick: bool) -> Json {
+    let (_, cfds, _, delta) = fixed_tpch(quick);
+    let mut pool = ValuePool::new();
+    let mut meter = DictMeter::new();
+    let (mut raw, mut md5_mode, mut dict) = (0u64, 0u64, 0u64);
+    let mut n_values = 0u64;
+    for t in delta.insertions() {
+        for cfd in &cfds {
+            if !cfd.matches_lhs(t) {
+                continue;
+            }
+            for v in t.iter_at(&cfd.lhs) {
+                let w = v.wire_size() as u64;
+                raw += w;
+                md5_mode += w.min(Digest::WIRE_SIZE as u64);
+                let sym = pool.acquire(v);
+                dict += meter.ship_sym(0, 1, sym, v) as u64;
+                n_values += 1;
+            }
+        }
+    }
+    Json::obj(vec![
+        ("values_shipped", Json::Int(n_values)),
+        ("raw_bytes", Json::Int(raw)),
+        ("md5_mode_bytes", Json::Int(md5_mode)),
+        ("dict_bytes", Json::Int(dict)),
+        ("dict_dictionary_bytes", Json::Int(meter.dict_bytes())),
+        ("dict_symbol_bytes", Json::Int(meter.sym_bytes())),
+    ])
+}
+
+// ----------------------------------------------------------------------
+// Top level
+// ----------------------------------------------------------------------
+
+/// Build the full report. `quick` shrinks sizes and sample budgets to a
+/// CI-smoke footprint (a few seconds).
+pub fn build_report(quick: bool) -> Json {
+    let (budget, min_iters) = if quick {
+        (Duration::ZERO, 1)
+    } else {
+        (Duration::from_millis(600), 5)
+    };
+    let rows = grouping_rows(if quick { 4_000 } else { 120_000 });
+    let grouping = Micro {
+        legacy_ops_per_sec: measure(budget, min_iters, || legacy_grouping_pass(&rows)),
+        current_ops_per_sec: measure(budget, min_iters, || interned_grouping_pass(&rows)),
+    };
+    let hev_values: Vec<Value> = (0..4096)
+        .map(|i| Value::str(format!("value-{:05}", i % 512)))
+        .collect();
+    let hev_base = hev_base_micro(&hev_values, budget, min_iters);
+    let hev_nonbase = hev_nonbase_micro(budget, min_iters);
+    let digest = digest_micro(budget, min_iters);
+
+    Json::obj(vec![
+        ("schema_version", Json::Int(1)),
+        ("report", Json::Str("BENCH_2".into())),
+        (
+            "description",
+            Json::Str(
+                "Dictionary-encoded values + allocation-free detection hot paths: \
+                 micro before/after (legacy = pre-PR representations re-implemented \
+                 inline) and fixed-seed fig9/fig10/fig11 harness numbers"
+                    .into(),
+            ),
+        ),
+        (
+            "mode",
+            Json::Str(if quick { "quick" } else { "full" }.into()),
+        ),
+        (
+            "micro",
+            Json::obj(vec![
+                ("grouping", grouping.json()),
+                ("hev_base", hev_base.json()),
+                ("hev_nonbase", hev_nonbase.json()),
+                ("md5_digest_scratch", digest.json()),
+            ]),
+        ),
+        ("fig9", fig9(quick)),
+        ("fig10", fig10()),
+        ("fig11", fig11(quick)),
+        ("peak_index_sizes", peak_index_sizes(quick)),
+        ("wire_model", wire_model(quick)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_renders_escaped() {
+        let j = Json::obj(vec![
+            ("a", Json::Int(3)),
+            ("b", Json::Str("x\"y\\z\n".into())),
+            ("c", Json::obj(vec![("n", Json::Num(1.5))])),
+        ]);
+        let s = j.render();
+        assert!(s.contains("\"a\": 3"));
+        assert!(s.contains("\\\"y\\\\z\\n"));
+        assert!(s.contains("\"n\": 1.5000"));
+    }
+
+    #[test]
+    fn quick_report_has_all_sections() {
+        let r = build_report(true).render();
+        for key in [
+            "micro",
+            "grouping",
+            "hev_base",
+            "hev_nonbase",
+            "fig9",
+            "horizontal_raw",
+            "fig10",
+            "fig11",
+            "peak_index_sizes",
+            "wire_model",
+        ] {
+            assert!(r.contains(&format!("\"{key}\"")), "missing section {key}");
+        }
+    }
+
+    #[test]
+    fn legacy_and_interned_grouping_agree() {
+        let rows = grouping_rows(2_000);
+        // Same pass shape: compare the violating-group structure, not just
+        // ops counts — run both and check group counts match.
+        let mut legacy: FxHashMap<Vec<Value>, Vec<Tid>> = FxHashMap::default();
+        for (tid, vals) in &rows {
+            legacy.entry(vals[..2].to_vec()).or_default().push(*tid);
+        }
+        let mut pool = ValuePool::new();
+        let mut interned: FxHashMap<SmallVec<Sym, 4>, Vec<Tid>> = FxHashMap::default();
+        for (tid, vals) in &rows {
+            let key: SmallVec<Sym, 4> = vals[..2].iter().map(|v| pool.acquire(v)).collect();
+            interned.entry(key).or_default().push(*tid);
+        }
+        assert_eq!(legacy.len(), interned.len());
+        let mut a: Vec<Vec<Tid>> = legacy.into_values().collect();
+        let mut b: Vec<Vec<Tid>> = interned.into_values().collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "identical group memberships");
+    }
+}

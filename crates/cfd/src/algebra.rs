@@ -12,7 +12,9 @@
 use crate::cfd::Cfd;
 use crate::pattern::PatternValue;
 use crate::violation::Violations;
-use relation::{AttrId, FxHashMap, FxHashSet, Relation, Tid, Tuple, Value};
+use relation::{
+    AttrId, FxHashMap, FxHashSet, Relation, SmallVec, Sym, Tid, Tuple, Value, ValuePool,
+};
 
 /// A selection predicate: conjunction of `attr = const` atoms.
 #[derive(Debug, Clone, Default)]
@@ -40,7 +42,9 @@ pub fn select<'a>(d: &'a Relation, pred: &'a EqSelect) -> impl Iterator<Item = &
 }
 
 /// `GROUP BY keys HAVING COUNT(DISTINCT dep) > 1`, returning for each
-/// surviving group its member tids.
+/// surviving group its member tids. Group keys and the distinct-dep check
+/// run on interned symbols (one pass-local dictionary), so grouping never
+/// clones attribute values.
 pub fn group_having_multiple_dep(
     tuples: impl Iterator<Item = impl std::borrow::Borrow<Tuple>>,
     keys: &[AttrId],
@@ -48,24 +52,23 @@ pub fn group_having_multiple_dep(
 ) -> Vec<Vec<Tid>> {
     struct G {
         tids: Vec<Tid>,
-        first: Option<Value>,
+        first: Sym,
         mixed: bool,
     }
-    let mut groups: FxHashMap<Vec<Value>, G> = FxHashMap::default();
+    let mut pool = ValuePool::new();
+    let mut groups: FxHashMap<SmallVec<Sym, 4>, G> = FxHashMap::default();
     for t in tuples {
         let t = t.borrow();
-        let key = t.values_at(keys);
-        let b = t.get(dep).clone();
+        let key: SmallVec<Sym, 4> = t.iter_at(keys).map(|v| pool.acquire(v)).collect();
+        let b = pool.acquire(t.get(dep));
         let g = groups.entry(key).or_insert(G {
             tids: Vec::new(),
-            first: None,
+            first: b,
             mixed: false,
         });
         g.tids.push(t.tid);
-        match &g.first {
-            None => g.first = Some(b),
-            Some(f) if *f != b => g.mixed = true,
-            Some(_) => {}
+        if g.first != b {
+            g.mixed = true;
         }
     }
     groups

@@ -6,7 +6,7 @@
 //! normalized into one `Cfd` per (RHS attribute × tableau row), which is the
 //! form all of the paper's algorithms operate on.
 
-use crate::pattern::{matches_all, PatternValue};
+use crate::pattern::{matches_all_iter, PatternValue};
 use crate::CfdError;
 use relation::{AttrId, Schema, Tuple, Value};
 use std::fmt;
@@ -129,13 +129,16 @@ impl Cfd {
             .collect()
     }
 
-    /// Does `t[X] ≍ t_p[X]`? (the tuple falls under this CFD's scope)
+    /// Does `t[X] ≍ t_p[X]`? (the tuple falls under this CFD's scope) —
+    /// borrows through [`Tuple::iter_at`], no per-call vector.
     pub fn matches_lhs(&self, t: &Tuple) -> bool {
-        let vals: Vec<&Value> = self.lhs.iter().map(|&a| t.get(a)).collect();
-        matches_all(&vals, &self.lhs_pattern)
+        matches_all_iter(t.iter_at(&self.lhs), &self.lhs_pattern)
     }
 
-    /// The LHS values `t[X]` of a tuple (the group key for violations).
+    /// The LHS values `t[X]` of a tuple, cloned (the group key for
+    /// violations). Read-only consumers should prefer
+    /// `t.iter_at(&cfd.lhs)` or intern through a
+    /// [`relation::ValuePool`] instead of cloning per probe.
     pub fn lhs_values(&self, t: &Tuple) -> Vec<Value> {
         t.values_at(&self.lhs)
     }

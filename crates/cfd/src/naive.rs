@@ -10,7 +10,10 @@
 
 use crate::cfd::{Cfd, CfdId};
 use crate::violation::Violations;
-use relation::{FxHashMap, Relation, Tid, Value};
+use relation::{FxHashMap, Relation, SmallVec, Sym, Tid, ValuePool};
+
+/// Interned group key `t[X]` — inline for the common arities.
+type GroupKey = SmallVec<Sym, 4>;
 
 /// Compute `V(Σ, D)` from scratch on a centralized relation.
 pub fn detect(cfds: &[Cfd], d: &Relation) -> Violations {
@@ -34,20 +37,21 @@ pub fn detect_one(cfd: &Cfd, d: &Relation, out: &mut Violations) {
     } else {
         // A variable CFD: group pattern-matching tuples by t[X]; every
         // member of a group with ≥ 2 distinct RHS values is a violation.
-        let mut groups: FxHashMap<Vec<Value>, (Vec<Tid>, Option<Value>, bool)> =
-            FxHashMap::default();
+        // Values are interned through a pass-local dictionary, so group
+        // keys are inline symbol vectors and the RHS comparison is an
+        // integer equality — no per-tuple value clones.
+        let mut pool = ValuePool::new();
+        let mut groups: FxHashMap<GroupKey, (Vec<Tid>, Sym, bool)> = FxHashMap::default();
         for t in d.iter() {
             if !cfd.matches_lhs(t) {
                 continue;
             }
-            let key = cfd.lhs_values(t);
-            let b = t.get(cfd.rhs).clone();
-            let entry = groups.entry(key).or_insert((Vec::new(), None, false));
+            let key: GroupKey = t.iter_at(&cfd.lhs).map(|v| pool.acquire(v)).collect();
+            let b = pool.acquire(t.get(cfd.rhs));
+            let entry = groups.entry(key).or_insert((Vec::new(), b, false));
             entry.0.push(t.tid);
-            match &entry.1 {
-                None => entry.1 = Some(b),
-                Some(first) if *first != b => entry.2 = true,
-                Some(_) => {}
+            if entry.1 != b {
+                entry.2 = true;
             }
         }
         for (_, (tids, _, mixed)) in groups {
@@ -85,7 +89,7 @@ pub fn violated_cfds(cfds: &[Cfd], d: &Relation) -> Vec<CfdId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use relation::{Schema, Tuple};
+    use relation::{Schema, Tuple, Value};
     use std::sync::Arc;
 
     /// The EMP relation of Fig. 2 (t1–t5) restricted to the attributes the

@@ -42,8 +42,18 @@ impl PatternValue {
 
 /// `≍` extended to tuples of values vs. tuples of patterns.
 pub fn matches_all(values: &[&Value], patterns: &[PatternValue]) -> bool {
+    matches_all_iter(values.iter().copied(), patterns)
+}
+
+/// [`matches_all`] over a borrowed-value iterator — the allocation-free
+/// form for call sites (e.g. [`Tuple::iter_at`](relation::Tuple::iter_at)
+/// consumers) that don't have a collected slice.
+pub fn matches_all_iter<'a>(
+    values: impl ExactSizeIterator<Item = &'a Value>,
+    patterns: &[PatternValue],
+) -> bool {
     debug_assert_eq!(values.len(), patterns.len());
-    values.iter().zip(patterns).all(|(v, p)| p.matches(v))
+    values.zip(patterns).all(|(v, p)| p.matches(v))
 }
 
 impl fmt::Display for PatternValue {

@@ -20,7 +20,7 @@ pub mod partition;
 pub mod transport;
 
 pub use netstats::{CostModel, NetReport, NetStats};
-pub use transport::{Network, Wire};
+pub use transport::{DictMeter, Network, Wire};
 
 /// Identifier of a site `S_i`. Sites are numbered `0..n`.
 pub type SiteId = usize;

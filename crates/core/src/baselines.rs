@@ -21,8 +21,13 @@ use crate::vertical::VerticalDetector;
 use cfd::{Cfd, CfdId, DeltaV, Violations};
 use cluster::partition::{HorizontalScheme, VerticalScheme};
 use cluster::{NetReport, NetStats, Network, SiteId, Wire};
-use relation::{AttrId, FxHashMap, Relation, Schema, Tid, UpdateBatch, Value};
+use relation::{
+    AttrId, FxHashMap, Relation, Schema, SmallVec, Sym, Tid, UpdateBatch, Value, ValuePool,
+};
 use std::sync::Arc;
+
+/// Interned group key for the coordinator-side `GROUP BY t[X]`.
+type GroupKey = SmallVec<Sym, 4>;
 
 /// Column/tuple payloads shipped by the batch baselines.
 #[derive(Debug, Clone)]
@@ -139,33 +144,29 @@ fn bat_ver_one(cfd: &Cfd, scheme: &VerticalScheme, fragments: &[Relation]) -> (V
             *site_count.entry(*tid).or_insert(0) += 1;
         }
     }
-    // Only tuples surviving every site's local filter participate.
-    let mut groups: FxHashMap<Vec<Value>, (Vec<Tid>, Option<Value>, bool)> = FxHashMap::default();
+    // Only tuples surviving every site's local filter participate. The
+    // group-by runs on interned symbols: pattern checks borrow, keys are
+    // inline symbol vectors, and the distinct-B test is integer equality.
+    let mut pool = ValuePool::new();
+    let mut groups: FxHashMap<GroupKey, (Vec<Tid>, Sym, bool)> = FxHashMap::default();
     for (tid, vals) in &assembled {
         if site_count[tid] != n_serving {
             continue;
         }
-        let lhs_vals: Vec<Value> = cfd.lhs.iter().map(|a| vals[a].clone()).collect();
-        let matches = cfd
-            .lhs_pattern
-            .iter()
-            .zip(&lhs_vals)
-            .all(|(p, v)| p.matches(v));
-        if !matches {
+        if !cfd::pattern::matches_all_iter(cfd.lhs.iter().map(|a| &vals[a]), &cfd.lhs_pattern) {
             continue;
         }
-        let b = vals[&cfd.rhs].clone();
         if cfd.is_constant() {
-            if !cfd.rhs_pattern.matches(&b) {
+            if !cfd.rhs_pattern.matches(&vals[&cfd.rhs]) {
                 out.push(*tid);
             }
         } else {
-            let e = groups.entry(lhs_vals).or_insert((Vec::new(), None, false));
+            let key: GroupKey = cfd.lhs.iter().map(|a| pool.acquire(&vals[a])).collect();
+            let b = pool.acquire(&vals[&cfd.rhs]);
+            let e = groups.entry(key).or_insert((Vec::new(), b, false));
             e.0.push(*tid);
-            match &e.1 {
-                None => e.1 = Some(b),
-                Some(first) if *first != b => e.2 = true,
-                Some(_) => {}
+            if e.1 != b {
+                e.2 = true;
             }
         }
     }
@@ -236,18 +237,18 @@ fn bat_hor_one(cfd: &Cfd, n: usize, fragments: &[Relation]) -> (Vec<Tid>, NetSta
         }
         all_rows.extend(rows);
     }
-    // Group by X values (positions 0..lhs.len() of the projection).
+    // Group by X values (positions 0..lhs.len() of the projection),
+    // interned — no key-vector clones per shipped row.
     let m = cfd.lhs.len();
-    let mut groups: FxHashMap<Vec<Value>, (Vec<Tid>, Option<Value>, bool)> = FxHashMap::default();
+    let mut pool = ValuePool::new();
+    let mut groups: FxHashMap<GroupKey, (Vec<Tid>, Sym, bool)> = FxHashMap::default();
     for (tid, vals) in all_rows {
-        let key = vals[..m].to_vec();
-        let b = vals[m].clone();
-        let e = groups.entry(key).or_insert((Vec::new(), None, false));
+        let key: GroupKey = vals[..m].iter().map(|v| pool.acquire(v)).collect();
+        let b = pool.acquire(&vals[m]);
+        let e = groups.entry(key).or_insert((Vec::new(), b, false));
         e.0.push(tid);
-        match &e.1 {
-            None => e.1 = Some(b),
-            Some(first) if *first != b => e.2 = true,
-            Some(_) => {}
+        if e.1 != b {
+            e.2 = true;
         }
     }
     for (_, (tids, _, mixed)) in groups {

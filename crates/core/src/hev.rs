@@ -10,16 +10,28 @@
 //! garbage-collect equivalence classes, keeping index size proportional to
 //! the live database. All operations are O(1) hash probes, which is what
 //! makes the computational cost of the detectors `O(|ΔD| + |ΔV|)`.
+//!
+//! **Representation.** Values are dictionary-encoded at ingest
+//! ([`relation::ValuePool`]), so a base HEV keys on fixed-size [`Sym`]bols —
+//! probes hash a `u32` instead of a string payload, and the index never
+//! clones values. Non-base HEV keys are short eqid vectors stored inline
+//! ([`EqKey`]): acquiring a class allocates nothing for arities up to the
+//! inline capacity, where the old `Box<[EqId]>` representation paid one
+//! heap allocation per probe.
 
-use relation::{FxHashMap, Value};
+use relation::{FxHashMap, SmallVec, Sym};
 
 /// An equivalence-class identifier, unique within its owning HEV.
 pub type EqId = u64;
 
-/// A base HEV: distinct attribute values → eqids, shared by all CFDs.
+/// Inline key of a non-base HEV: eqid vectors of arity ≤ 4 (the common
+/// case — `X ∪ {B}` chains combine two inputs at a time) stay on the stack.
+pub type EqKey = SmallVec<EqId, 4>;
+
+/// A base HEV: distinct attribute symbols → eqids, shared by all CFDs.
 #[derive(Debug, Default)]
 pub struct BaseHev {
-    map: FxHashMap<Value, Entry>,
+    map: FxHashMap<Sym, Entry>,
     next: EqId,
 }
 
@@ -35,39 +47,39 @@ impl BaseHev {
         BaseHev::default()
     }
 
-    /// Eqid for `v`, allocating a new class and taking a reference.
-    pub fn acquire(&mut self, v: &Value) -> EqId {
-        if let Some(e) = self.map.get_mut(v) {
+    /// Eqid for symbol `s`, allocating a new class and taking a reference.
+    pub fn acquire(&mut self, s: Sym) -> EqId {
+        if let Some(e) = self.map.get_mut(&s) {
             e.refs += 1;
             return e.id;
         }
         let id = self.next;
         self.next += 1;
-        self.map.insert(v.clone(), Entry { id, refs: 1 });
+        self.map.insert(s, Entry { id, refs: 1 });
         id
     }
 
-    /// Eqid for `v` without changing reference counts (pure lookup).
-    pub fn lookup(&self, v: &Value) -> Option<EqId> {
-        self.map.get(v).map(|e| e.id)
+    /// Eqid for symbol `s` without changing reference counts (pure lookup).
+    pub fn lookup(&self, s: Sym) -> Option<EqId> {
+        self.map.get(&s).map(|e| e.id)
     }
 
-    /// Release one reference on `v`'s class, garbage-collecting it at zero.
-    /// Returns the eqid the value had.
+    /// Release one reference on `s`'s class, garbage-collecting it at zero.
+    /// Returns the eqid the symbol had.
     ///
     /// # Panics
-    /// Panics if `v` has no live class — that indicates the caller's
+    /// Panics if `s` has no live class — that indicates the caller's
     /// insert/delete bookkeeping is out of sync.
-    pub fn release(&mut self, v: &Value) -> EqId {
+    pub fn release(&mut self, s: Sym) -> EqId {
         let e = self
             .map
-            .get_mut(v)
+            .get_mut(&s)
             .expect("release of value with no live equivalence class");
         let id = e.id;
         if e.refs > 1 {
             e.refs -= 1;
         } else {
-            self.map.remove(v);
+            self.map.remove(&s);
         }
         id
     }
@@ -86,7 +98,7 @@ impl BaseHev {
 /// A non-base HEV: vectors of input eqids → combined eqid.
 #[derive(Debug, Default)]
 pub struct NonBaseHev {
-    map: FxHashMap<Box<[EqId]>, Entry>,
+    map: FxHashMap<EqKey, Entry>,
     next: EqId,
 }
 
@@ -96,7 +108,9 @@ impl NonBaseHev {
         NonBaseHev::default()
     }
 
-    /// Eqid for the input-eqid vector, allocating and referencing.
+    /// Eqid for the input-eqid vector, allocating and referencing. The
+    /// probe hashes the borrowed slice; a key is only materialized (inline,
+    /// for short vectors) when the class is new.
     pub fn acquire(&mut self, key: &[EqId]) -> EqId {
         if let Some(e) = self.map.get_mut(key) {
             e.refs += 1;
@@ -104,7 +118,8 @@ impl NonBaseHev {
         }
         let id = self.next;
         self.next += 1;
-        self.map.insert(key.into(), Entry { id, refs: 1 });
+        self.map
+            .insert(EqKey::from_slice(key), Entry { id, refs: 1 });
         id
     }
 
@@ -145,31 +160,37 @@ impl NonBaseHev {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use relation::{Value, ValuePool};
 
     #[test]
-    fn base_assigns_stable_ids_per_value() {
+    fn base_assigns_stable_ids_per_symbol() {
+        let mut p = ValuePool::new();
         let mut h = BaseHev::new();
-        let a = h.acquire(&Value::int(44));
-        let b = h.acquire(&Value::int(44));
-        let c = h.acquire(&Value::int(1));
+        let s44 = p.acquire(&Value::int(44));
+        let s1 = p.acquire(&Value::int(1));
+        let a = h.acquire(s44);
+        let b = h.acquire(s44);
+        let c = h.acquire(s1);
         assert_eq!(a, b);
         assert_ne!(a, c);
-        assert_eq!(h.lookup(&Value::int(44)), Some(a));
+        assert_eq!(h.lookup(s44), Some(a));
         assert_eq!(h.len(), 2);
     }
 
     #[test]
     fn base_refcount_gc() {
+        let mut p = ValuePool::new();
+        let sx = p.acquire(&Value::str("x"));
         let mut h = BaseHev::new();
-        let a = h.acquire(&Value::str("x"));
-        h.acquire(&Value::str("x"));
-        assert_eq!(h.release(&Value::str("x")), a);
-        assert_eq!(h.lookup(&Value::str("x")), Some(a), "one ref remains");
-        h.release(&Value::str("x"));
-        assert_eq!(h.lookup(&Value::str("x")), None, "class collected");
+        let a = h.acquire(sx);
+        h.acquire(sx);
+        assert_eq!(h.release(sx), a);
+        assert_eq!(h.lookup(sx), Some(a), "one ref remains");
+        h.release(sx);
+        assert_eq!(h.lookup(sx), None, "class collected");
         assert!(h.is_empty());
         // A re-acquire after GC allocates a fresh class id.
-        let b = h.acquire(&Value::str("x"));
+        let b = h.acquire(sx);
         assert_ne!(a, b);
     }
 
@@ -177,7 +198,7 @@ mod tests {
     #[should_panic(expected = "no live equivalence class")]
     fn base_release_unknown_panics() {
         let mut h = BaseHev::new();
-        h.release(&Value::int(7));
+        h.release(7);
     }
 
     #[test]
@@ -208,5 +229,17 @@ mod tests {
         let x = h.acquire(&[1, 2]);
         let y = h.acquire(&[2, 1]);
         assert_ne!(x, y, "eq() inputs are positional");
+    }
+
+    #[test]
+    fn nonbase_handles_keys_past_inline_capacity() {
+        let mut h = NonBaseHev::new();
+        let long: Vec<EqId> = (0..9).collect();
+        let x = h.acquire(&long);
+        assert_eq!(h.lookup(&long), Some(x));
+        h.acquire(&long);
+        h.release(&long);
+        h.release(&long);
+        assert!(h.is_empty());
     }
 }

@@ -43,22 +43,29 @@ use relation::{
 };
 use std::sync::Arc;
 
-/// Digest of one attribute value (tag + payload through MD5).
+/// Digest of one attribute value (tag + payload through MD5), built in a
+/// caller-supplied scratch buffer so hot loops reuse one allocation.
+fn attr_digest_into(v: &Value, scratch: &mut Vec<u8>) -> Digest {
+    scratch.clear();
+    v.digest_bytes(scratch);
+    md5(scratch)
+}
+
+/// [`attr_digest_into`] with a fresh buffer — construction-time paths only.
 fn attr_digest(v: &Value) -> Digest {
-    let mut buf = Vec::with_capacity(16);
-    v.digest_bytes(&mut buf);
-    md5(&buf)
+    attr_digest_into(v, &mut Vec::with_capacity(16))
 }
 
 /// Group-key digest of a CFD's LHS: MD5 over the concatenated per-attribute
 /// digests (in LHS order). Computable both from raw values and from shipped
-/// attribute digests, which is what lets one message serve every CFD.
-fn key_digest(attr_digests: &[Digest]) -> Digest {
-    let mut buf = Vec::with_capacity(attr_digests.len() * 16);
+/// attribute digests, which is what lets one message serve every CFD. The
+/// key buffer is caller-supplied and reused across probes.
+fn key_digest_from(attr_digests: impl IntoIterator<Item = Digest>, kbuf: &mut Vec<u8>) -> Digest {
+    kbuf.clear();
     for d in attr_digests {
-        buf.extend_from_slice(&d.0);
+        kbuf.extend_from_slice(&d.0);
     }
-    md5(&buf)
+    md5(kbuf)
 }
 
 /// A shipped attribute: its MD5 code, or the raw value (unoptimized mode).
@@ -71,10 +78,10 @@ pub enum WireAttr {
 }
 
 impl WireAttr {
-    fn digest(&self) -> Digest {
+    fn digest_with(&self, scratch: &mut Vec<u8>) -> Digest {
         match self {
             WireAttr::Md5(d) => *d,
-            WireAttr::Raw(v) => attr_digest(v),
+            WireAttr::Raw(v) => attr_digest_into(v, scratch),
         }
     }
 
@@ -96,10 +103,10 @@ pub enum WireBval {
 }
 
 impl WireBval {
-    fn digest(&self) -> Digest {
+    fn digest_with(&self, scratch: &mut Vec<u8>) -> Digest {
         match self {
             WireBval::Md5(d) => *d,
-            WireBval::Raw(v) => attr_digest(v),
+            WireBval::Raw(v) => attr_digest_into(v, scratch),
         }
     }
 
@@ -396,16 +403,18 @@ impl HorizontalDetector {
     // Digest helpers
     // ------------------------------------------------------------------
 
-    /// Group-key digest of `cfd`'s LHS for tuple `t`.
-    fn key_of(&self, cfd: &Cfd, t: &Tuple) -> Digest {
-        let ds: Vec<Digest> = cfd.lhs.iter().map(|&a| attr_digest(t.get(a))).collect();
-        key_digest(&ds)
+    /// Group-key digest of `cfd`'s LHS for tuple `t`, built in the two
+    /// caller-supplied scratch buffers (value bytes, key bytes).
+    fn key_of(cfd: &Cfd, t: &Tuple, vbuf: &mut Vec<u8>, kbuf: &mut Vec<u8>) -> Digest {
+        key_digest_from(
+            cfd.lhs.iter().map(|&a| attr_digest_into(t.get(a), vbuf)),
+            kbuf,
+        )
     }
 
     /// Group-key digest derived from shipped attribute payloads.
-    fn key_from_wire(cfd: &Cfd, attrs: &FxHashMap<AttrId, Digest>) -> Digest {
-        let ds: Vec<Digest> = cfd.lhs.iter().map(|a| attrs[a]).collect();
-        key_digest(&ds)
+    fn key_from_wire(cfd: &Cfd, attrs: &FxHashMap<AttrId, Digest>, kbuf: &mut Vec<u8>) -> Digest {
+        key_digest_from(cfd.lhs.iter().map(|a| attrs[a]), kbuf)
     }
 
     /// Wire payload for the union of `attr_set`, from tuple values. In MD5
@@ -413,14 +422,19 @@ impl HorizontalDetector {
     /// the 128-bit code pays off exactly when the value is wider than it
     /// (§6: the optimization exists "to reduce the shipping cost" of large
     /// tuples; digesting a 4-byte integer would *grow* it).
-    fn wire_attrs(&self, t: &Tuple, attr_set: &FxHashSet<AttrId>) -> Vec<(AttrId, WireAttr)> {
+    fn wire_attrs(
+        &self,
+        t: &Tuple,
+        attr_set: &FxHashSet<AttrId>,
+        vbuf: &mut Vec<u8>,
+    ) -> Vec<(AttrId, WireAttr)> {
         let mut v: Vec<AttrId> = attr_set.iter().copied().collect();
         v.sort_unstable();
         v.into_iter()
             .map(|a| {
                 let val = t.get(a);
                 let w = if self.use_md5 && val.wire_size() > Digest::WIRE_SIZE {
-                    WireAttr::Md5(attr_digest(val))
+                    WireAttr::Md5(attr_digest_into(val, vbuf))
                 } else {
                     WireAttr::Raw(val.clone())
                 };
@@ -438,6 +452,8 @@ impl HorizontalDetector {
         let site = self.scheme.route(&t)?;
         let mut probes: Vec<CfdId> = Vec::new();
         let mut queries: Vec<CfdId> = Vec::new();
+        // Scratch buffers reused across every digest this update computes.
+        let (mut vbuf, mut kbuf) = (Vec::new(), Vec::new());
 
         for c in 0..self.cfds.len() {
             let cfd = &cfds[c];
@@ -450,8 +466,8 @@ impl HorizontalDetector {
             if !cfd.matches_lhs(&t) {
                 continue;
             }
-            let kd = self.key_of(cfd, &t);
-            let bd = attr_digest(t.get(cfd.rhs));
+            let kd = Self::key_of(cfd, &t, &mut vbuf, &mut kbuf);
+            let bd = attr_digest_into(t.get(cfd.rhs), &mut vbuf);
             let local_only = self.local_ok[c][site];
 
             let g = self.state[site][c].entry(kd).or_default();
@@ -522,6 +538,7 @@ impl HorizontalDetector {
         dv: &mut DeltaV,
     ) -> Result<(), HorizontalError> {
         let cfds = Arc::clone(&self.cfds);
+        let (mut vbuf, mut kbuf) = (Vec::new(), Vec::new());
         // Attribute union: probe CFDs need the LHS, query CFDs LHS + RHS.
         let mut attr_set: FxHashSet<AttrId> = FxHashSet::default();
         for &c in &probes {
@@ -532,7 +549,7 @@ impl HorizontalDetector {
             attr_set.extend(cfd.lhs.iter().copied());
             attr_set.insert(cfd.rhs);
         }
-        let attrs = self.wire_attrs(t, &attr_set);
+        let attrs = self.wire_attrs(t, &attr_set, &mut vbuf);
 
         // Peers: any site relevant to at least one involved CFD.
         let mut peers: FxHashSet<SiteId> = FxHashSet::default();
@@ -555,13 +572,15 @@ impl HorizontalDetector {
             // Peer processes immediately (synchronous round).
             for (_, msg) in self.net.drain(j) {
                 if let HorMsg::TupleProbe { attrs, probes } = msg {
-                    let digests: FxHashMap<AttrId, Digest> =
-                        attrs.iter().map(|(a, w)| (*a, w.digest())).collect();
+                    let digests: FxHashMap<AttrId, Digest> = attrs
+                        .iter()
+                        .map(|(a, w)| (*a, w.digest_with(&mut vbuf)))
+                        .collect();
                     // Explicit probes: a brand-new conflict at the sender
                     // flips every remote group of the CFD.
                     for &c in &probes {
                         let cfd = &cfds[c as usize];
-                        let kd = Self::key_from_wire(cfd, &digests);
+                        let kd = Self::key_from_wire(cfd, &digests, &mut kbuf);
                         if let Some(h) = self.state[j][c as usize].get_mut(&kd) {
                             if !h.violating {
                                 h.violating = true;
@@ -583,8 +602,7 @@ impl HorizontalDetector {
                         if !lhs.iter().all(|a| digests.contains_key(a)) {
                             continue;
                         }
-                        let lhs_digests: Vec<Digest> = lhs.iter().map(|a| digests[a]).collect();
-                        let kd = key_digest(&lhs_digests);
+                        let kd = key_digest_from(lhs.iter().map(|a| digests[a]), &mut kbuf);
                         for &cid in ids {
                             let c = cid as usize;
                             if probe_set.contains(&cid) {
@@ -639,7 +657,7 @@ impl HorizontalDetector {
         for &c in &queries {
             if conflicting.contains(&c) {
                 let cfd = &cfds[c as usize];
-                let kd = self.key_of(cfd, t);
+                let kd = Self::key_of(cfd, t, &mut vbuf, &mut kbuf);
                 let g = self.state[site][c as usize]
                     .get_mut(&kd)
                     .expect("group created during insert");
@@ -669,6 +687,7 @@ impl HorizontalDetector {
             .expect("live tuple has a home site");
 
         let mut queries: Vec<CfdId> = Vec::new();
+        let (mut vbuf, mut kbuf) = (Vec::new(), Vec::new());
         for c in 0..self.cfds.len() {
             let cfd = &cfds[c];
             if cfd.is_constant() {
@@ -680,8 +699,8 @@ impl HorizontalDetector {
             if !cfd.matches_lhs(&t) {
                 continue;
             }
-            let kd = self.key_of(cfd, &t);
-            let bd = attr_digest(t.get(cfd.rhs));
+            let kd = Self::key_of(cfd, &t, &mut vbuf, &mut kbuf);
+            let bd = attr_digest_into(t.get(cfd.rhs), &mut vbuf);
             let local_only = self.local_ok[c][site];
 
             let g = self.state[site][c]
@@ -747,11 +766,12 @@ impl HorizontalDetector {
         dv: &mut DeltaV,
     ) -> Result<(), HorizontalError> {
         let all_cfds = Arc::clone(&self.cfds);
+        let (mut vbuf, mut kbuf) = (Vec::new(), Vec::new());
         let mut attr_set: FxHashSet<AttrId> = FxHashSet::default();
         for &c in &queries {
             attr_set.extend(self.cfds[c as usize].lhs.iter().copied());
         }
-        let attrs = self.wire_attrs(t, &attr_set);
+        let attrs = self.wire_attrs(t, &attr_set, &mut vbuf);
 
         let mut peers: FxHashSet<SiteId> = FxHashSet::default();
         for &c in &queries {
@@ -778,12 +798,14 @@ impl HorizontalDetector {
             )?;
             for (_, msg) in self.net.drain(j) {
                 if let HorMsg::TupleDelQuery { attrs, queries } = msg {
-                    let digests: FxHashMap<AttrId, Digest> =
-                        attrs.iter().map(|(a, w)| (*a, w.digest())).collect();
+                    let digests: FxHashMap<AttrId, Digest> = attrs
+                        .iter()
+                        .map(|(a, w)| (*a, w.digest_with(&mut vbuf)))
+                        .collect();
                     let mut reply: Vec<(CfdId, Vec<WireBval>)> = Vec::new();
                     for &c in &queries {
                         let cfd = &all_cfds[c as usize];
-                        let kd = Self::key_from_wire(cfd, &digests);
+                        let kd = Self::key_from_wire(cfd, &digests, &mut kbuf);
                         let bvals: Vec<WireBval> = match self.state[j][c as usize].get(&kd) {
                             None => Vec::new(),
                             Some(h) => h
@@ -815,7 +837,7 @@ impl HorizontalDetector {
                     holders.get_mut(&c).expect("queried cfd").push(from);
                     let set = global.get_mut(&c).expect("queried cfd");
                     for v in vs {
-                        set.insert(v.digest());
+                        set.insert(v.digest_with(&mut vbuf));
                     }
                 }
             }
@@ -825,7 +847,7 @@ impl HorizontalDetector {
         let mut clears_by_peer: FxHashMap<SiteId, Vec<CfdId>> = FxHashMap::default();
         for &c in &queries {
             let cfd = &all_cfds[c as usize];
-            let kd = self.key_of(cfd, t);
+            let kd = Self::key_of(cfd, t, &mut vbuf, &mut kbuf);
             let mut all = global.remove(&c).expect("queried cfd");
             if let Some(h) = self.state[site][c as usize].get(&kd) {
                 all.extend(h.classes.keys().copied());
@@ -846,7 +868,7 @@ impl HorizontalDetector {
             for &c in &clear_list {
                 attr_set.extend(self.cfds[c as usize].lhs.iter().copied());
             }
-            let attrs = self.wire_attrs(t, &attr_set);
+            let attrs = self.wire_attrs(t, &attr_set, &mut vbuf);
             self.net.send(
                 site,
                 j,
@@ -861,11 +883,13 @@ impl HorizontalDetector {
                     cfds: to_clear,
                 } = msg
                 {
-                    let digests: FxHashMap<AttrId, Digest> =
-                        attrs.iter().map(|(a, w)| (*a, w.digest())).collect();
+                    let digests: FxHashMap<AttrId, Digest> = attrs
+                        .iter()
+                        .map(|(a, w)| (*a, w.digest_with(&mut vbuf)))
+                        .collect();
                     for c in to_clear {
                         let cfd = &all_cfds[c as usize];
-                        let kd = Self::key_from_wire(cfd, &digests);
+                        let kd = Self::key_from_wire(cfd, &digests, &mut kbuf);
                         self.clear_group_local(c, j, kd, dv);
                     }
                 }

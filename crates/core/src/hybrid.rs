@@ -135,6 +135,8 @@ pub struct HybridDetector {
     var_attrs: Vec<Option<Vec<AttrId>>>,
     /// Constant CFDs' atom attributes, precomputed.
     const_attrs: Vec<Option<Vec<AttrId>>>,
+    /// Reusable scratch for the per-update needed-attribute union.
+    needed_buf: FxHashSet<AttrId>,
 }
 
 impl HybridDetector {
@@ -175,6 +177,7 @@ impl HybridDetector {
             fragments,
             var_attrs,
             const_attrs,
+            needed_buf: FxHashSet::default(),
         })
     }
 
@@ -268,10 +271,10 @@ impl HybridDetector {
     /// per-attribute digests for the variable CFDs the tuple matches, a
     /// candidate tid per matched constant CFD.
     fn meter_assembly(&mut self, region: usize, t: &Tuple) -> Result<(), DetectError> {
-        let vs = &self.scheme.verticals[region];
-        let gateway = self.scheme.gateway(region);
-        // Digest attributes needed by matching variable CFDs.
-        let mut needed: FxHashSet<AttrId> = FxHashSet::default();
+        // Digest attributes needed by matching variable CFDs (reused
+        // buffer — no per-update set allocation).
+        let mut needed = std::mem::take(&mut self.needed_buf);
+        needed.clear();
         for (c, attrs) in self.var_attrs.iter().enumerate() {
             if let Some(attrs) = attrs {
                 if self.inner.cfds()[c].matches_lhs(t) {
@@ -280,6 +283,19 @@ impl HybridDetector {
             }
         }
         // One digest message per contributing non-gateway sub-site.
+        let result = self.meter_assembly_inner(region, t, &needed);
+        self.needed_buf = needed;
+        result
+    }
+
+    fn meter_assembly_inner(
+        &mut self,
+        region: usize,
+        t: &Tuple,
+        needed: &FxHashSet<AttrId>,
+    ) -> Result<(), DetectError> {
+        let vs = &self.scheme.verticals[region];
+        let gateway = self.scheme.gateway(region);
         for sub in 0..vs.n_sites() {
             let gsite = self.scheme.global_site(region, sub);
             if gsite == gateway {

@@ -14,6 +14,9 @@ use relation::{FxHashMap, FxHashSet, Tid};
 #[derive(Debug, Default)]
 pub struct Idx {
     groups: FxHashMap<EqId, FxHashMap<EqId, FxHashSet<Tid>>>,
+    /// Live member count, maintained by `insert`/`remove` so that
+    /// [`Idx::n_tuples`] is O(1) instead of a full index scan.
+    n_tuples: usize,
 }
 
 impl Idx {
@@ -57,12 +60,16 @@ impl Idx {
 
     /// Add `tid` to the class `(eq_x, eq_xb)`.
     pub fn insert(&mut self, eq_x: EqId, eq_xb: EqId, tid: Tid) {
-        self.groups
+        if self
+            .groups
             .entry(eq_x)
             .or_default()
             .entry(eq_xb)
             .or_default()
-            .insert(tid);
+            .insert(tid)
+        {
+            self.n_tuples += 1;
+        }
     }
 
     /// Remove `tid`; empty classes and groups are dropped. Returns whether
@@ -75,6 +82,9 @@ impl Idx {
             return false;
         };
         let present = cls.remove(&tid);
+        if present {
+            self.n_tuples -= 1;
+        }
         if cls.is_empty() {
             g.remove(&eq_xb);
         }
@@ -89,13 +99,9 @@ impl Idx {
         self.groups.len()
     }
 
-    /// Total indexed tuples.
+    /// Total indexed tuples — O(1), maintained by `insert`/`remove`.
     pub fn n_tuples(&self) -> usize {
-        self.groups
-            .values()
-            .flat_map(|g| g.values())
-            .map(|s| s.len())
-            .sum()
+        self.n_tuples
     }
 
     /// Is the index empty?
@@ -143,6 +149,21 @@ mod tests {
         assert!(idx.remove(1, 11, 8));
         assert_eq!(idx.n_classes(1), 0);
         assert!(idx.is_empty());
+        assert_eq!(idx.n_tuples(), 0);
+    }
+
+    #[test]
+    fn n_tuples_counter_ignores_duplicates_and_misses() {
+        let mut idx = Idx::new();
+        idx.insert(1, 10, 7);
+        idx.insert(1, 10, 7); // duplicate insert must not double-count
+        assert_eq!(idx.n_tuples(), 1);
+        assert!(!idx.remove(2, 10, 7), "missing group");
+        assert!(!idx.remove(1, 11, 7), "missing class");
+        assert!(!idx.remove(1, 10, 8), "missing tid");
+        assert_eq!(idx.n_tuples(), 1);
+        assert!(idx.remove(1, 10, 7));
+        assert_eq!(idx.n_tuples(), 0);
     }
 
     #[test]

@@ -46,71 +46,89 @@ const K: [u32; 64] = [
     0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
 ];
 
-/// Compute the MD5 digest of `data`.
-pub fn md5(data: &[u8]) -> Digest {
-    let mut a0: u32 = 0x6745_2301;
-    let mut b0: u32 = 0xefcd_ab89;
-    let mut c0: u32 = 0x98ba_dcfe;
-    let mut d0: u32 = 0x1032_5476;
-
-    // Padding: 0x80, zeros, then the 64-bit little-endian bit length.
-    let bit_len = (data.len() as u64).wrapping_mul(8);
-    let mut msg = Vec::with_capacity(data.len() + 72);
-    msg.extend_from_slice(data);
-    msg.push(0x80);
-    while msg.len() % 64 != 56 {
-        msg.push(0);
+/// One compression round over a 64-byte block (RFC 1321 §3.4).
+#[inline]
+fn compress(state: &mut [u32; 4], chunk: &[u8]) {
+    debug_assert_eq!(chunk.len(), 64);
+    let mut m = [0u32; 16];
+    for (j, w) in m.iter_mut().enumerate() {
+        *w = u32::from_le_bytes(chunk[4 * j..4 * j + 4].try_into().unwrap());
     }
-    msg.extend_from_slice(&bit_len.to_le_bytes());
+    let (mut a, mut b, mut c, mut d) = (state[0], state[1], state[2], state[3]);
+    for i in 0..64 {
+        let (f, g) = match i / 16 {
+            0 => ((b & c) | (!b & d), i),
+            1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+            2 => (b ^ c ^ d, (3 * i + 5) % 16),
+            _ => (c ^ (b | !d), (7 * i) % 16),
+        };
+        let tmp = d;
+        d = c;
+        c = b;
+        b = b.wrapping_add(
+            a.wrapping_add(f)
+                .wrapping_add(K[i])
+                .wrapping_add(m[g])
+                .rotate_left(S[i]),
+        );
+        a = tmp;
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+}
 
-    for chunk in msg.chunks_exact(64) {
-        let mut m = [0u32; 16];
-        for (j, w) in m.iter_mut().enumerate() {
-            *w = u32::from_le_bytes(chunk[4 * j..4 * j + 4].try_into().unwrap());
-        }
-        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
-        for i in 0..64 {
-            let (f, g) = match i / 16 {
-                0 => ((b & c) | (!b & d), i),
-                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
-                2 => (b ^ c ^ d, (3 * i + 5) % 16),
-                _ => (c ^ (b | !d), (7 * i) % 16),
-            };
-            let tmp = d;
-            d = c;
-            c = b;
-            b = b.wrapping_add(
-                a.wrapping_add(f)
-                    .wrapping_add(K[i])
-                    .wrapping_add(m[g])
-                    .rotate_left(S[i]),
-            );
-            a = tmp;
-        }
-        a0 = a0.wrapping_add(a);
-        b0 = b0.wrapping_add(b);
-        c0 = c0.wrapping_add(c);
-        d0 = d0.wrapping_add(d);
+/// Compute the MD5 digest of `data`. Allocation-free: full blocks are
+/// compressed straight from the input slice and the padded tail (at most
+/// two blocks) lives on the stack — this sits on the per-probe hot path of
+/// the horizontal detector, which digests every shipped attribute.
+pub fn md5(data: &[u8]) -> Digest {
+    let mut state: [u32; 4] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476];
+
+    let mut chunks = data.chunks_exact(64);
+    for chunk in &mut chunks {
+        compress(&mut state, chunk);
+    }
+    let rem = chunks.remainder();
+
+    // Padded tail: remainder, 0x80, zeros, then the 64-bit LE bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut tail = [0u8; 128];
+    tail[..rem.len()].copy_from_slice(rem);
+    tail[rem.len()] = 0x80;
+    let tail_len = if rem.len() < 56 { 64 } else { 128 };
+    tail[tail_len - 8..tail_len].copy_from_slice(&bit_len.to_le_bytes());
+    for chunk in tail[..tail_len].chunks_exact(64) {
+        compress(&mut state, chunk);
     }
 
     let mut out = [0u8; 16];
-    out[0..4].copy_from_slice(&a0.to_le_bytes());
-    out[4..8].copy_from_slice(&b0.to_le_bytes());
-    out[8..12].copy_from_slice(&c0.to_le_bytes());
-    out[12..16].copy_from_slice(&d0.to_le_bytes());
+    for (i, w) in state.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+    }
     Digest(out)
+}
+
+/// [`digest_values`] through a caller-supplied scratch buffer: the buffer
+/// is cleared, filled with the injective byte encoding and digested —
+/// callers on hot loops reuse one allocation across all their probes.
+pub fn digest_values_into(scratch: &mut Vec<u8>, values: &[relation::Value]) -> Digest {
+    scratch.clear();
+    for v in values {
+        v.digest_bytes(scratch);
+    }
+    md5(scratch)
 }
 
 /// Digest of a value vector, using the injective per-value byte encoding
 /// from [`relation::Value::digest_bytes`]. Two value vectors collide iff
 /// MD5 collides — equality on digests is a sound stand-in for equality on
-/// the vectors.
+/// the vectors. Thin wrapper over [`digest_values_into`] with a fresh
+/// scratch buffer.
 pub fn digest_values(values: &[relation::Value]) -> Digest {
     let mut buf = Vec::with_capacity(values.len() * 12);
-    for v in values {
-        v.digest_bytes(&mut buf);
-    }
-    md5(&buf)
+    digest_values_into(&mut buf, values)
 }
 
 #[cfg(test)]
@@ -164,6 +182,13 @@ mod tests {
         let c = digest_values(&[Value::int(44), Value::str("EH4 8LE")]);
         assert_ne!(a, b);
         assert_eq!(a, c);
+        // The scratch-buffer path is byte-identical, and reuse across calls
+        // (stale content cleared) does not leak between digests.
+        let mut scratch = vec![0xffu8; 64];
+        let a2 = digest_values_into(&mut scratch, &[Value::int(44), Value::str("EH4 8LE")]);
+        assert_eq!(a, a2);
+        let b2 = digest_values_into(&mut scratch, &[Value::int(44), Value::str("EH2 4HF")]);
+        assert_eq!(b, b2);
         // Boundary shifting must not collide.
         let d = digest_values(&[Value::str("ab"), Value::str("c")]);
         let e = digest_values(&[Value::str("a"), Value::str("bc")]);

@@ -23,14 +23,15 @@
 //! hash probes per update per CFD) are `O(|ΔD| + |ΔV|)` — Proposition 6.
 
 use crate::detector::{DetectError, Detector};
-use crate::hev::{BaseHev, EqId, NonBaseHev};
+use crate::hev::{BaseHev, EqId, EqKey, NonBaseHev};
 use crate::idx::Idx;
 use crate::plan::{HevPlan, Input, NodeId};
 use cfd::{Cfd, CfdId, DeltaV, Violations};
 use cluster::partition::VerticalScheme;
 use cluster::{ClusterError, Network, SiteId, Wire};
 use relation::{
-    AttrId, FxHashMap, FxHashSet, RelError, Relation, Schema, Tid, Tuple, Update, UpdateBatch,
+    AttrId, FxHashMap, FxHashSet, RelError, Relation, Schema, SymTuple, Tid, Tuple, Update,
+    UpdateBatch, ValuePool,
 };
 use std::sync::Arc;
 
@@ -104,6 +105,11 @@ pub struct VerticalDetector {
     node_stores: Vec<NonBaseHev>,
     /// One IDX per variable CFD (at `plan.idx_site(cfd)`).
     idxs: FxHashMap<CfdId, Idx>,
+    /// Value dictionary: every attribute value of the live database is
+    /// interned once at ingest; all HEV traffic below runs on symbols.
+    pool: ValuePool,
+    /// Dictionary-encoded mirror of the live tuples, keyed by tid.
+    encoded: FxHashMap<Tid, SymTuple>,
     /// Mirror of the logical relation `D` (the join of all fragments).
     current: Relation,
     /// Fragment relations, one per site.
@@ -143,6 +149,8 @@ impl VerticalDetector {
                 .filter(|c| c.is_variable())
                 .map(|c| (c.id, Idx::new()))
                 .collect(),
+            pool: ValuePool::new(),
+            encoded: FxHashMap::default(),
             current: Relation::new(schema.clone()),
             fragments: (0..n)
                 .map(|s| Relation::new(scheme.fragment_schema(s).clone()))
@@ -203,6 +211,22 @@ impl VerticalDetector {
     /// Fragment relation at `site`.
     pub fn fragment(&self, site: SiteId) -> &Relation {
         &self.fragments[site]
+    }
+
+    /// The value dictionary (size reporting, tests).
+    pub fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    /// Peak-relevant index sizes: (dictionary entries, base HEV classes,
+    /// non-base HEV classes, IDX member tuples) — benchmark reporting.
+    pub fn index_sizes(&self) -> (usize, usize, usize, usize) {
+        (
+            self.pool.len(),
+            self.bases.values().map(BaseHev::len).sum(),
+            self.node_stores.iter().map(NonBaseHev::len).sum(),
+            self.idxs.values().map(Idx::n_tuples).sum(),
+        )
     }
 
     /// Apply a batch update `ΔD`, returning `ΔV` — algorithm `incVer`.
@@ -339,11 +363,12 @@ impl VerticalDetector {
         (nodes, bases)
     }
 
-    /// Walk the plan for tuple `t`, producing eqids per input and metering
-    /// cross-site shipments (each `(producer, destination)` once).
+    /// Walk the plan for the dictionary-encoded tuple `st`, producing
+    /// eqids per input and metering cross-site shipments (each
+    /// `(producer, destination)` pair once).
     fn walk(
         &mut self,
-        t: &Tuple,
+        st: &SymTuple,
         nodes: &[NodeId],
         bases: &[AttrId],
         acquire: bool,
@@ -351,12 +376,12 @@ impl VerticalDetector {
         let mut eqids: FxHashMap<Input, EqId> = FxHashMap::default();
         for &a in bases {
             let store = self.bases.entry(a).or_default();
-            let v = t.get(a);
+            let s = st.get(a);
             let id = if acquire {
-                store.acquire(v)
+                store.acquire(s)
             } else {
                 store
-                    .lookup(v)
+                    .lookup(s)
                     .expect("deletion walk: value must have a live class")
             };
             eqids.insert(Input::Base(a), id);
@@ -364,7 +389,7 @@ impl VerticalDetector {
         let mut shipped: FxHashSet<(Input, SiteId)> = FxHashSet::default();
         for &n in nodes {
             let node = self.plan.nodes()[n].clone();
-            let key: Vec<EqId> = node.inputs.iter().map(|i| eqids[i]).collect();
+            let key: EqKey = node.inputs.iter().map(|i| eqids[i]).collect();
             for &inp in &node.inputs {
                 let src = self.plan.site_of(inp);
                 if src != node.site && shipped.insert((inp, node.site)) {
@@ -388,13 +413,13 @@ impl VerticalDetector {
     /// order so parents release before their inputs disappear.
     fn release(
         &mut self,
-        t: &Tuple,
+        st: &SymTuple,
         nodes: &[NodeId],
         bases: &[AttrId],
         eqids: &FxHashMap<Input, EqId>,
     ) {
         for &n in nodes.iter().rev() {
-            let key: Vec<EqId> = self.plan.nodes()[n]
+            let key: EqKey = self.plan.nodes()[n]
                 .inputs
                 .iter()
                 .map(|i| eqids[i])
@@ -405,15 +430,35 @@ impl VerticalDetector {
             self.bases
                 .get_mut(&a)
                 .expect("acquired earlier")
-                .release(t.get(a));
+                .release(st.get(a));
         }
     }
 
     /// `incVIns` for every variable CFD matching `t`.
     fn insert_variable(&mut self, t: Tuple, dv: &mut DeltaV) -> Result<(), VerticalError> {
+        // Fail *before* acquiring any dictionary/HEV references: the
+        // relation inserts below have both of their error conditions
+        // checked up front, so an error return cannot leak the refcounts
+        // acquired by encode/walk. (The metered ship inside `walk` is
+        // also `?`-fallible, but only against a plan with out-of-range
+        // site ids — plans built by `default_chains`/`optimize` place
+        // nodes on scheme sites by construction.)
+        if t.arity() != self.schema.arity() {
+            return Err(RelError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: t.arity(),
+            }
+            .into());
+        }
+        if self.current.contains(t.tid) {
+            return Err(RelError::DuplicateTid(t.tid).into());
+        }
+        // Dictionary-encode once at ingest: every downstream probe for this
+        // tuple (and its eventual deletion walk) runs on symbols.
+        let st = self.pool.encode(&t);
         let matched = self.matched_variable(&t);
         let (nodes, bases) = self.needed(&matched);
-        let eqids = self.walk(&t, &nodes, &bases, true)?;
+        let eqids = self.walk(&st, &nodes, &bases, true)?;
         for c in matched {
             let target = self.plan.target(c).expect("variable CFD has a target");
             let eq_x = eqids[&target.lhs];
@@ -450,6 +495,7 @@ impl VerticalDetector {
         for (site, frag) in self.fragments.iter_mut().enumerate() {
             frag.insert(t.project(self.scheme.attrs_of(site)))?;
         }
+        self.encoded.insert(t.tid, st);
         self.current.insert(t)?;
         Ok(())
     }
@@ -461,9 +507,14 @@ impl VerticalDetector {
             .get(tid)
             .ok_or(RelError::MissingTid(tid))?
             .clone();
+        let st = self
+            .encoded
+            .get(&tid)
+            .expect("live tuple has an encoded mirror")
+            .clone();
         let matched = self.matched_variable(&t);
         let (nodes, bases) = self.needed(&matched);
-        let eqids = self.walk(&t, &nodes, &bases, false)?;
+        let eqids = self.walk(&st, &nodes, &bases, false)?;
         for c in matched {
             let target = self.plan.target(c).expect("variable CFD has a target");
             let eq_x = eqids[&target.lhs];
@@ -501,7 +552,9 @@ impl VerticalDetector {
                 }
             }
         }
-        self.release(&t, &nodes, &bases, &eqids);
+        self.release(&st, &nodes, &bases, &eqids);
+        self.encoded.remove(&tid);
+        self.pool.release_tuple(&st);
         for frag in &mut self.fragments {
             frag.delete(tid)?;
         }
@@ -815,5 +868,37 @@ mod tests {
         for nstore in &det.node_stores {
             assert!(nstore.is_empty(), "non-base HEVs garbage-collected");
         }
+        assert!(det.pool.is_empty(), "value dictionary garbage-collected");
+        assert!(det.encoded.is_empty(), "encoded mirror garbage-collected");
+    }
+
+    #[test]
+    fn failed_insert_leaks_no_dictionary_refs() {
+        // `apply` normalizes away duplicate-tid inserts (they become
+        // modifications), so exercise the `incVIns` precondition guards
+        // directly: a rejected tuple must not acquire any dictionary or
+        // HEV references.
+        let mut det = detector();
+        let dict_before = det.pool.len();
+        let mut dv = DeltaV::default();
+        let dup = emp_tuple(1, "Z", 44, 131, "ZZ9 9ZZ", "Nowhere", "GLA");
+        assert!(matches!(
+            det.insert_variable(dup, &mut dv),
+            Err(VerticalError::Rel(RelError::DuplicateTid(1)))
+        ));
+        let short = Tuple::new(99, vec![Value::int(99), Value::str("A")]);
+        assert!(matches!(
+            det.insert_variable(short, &mut dv),
+            Err(VerticalError::Rel(RelError::ArityMismatch { .. }))
+        ));
+        assert!(dv.is_empty());
+        assert_eq!(det.pool.len(), dict_before, "no leaked dictionary entries");
+        // The detector remains usable: tearing everything down still GCs.
+        let mut teardown = UpdateBatch::new();
+        for tid in 1..=5 {
+            teardown.delete(tid);
+        }
+        det.apply(&teardown).unwrap();
+        assert!(det.pool.is_empty());
     }
 }

@@ -1,0 +1,271 @@
+//! Dictionary encoding of attribute values.
+//!
+//! The detectors' complexity argument (`O(|ΔD| + |ΔV|)` per §4) rests on
+//! constant-time index probes, but probing on full [`Value`]s makes every
+//! probe hash — and every index entry clone — variable-length string
+//! payloads. A [`ValuePool`] interns each distinct value exactly once and
+//! hands out a fixed-size symbol ([`Sym`], a `u32`); everything downstream
+//! (HEV keys, grouping keys, digests, wire accounting) can then operate on
+//! integer symbols:
+//!
+//! * `v == w  ⟺  pool.acquire(v) == pool.acquire(w)` while both are live,
+//! * resolve-back is an O(1) slot read ([`ValuePool::resolve`]),
+//! * the pool is reference-counted like the HEVs, so deletions
+//!   garbage-collect dictionary entries and symbol ids are reused —
+//!   the dictionary stays proportional to the live database.
+//!
+//! [`SymTuple`] is the dictionary-encoded tuple representation: one symbol
+//! per attribute in an `Arc<[Sym]>`, so projections and `t[X]` extraction
+//! are copy-free symbol reads instead of per-attribute value clones.
+
+use crate::fx::FxHashMap;
+use crate::schema::AttrId;
+use crate::tuple::{Tid, Tuple};
+use crate::value::Value;
+use std::sync::Arc;
+
+/// An interned-value symbol: index into its owning [`ValuePool`].
+pub type Sym = u32;
+
+/// One dictionary slot. The value payload is stored exactly once and
+/// shared with the reverse-map key through an `Arc` (`None` marks a freed,
+/// recyclable slot).
+#[derive(Debug)]
+struct Slot {
+    value: Option<Arc<Value>>,
+    refs: u32,
+}
+
+/// A reference-counted dictionary `Value ↔ Sym`.
+///
+/// `acquire` takes a reference on the value's symbol (allocating a slot on
+/// first sight), `release` drops one and garbage-collects the slot at zero;
+/// freed symbol ids are recycled for later values. Resolve-back is an O(1)
+/// slot read.
+#[derive(Debug, Default)]
+pub struct ValuePool {
+    /// `Value → Sym`; the `Arc` key shares its payload with the slot, so
+    /// each distinct live value is heap-allocated once. Probing with a
+    /// plain `&Value` works through `Arc<Value>: Borrow<Value>`.
+    map: FxHashMap<Arc<Value>, Sym>,
+    slots: Vec<Slot>,
+    free: Vec<Sym>,
+}
+
+impl ValuePool {
+    /// Fresh empty pool.
+    pub fn new() -> Self {
+        ValuePool::default()
+    }
+
+    /// Symbol for `v`, taking one reference (allocates a slot for values
+    /// never seen — the only place a value is ever cloned).
+    pub fn acquire(&mut self, v: &Value) -> Sym {
+        if let Some(&s) = self.map.get(v) {
+            self.slots[s as usize].refs += 1;
+            return s;
+        }
+        let shared = Arc::new(v.clone());
+        let slot = Slot {
+            value: Some(Arc::clone(&shared)),
+            refs: 1,
+        };
+        let s = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = slot;
+                s
+            }
+            None => {
+                self.slots.push(slot);
+                (self.slots.len() - 1) as Sym
+            }
+        };
+        self.map.insert(shared, s);
+        s
+    }
+
+    /// Symbol for `v` without touching reference counts (pure lookup).
+    pub fn lookup(&self, v: &Value) -> Option<Sym> {
+        self.map.get(v).copied()
+    }
+
+    /// The value behind a live symbol (O(1) slot read).
+    ///
+    /// # Panics
+    /// Panics when `s` has no live slot — callers must only resolve
+    /// symbols they hold references on.
+    pub fn resolve(&self, s: Sym) -> &Value {
+        let slot = &self.slots[s as usize];
+        assert!(slot.refs > 0, "resolve of a dead symbol {s}");
+        slot.value.as_deref().expect("live slot holds a value")
+    }
+
+    /// Live reference count of a symbol (0 for freed slots) — used by the
+    /// property tests.
+    pub fn refs(&self, s: Sym) -> u32 {
+        self.slots.get(s as usize).map_or(0, |slot| slot.refs)
+    }
+
+    /// Release one reference on `s`, garbage-collecting the slot (and
+    /// recycling the id) at zero.
+    ///
+    /// # Panics
+    /// Panics when `s` has no live reference — that indicates the caller's
+    /// acquire/release bookkeeping is out of sync.
+    pub fn release(&mut self, s: Sym) {
+        let slot = &mut self.slots[s as usize];
+        assert!(slot.refs > 0, "release of a dead symbol {s}");
+        slot.refs -= 1;
+        if slot.refs == 0 {
+            let v = slot.value.take().expect("live slot holds a value");
+            self.map.remove(&*v);
+            self.free.push(s);
+        }
+    }
+
+    /// Dictionary-encode a tuple, acquiring one reference per attribute
+    /// value.
+    pub fn encode(&mut self, t: &Tuple) -> SymTuple {
+        SymTuple {
+            tid: t.tid,
+            syms: t.values.iter().map(|v| self.acquire(v)).collect(),
+        }
+    }
+
+    /// Release the references held by an encoded tuple.
+    pub fn release_tuple(&mut self, t: &SymTuple) {
+        for &s in t.syms.iter() {
+            self.release(s);
+        }
+    }
+
+    /// Number of distinct live values in the dictionary.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the dictionary empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total slots ever allocated (live + recyclable) — the high-water
+    /// mark of distinct simultaneous values.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// A dictionary-encoded tuple: one [`Sym`] per attribute, positionally
+/// aligned with the owning schema. Cloning shares the symbol buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SymTuple {
+    /// Unique tuple id (same id as the source [`Tuple`]).
+    pub tid: Tid,
+    /// Interned symbols, one per attribute.
+    pub syms: Arc<[Sym]>,
+}
+
+impl SymTuple {
+    /// Symbol at attribute `a` (positional).
+    #[inline]
+    pub fn get(&self, a: AttrId) -> Sym {
+        self.syms[a as usize]
+    }
+
+    /// Symbols at `attrs` — the dictionary-encoded `t[X]`, copy-free.
+    #[inline]
+    pub fn syms_at<'a>(&'a self, attrs: &'a [AttrId]) -> impl Iterator<Item = Sym> + 'a {
+        attrs.iter().map(|&a| self.syms[a as usize])
+    }
+
+    /// Arity of the encoded tuple.
+    pub fn arity(&self) -> usize {
+        self.syms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_is_idempotent_on_symbol() {
+        let mut p = ValuePool::new();
+        let a = p.acquire(&Value::str("EDI"));
+        let b = p.acquire(&Value::str("EDI"));
+        let c = p.acquire(&Value::int(44));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.refs(a), 2);
+        assert_eq!(p.resolve(a), &Value::str("EDI"));
+        assert_eq!(p.resolve(c), &Value::int(44));
+        assert_eq!(p.lookup(&Value::str("EDI")), Some(a));
+        assert_eq!(p.lookup(&Value::str("NYC")), None);
+    }
+
+    #[test]
+    fn release_garbage_collects_and_recycles_ids() {
+        let mut p = ValuePool::new();
+        let a = p.acquire(&Value::str("x"));
+        p.acquire(&Value::str("x"));
+        p.release(a);
+        assert_eq!(p.lookup(&Value::str("x")), Some(a), "one ref remains");
+        p.release(a);
+        assert_eq!(p.lookup(&Value::str("x")), None, "slot collected");
+        assert!(p.is_empty());
+        // The freed id is recycled for the next distinct value.
+        let b = p.acquire(&Value::str("y"));
+        assert_eq!(b, a, "free list reuses slot ids");
+        assert_eq!(p.capacity(), 1, "no new slot allocated");
+    }
+
+    #[test]
+    #[should_panic(expected = "dead symbol")]
+    fn release_of_dead_symbol_panics() {
+        let mut p = ValuePool::new();
+        let a = p.acquire(&Value::int(1));
+        p.release(a);
+        p.release(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead symbol")]
+    fn resolve_of_dead_symbol_panics() {
+        let mut p = ValuePool::new();
+        let a = p.acquire(&Value::int(1));
+        p.release(a);
+        let _ = p.resolve(a);
+    }
+
+    #[test]
+    fn encode_release_round_trip() {
+        let mut p = ValuePool::new();
+        let t = Tuple::new(7, vec![Value::int(7), Value::str("EDI"), Value::str("EDI")]);
+        let st = p.encode(&t);
+        assert_eq!(st.tid, 7);
+        assert_eq!(st.arity(), 3);
+        // Equal values share a symbol.
+        assert_eq!(st.get(1), st.get(2));
+        assert_ne!(st.get(0), st.get(1));
+        assert_eq!(p.refs(st.get(1)), 2, "one ref per attribute slot");
+        // `t[X]` as symbols, in attribute order.
+        let xs: Vec<Sym> = st.syms_at(&[2, 0]).collect();
+        assert_eq!(xs, vec![st.get(2), st.get(0)]);
+        p.release_tuple(&st);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn symbols_agree_with_value_equality() {
+        let mut p = ValuePool::new();
+        // Int(3) vs Str("3") vs Null are distinct values → distinct syms.
+        let a = p.acquire(&Value::int(3));
+        let b = p.acquire(&Value::str("3"));
+        let c = p.acquire(&Value::Null);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(p.acquire(&Value::Null), c, "Null groups with itself");
+    }
+}

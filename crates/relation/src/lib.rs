@@ -10,7 +10,11 @@
 //!   deletions, with same-tid cancellation, `ΔD⁺`, `ΔD⁻`, and `D ⊕ ΔD`),
 //! * [`predicate`] — Boolean selection predicates used to define horizontal
 //!   fragments, including the `F_i ∧ F_φ` satisfiability test of §6,
-//! * [`fx`] — a small Fx-style hasher used for all hot hash maps.
+//! * [`fx`] — a small Fx-style hasher used for all hot hash maps,
+//! * [`intern`] — the reference-counted value dictionary ([`ValuePool`])
+//!   mapping values to fixed-size symbols, and the dictionary-encoded
+//!   tuple representation ([`SymTuple`]),
+//! * [`smallvec`] — a tiny inline vector for short hot-path keys.
 //!
 //! The crate is deliberately free of any distribution or CFD logic so that it
 //! can be reused by the partitioners, the detectors and the workload
@@ -18,17 +22,21 @@
 
 pub mod csv;
 pub mod fx;
+pub mod intern;
 pub mod predicate;
 pub mod relation;
 pub mod schema;
+pub mod smallvec;
 pub mod tuple;
 pub mod update;
 pub mod value;
 
 pub use crate::relation::Relation;
 pub use fx::{FxHashMap, FxHashSet};
+pub use intern::{Sym, SymTuple, ValuePool};
 pub use predicate::Predicate;
 pub use schema::{AttrId, Attribute, Schema};
+pub use smallvec::SmallVec;
 pub use tuple::{Tid, Tuple};
 pub use update::{Update, UpdateBatch};
 pub use value::Value;

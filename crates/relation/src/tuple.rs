@@ -51,11 +51,19 @@ impl Tuple {
     }
 
     /// Values at `attrs`, cloned into a vector (the `t[X]` notation).
+    /// Call sites that only *read* `t[X]` should prefer [`Tuple::iter_at`],
+    /// which borrows instead of cloning.
     pub fn values_at(&self, attrs: &[AttrId]) -> Vec<Value> {
         attrs
             .iter()
             .map(|&a| self.values[a as usize].clone())
             .collect()
+    }
+
+    /// Borrowing view of `t[X]`: the values at `attrs` in order, no clones.
+    #[inline]
+    pub fn iter_at<'a>(&'a self, attrs: &'a [AttrId]) -> impl ExactSizeIterator<Item = &'a Value> {
+        attrs.iter().map(|&a| &self.values[a as usize])
     }
 
     /// Arity of this tuple.
@@ -106,6 +114,8 @@ mod tests {
         let t = t();
         assert_eq!(t.get(1), &Value::str("Adam"));
         assert_eq!(t.values_at(&[2, 0]), vec![Value::str("EDI"), Value::int(5)]);
+        let borrowed: Vec<&Value> = t.iter_at(&[2, 0]).collect();
+        assert_eq!(borrowed, vec![&Value::str("EDI"), &Value::int(5)]);
     }
 
     #[test]

@@ -89,6 +89,9 @@ pub mod prelude {
         BaselineStrategy, DetectError, Detector, DetectorBuilder, HorizontalDetector,
         HybridDetector, HybridScheme, VerticalDetector,
     };
-    pub use relation::{Predicate, Relation, Schema, Tid, Tuple, Update, UpdateBatch, Value};
+    pub use relation::{
+        Predicate, Relation, Schema, Sym, SymTuple, Tid, Tuple, Update, UpdateBatch, Value,
+        ValuePool,
+    };
     pub use {cfd, cluster, incdetect, relation, workload};
 }

@@ -1,0 +1,353 @@
+//! Differential coverage for the dictionary-encoding refactor.
+//!
+//! The PR rekeyed every detection hot path on interned symbols (`BaseHev`
+//! on `Sym`, grouping on symbol vectors, inline non-base keys), so this
+//! suite drives **string-heavy** seeded workloads — where interning
+//! actually collapses payloads — through all nine `DetectorBuilder`
+//! strategy configurations and checks them against an *independent*
+//! pairwise oracle implemented here straight from the CFD semantics
+//! (deliberately not `cfd::naive`, which now interns too: the oracle and
+//! the system under test must not share the new code path).
+//!
+//! The second half is the seeded property suite for `ValuePool` itself:
+//! acquire/release round-trips against a reference refcount map, GC on
+//! zero, and symbol-id reuse after GC.
+
+use inc_cfd::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relation::{Sym, ValuePool};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+// ----------------------------------------------------------------------
+// Independent oracle: pairwise, straight from §2.1 semantics
+// ----------------------------------------------------------------------
+
+/// `V(Σ, D)` by definition: a constant CFD is violated by any single
+/// matching tuple with a clashing RHS; a variable CFD by any *pair* that
+/// agrees on `X` (and matches the pattern) while differing on `B`.
+fn pairwise_oracle(cfds: &[Cfd], d: &Relation) -> Vec<(u32, Tid)> {
+    let mut marks: BTreeSet<(u32, Tid)> = BTreeSet::new();
+    let tuples: Vec<&Tuple> = d.iter().collect();
+    for cfd in cfds {
+        if cfd.is_constant() {
+            for t in &tuples {
+                if cfd.constant_violation(t) {
+                    marks.insert((cfd.id, t.tid));
+                }
+            }
+        } else {
+            for (i, t) in tuples.iter().enumerate() {
+                for u in &tuples[i + 1..] {
+                    if cfd.pair_violation(t, u) {
+                        marks.insert((cfd.id, t.tid));
+                        marks.insert((cfd.id, u.tid));
+                    }
+                }
+            }
+        }
+    }
+    marks.into_iter().collect()
+}
+
+// ----------------------------------------------------------------------
+// String-heavy seeded workload
+// ----------------------------------------------------------------------
+
+fn schema() -> Arc<Schema> {
+    Schema::new("R", &["id", "a", "b", "c", "d", "e"], "id").unwrap()
+}
+
+/// Small string domains: lots of symbol reuse *and* lots of group
+/// collisions. Attribute `e` mixes in NULLs (which group with themselves).
+fn rand_value(attr: usize, rng: &mut StdRng) -> Value {
+    let k = rng.random_range(0..4i64);
+    if attr == 5 && rng.random_bool(0.2) {
+        return Value::Null;
+    }
+    Value::str(format!("attr{attr}-payload-{k:02}"))
+}
+
+fn rand_tuple(tid: u64, rng: &mut StdRng) -> Tuple {
+    let mut v = vec![Value::int(tid as i64)];
+    for attr in 1..6 {
+        v.push(rand_value(attr, rng));
+    }
+    Tuple::new(tid, v)
+}
+
+fn rand_cfds(rng: &mut StdRng) -> Vec<Cfd> {
+    let s = schema();
+    let n_rules = rng.random_range(1..5usize);
+    let mut out = Vec::new();
+    for _ in 0..n_rules {
+        let rhs = rng.random_range(1..6usize);
+        let n_lhs = rng.random_range(1..3usize);
+        let mut lhs: Vec<(relation::AttrId, Option<Value>)> = (0..n_lhs)
+            .map(|_| {
+                let a = rng.random_range(1..6usize);
+                let c = rng.random_bool(0.4).then(|| rand_value(a, rng));
+                (a as relation::AttrId, c)
+            })
+            .collect();
+        lhs.sort_by_key(|(a, _)| *a);
+        lhs.dedup_by_key(|(a, _)| *a);
+        lhs.retain(|(a, _)| *a as usize != rhs);
+        if lhs.is_empty() {
+            continue;
+        }
+        let rhs_const = rng.random_bool(0.3).then(|| rand_value(rhs, rng));
+        let id = out.len() as u32;
+        let (attrs, pats): (Vec<_>, Vec<_>) = lhs.into_iter().unzip();
+        let cfd = Cfd::new(
+            id,
+            &s,
+            attrs,
+            rhs as relation::AttrId,
+            pats.into_iter()
+                .map(|p| match p {
+                    Some(v) => cfd::PatternValue::Const(v),
+                    None => cfd::PatternValue::Wildcard,
+                })
+                .collect(),
+            match rhs_const {
+                Some(v) => cfd::PatternValue::Const(v),
+                None => cfd::PatternValue::Wildcard,
+            },
+        );
+        if let Ok(c) = cfd {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn rand_updates(
+    live: &mut BTreeSet<u64>,
+    base_n: u64,
+    n_ops: usize,
+    rng: &mut StdRng,
+) -> UpdateBatch {
+    let mut delta = UpdateBatch::new();
+    for _ in 0..rng.random_range(1..n_ops.max(2)) {
+        let tid = rng.random_range(0..base_n + n_ops as u64);
+        if rng.random_bool(0.5) {
+            if live.contains(&tid) {
+                delta.delete(tid);
+            }
+            delta.insert(rand_tuple(tid, rng));
+            live.insert(tid);
+        } else if live.remove(&tid) {
+            delta.delete(tid);
+        }
+    }
+    delta
+}
+
+/// All nine strategy configurations of the PR-1 builder API.
+fn strategies(
+    s: &Arc<Schema>,
+    cfds: &[Cfd],
+    d: &Relation,
+    n_sites: usize,
+) -> Vec<Box<dyn Detector>> {
+    let vscheme = VerticalScheme::round_robin(s.clone(), n_sites).unwrap();
+    let hscheme = HorizontalScheme::by_hash(s.clone(), 1, n_sites).unwrap();
+    let yscheme = HybridScheme::uniform(s.clone(), n_sites.min(3), 2).unwrap();
+    let b = || DetectorBuilder::new(s.clone(), cfds.to_vec());
+    vec![
+        b().vertical(vscheme.clone()).build_dyn(d).unwrap(),
+        b().vertical(vscheme.clone())
+            .optimized(incdetect::optimize::OptimizeConfig {
+                k: 3,
+                eval_budget: 500,
+                relocate: true,
+            })
+            .build_dyn(d)
+            .unwrap(),
+        b().horizontal(hscheme.clone()).build_dyn(d).unwrap(),
+        b().horizontal(hscheme.clone())
+            .raw_values()
+            .build_dyn(d)
+            .unwrap(),
+        b().hybrid(yscheme).build_dyn(d).unwrap(),
+        b().baseline(BaselineStrategy::BatVer(vscheme.clone()))
+            .build_dyn(d)
+            .unwrap(),
+        b().baseline(BaselineStrategy::BatHor(hscheme.clone()))
+            .build_dyn(d)
+            .unwrap(),
+        b().baseline(BaselineStrategy::IbatVer(vscheme))
+            .build_dyn(d)
+            .unwrap(),
+        b().baseline(BaselineStrategy::IbatHor(hscheme))
+            .build_dyn(d)
+            .unwrap(),
+    ]
+}
+
+#[test]
+fn interned_detectors_match_pairwise_oracle() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x1D1C7 ^ seed);
+        let s = schema();
+        let cfds = rand_cfds(&mut rng);
+        if cfds.is_empty() {
+            continue;
+        }
+        let d = Relation::from_tuples(s.clone(), (0..20u64).map(|tid| rand_tuple(tid, &mut rng)))
+            .unwrap();
+        let n_sites = rng.random_range(2..5usize);
+        let mut live: BTreeSet<u64> = d.tids().collect();
+        let delta = rand_updates(&mut live, 20, 24, &mut rng);
+
+        let mut d_new = d.clone();
+        delta.normalize(&d).apply(&mut d_new).unwrap();
+        let oracle = pairwise_oracle(&cfds, &d_new);
+        // The interned centralized detector agrees with the definition.
+        assert_eq!(
+            cfd::naive::detect(&cfds, &d_new).marks_sorted(),
+            oracle,
+            "seed {seed}: interned naive diverged from the pairwise definition"
+        );
+        // … and so does every distributed strategy.
+        for det in &mut strategies(&s, &cfds, &d, n_sites) {
+            det.apply(&delta)
+                .unwrap_or_else(|e| panic!("seed {seed}: {} failed: {e}", det.strategy()));
+            assert_eq!(
+                det.violations().marks_sorted(),
+                oracle,
+                "seed {seed}: {} diverged from the pairwise oracle",
+                det.strategy()
+            );
+        }
+    }
+}
+
+/// Multi-batch state evolution: deletions must garbage-collect dictionary
+/// entries while detection stays exact (three consecutive batches).
+#[test]
+fn interned_detectors_survive_sequential_batches() {
+    for seed in 200..216u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = schema();
+        let cfds = rand_cfds(&mut rng);
+        if cfds.is_empty() {
+            continue;
+        }
+        let d = Relation::from_tuples(s.clone(), (0..14u64).map(|tid| rand_tuple(tid, &mut rng)))
+            .unwrap();
+        let mut dets = strategies(&s, &cfds, &d, 3);
+        let mut mirror = d;
+        for round in 0..3 {
+            let mut live: BTreeSet<u64> = mirror.tids().collect();
+            let delta = rand_updates(&mut live, 14, 10, &mut rng);
+            delta.normalize(&mirror.clone()).apply(&mut mirror).unwrap();
+            let oracle = pairwise_oracle(&cfds, &mirror);
+            for det in &mut dets {
+                det.apply(&delta).unwrap_or_else(|e| {
+                    panic!("seed {seed} round {round}: {} failed: {e}", det.strategy())
+                });
+                assert_eq!(
+                    det.violations().marks_sorted(),
+                    oracle,
+                    "seed {seed} round {round}: {} diverged",
+                    det.strategy()
+                );
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// ValuePool property suite
+// ----------------------------------------------------------------------
+
+fn domain_value(rng: &mut StdRng) -> Value {
+    match rng.random_range(0..10u32) {
+        0 => Value::Null,
+        k if k < 4 => Value::int(rng.random_range(0..5i64)),
+        _ => Value::str(format!("pool-val-{}", rng.random_range(0..6i64))),
+    }
+}
+
+#[test]
+fn value_pool_acquire_release_round_trips() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xB001 ^ seed);
+        let mut pool = ValuePool::new();
+        // Reference model: value → (sym, live refs).
+        let mut model: std::collections::HashMap<Value, (Sym, u32)> =
+            std::collections::HashMap::new();
+        let mut held: Vec<(Value, Sym)> = Vec::new();
+
+        for _ in 0..500 {
+            if held.is_empty() || rng.random_bool(0.55) {
+                let v = domain_value(&mut rng);
+                let s = pool.acquire(&v);
+                match model.get_mut(&v) {
+                    Some((s0, n)) => {
+                        assert_eq!(*s0, s, "same live value must keep its symbol");
+                        *n += 1;
+                    }
+                    None => {
+                        model.insert(v.clone(), (s, 1));
+                    }
+                }
+                assert_eq!(pool.resolve(s), &v, "resolve round-trip");
+                assert_eq!(pool.lookup(&v), Some(s));
+                held.push((v, s));
+            } else {
+                let i = rng.random_range(0..held.len());
+                let (v, s) = held.swap_remove(i);
+                pool.release(s);
+                let (s0, n) = model.get_mut(&v).expect("released value was live");
+                assert_eq!(*s0, s);
+                *n -= 1;
+                if *n == 0 {
+                    model.remove(&v);
+                    assert_eq!(pool.lookup(&v), None, "GC on zero refs");
+                }
+            }
+            assert_eq!(pool.len(), model.len(), "live dictionary size");
+            for (v, (s, n)) in &model {
+                assert_eq!(pool.refs(*s), *n, "refcount of {v}");
+            }
+        }
+        // Drain everything: the pool must end empty.
+        for (_, s) in held.drain(..) {
+            pool.release(s);
+        }
+        assert!(pool.is_empty());
+        // The slot table never exceeded the distinct-value high-water mark
+        // (the whole domain here is 12 values).
+        assert!(pool.capacity() <= 12, "capacity {}", pool.capacity());
+    }
+}
+
+#[test]
+fn value_pool_reuses_ids_after_gc() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pool = ValuePool::new();
+        let k = rng.random_range(3..9usize);
+        let first: Vec<Sym> = (0..k)
+            .map(|i| pool.acquire(&Value::str(format!("gen1-{i}"))))
+            .collect();
+        for &s in &first {
+            pool.release(s);
+        }
+        assert!(pool.is_empty());
+        let cap_after_gen1 = pool.capacity();
+        // A fresh generation of k distinct values must fit entirely in
+        // recycled slots — and their symbols are exactly the freed ids.
+        let second: Vec<Sym> = (0..k)
+            .map(|i| pool.acquire(&Value::str(format!("gen2-{i}"))))
+            .collect();
+        assert_eq!(pool.capacity(), cap_after_gen1, "no slot growth");
+        let a: BTreeSet<Sym> = first.into_iter().collect();
+        let b: BTreeSet<Sym> = second.into_iter().collect();
+        assert_eq!(a, b, "recycled ids are the freed ids");
+    }
+}
