@@ -3,19 +3,28 @@
 //! Usage:
 //!
 //! ```text
-//! bench_report [--quick] [--out PATH]
+//! bench_report [--quick] [--out PATH] [--compare BENCH_N.json]
 //! ```
 //!
 //! `--quick` shrinks sizes and sample budgets to a CI-smoke footprint
 //! (seconds); the default full run takes on the order of a minute and is
-//! what gets committed as `BENCH_2.json`. Without `--out` the report goes
+//! what gets committed as `BENCH_3.json`. Without `--out` the report goes
 //! to stdout only, so CI can smoke-run without touching the tree.
+//!
+//! `--compare PATH` is the regression gate: the freshly computed
+//! quick-scale deterministic numbers (`fig_quick`: fig9/fig10/fig11 wire
+//! bytes and eqid counts, peak index sizes, wire models, coordinator
+//! `|M|`) are checked against the committed report's `fig_quick` section;
+//! any integer leaf more than 20% above its reference fails the run with
+//! exit code 1. Wall-clock and ops/sec numbers are never gated.
 
+use bench::report::{build_report, compare_deterministic, Json};
 use std::io::Write;
 
 fn main() {
     let mut quick = false;
     let mut out: Option<String> = None;
+    let mut compare: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -26,8 +35,14 @@ fn main() {
                     std::process::exit(2);
                 }))
             }
+            "--compare" => {
+                compare = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--compare requires a path");
+                    std::process::exit(2);
+                }))
+            }
             "--help" | "-h" => {
-                eprintln!("usage: bench_report [--quick] [--out PATH]");
+                eprintln!("usage: bench_report [--quick] [--out PATH] [--compare BENCH_N.json]");
                 return;
             }
             other => {
@@ -37,14 +52,39 @@ fn main() {
         }
     }
 
-    let report = bench::report::build_report(quick).render();
+    let report = build_report(quick);
+    let rendered = report.render();
     match out {
         Some(path) => {
             let mut f = std::fs::File::create(&path)
                 .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
-            f.write_all(report.as_bytes()).expect("write report");
+            f.write_all(rendered.as_bytes()).expect("write report");
             eprintln!("wrote {path}");
         }
-        None => print!("{report}"),
+        None => print!("{rendered}"),
+    }
+
+    if let Some(path) = compare {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read reference {path}: {e}"));
+        let reference =
+            Json::parse(&text).unwrap_or_else(|e| panic!("cannot parse reference {path}: {e}"));
+        let Some(ref_quick) = reference.get("fig_quick") else {
+            eprintln!("reference {path} has no `fig_quick` section — cannot gate");
+            std::process::exit(2);
+        };
+        let cur_quick = report
+            .get("fig_quick")
+            .expect("reports always embed fig_quick");
+        let regressions = compare_deterministic(cur_quick, ref_quick, 0.2);
+        if regressions.is_empty() {
+            eprintln!("bench gate: deterministic fig numbers within 20% of {path}");
+        } else {
+            eprintln!("bench gate FAILED against {path}:");
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
     }
 }

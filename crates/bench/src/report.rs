@@ -19,12 +19,15 @@
 
 use cfd::Cfd;
 use cluster::{CostModel, DictMeter, NetReport};
+use incdetect::baselines;
 use incdetect::hev::{BaseHev, NonBaseHev};
 use incdetect::md5::{digest_values, digest_values_into, Digest};
 use incdetect::optimize::{optimize, OptimizeConfig};
 use incdetect::{BaselineStrategy, Detector, DetectorBuilder, HevPlan, VerticalDetector};
-use relation::{FxHashMap, Relation, SmallVec, Sym, Tid, Value, ValuePool};
+use relation::{FxHashMap, Relation, Schema, SmallVec, Sym, Tid, Tuple, Value, ValuePool};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use workload::{dblp, tpch};
 
@@ -107,6 +110,190 @@ impl Json {
         s.push('\n');
         s
     }
+
+    /// Field of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Parse the subset of JSON this module emits (objects, strings,
+    /// numbers, null) — enough to read a committed `BENCH_*.json` back for
+    /// regression comparison without a serde dependency. Numbers without a
+    /// fraction/exponent parse as [`Json::Int`].
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(k) => k,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(out));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'u') => {
+                                if *pos + 5 > b.len() {
+                                    return Err("truncated \\u escape".into());
+                                }
+                                let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5])
+                                    .map_err(|e| e.to_string())?;
+                                let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                                out.push(char::from_u32(cp).ok_or("bad \\u escape")?);
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar.
+                        let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                        let ch = rest.chars().next().expect("non-empty");
+                        out.push(ch);
+                        *pos += ch.len_utf8();
+                    }
+                }
+            }
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Num(f64::NAN))
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            if text.is_empty() {
+                return Err(format!("unexpected byte at {start}"));
+            }
+            if text.contains(['.', 'e', 'E']) {
+                text.parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|e| e.to_string())
+            } else if let Ok(i) = text.parse::<u64>() {
+                Ok(Json::Int(i))
+            } else {
+                text.parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|e| e.to_string())
+            }
+        }
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+/// Compare the **deterministic** (integer) leaves of `current` against
+/// `reference`, walking the *reference's* keys recursively: a leaf
+/// regresses when it exceeds the reference by more than `tolerance`
+/// (fractional, e.g. 0.2) plus a small absolute slack, and a gated number
+/// that disappeared from the current report (renamed/dropped section) is
+/// flagged too — otherwise the gate would pass vacuously on exactly the
+/// refactors it exists to watch. Keys only the current report has are
+/// un-gated until the reference is regenerated. Float leaves (wall-clock
+/// timings, ops/sec) are skipped — they are machine-dependent by nature.
+/// Returns human-readable regression descriptions (empty = pass).
+pub fn compare_deterministic(current: &Json, reference: &Json, tolerance: f64) -> Vec<String> {
+    const ABS_SLACK: f64 = 16.0;
+    let mut out = Vec::new();
+    fn walk(cur: &Json, reference: &Json, path: &str, tol: f64, out: &mut Vec<String>) {
+        match reference {
+            Json::Obj(fields) => {
+                for (k, r) in fields {
+                    let sub = if path.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{path}.{k}")
+                    };
+                    match cur.get(k) {
+                        Some(c) => walk(c, r, &sub, tol, out),
+                        // Missing whole float-only subtrees still report:
+                        // cheaper than proving the subtree held no Ints.
+                        None => out.push(format!("{sub}: present in reference but missing")),
+                    }
+                }
+            }
+            Json::Int(r) => {
+                if let Json::Int(c) = cur {
+                    let limit = *r as f64 * (1.0 + tol) + ABS_SLACK;
+                    if (*c as f64) > limit {
+                        out.push(format!(
+                            "{path}: {c} exceeds reference {r} by more than {tol:.0}%",
+                            tol = tol * 100.0
+                        ));
+                    }
+                } else {
+                    out.push(format!("{path}: reference integer is not one here"));
+                }
+            }
+            _ => {}
+        }
+    }
+    walk(current, reference, "", tolerance, &mut out);
+    out
 }
 
 // ----------------------------------------------------------------------
@@ -345,6 +532,103 @@ fn hev_nonbase_micro(budget: Duration, min_iters: usize) -> Micro {
             h.release(&key);
         }
         (N * 2) as usize
+    });
+    Micro {
+        legacy_ops_per_sec: legacy,
+        current_ops_per_sec: current,
+    }
+}
+
+/// Schema for the storage micros (4 attributes, string-heavy non-keys).
+fn store_schema() -> Arc<Schema> {
+    Schema::new("BL", &["id", "zip", "street", "city"], "id").unwrap()
+}
+
+/// Raw `(tid, values)` rows for the storage micros — skewed string
+/// domains, as produced by a loader before any storage decision.
+fn store_rows(n: usize) -> Vec<(Tid, Vec<Value>)> {
+    (0..n)
+        .map(|i| {
+            (
+                i as Tid,
+                vec![
+                    Value::int(i as i64),
+                    Value::str(format!("EH{:02} {}XY", i % 97, i % 7)),
+                    Value::str(format!("Street-{:04}", i % 211)),
+                    Value::str(format!("City-of-{:02}", i % 13)),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Bulk load from raw rows: the legacy path materializes one
+/// `Tuple` (`Arc<[Value]>`, per-value clones) per row into a
+/// `BTreeMap<Tid, Tuple>`; the columnar path interns borrowed values
+/// straight into the arena (`Relation::insert_row`).
+fn bulk_load_micro(rows: &[(Tid, Vec<Value>)], budget: Duration, min_iters: usize) -> Micro {
+    let schema = store_schema();
+    let legacy = measure(budget, min_iters, || {
+        let mut map: BTreeMap<Tid, Tuple> = BTreeMap::new();
+        for (tid, vals) in rows {
+            map.insert(*tid, Tuple::new(*tid, vals.clone()));
+        }
+        std::hint::black_box(map.len());
+        rows.len()
+    });
+    let current = measure(budget, min_iters, || {
+        let mut d = Relation::new(schema.clone());
+        for (tid, vals) in rows {
+            d.insert_row(*tid, vals.iter()).unwrap();
+        }
+        std::hint::black_box(d.len());
+        rows.len()
+    });
+    Micro {
+        legacy_ops_per_sec: legacy,
+        current_ops_per_sec: current,
+    }
+}
+
+/// Pattern-filtered projection scan (the detection-shaped read): count the
+/// rows whose `zip` equals a constant and consume their `street`. Legacy
+/// walks the tuple map comparing `Value`s; columnar resolves the constant
+/// to a symbol once and compares `u32`s over contiguous column slices.
+fn columnar_scan_micro(rows: &[(Tid, Vec<Value>)], budget: Duration, min_iters: usize) -> Micro {
+    let schema = store_schema();
+    let needle = rows[0].1[1].clone();
+    let mut map: BTreeMap<Tid, Tuple> = BTreeMap::new();
+    let mut d = Relation::new(schema);
+    for (tid, vals) in rows {
+        map.insert(*tid, Tuple::new(*tid, vals.clone()));
+        d.insert_row(*tid, vals.iter()).unwrap();
+    }
+    let legacy = measure(budget, min_iters, || {
+        let mut hits = 0usize;
+        for t in map.values() {
+            if t.get(1) == &needle {
+                std::hint::black_box(t.get(2));
+                hits += 1;
+            }
+        }
+        std::hint::black_box(hits);
+        rows.len()
+    });
+    let current = measure(budget, min_iters, || {
+        let sym = d.pool().lookup(&needle);
+        let zips = d.col(1);
+        let streets = d.col(2);
+        let mut hits = 0usize;
+        if let Some(sym) = sym {
+            for (i, &z) in zips.iter().enumerate() {
+                if z == sym {
+                    std::hint::black_box(streets[i]);
+                    hits += 1;
+                }
+            }
+        }
+        std::hint::black_box(hits);
+        rows.len()
     });
     Micro {
         legacy_ops_per_sec: legacy,
@@ -632,6 +916,49 @@ fn wire_model(quick: bool) -> Json {
     ])
 }
 
+/// Coordinator wire cost on the fig9 workload: what the `batVer`/`batHor`
+/// coordinators actually ship with the columnar, dictionary-backed
+/// `BatMsg::Cols` vs what the retired row-oriented `BatMsg::Rows` format
+/// would have cost for the same shipments. Fully deterministic at the
+/// fixed seed.
+fn coordinator_wire(quick: bool) -> Json {
+    let (schema, cfds, d, _) = fixed_tpch(quick);
+    let vs = tpch::vertical_scheme(&schema, 10);
+    let hs = tpch::horizontal_scheme(&schema, 10);
+    let bv = baselines::bat_ver(&cfds, &vs, &d);
+    let bh = baselines::bat_hor(&cfds, &hs, &d);
+    let ratio = |rows: u64, cols: u64| rows as f64 / (cols as f64).max(1.0);
+    Json::obj(vec![
+        ("bat_ver_cols_bytes", Json::Int(bv.stats.total_bytes())),
+        ("bat_ver_rows_equiv_bytes", Json::Int(bv.rows_equiv_bytes)),
+        (
+            "bat_ver_rows_over_cols",
+            Json::Num(ratio(bv.rows_equiv_bytes, bv.stats.total_bytes())),
+        ),
+        ("bat_hor_cols_bytes", Json::Int(bh.stats.total_bytes())),
+        ("bat_hor_rows_equiv_bytes", Json::Int(bh.rows_equiv_bytes)),
+        (
+            "bat_hor_rows_over_cols",
+            Json::Num(ratio(bh.rows_equiv_bytes, bh.stats.total_bytes())),
+        ),
+    ])
+}
+
+/// The deterministic figure sections at the **quick** scale, regardless of
+/// the report's own mode. Committed inside `BENCH_*.json` so the CI smoke
+/// run (always quick) has same-scale reference numbers to gate on — see
+/// [`compare_deterministic`].
+pub fn build_fig_quick() -> Json {
+    Json::obj(vec![
+        ("fig9", fig9(true)),
+        ("fig10", fig10()),
+        ("fig11", fig11(true)),
+        ("peak_index_sizes", peak_index_sizes(true)),
+        ("wire_model", wire_model(true)),
+        ("coordinator_wire", coordinator_wire(true)),
+    ])
+}
+
 // ----------------------------------------------------------------------
 // Top level
 // ----------------------------------------------------------------------
@@ -655,16 +982,24 @@ pub fn build_report(quick: bool) -> Json {
     let hev_base = hev_base_micro(&hev_values, budget, min_iters);
     let hev_nonbase = hev_nonbase_micro(budget, min_iters);
     let digest = digest_micro(budget, min_iters);
+    let storage_rows = store_rows(if quick { 4_000 } else { 60_000 });
+    let bulk_load = bulk_load_micro(&storage_rows, budget, min_iters);
+    let columnar_scan = columnar_scan_micro(&storage_rows, budget, min_iters);
+    let fig_quick = build_fig_quick();
 
     Json::obj(vec![
         ("schema_version", Json::Int(1)),
-        ("report", Json::Str("BENCH_2".into())),
+        ("report", Json::Str("BENCH_3".into())),
         (
             "description",
             Json::Str(
-                "Dictionary-encoded values + allocation-free detection hot paths: \
-                 micro before/after (legacy = pre-PR representations re-implemented \
-                 inline) and fixed-seed fig9/fig10/fig11 harness numbers"
+                "Columnar arena-backed Relation storage + dictionary-backed \
+                 columnar wire format: storage micros (legacy = BTreeMap<Tid, \
+                 Tuple> re-implemented inline), the PR-2 micros re-run, \
+                 fixed-seed fig9/fig10/fig11 harness numbers, and the \
+                 BatMsg::Cols vs rows coordinator |M| split. `fig_quick` \
+                 holds the quick-scale deterministic numbers the CI \
+                 bench-smoke gate compares against (>20% regression fails)"
                     .into(),
             ),
         ),
@@ -675,18 +1010,46 @@ pub fn build_report(quick: bool) -> Json {
         (
             "micro",
             Json::obj(vec![
+                ("bulk_load", bulk_load.json()),
+                ("columnar_scan", columnar_scan.json()),
                 ("grouping", grouping.json()),
                 ("hev_base", hev_base.json()),
                 ("hev_nonbase", hev_nonbase.json()),
                 ("md5_digest_scratch", digest.json()),
             ]),
         ),
-        ("fig9", fig9(quick)),
-        ("fig10", fig10()),
-        ("fig11", fig11(quick)),
-        ("peak_index_sizes", peak_index_sizes(quick)),
-        ("wire_model", wire_model(quick)),
+        ("fig9", fig_section(&fig_quick, quick, "fig9", fig9)),
+        (
+            "fig10",
+            fig_quick.get("fig10").cloned().expect("fig_quick section"),
+        ),
+        ("fig11", fig_section(&fig_quick, quick, "fig11", fig11)),
+        (
+            "peak_index_sizes",
+            fig_section(&fig_quick, quick, "peak_index_sizes", peak_index_sizes),
+        ),
+        (
+            "wire_model",
+            fig_section(&fig_quick, quick, "wire_model", wire_model),
+        ),
+        (
+            "coordinator_wire",
+            fig_section(&fig_quick, quick, "coordinator_wire", coordinator_wire),
+        ),
+        ("fig_quick", fig_quick),
     ])
+}
+
+/// A top-level figure section: in quick mode the already-computed
+/// `fig_quick` value is reused (the harnesses are deterministic, so a
+/// recompute would produce the same integers at double the wall clock);
+/// full mode runs the full-scale harness.
+fn fig_section(fig_quick: &Json, quick: bool, key: &str, full: fn(bool) -> Json) -> Json {
+    if quick {
+        fig_quick.get(key).cloned().expect("fig_quick section")
+    } else {
+        full(false)
+    }
 }
 
 #[cfg(test)]
@@ -711,6 +1074,8 @@ mod tests {
         let r = build_report(true).render();
         for key in [
             "micro",
+            "bulk_load",
+            "columnar_scan",
             "grouping",
             "hev_base",
             "hev_nonbase",
@@ -720,9 +1085,81 @@ mod tests {
             "fig11",
             "peak_index_sizes",
             "wire_model",
+            "coordinator_wire",
+            "bat_ver_cols_bytes",
+            "fig_quick",
         ] {
             assert!(r.contains(&format!("\"{key}\"")), "missing section {key}");
         }
+    }
+
+    #[test]
+    fn json_parse_round_trips_rendered_reports() {
+        let j = Json::obj(vec![
+            ("a", Json::Int(3)),
+            ("b", Json::Str("x\"y\\z\n".into())),
+            (
+                "c",
+                Json::obj(vec![("n", Json::Num(1.5)), ("m", Json::Int(0))]),
+            ),
+        ]);
+        let parsed = Json::parse(&j.render()).unwrap();
+        assert_eq!(parsed.render(), j.render());
+        assert!(matches!(parsed.get("a"), Some(Json::Int(3))));
+        assert!(matches!(
+            parsed.get("c").and_then(|c| c.get("m")),
+            Some(Json::Int(0))
+        ));
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("{\"a\": }").is_err());
+    }
+
+    #[test]
+    fn compare_flags_only_integer_regressions() {
+        let reference = Json::obj(vec![
+            ("bytes", Json::Int(1_000)),
+            ("eqids", Json::Int(100)),
+            ("wall", Json::Num(1.0)),
+            ("sub", Json::obj(vec![("x", Json::Int(500))])),
+        ]);
+        // Within tolerance, improvements, float drift, and new keys pass.
+        let ok = Json::obj(vec![
+            ("bytes", Json::Int(1_100)),
+            ("eqids", Json::Int(40)),
+            ("wall", Json::Num(99.0)),
+            ("sub", Json::obj(vec![("x", Json::Int(560))])),
+            ("brand_new", Json::Int(7)),
+        ]);
+        assert!(compare_deterministic(&ok, &reference, 0.2).is_empty());
+        // A >20% integer blow-up fails, with its path named — and keys the
+        // reference gates that vanished from the current report fail too
+        // (a renamed section must not silently drop out of the gate).
+        let bad = Json::obj(vec![
+            ("bytes", Json::Int(1_300)),
+            ("sub", Json::obj(vec![("x", Json::Int(700))])),
+        ]);
+        let regressions = compare_deterministic(&bad, &reference, 0.2);
+        assert_eq!(regressions.len(), 4);
+        assert!(regressions
+            .iter()
+            .any(|r| r.contains("bytes") && r.contains("exceeds")));
+        assert!(regressions.iter().any(|r| r.contains("sub.x")));
+        assert!(regressions
+            .iter()
+            .any(|r| r.contains("eqids") && r.contains("missing")));
+        assert!(regressions
+            .iter()
+            .any(|r| r.contains("wall") && r.contains("missing")));
+    }
+
+    #[test]
+    fn quick_fig_numbers_are_reproducible() {
+        // The CI gate depends on the quick harness being deterministic:
+        // two in-process runs must produce identical integer leaves.
+        let a = build_fig_quick();
+        let b = build_fig_quick();
+        assert!(compare_deterministic(&a, &b, 0.0).is_empty());
+        assert!(compare_deterministic(&b, &a, 0.0).is_empty());
     }
 
     #[test]

@@ -36,8 +36,9 @@ impl EqSelect {
     }
 }
 
-/// Streaming selection: tids of tuples satisfying the predicate.
-pub fn select<'a>(d: &'a Relation, pred: &'a EqSelect) -> impl Iterator<Item = &'a Tuple> {
+/// Streaming selection: tuples satisfying the predicate (materialized —
+/// the columnar plans below scan without materializing).
+pub fn select<'a>(d: &'a Relation, pred: &'a EqSelect) -> impl Iterator<Item = Tuple> + 'a {
     d.iter().filter(move |t| pred.eval(t))
 }
 
@@ -78,28 +79,89 @@ pub fn group_having_multiple_dep(
         .collect()
 }
 
-/// Execute the constant-query plan `Q_C` for one constant CFD.
+/// Execute the constant-query plan `Q_C` for one constant CFD — a single
+/// columnar scan: the selection atoms and the RHS constant resolve to the
+/// relation's dictionary symbols once, then every row check is integer
+/// comparisons over column slices.
 pub fn run_constant(cfd: &Cfd, d: &Relation) -> Vec<Tid> {
     let b = match &cfd.rhs_pattern {
-        PatternValue::Const(v) => v.clone(),
+        PatternValue::Const(v) => v,
         PatternValue::Wildcard => return Vec::new(),
     };
-    let pred = EqSelect::from_cfd(cfd);
-    select(d, &pred)
-        .filter(|t| t.get(cfd.rhs) != &b)
-        .map(|t| t.tid)
+    let Some(atoms) = crate::naive::atom_syms(cfd, d) else {
+        return Vec::new();
+    };
+    let store = d.store();
+    let rhs_sym = d.pool().lookup(b); // None ⇒ every matching row violates
+    let rhs_col = store.col(cfd.rhs);
+    store
+        .rows()
+        .filter(|&(_, row)| {
+            atoms.iter().all(|&(a, s)| store.col(a)[row as usize] == s)
+                && Some(rhs_col[row as usize]) != rhs_sym
+        })
+        .map(|(tid, _)| tid)
         .collect()
 }
 
-/// Execute the variable-query plan `Q_V` for one variable CFD.
+/// Execute the variable-query plan `Q_V` for one variable CFD — columnar
+/// `GROUP BY` over symbol slices ([`group_having_multiple_dep_cols`]).
 pub fn run_variable(cfd: &Cfd, d: &Relation) -> Vec<Tid> {
     if cfd.is_constant() {
         return Vec::new();
     }
-    let pred = EqSelect::from_cfd(cfd);
-    group_having_multiple_dep(select(d, &pred), &cfd.lhs, cfd.rhs)
-        .into_iter()
-        .flatten()
+    let Some(atoms) = crate::naive::atom_syms(cfd, d) else {
+        return Vec::new();
+    };
+    let store = d.store();
+    group_having_multiple_dep_cols(
+        d,
+        |row| atoms.iter().all(|&(a, s)| store.col(a)[row as usize] == s),
+        &cfd.lhs,
+        cfd.rhs,
+    )
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Columnar `GROUP BY keys HAVING COUNT(DISTINCT dep) > 1`: group the rows
+/// passing `filter` directly over the relation's column slices — keys are
+/// the rows' dictionary symbols, so no value is hashed or cloned.
+pub fn group_having_multiple_dep_cols(
+    d: &Relation,
+    filter: impl Fn(u32) -> bool,
+    keys: &[AttrId],
+    dep: AttrId,
+) -> Vec<Vec<Tid>> {
+    struct G {
+        tids: Vec<Tid>,
+        first: Sym,
+        mixed: bool,
+    }
+    let store = d.store();
+    let dep_col = store.col(dep);
+    let mut groups: FxHashMap<SmallVec<Sym, 4>, G> = FxHashMap::default();
+    for (tid, row) in store.rows() {
+        if !filter(row) {
+            continue;
+        }
+        let key: SmallVec<Sym, 4> = keys.iter().map(|&a| store.col(a)[row as usize]).collect();
+        let b = dep_col[row as usize];
+        let g = groups.entry(key).or_insert(G {
+            tids: Vec::new(),
+            first: b,
+            mixed: false,
+        });
+        g.tids.push(tid);
+        if g.first != b {
+            g.mixed = true;
+        }
+    }
+    groups
+        .into_values()
+        .filter(|g| g.mixed)
+        .map(|g| g.tids)
         .collect()
 }
 
@@ -125,7 +187,7 @@ pub fn detect(cfds: &[Cfd], d: &Relation) -> Violations {
 pub fn semijoin_tids<'a>(
     d: &'a Relation,
     tids: &'a FxHashSet<Tid>,
-) -> impl Iterator<Item = &'a Tuple> {
+) -> impl Iterator<Item = Tuple> + 'a {
     d.iter().filter(move |t| tids.contains(&t.tid))
 }
 

@@ -3,17 +3,35 @@
 //! When `D` is centralized, "two SQL queries suffice to detect violations of
 //! a set of CFDs" (§1, [9]). This module is the algorithmic equivalent: one
 //! pass per CFD for constant patterns (the first "query") and one grouped
-//! pass for variable patterns (the second). It is intentionally simple and
-//! allocation-heavy — it exists as the *oracle* that every distributed and
-//! incremental algorithm in this repository is tested against, and as the
-//! "from scratch" cost reference.
+//! pass for variable patterns (the second). It exists as the *oracle* that
+//! every distributed and incremental algorithm in this repository is tested
+//! against, and as the "from scratch" cost reference.
+//!
+//! Both passes scan the relation's **columns** directly: pattern constants
+//! resolve to the relation's own dictionary symbols once per CFD, after
+//! which pattern checks, group keys and the distinct-RHS test are pure
+//! integer comparisons over `&[Sym]` slices — no tuple materialization, no
+//! pass-local re-interning.
 
 use crate::cfd::{Cfd, CfdId};
+use crate::pattern::PatternValue;
 use crate::violation::Violations;
-use relation::{FxHashMap, Relation, SmallVec, Sym, Tid, ValuePool};
+use relation::{FxHashMap, Relation, SmallVec, Sym, Tid};
 
 /// Interned group key `t[X]` — inline for the common arities.
 type GroupKey = SmallVec<Sym, 4>;
+
+/// The constant LHS atoms of `cfd` resolved to `d`'s dictionary symbols.
+/// `None` means some constant never occurs in `d` — no tuple can match.
+pub(crate) fn atom_syms(cfd: &Cfd, d: &Relation) -> Option<SmallVec<(relation::AttrId, Sym), 4>> {
+    let mut out = SmallVec::new();
+    for (&a, p) in cfd.lhs.iter().zip(&cfd.lhs_pattern) {
+        if let PatternValue::Const(v) = p {
+            out.push((a, d.pool().lookup(v)?));
+        }
+    }
+    Some(out)
+}
 
 /// Compute `V(Σ, D)` from scratch on a centralized relation.
 pub fn detect(cfds: &[Cfd], d: &Relation) -> Violations {
@@ -26,30 +44,42 @@ pub fn detect(cfds: &[Cfd], d: &Relation) -> Violations {
 
 /// Compute `V(φ, D)` for a single CFD, merging into `out`.
 pub fn detect_one(cfd: &Cfd, d: &Relation, out: &mut Violations) {
+    let Some(atoms) = atom_syms(cfd, d) else {
+        return; // some LHS constant never occurs in D
+    };
+    let store = d.store();
+    let matches_row = |row: u32| atoms.iter().all(|&(a, s)| store.col(a)[row as usize] == s);
     if cfd.is_constant() {
         // A constant CFD is violated by a single tuple: pattern-matching LHS
-        // with an RHS that does not match the RHS constant.
-        for t in d.iter() {
-            if cfd.constant_violation(t) {
-                out.add(cfd.id, t.tid);
+        // with an RHS that does not match the RHS constant. A constant that
+        // is absent from the dictionary is violated by every matching row.
+        let rhs_sym = match &cfd.rhs_pattern {
+            PatternValue::Const(v) => d.pool().lookup(v),
+            PatternValue::Wildcard => unreachable!("constant CFD has a const RHS"),
+        };
+        let rhs_col = store.col(cfd.rhs);
+        for (tid, row) in store.rows() {
+            if matches_row(row) && Some(rhs_col[row as usize]) != rhs_sym {
+                out.add(cfd.id, tid);
             }
         }
     } else {
-        // A variable CFD: group pattern-matching tuples by t[X]; every
-        // member of a group with ≥ 2 distinct RHS values is a violation.
-        // Values are interned through a pass-local dictionary, so group
-        // keys are inline symbol vectors and the RHS comparison is an
-        // integer equality — no per-tuple value clones.
-        let mut pool = ValuePool::new();
+        // A variable CFD: group pattern-matching rows by t[X]; every member
+        // of a group with ≥ 2 distinct RHS symbols is a violation.
+        let rhs_col = store.col(cfd.rhs);
         let mut groups: FxHashMap<GroupKey, (Vec<Tid>, Sym, bool)> = FxHashMap::default();
-        for t in d.iter() {
-            if !cfd.matches_lhs(t) {
+        for (tid, row) in store.rows() {
+            if !matches_row(row) {
                 continue;
             }
-            let key: GroupKey = t.iter_at(&cfd.lhs).map(|v| pool.acquire(v)).collect();
-            let b = pool.acquire(t.get(cfd.rhs));
+            let key: GroupKey = cfd
+                .lhs
+                .iter()
+                .map(|&a| store.col(a)[row as usize])
+                .collect();
+            let b = rhs_col[row as usize];
             let entry = groups.entry(key).or_insert((Vec::new(), b, false));
-            entry.0.push(t.tid);
+            entry.0.push(tid);
             if entry.1 != b {
                 entry.2 = true;
             }

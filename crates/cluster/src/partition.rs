@@ -140,16 +140,19 @@ impl VerticalScheme {
     }
 
     /// Partition a relation: `D_i = π_{X_i}(D)` with tuple ids preserved.
+    /// Scans the source columns directly — each fragment row is interned
+    /// from borrowed values, no intermediate `Tuple` per projection.
     pub fn partition(&self, d: &Relation) -> Vec<Relation> {
         let mut out: Vec<Relation> = self
             .frag_schemas
             .iter()
             .map(|s| Relation::new(s.clone()))
             .collect();
-        for t in d.iter() {
+        let store = d.store();
+        for (tid, row) in store.rows() {
             for (site, attrs) in self.frags.iter().enumerate() {
                 out[site]
-                    .insert(t.project(attrs))
+                    .insert_row(tid, store.project_values(row, attrs))
                     .expect("projection preserves unique tids");
             }
         }
@@ -232,30 +235,41 @@ impl HorizontalScheme {
     /// Route a tuple to its unique fragment; errors when the scheme is not
     /// a partition for this tuple.
     pub fn route(&self, t: &Tuple) -> Result<SiteId, ClusterError> {
+        self.route_with(t.tid, &|a| t.get(a))
+    }
+
+    /// Route by positional value accessor — the columnar path (no tuple
+    /// materialization; `tid` is only used in error messages).
+    pub fn route_with<'a>(
+        &self,
+        tid: relation::Tid,
+        get: &impl Fn(AttrId) -> &'a Value,
+    ) -> Result<SiteId, ClusterError> {
         let mut hit = None;
         for (i, p) in self.preds.iter().enumerate() {
-            if p.eval(t) {
+            if p.eval_with(get) {
                 if hit.is_some() {
                     return Err(ClusterError::Routing(format!(
-                        "tuple {} matches multiple fragments",
-                        t.tid
+                        "tuple {tid} matches multiple fragments"
                     )));
                 }
                 hit = Some(i);
             }
         }
-        hit.ok_or_else(|| ClusterError::Routing(format!("tuple {} matches no fragment", t.tid)))
+        hit.ok_or_else(|| ClusterError::Routing(format!("tuple {tid} matches no fragment")))
     }
 
-    /// Partition a relation: `D_i = σ_{F_i}(D)`.
+    /// Partition a relation: `D_i = σ_{F_i}(D)` — a columnar scan; each
+    /// selected row is interned into its fragment from borrowed values.
     pub fn partition(&self, d: &Relation) -> Result<Vec<Relation>, ClusterError> {
         let mut out: Vec<Relation> = (0..self.preds.len())
             .map(|_| Relation::new(self.schema.clone()))
             .collect();
-        for t in d.iter() {
-            let site = self.route(t)?;
+        let store = d.store();
+        for (tid, row) in store.rows() {
+            let site = self.route_with(tid, &|a| store.value(row, a))?;
             out[site]
-                .insert(t.clone())
+                .insert_row(tid, store.row_syms(row).map(|s| store.pool().resolve(s)))
                 .expect("partitioning preserves unique tids");
         }
         Ok(out)

@@ -18,33 +18,216 @@
 use crate::detector::{DetectError, Detector};
 use crate::horizontal::HorizontalDetector;
 use crate::vertical::VerticalDetector;
+use cfd::pattern::PatternValue;
 use cfd::{Cfd, CfdId, DeltaV, Violations};
 use cluster::partition::{HorizontalScheme, VerticalScheme};
-use cluster::{NetReport, NetStats, Network, SiteId, Wire};
+use cluster::{DictMeter, NetReport, NetStats, Network, SiteId, Wire};
 use relation::{
-    AttrId, FxHashMap, Relation, Schema, SmallVec, Sym, Tid, UpdateBatch, Value, ValuePool,
+    AttrId, FxHashMap, Relation, RowId, Schema, SmallVec, Sym, Tid, UpdateBatch, ValuePool,
 };
 use std::sync::Arc;
 
 /// Interned group key for the coordinator-side `GROUP BY t[X]`.
 type GroupKey = SmallVec<Sym, 4>;
 
-/// Column/tuple payloads shipped by the batch baselines.
+/// Sentinel for "attribute not yet assembled" in coordinator slots.
+const SYM_NONE: Sym = Sym::MAX;
+
+/// A columnar, dictionary-backed shipment of projected rows: the tid
+/// vector, one symbol column per served attribute (sender-local symbols),
+/// and the **dictionary delta** — the `(sym, value)` entries this link has
+/// not carried before, charged exactly as [`cluster::DictMeter`] models
+/// (4 B per shipped symbol, one-time `4 B + |value|` per new entry).
+/// Repeat values therefore cost 4 bytes instead of their full wire size,
+/// which is what collapses the coordinators' `|M|` on skewed columns.
+#[derive(Debug, Clone)]
+pub struct ColsMsg {
+    /// Row tids, in the sender's scan order (ascending).
+    pub tids: Vec<Tid>,
+    /// One column per served attribute, aligned with `tids`.
+    pub cols: Vec<Vec<Sym>>,
+    /// Dictionary entries new to this `(src → dst)` link.
+    pub dict: Vec<(Sym, relation::Value)>,
+}
+
+impl ColsMsg {
+    /// Serialized size: 8 B per tid, 4 B per symbol, `4 + |value|` per
+    /// dictionary entry.
+    pub fn wire_size(&self) -> usize {
+        8 * self.tids.len()
+            + DictMeter::SYM_WIRE_SIZE * self.cols.iter().map(Vec::len).sum::<usize>()
+            + self
+                .dict
+                .iter()
+                .map(|(_, v)| DictMeter::SYM_WIRE_SIZE + v.wire_size())
+                .sum::<usize>()
+    }
+
+    /// Encode the `rows` of `frag` projected onto `attrs` (fragment-local
+    /// positions), updating `meter`'s per-link residency to pick the
+    /// dictionary delta. Returns the message plus what the retired
+    /// row-oriented format would have cost for the same shipment.
+    pub fn encode(
+        frag: &Relation,
+        rows: &[(Tid, RowId)],
+        attrs: &[AttrId],
+        meter: &mut DictMeter,
+        src: SiteId,
+        dst: SiteId,
+    ) -> (ColsMsg, u64) {
+        let store = frag.store();
+        let mut msg = ColsMsg {
+            tids: Vec::with_capacity(rows.len()),
+            cols: vec![Vec::with_capacity(rows.len()); attrs.len()],
+            dict: Vec::new(),
+        };
+        let mut rows_equiv = 0u64;
+        for &(tid, row) in rows {
+            msg.tids.push(tid);
+            rows_equiv += 8;
+            for (k, &a) in attrs.iter().enumerate() {
+                let s = store.sym(row, a);
+                let v = store.value(row, a);
+                rows_equiv += v.wire_size() as u64;
+                if meter.ship_sym(src, dst, s, v) > DictMeter::SYM_WIRE_SIZE {
+                    msg.dict.push((s, v.clone()));
+                }
+                msg.cols[k].push(s);
+            }
+        }
+        (msg, rows_equiv)
+    }
+
+    /// Receiver-side decode back to `(tid, values)` rows. `link` is the
+    /// receiver's dictionary for this `(src → dst)` link, fed by every
+    /// message's delta — symbols not in the delta must already be resident
+    /// from earlier messages on the same link.
+    pub fn decode(
+        &self,
+        link: &mut FxHashMap<Sym, relation::Value>,
+    ) -> Vec<(Tid, Vec<relation::Value>)> {
+        for (s, v) in &self.dict {
+            link.insert(*s, v.clone());
+        }
+        self.tids
+            .iter()
+            .enumerate()
+            .map(|(i, &tid)| (tid, self.cols.iter().map(|c| link[&c[i]].clone()).collect()))
+            .collect()
+    }
+}
+
+/// Column payloads shipped by the batch baselines (the row-oriented
+/// `BatMsg::Rows(Vec<(Tid, Vec<Value>)>)` of earlier revisions is retired;
+/// its equivalent cost is still tracked per run in
+/// [`BatchOutcome::rows_equiv_bytes`] for the benchmark report).
 #[derive(Debug, Clone)]
 pub enum BatMsg {
-    /// `(tid, values)` rows of a projected column set.
-    Rows(Vec<(Tid, Vec<Value>)>),
+    /// Dictionary-backed projected columns.
+    Cols(ColsMsg),
 }
 
 impl Wire for BatMsg {
     fn wire_size(&self) -> usize {
         match self {
-            BatMsg::Rows(rows) => rows
-                .iter()
-                .map(|(_, vs)| 8 + vs.iter().map(Value::wire_size).sum::<usize>())
-                .sum(),
+            BatMsg::Cols(m) => m.wire_size(),
         }
     }
+}
+
+/// Coordinator-side re-interning: translate a site's columns into the
+/// coordinator's own pool. Remote columns resolve through the link's
+/// dictionary delta (one value intern per *distinct* symbol, integer map
+/// probes per row); local columns resolve through the fragment's pool with
+/// a lazy symbol→symbol cache.
+struct CoordPool {
+    pool: ValuePool,
+}
+
+impl CoordPool {
+    fn new() -> Self {
+        CoordPool {
+            pool: ValuePool::new(),
+        }
+    }
+
+    /// Symbol for a pattern constant, if any shipped row carried it.
+    fn lookup(&self, v: &relation::Value) -> Option<Sym> {
+        self.pool.lookup(v)
+    }
+
+    /// Translate a received [`ColsMsg`] (consumes it): dictionary delta →
+    /// link map, then per-row integer remapping.
+    fn translate_msg(&mut self, msg: &ColsMsg) -> (Vec<Tid>, Vec<Vec<Sym>>) {
+        let mut link: FxHashMap<Sym, Sym> = FxHashMap::default();
+        for (s, v) in &msg.dict {
+            let cs = self.pool.acquire(v);
+            link.insert(*s, cs);
+        }
+        let cols = msg
+            .cols
+            .iter()
+            .map(|c| c.iter().map(|s| link[s]).collect())
+            .collect();
+        (msg.tids.clone(), cols)
+    }
+
+    /// Translate the coordinator's own (unshipped) rows.
+    fn translate_local(
+        &mut self,
+        frag: &Relation,
+        rows: &[(Tid, RowId)],
+        served_local: &[AttrId],
+    ) -> (Vec<Tid>, Vec<Vec<Sym>>) {
+        let store = frag.store();
+        let mut cache: FxHashMap<Sym, Sym> = FxHashMap::default();
+        let mut tids = Vec::with_capacity(rows.len());
+        let mut cols: Vec<Vec<Sym>> = vec![Vec::with_capacity(rows.len()); served_local.len()];
+        for &(tid, row) in rows {
+            tids.push(tid);
+            for (k, &a) in served_local.iter().enumerate() {
+                let s = store.sym(row, a);
+                let cs = *cache
+                    .entry(s)
+                    .or_insert_with(|| self.pool.acquire(store.pool().resolve(s)));
+                cols[k].push(cs);
+            }
+        }
+        (tids, cols)
+    }
+}
+
+/// The constant LHS atoms of `cfd` that are locally evaluable in `frag`
+/// under the fragment's positional mapping, resolved to fragment symbols.
+/// `None` ⇒ some locally-held constant never occurs in the fragment, so no
+/// row passes. `local_pos` maps a global attribute to its fragment
+/// position (identity for horizontal fragments).
+fn local_atom_syms(
+    cfd: &Cfd,
+    frag: &Relation,
+    local_pos: impl Fn(AttrId) -> Option<AttrId>,
+) -> Option<SmallVec<(AttrId, Sym), 4>> {
+    let mut out = SmallVec::new();
+    for (&a, p) in cfd.lhs.iter().zip(&cfd.lhs_pattern) {
+        if let PatternValue::Const(v) = p {
+            if let Some(pos) = local_pos(a) {
+                out.push((pos, frag.pool().lookup(v)?));
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Rows of `frag` whose locally evaluable atoms all match.
+fn filter_rows(frag: &Relation, atoms: &Option<SmallVec<(AttrId, Sym), 4>>) -> Vec<(Tid, RowId)> {
+    let Some(atoms) = atoms else {
+        return Vec::new();
+    };
+    let store = frag.store();
+    store
+        .rows()
+        .filter(|&(_, row)| atoms.iter().all(|&(a, s)| store.col(a)[row as usize] == s))
+        .collect()
 }
 
 /// Outcome of a batch run: the violations plus the traffic it cost.
@@ -52,8 +235,12 @@ impl Wire for BatMsg {
 pub struct BatchOutcome {
     /// `V(Σ, D)` computed from scratch.
     pub violations: Violations,
-    /// Shipment metered during the run.
+    /// Shipment metered during the run ([`BatMsg::Cols`] accounting).
     pub stats: NetStats,
+    /// What the same shipments would have cost in the retired row-oriented
+    /// format (`8 B` tid + full value wire sizes per row) — 0 for runs
+    /// that ship no columnar messages (`ibatVer`/`ibatHor`).
+    pub rows_equiv_bytes: u64,
 }
 
 // ----------------------------------------------------------------------
@@ -61,12 +248,20 @@ pub struct BatchOutcome {
 // ----------------------------------------------------------------------
 
 /// One CFD's worth of `batVer` work: each site holding attributes of
-/// `X ∪ {B}` ships its `(tid, value…)` columns (pre-filtered by the
-/// constant atoms it can evaluate locally) to the CFD's coordinator,
-/// which sort-merges by tid and checks the violations.
-fn bat_ver_one(cfd: &Cfd, scheme: &VerticalScheme, fragments: &[Relation]) -> (Vec<Tid>, NetStats) {
+/// `X ∪ {B}` ships its projected **symbol columns** plus per-link
+/// dictionary deltas ([`BatMsg::Cols`], pre-filtered by the constant atoms
+/// it can evaluate locally) to the CFD's coordinator, which re-interns the
+/// deltas once, sort-merges the columns by tid, and checks the violations
+/// with pure integer comparisons.
+fn bat_ver_one(
+    cfd: &Cfd,
+    scheme: &VerticalScheme,
+    fragments: &[Relation],
+) -> (Vec<Tid>, NetStats, u64) {
     let n = scheme.n_sites();
     let mut net: Network<BatMsg> = Network::new(n);
+    let mut meter = DictMeter::new();
+    let mut rows_equiv = 0u64;
     let mut out: Vec<Tid> = Vec::new();
 
     // Coordinator: the site holding the most attributes of the CFD.
@@ -91,82 +286,98 @@ fn bat_ver_one(cfd: &Cfd, scheme: &VerticalScheme, fragments: &[Relation]) -> (V
         serving.entry(site).or_default().push(a);
     }
 
-    // Remote sites ship their columns, filtered by locally evaluable
-    // constant atoms.
-    let atoms = cfd.constant_atoms();
-    let mut columns: FxHashMap<SiteId, Vec<(Tid, Vec<Value>)>> = FxHashMap::default();
+    // Each serving site filters by its locally evaluable constant atoms and
+    // contributes its columns — shipped (and metered) unless it *is* the
+    // coordinator. The coordinator re-interns everything into one pool.
+    let mut cpool = CoordPool::new();
+    let mut columns: Vec<(SiteId, Vec<Tid>, Vec<Vec<Sym>>)> = Vec::new();
     let mut sites: Vec<SiteId> = serving.keys().copied().collect();
     sites.sort_unstable();
     for site in sites {
         let served = &serving[&site];
-        let local_atoms: Vec<&(AttrId, Value)> = atoms
+        let frag = &fragments[site];
+        let served_local: Vec<AttrId> = served
             .iter()
-            .filter(|(a, _)| scheme.local_pos(site, *a).is_some())
+            .map(|&a| scheme.local_pos(site, a).expect("served attr is local") as AttrId)
             .collect();
-        let rows: Vec<(Tid, Vec<Value>)> = fragments[site]
-            .iter()
-            .filter(|t| {
-                local_atoms.iter().all(|(a, v)| {
-                    let pos = scheme.local_pos(site, *a).expect("atom attr is local") as AttrId;
-                    t.get(pos) == v
-                })
-            })
-            .map(|t| {
-                let vals: Vec<Value> = served
-                    .iter()
-                    .map(|&a| {
-                        let pos = scheme.local_pos(site, a).expect("served attr is local");
-                        t.get(pos as AttrId).clone()
-                    })
-                    .collect();
-                (t.tid, vals)
-            })
-            .collect();
-        if site != coord {
-            net.send(site, coord, BatMsg::Rows(rows.clone()))
+        let atoms = local_atom_syms(cfd, frag, |a| {
+            scheme.local_pos(site, a).map(|p| p as AttrId)
+        });
+        let rows = filter_rows(frag, &atoms);
+        let (tids, cols) = if site != coord {
+            let (msg, re) = ColsMsg::encode(frag, &rows, &served_local, &mut meter, site, coord);
+            rows_equiv += re;
+            let translated = cpool.translate_msg(&msg);
+            net.send(site, coord, BatMsg::Cols(msg))
                 .expect("valid sites");
-        }
-        columns.insert(site, rows);
+            translated
+        } else {
+            cpool.translate_local(frag, &rows, &served_local)
+        };
+        columns.push((site, tids, cols));
     }
 
-    // Coordinator: sort-merge the columns by tid, rebuild partial tuples
-    // over `attrs`, and detect violations of this CFD.
-    let mut assembled: FxHashMap<Tid, FxHashMap<AttrId, Value>> = FxHashMap::default();
-    let mut site_count: FxHashMap<Tid, usize> = FxHashMap::default();
+    // Coordinator: merge the columns by tid into `attrs`-ordered symbol
+    // slots and detect violations of this CFD.
+    let attr_pos: FxHashMap<AttrId, usize> =
+        attrs.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+    let mut assembled: FxHashMap<Tid, (Vec<Sym>, usize)> = FxHashMap::default();
     let n_serving = serving.len();
-    for (site, rows) in &columns {
+    for (site, tids, cols) in &columns {
         let served = &serving[site];
-        for (tid, vals) in rows {
-            let slot = assembled.entry(*tid).or_default();
-            for (a, v) in served.iter().zip(vals) {
-                slot.insert(*a, v.clone());
+        for (i, tid) in tids.iter().enumerate() {
+            let slot = assembled
+                .entry(*tid)
+                .or_insert_with(|| (vec![SYM_NONE; attrs.len()], 0));
+            for (k, &a) in served.iter().enumerate() {
+                slot.0[attr_pos[&a]] = cols[k][i];
             }
-            *site_count.entry(*tid).or_insert(0) += 1;
+            slot.1 += 1;
         }
     }
-    // Only tuples surviving every site's local filter participate. The
-    // group-by runs on interned symbols: pattern checks borrow, keys are
-    // inline symbol vectors, and the distinct-B test is integer equality.
-    let mut pool = ValuePool::new();
+    // Only tuples surviving every site's local filter participate. Pattern
+    // constants resolve to coordinator symbols once; group keys are the
+    // assembled symbol slots themselves — no per-row interning at all.
+    let lhs_syms: Vec<Option<Sym>> = cfd
+        .lhs_pattern
+        .iter()
+        .map(|p| match p {
+            PatternValue::Const(v) => Some(cpool.lookup(v).unwrap_or(SYM_NONE)),
+            PatternValue::Wildcard => None,
+        })
+        .collect();
+    let rhs_sym = match &cfd.rhs_pattern {
+        PatternValue::Const(v) => Some(cpool.lookup(v).unwrap_or(SYM_NONE)),
+        PatternValue::Wildcard => None,
+    };
+    let rhs_pos = attr_pos[&cfd.rhs];
     let mut groups: FxHashMap<GroupKey, (Vec<Tid>, Sym, bool)> = FxHashMap::default();
-    for (tid, vals) in &assembled {
-        if site_count[tid] != n_serving {
+    for (tid, (syms, site_count)) in &assembled {
+        if *site_count != n_serving {
             continue;
         }
-        if !cfd::pattern::matches_all_iter(cfd.lhs.iter().map(|a| &vals[a]), &cfd.lhs_pattern) {
+        let matches = lhs_syms
+            .iter()
+            .enumerate()
+            .all(|(i, p)| p.is_none_or(|s| syms[i] == s));
+        if !matches {
             continue;
         }
-        if cfd.is_constant() {
-            if !cfd.rhs_pattern.matches(&vals[&cfd.rhs]) {
-                out.push(*tid);
+        match rhs_sym {
+            Some(s) => {
+                // Constant CFD: RHS symbol must equal the constant's.
+                if syms[rhs_pos] != s {
+                    out.push(*tid);
+                }
             }
-        } else {
-            let key: GroupKey = cfd.lhs.iter().map(|a| pool.acquire(&vals[a])).collect();
-            let b = pool.acquire(&vals[&cfd.rhs]);
-            let e = groups.entry(key).or_insert((Vec::new(), b, false));
-            e.0.push(*tid);
-            if e.1 != b {
-                e.2 = true;
+            None => {
+                let key: GroupKey = cfd.lhs.iter().map(|a| syms[attr_pos[a]]).collect();
+                let b = syms[rhs_pos];
+                let e = groups.entry(key).or_insert((Vec::new(), b, false));
+                e.0.push(*tid);
+                if e.1 != b {
+                    e.2 = true;
+                }
             }
         }
     }
@@ -175,23 +386,23 @@ fn bat_ver_one(cfd: &Cfd, scheme: &VerticalScheme, fragments: &[Relation]) -> (V
             out.extend(tids);
         }
     }
-    (out, net.stats().clone())
+    (out, net.stats().clone(), rows_equiv)
 }
 
 /// `batVer`: batch detection over vertical fragments, CFDs checked one
 /// after another.
 pub fn bat_ver(cfds: &[Cfd], scheme: &VerticalScheme, d: &Relation) -> BatchOutcome {
     let fragments = scheme.partition(d);
-    let mut violations = Violations::new(cfds.len());
-    let mut stats = NetStats::new(scheme.n_sites());
-    for cfd in cfds {
-        let (tids, s) = bat_ver_one(cfd, scheme, &fragments);
-        for t in tids {
-            violations.add(cfd.id, t);
-        }
-        stats.merge(&s);
-    }
-    BatchOutcome { violations, stats }
+    merge_results(
+        cfds.len(),
+        scheme.n_sites(),
+        cfds.iter()
+            .map(|cfd| {
+                let (tids, s, re) = bat_ver_one(cfd, scheme, &fragments);
+                (cfd.id, tids, s, re)
+            })
+            .collect(),
+    )
 }
 
 /// `batVer` with per-CFD checks on parallel threads.
@@ -205,50 +416,62 @@ pub fn bat_ver_parallel(cfds: &[Cfd], scheme: &VerticalScheme, d: &Relation) -> 
 // batHor
 // ----------------------------------------------------------------------
 
-/// One CFD's worth of `batHor` work. Constant CFDs are checked locally;
-/// variable CFDs ship the `π_{X∪{B}}` projection of each site's
-/// pattern-matching tuples to the CFD's coordinator (round-robin).
-fn bat_hor_one(cfd: &Cfd, n: usize, fragments: &[Relation]) -> (Vec<Tid>, NetStats) {
+/// One CFD's worth of `batHor` work. Constant CFDs are checked locally
+/// (columnar scans, zero shipment); variable CFDs ship the `π_{X∪{B}}`
+/// symbol columns of each site's pattern-matching rows to the CFD's
+/// coordinator (round-robin) as [`BatMsg::Cols`].
+fn bat_hor_one(cfd: &Cfd, n: usize, fragments: &[Relation]) -> (Vec<Tid>, NetStats, u64) {
     let mut net: Network<BatMsg> = Network::new(n);
+    let mut meter = DictMeter::new();
+    let mut rows_equiv = 0u64;
     let mut out: Vec<Tid> = Vec::new();
 
     if cfd.is_constant() {
+        let rhs_const = match &cfd.rhs_pattern {
+            PatternValue::Const(v) => v,
+            PatternValue::Wildcard => unreachable!("constant CFD has a const RHS"),
+        };
         for frag in fragments {
-            for t in frag.iter() {
-                if cfd.constant_violation(t) {
-                    out.push(t.tid);
+            let atoms = local_atom_syms(cfd, frag, Some);
+            let store = frag.store();
+            let rhs_sym = frag.pool().lookup(rhs_const);
+            let rhs_col = store.col(cfd.rhs);
+            for (tid, row) in filter_rows(frag, &atoms) {
+                if Some(rhs_col[row as usize]) != rhs_sym {
+                    out.push(tid);
                 }
             }
         }
-        return (out, net.stats().clone());
+        return (out, net.stats().clone(), rows_equiv);
     }
     let coord = (cfd.id as usize) % n;
     let proj: Vec<AttrId> = cfd.attrs();
-    let mut all_rows: Vec<(Tid, Vec<Value>)> = Vec::new();
-    for (site, frag) in fragments.iter().enumerate() {
-        let rows: Vec<(Tid, Vec<Value>)> = frag
-            .iter()
-            .filter(|t| cfd.matches_lhs(t))
-            .map(|t| (t.tid, t.values_at(&proj)))
-            .collect();
-        if site != coord {
-            net.send(site, coord, BatMsg::Rows(rows.clone()))
-                .expect("valid sites");
-        }
-        all_rows.extend(rows);
-    }
-    // Group by X values (positions 0..lhs.len() of the projection),
-    // interned — no key-vector clones per shipped row.
     let m = cfd.lhs.len();
-    let mut pool = ValuePool::new();
+    let mut cpool = CoordPool::new();
     let mut groups: FxHashMap<GroupKey, (Vec<Tid>, Sym, bool)> = FxHashMap::default();
-    for (tid, vals) in all_rows {
-        let key: GroupKey = vals[..m].iter().map(|v| pool.acquire(v)).collect();
-        let b = pool.acquire(&vals[m]);
-        let e = groups.entry(key).or_insert((Vec::new(), b, false));
-        e.0.push(tid);
-        if e.1 != b {
-            e.2 = true;
+    for (site, frag) in fragments.iter().enumerate() {
+        let atoms = local_atom_syms(cfd, frag, Some);
+        let rows = filter_rows(frag, &atoms);
+        let (tids, cols) = if site != coord {
+            let (msg, re) = ColsMsg::encode(frag, &rows, &proj, &mut meter, site, coord);
+            rows_equiv += re;
+            let translated = cpool.translate_msg(&msg);
+            net.send(site, coord, BatMsg::Cols(msg))
+                .expect("valid sites");
+            translated
+        } else {
+            cpool.translate_local(frag, &rows, &proj)
+        };
+        // Group by X symbols (positions 0..m of the projection) — already
+        // coordinator symbols, so grouping never touches a value.
+        for (i, tid) in tids.into_iter().enumerate() {
+            let key: GroupKey = (0..m).map(|k| cols[k][i]).collect();
+            let b = cols[m][i];
+            let e = groups.entry(key).or_insert((Vec::new(), b, false));
+            e.0.push(tid);
+            if e.1 != b {
+                e.2 = true;
+            }
         }
     }
     for (_, (tids, _, mixed)) in groups {
@@ -256,23 +479,23 @@ fn bat_hor_one(cfd: &Cfd, n: usize, fragments: &[Relation]) -> (Vec<Tid>, NetSta
             out.extend(tids);
         }
     }
-    (out, net.stats().clone())
+    (out, net.stats().clone(), rows_equiv)
 }
 
 /// `batHor`: batch detection over horizontal fragments.
 pub fn bat_hor(cfds: &[Cfd], scheme: &HorizontalScheme, d: &Relation) -> BatchOutcome {
     let n = scheme.n_sites();
     let fragments = scheme.partition(d).expect("scheme partitions D");
-    let mut violations = Violations::new(cfds.len());
-    let mut stats = NetStats::new(n);
-    for cfd in cfds {
-        let (tids, s) = bat_hor_one(cfd, n, &fragments);
-        for t in tids {
-            violations.add(cfd.id, t);
-        }
-        stats.merge(&s);
-    }
-    BatchOutcome { violations, stats }
+    merge_results(
+        cfds.len(),
+        n,
+        cfds.iter()
+            .map(|cfd| {
+                let (tids, s, re) = bat_hor_one(cfd, n, &fragments);
+                (cfd.id, tids, s, re)
+            })
+            .collect(),
+    )
 }
 
 /// `batHor` with per-CFD checks on parallel threads.
@@ -289,57 +512,40 @@ pub fn bat_hor_parallel(cfds: &[Cfd], scheme: &HorizontalScheme, d: &Relation) -
 
 /// Run `work` for every CFD on a bounded scoped thread pool, preserving
 /// CFD association.
-fn parallel_per_cfd<F>(cfds: &[Cfd], work: F) -> Vec<(CfdId, Vec<Tid>, NetStats)>
+fn parallel_per_cfd<F>(cfds: &[Cfd], work: F) -> Vec<(CfdId, Vec<Tid>, NetStats, u64)>
 where
-    F: Fn(&Cfd) -> (Vec<Tid>, NetStats) + Sync,
+    F: Fn(&Cfd) -> (Vec<Tid>, NetStats, u64) + Sync,
 {
-    let n_workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(cfds.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<(CfdId, Vec<Tid>, NetStats)> = Vec::with_capacity(cfds.len());
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..n_workers)
-            .map(|_| {
-                let next = &next;
-                let work = &work;
-                s.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= cfds.len() {
-                            break;
-                        }
-                        let (tids, stats) = work(&cfds[i]);
-                        local.push((cfds[i].id, tids, stats));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for h in handles {
-            results.extend(h.join().expect("worker panicked"));
-        }
+    let idx: Vec<usize> = (0..cfds.len()).collect();
+    let results = crate::par::par_map(idx.len(), true, &|i| {
+        let (tids, stats, re) = work(&cfds[i]);
+        (cfds[i].id, tids, stats, re)
     });
-    results.sort_by_key(|(id, _, _)| *id);
+    let mut results = results;
+    results.sort_by_key(|(id, _, _, _)| *id);
     results
 }
 
 fn merge_results(
     n_cfds: usize,
     n_sites: usize,
-    results: Vec<(CfdId, Vec<Tid>, NetStats)>,
+    results: Vec<(CfdId, Vec<Tid>, NetStats, u64)>,
 ) -> BatchOutcome {
     let mut violations = Violations::new(n_cfds);
     let mut stats = NetStats::new(n_sites);
-    for (cfd, tids, s) in results {
+    let mut rows_equiv_bytes = 0u64;
+    for (cfd, tids, s, re) in results {
         for t in tids {
             violations.add(cfd, t);
         }
         stats.merge(&s);
+        rows_equiv_bytes += re;
     }
-    BatchOutcome { violations, stats }
+    BatchOutcome {
+        violations,
+        stats,
+        rows_equiv_bytes,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -359,12 +565,13 @@ pub fn ibat_ver(
     let mut det = VerticalDetector::new(schema, cfds, scheme, &empty)?;
     let mut load = UpdateBatch::new();
     for t in d.iter() {
-        load.insert(t.clone());
+        load.insert(t);
     }
     det.apply(&load)?;
     Ok(BatchOutcome {
         violations: det.violations().clone(),
         stats: det.stats().clone(),
+        rows_equiv_bytes: 0,
     })
 }
 
@@ -379,12 +586,13 @@ pub fn ibat_hor(
     let mut det = HorizontalDetector::new(schema, cfds, scheme, &empty)?;
     let mut load = UpdateBatch::new();
     for t in d.iter() {
-        load.insert(t.clone());
+        load.insert(t);
     }
     det.apply(&load)?;
     Ok(BatchOutcome {
         violations: det.violations().clone(),
         stats: det.stats().clone(),
+        rows_equiv_bytes: 0,
     })
 }
 
@@ -555,7 +763,7 @@ batch_detector!(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use relation::Tuple;
+    use relation::{Tuple, Value};
 
     fn emp_schema() -> Arc<Schema> {
         Schema::new(

@@ -96,10 +96,33 @@ impl BaseHev {
 }
 
 /// A non-base HEV: vectors of input eqids → combined eqid.
+///
+/// The dominant case by far is arity 2 (the `X ∪ {B}` chains combine two
+/// inputs at a time) with small eqids — per-store sequential counters that
+/// in practice never approach `2³²`. That case is stored in a dedicated
+/// map keyed on one **fused `u64`** (the two eqids packed as 32-bit
+/// halves): an 8-byte key instead of a 40-byte inline vector, so probes
+/// hash one word and the table packs 4–5× more entries per cache line.
+/// Everything else (other arities, or eqids past 2³²) falls back to the
+/// inline-vector map. Both maps share the id counter, so eqids stay unique
+/// across representations and a class keeps its id even if a *different*
+/// key lands in the other map.
 #[derive(Debug, Default)]
 pub struct NonBaseHev {
-    map: FxHashMap<EqKey, Entry>,
+    /// Arity-2 keys with both eqids < 2³², packed `hi << 32 | lo`.
+    fused: FxHashMap<u64, Entry>,
+    /// Everything else.
+    wide: FxHashMap<EqKey, Entry>,
     next: EqId,
+}
+
+/// Pack an arity-2 key of small eqids into one word, if possible.
+#[inline]
+fn fuse(key: &[EqId]) -> Option<u64> {
+    match *key {
+        [a, b] if a <= u32::MAX as u64 && b <= u32::MAX as u64 => Some((a << 32) | b),
+        _ => None,
+    }
 }
 
 impl NonBaseHev {
@@ -109,23 +132,35 @@ impl NonBaseHev {
     }
 
     /// Eqid for the input-eqid vector, allocating and referencing. The
-    /// probe hashes the borrowed slice; a key is only materialized (inline,
-    /// for short vectors) when the class is new.
+    /// probe hashes the fused word (arity 2) or the borrowed slice; a key
+    /// is only materialized when the class is new.
     pub fn acquire(&mut self, key: &[EqId]) -> EqId {
-        if let Some(e) = self.map.get_mut(key) {
+        if let Some(f) = fuse(key) {
+            let e = self.fused.entry(f).or_insert_with(|| {
+                let id = self.next;
+                self.next += 1;
+                Entry { id, refs: 0 }
+            });
+            e.refs += 1;
+            return e.id;
+        }
+        if let Some(e) = self.wide.get_mut(key) {
             e.refs += 1;
             return e.id;
         }
         let id = self.next;
         self.next += 1;
-        self.map
+        self.wide
             .insert(EqKey::from_slice(key), Entry { id, refs: 1 });
         id
     }
 
     /// Pure lookup (the `eq()` function of §4).
     pub fn lookup(&self, key: &[EqId]) -> Option<EqId> {
-        self.map.get(key).map(|e| e.id)
+        match fuse(key) {
+            Some(f) => self.fused.get(&f).map(|e| e.id),
+            None => self.wide.get(key).map(|e| e.id),
+        }
     }
 
     /// Release one reference, garbage-collecting at zero. Returns the eqid.
@@ -133,27 +168,40 @@ impl NonBaseHev {
     /// # Panics
     /// Panics when the key has no live class (bookkeeping error).
     pub fn release(&mut self, key: &[EqId]) -> EqId {
+        if let Some(f) = fuse(key) {
+            let e = self
+                .fused
+                .get_mut(&f)
+                .expect("release of eqid vector with no live class");
+            let id = e.id;
+            if e.refs > 1 {
+                e.refs -= 1;
+            } else {
+                self.fused.remove(&f);
+            }
+            return id;
+        }
         let e = self
-            .map
+            .wide
             .get_mut(key)
             .expect("release of eqid vector with no live class");
         let id = e.id;
         if e.refs > 1 {
             e.refs -= 1;
         } else {
-            self.map.remove(key);
+            self.wide.remove(key);
         }
         id
     }
 
     /// Number of live classes.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.fused.len() + self.wide.len()
     }
 
     /// Is the index empty?
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.fused.is_empty() && self.wide.is_empty()
     }
 }
 
@@ -229,6 +277,33 @@ mod tests {
         let x = h.acquire(&[1, 2]);
         let y = h.acquire(&[2, 1]);
         assert_ne!(x, y, "eq() inputs are positional");
+    }
+
+    #[test]
+    fn nonbase_fused_and_wide_representations_agree() {
+        let mut h = NonBaseHev::new();
+        // Arity-2 small eqids take the fused path …
+        let a = h.acquire(&[1, 2]);
+        assert_eq!(h.lookup(&[1, 2]), Some(a));
+        // … while huge eqids and other arities take the wide path; ids stay
+        // unique across the two maps.
+        let big = u32::MAX as u64 + 1;
+        let b = h.acquire(&[big, 2]);
+        let c = h.acquire(&[1, 2, 3]);
+        assert!(a != b && b != c && a != c);
+        assert_eq!(h.lookup(&[big, 2]), Some(b));
+        assert_eq!(h.len(), 3);
+        // Boundary: u32::MAX itself still fuses, and (hi, lo) ≠ (lo, hi).
+        let d = h.acquire(&[u32::MAX as u64, 0]);
+        let e = h.acquire(&[0, u32::MAX as u64]);
+        assert_ne!(d, e);
+        h.release(&[1, 2]);
+        assert_eq!(h.lookup(&[1, 2]), None, "fused class collected");
+        h.release(&[big, 2]);
+        h.release(&[1, 2, 3]);
+        h.release(&[u32::MAX as u64, 0]);
+        h.release(&[0, u32::MAX as u64]);
+        assert!(h.is_empty());
     }
 
     #[test]

@@ -182,6 +182,10 @@ impl Wire for HorMsg {
     }
 }
 
+/// Per-`[cfd][op]` precomputed `(group-key digest, RHS digest)` pairs for
+/// a batch — `None` where the op's tuple does not fall under the CFD.
+type PreDigests = Vec<Vec<Option<(Digest, Digest)>>>;
+
 /// One RHS class within a group at one site.
 #[derive(Debug, Default)]
 struct ClassEntry {
@@ -342,7 +346,7 @@ impl HorizontalDetector {
         };
         let mut load = UpdateBatch::new();
         for t in d.iter() {
-            load.insert(t.clone());
+            load.insert(t);
         }
         det.apply(&load)?;
         det.net.reset_stats();
@@ -385,13 +389,22 @@ impl HorizontalDetector {
     }
 
     /// Apply a batch update `ΔD`, returning `ΔV` — algorithm `incHor`.
+    ///
+    /// For large batches the per-CFD MD5 work (group-key and RHS digests
+    /// of every op, for every matching variable CFD) is precomputed on
+    /// scoped threads — the per-CFD loop's dominant CPU cost fans out the
+    /// way the batch baselines' per-CFD checks already do — and the
+    /// protocol itself then replays serially, so message counts and `|M|`
+    /// are identical to a sequential run.
     pub fn apply(&mut self, delta: &UpdateBatch) -> Result<DeltaV, DetectError> {
         let delta = delta.normalize(&self.current);
+        let pre = self.precompute_digests(&delta);
         let mut dv = DeltaV::default();
-        for op in delta.ops() {
+        for (i, op) in delta.ops().iter().enumerate() {
+            let pre_op = pre.as_ref().map(|p| (p, i));
             match op {
-                Update::Insert(t) => self.insert_one(t.clone(), &mut dv)?,
-                Update::Delete(tid) => self.delete_one(*tid, &mut dv)?,
+                Update::Insert(t) => self.insert_one(t.clone(), &mut dv, pre_op)?,
+                Update::Delete(tid) => self.delete_one(*tid, &mut dv, pre_op)?,
             }
         }
         debug_assert!(self.net.quiescent(), "protocol rounds must complete");
@@ -402,6 +415,59 @@ impl HorizontalDetector {
     // ------------------------------------------------------------------
     // Digest helpers
     // ------------------------------------------------------------------
+
+    /// Per-`[cfd][op]` precomputed `(group-key digest, RHS digest)` for
+    /// variable CFDs whose pattern the op's tuple matches (`None`
+    /// otherwise, and everywhere for constant CFDs). Deletion digests read
+    /// the store's borrowed values — normalization guarantees every
+    /// deleted tid is live in the pre-batch relation. Returns `None`
+    /// (compute inline) below the parallel threshold.
+    fn precompute_digests(&self, delta: &UpdateBatch) -> Option<PreDigests> {
+        let ops = delta.ops();
+        let n_var = self.cfds.iter().filter(|c| c.is_variable()).count();
+        if ops.len() * n_var < crate::par::PAR_THRESHOLD {
+            return None;
+        }
+        let cfds = Arc::clone(&self.cfds);
+        let current = &self.current;
+        Some(crate::par::par_map(cfds.len(), true, &|c| {
+            let cfd = &cfds[c];
+            if cfd.is_constant() {
+                return vec![None; ops.len()];
+            }
+            let (mut vbuf, mut kbuf) = (Vec::new(), Vec::new());
+            ops.iter()
+                .map(|op| match op {
+                    Update::Insert(t) => cfd.matches_lhs(t).then(|| {
+                        (
+                            Self::key_of(cfd, t, &mut vbuf, &mut kbuf),
+                            attr_digest_into(t.get(cfd.rhs), &mut vbuf),
+                        )
+                    }),
+                    Update::Delete(tid) => {
+                        let store = current.store();
+                        let row = store
+                            .row_of(*tid)
+                            .expect("normalized deletes target live tuples");
+                        let matches = cfd
+                            .lhs
+                            .iter()
+                            .zip(&cfd.lhs_pattern)
+                            .all(|(&a, p)| p.matches(store.value(row, a)));
+                        matches.then(|| {
+                            let kd = key_digest_from(
+                                cfd.lhs
+                                    .iter()
+                                    .map(|&a| attr_digest_into(store.value(row, a), &mut vbuf)),
+                                &mut kbuf,
+                            );
+                            (kd, attr_digest_into(store.value(row, cfd.rhs), &mut vbuf))
+                        })
+                    }
+                })
+                .collect()
+        }))
+    }
 
     /// Group-key digest of `cfd`'s LHS for tuple `t`, built in the two
     /// caller-supplied scratch buffers (value bytes, key bytes).
@@ -447,7 +513,12 @@ impl HorizontalDetector {
     // Insertion (§6 insertion case analysis, coalesced shipping)
     // ------------------------------------------------------------------
 
-    fn insert_one(&mut self, t: Tuple, dv: &mut DeltaV) -> Result<(), HorizontalError> {
+    fn insert_one(
+        &mut self,
+        t: Tuple,
+        dv: &mut DeltaV,
+        pre: Option<(&PreDigests, usize)>,
+    ) -> Result<(), HorizontalError> {
         let cfds = Arc::clone(&self.cfds);
         let site = self.scheme.route(&t)?;
         let mut probes: Vec<CfdId> = Vec::new();
@@ -463,11 +534,21 @@ impl HorizontalDetector {
                 }
                 continue;
             }
-            if !cfd.matches_lhs(&t) {
-                continue;
-            }
-            let kd = Self::key_of(cfd, &t, &mut vbuf, &mut kbuf);
-            let bd = attr_digest_into(t.get(cfd.rhs), &mut vbuf);
+            let (kd, bd) = match pre {
+                Some((p, i)) => match p[c][i] {
+                    Some(x) => x,
+                    None => continue, // pattern does not match
+                },
+                None => {
+                    if !cfd.matches_lhs(&t) {
+                        continue;
+                    }
+                    (
+                        Self::key_of(cfd, &t, &mut vbuf, &mut kbuf),
+                        attr_digest_into(t.get(cfd.rhs), &mut vbuf),
+                    )
+                }
+            };
             let local_only = self.local_ok[c][site];
 
             let g = self.state[site][c].entry(kd).or_default();
@@ -674,13 +755,14 @@ impl HorizontalDetector {
     // Deletion (§6 deletion case analysis, coalesced shipping)
     // ------------------------------------------------------------------
 
-    fn delete_one(&mut self, tid: Tid, dv: &mut DeltaV) -> Result<(), HorizontalError> {
+    fn delete_one(
+        &mut self,
+        tid: Tid,
+        dv: &mut DeltaV,
+        pre: Option<(&PreDigests, usize)>,
+    ) -> Result<(), HorizontalError> {
         let cfds = Arc::clone(&self.cfds);
-        let t = self
-            .current
-            .get(tid)
-            .ok_or(RelError::MissingTid(tid))?
-            .clone();
+        let t = self.current.get(tid).ok_or(RelError::MissingTid(tid))?;
         let site = *self
             .site_of_tid
             .get(&tid)
@@ -696,11 +778,21 @@ impl HorizontalDetector {
                 }
                 continue;
             }
-            if !cfd.matches_lhs(&t) {
-                continue;
-            }
-            let kd = Self::key_of(cfd, &t, &mut vbuf, &mut kbuf);
-            let bd = attr_digest_into(t.get(cfd.rhs), &mut vbuf);
+            let (kd, bd) = match pre {
+                Some((p, i)) => match p[c][i] {
+                    Some(x) => x,
+                    None => continue, // pattern does not match
+                },
+                None => {
+                    if !cfd.matches_lhs(&t) {
+                        continue;
+                    }
+                    (
+                        Self::key_of(cfd, &t, &mut vbuf, &mut kbuf),
+                        attr_digest_into(t.get(cfd.rhs), &mut vbuf),
+                    )
+                }
+            };
             let local_only = self.local_ok[c][site];
 
             let g = self.state[site][c]

@@ -249,8 +249,7 @@ impl HybridDetector {
                         .inner
                         .current()
                         .get(*tid)
-                        .ok_or(DetectError::Rel(RelError::MissingTid(*tid)))?
-                        .clone();
+                        .ok_or(DetectError::Rel(RelError::MissingTid(*tid)))?;
                     let region = self
                         .scheme
                         .regions

@@ -32,6 +32,7 @@ pub mod hybrid;
 pub mod idx;
 pub mod md5;
 pub mod optimize;
+pub mod par;
 pub mod plan;
 pub mod vertical;
 

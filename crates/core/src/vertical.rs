@@ -30,10 +30,14 @@ use cfd::{Cfd, CfdId, DeltaV, Violations};
 use cluster::partition::VerticalScheme;
 use cluster::{ClusterError, Network, SiteId, Wire};
 use relation::{
-    AttrId, FxHashMap, FxHashSet, RelError, Relation, Schema, SymTuple, Tid, Tuple, Update,
-    UpdateBatch, ValuePool,
+    AttrId, FxHashMap, FxHashSet, RelError, Relation, Schema, SmallVec, Sym, Tid, Tuple, Update,
+    UpdateBatch,
 };
 use std::sync::Arc;
+
+/// One tuple's dictionary symbols, copied out of the store so the HEV walk
+/// can run while the detector is mutably borrowed.
+type RowSyms = SmallVec<Sym, 8>;
 
 /// Messages exchanged by the vertical detector.
 #[derive(Debug, Clone)]
@@ -105,12 +109,10 @@ pub struct VerticalDetector {
     node_stores: Vec<NonBaseHev>,
     /// One IDX per variable CFD (at `plan.idx_site(cfd)`).
     idxs: FxHashMap<CfdId, Idx>,
-    /// Value dictionary: every attribute value of the live database is
-    /// interned once at ingest; all HEV traffic below runs on symbols.
-    pool: ValuePool,
-    /// Dictionary-encoded mirror of the live tuples, keyed by tid.
-    encoded: FxHashMap<Tid, SymTuple>,
     /// Mirror of the logical relation `D` (the join of all fragments).
+    /// Columnar: its [`relation::ColumnStore`] interns every live value
+    /// once, and the HEV walks below borrow the stored row symbols
+    /// directly — there is no separate encoded mirror.
     current: Relation,
     /// Fragment relations, one per site.
     fragments: Vec<Relation>,
@@ -149,8 +151,6 @@ impl VerticalDetector {
                 .filter(|c| c.is_variable())
                 .map(|c| (c.id, Idx::new()))
                 .collect(),
-            pool: ValuePool::new(),
-            encoded: FxHashMap::default(),
             current: Relation::new(schema.clone()),
             fragments: (0..n)
                 .map(|s| Relation::new(scheme.fragment_schema(s).clone()))
@@ -166,7 +166,7 @@ impl VerticalDetector {
         // traffic: incremental metering starts at the first `apply`.
         let mut load = UpdateBatch::new();
         for t in d.iter() {
-            load.insert(t.clone());
+            load.insert(t);
         }
         det.apply(&load)?;
         det.net.reset_stats();
@@ -213,16 +213,17 @@ impl VerticalDetector {
         &self.fragments[site]
     }
 
-    /// The value dictionary (size reporting, tests).
-    pub fn pool(&self) -> &ValuePool {
-        &self.pool
+    /// The value dictionary (size reporting, tests) — the mirror
+    /// relation's own store dictionary.
+    pub fn pool(&self) -> &relation::ValuePool {
+        self.current.pool()
     }
 
     /// Peak-relevant index sizes: (dictionary entries, base HEV classes,
     /// non-base HEV classes, IDX member tuples) — benchmark reporting.
     pub fn index_sizes(&self) -> (usize, usize, usize, usize) {
         (
-            self.pool.len(),
+            self.current.pool().len(),
             self.bases.values().map(BaseHev::len).sum(),
             self.node_stores.iter().map(NonBaseHev::len).sum(),
             self.idxs.values().map(Idx::n_tuples).sum(),
@@ -255,11 +256,66 @@ impl VerticalDetector {
     // ------------------------------------------------------------------
 
     fn constant_cfds(&mut self, delta: &UpdateBatch, dv: &mut DeltaV) -> Result<(), VerticalError> {
-        for c in 0..self.cfds.len() {
-            if !self.cfds[c].is_constant() {
-                continue;
-            }
-            let cfd = self.cfds[c].clone();
+        // Phase 1 (read-only, parallel when the batch is large): per
+        // constant CFD, the site-local candidate lists of `incVer` lines
+        // 4–6 — pure functions of (CFD, scheme, ΔD⁺), computed on scoped
+        // threads. Phase 2 below replays them serially so shipment
+        // metering and violation mutation stay deterministic.
+        let const_idx: Vec<usize> = (0..self.cfds.len())
+            .filter(|&c| self.cfds[c].is_constant())
+            .collect();
+        if const_idx.is_empty() {
+            return Ok(());
+        }
+        let insertions: Vec<&Tuple> = delta.insertions().collect();
+        let cfds = &self.cfds;
+        let scheme = &self.scheme;
+        let plans = crate::par::par_map(
+            const_idx.len(),
+            insertions.len() * const_idx.len() >= crate::par::PAR_THRESHOLD,
+            &|i| {
+                let cfd = &cfds[const_idx[i]];
+                let coord = scheme.primary_site(cfd.rhs);
+                let atoms = cfd.constant_atoms();
+                // Group atoms by evaluation site (prefer the coordinator
+                // when it holds the attribute — zero shipment).
+                let mut by_site: FxHashMap<SiteId, Vec<&(AttrId, relation::Value)>> =
+                    FxHashMap::default();
+                for av in &atoms {
+                    let site = if scheme.local_pos(coord, av.0).is_some() {
+                        coord
+                    } else {
+                        scheme.primary_site(av.0)
+                    };
+                    by_site.entry(site).or_default().push(av);
+                }
+                // Candidate lists per participating site, in tid order.
+                let mut sites: Vec<SiteId> = by_site.keys().copied().collect();
+                sites.sort_unstable();
+                let cands: Vec<(SiteId, Vec<Tid>)> = sites
+                    .into_iter()
+                    .map(|site| {
+                        let atoms_s = &by_site[&site];
+                        let mut cands: Vec<Tid> = insertions
+                            .iter()
+                            .filter(|t| atoms_s.iter().all(|(a, v)| t.get(*a) == v))
+                            .map(|t| t.tid)
+                            .collect();
+                        // The sort-merge of incVer line 7 requires ascending
+                        // tids; batch order interleaves insertions
+                        // arbitrarily.
+                        cands.sort_unstable();
+                        (site, cands)
+                    })
+                    .collect();
+                (coord, cands)
+            },
+        );
+
+        // Phase 2: metering, sort-merge and violation maintenance, in CFD
+        // order.
+        for (i, (coord, cand_lists)) in const_idx.iter().zip(plans) {
+            let cfd = self.cfds[*i].clone();
             // Deletions: a deleted tuple leaves V(φ) iff it was in it — the
             // old output is available, no shipment needed.
             for tid in delta.deletions() {
@@ -267,47 +323,19 @@ impl VerticalDetector {
                     dv.remove(cfd.id, tid);
                 }
             }
-            // Insertions: evaluate each constant atom at a site holding its
-            // attribute; ship candidate tid lists to the coordinator (the
-            // site of B); sort-merge; check B against the RHS pattern.
-            let coord = self.scheme.primary_site(cfd.rhs);
-            let atoms = cfd.constant_atoms();
-            // Group atoms by evaluation site (prefer the coordinator when
-            // it holds the attribute — zero shipment).
-            let mut by_site: FxHashMap<SiteId, Vec<(AttrId, relation::Value)>> =
-                FxHashMap::default();
-            for (a, v) in atoms {
-                let site = if self.scheme.local_pos(coord, a).is_some() {
-                    coord
-                } else {
-                    self.scheme.primary_site(a)
-                };
-                by_site.entry(site).or_default().push((a, v));
-            }
-            // Candidate lists per participating site, in tid order.
-            let mut cand_lists: Vec<Vec<Tid>> = Vec::new();
-            let mut remote_sites: Vec<SiteId> = by_site.keys().copied().collect();
-            remote_sites.sort_unstable();
-            for site in remote_sites {
-                let atoms_s = &by_site[&site];
-                let mut cands: Vec<Tid> = delta
-                    .insertions()
-                    .filter(|t| atoms_s.iter().all(|(a, v)| t.get(*a) == v))
-                    .map(|t| t.tid)
-                    .collect();
-                // The sort-merge of incVer line 7 requires ascending tids;
-                // batch order interleaves insertions arbitrarily.
-                cands.sort_unstable();
-                if site != coord {
+            for (site, cands) in &cand_lists {
+                if *site != coord {
                     self.net
-                        .ship(site, coord, &VerMsg::ConstCands(cands.clone()))?;
+                        .ship(*site, coord, &VerMsg::ConstCands(cands.clone()))?;
                 }
-                cand_lists.push(cands);
             }
             // Sort-merge intersection (lists are tid-ordered).
             let survivors: Vec<Tid> = match cand_lists.len() {
                 0 => delta.insertions().map(|t| t.tid).collect(),
-                _ => intersect_sorted(&cand_lists),
+                _ => {
+                    let lists: Vec<Vec<Tid>> = cand_lists.into_iter().map(|(_, c)| c).collect();
+                    intersect_sorted(&lists)
+                }
             };
             let mut surviving: FxHashSet<Tid> = survivors.into_iter().collect();
             for t in delta.insertions() {
@@ -331,6 +359,23 @@ impl VerticalDetector {
         self.cfds
             .iter()
             .filter(|c| c.is_variable() && c.matches_lhs(t))
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// [`Self::matched_variable`] for a live stored tuple, checking
+    /// patterns against the store's borrowed values (no materialization).
+    fn matched_variable_at(&self, row: relation::RowId) -> Vec<CfdId> {
+        let store = self.current.store();
+        self.cfds
+            .iter()
+            .filter(|c| {
+                c.is_variable()
+                    && c.lhs
+                        .iter()
+                        .zip(&c.lhs_pattern)
+                        .all(|(&a, p)| p.matches(store.value(row, a)))
+            })
             .map(|c| c.id)
             .collect()
     }
@@ -363,12 +408,13 @@ impl VerticalDetector {
         (nodes, bases)
     }
 
-    /// Walk the plan for the dictionary-encoded tuple `st`, producing
-    /// eqids per input and metering cross-site shipments (each
-    /// `(producer, destination)` pair once).
+    /// Walk the plan for the row symbols `st` (one [`Sym`] per attribute,
+    /// copied out of the mirror's store), producing eqids per input and
+    /// metering cross-site shipments (each `(producer, destination)` pair
+    /// once).
     fn walk(
         &mut self,
-        st: &SymTuple,
+        st: &[Sym],
         nodes: &[NodeId],
         bases: &[AttrId],
         acquire: bool,
@@ -376,7 +422,7 @@ impl VerticalDetector {
         let mut eqids: FxHashMap<Input, EqId> = FxHashMap::default();
         for &a in bases {
             let store = self.bases.entry(a).or_default();
-            let s = st.get(a);
+            let s = st[a as usize];
             let id = if acquire {
                 store.acquire(s)
             } else {
@@ -413,7 +459,7 @@ impl VerticalDetector {
     /// order so parents release before their inputs disappear.
     fn release(
         &mut self,
-        st: &SymTuple,
+        st: &[Sym],
         nodes: &[NodeId],
         bases: &[AttrId],
         eqids: &FxHashMap<Input, EqId>,
@@ -430,19 +476,19 @@ impl VerticalDetector {
             self.bases
                 .get_mut(&a)
                 .expect("acquired earlier")
-                .release(st.get(a));
+                .release(st[a as usize]);
         }
     }
 
     /// `incVIns` for every variable CFD matching `t`.
     fn insert_variable(&mut self, t: Tuple, dv: &mut DeltaV) -> Result<(), VerticalError> {
-        // Fail *before* acquiring any dictionary/HEV references: the
-        // relation inserts below have both of their error conditions
-        // checked up front, so an error return cannot leak the refcounts
-        // acquired by encode/walk. (The metered ship inside `walk` is
-        // also `?`-fallible, but only against a plan with out-of-range
-        // site ids — plans built by `default_chains`/`optimize` place
-        // nodes on scheme sites by construction.)
+        // Fail *before* mutating anything: the relation inserts below have
+        // both of their error conditions checked up front, so an error
+        // return cannot leak fragment rows or HEV refcounts. (The metered
+        // ship inside `walk` is also `?`-fallible, but only against a plan
+        // with out-of-range site ids — plans built by
+        // `default_chains`/`optimize` place nodes on scheme sites by
+        // construction.)
         if t.arity() != self.schema.arity() {
             return Err(RelError::ArityMismatch {
                 expected: self.schema.arity(),
@@ -453,10 +499,17 @@ impl VerticalDetector {
         if self.current.contains(t.tid) {
             return Err(RelError::DuplicateTid(t.tid).into());
         }
-        // Dictionary-encode once at ingest: every downstream probe for this
-        // tuple (and its eventual deletion walk) runs on symbols.
-        let st = self.pool.encode(&t);
         let matched = self.matched_variable(&t);
+        // Maintain data first: interning the row into the mirror's store
+        // is the single dictionary encode; the walk below borrows the
+        // stored symbols.
+        let tid = t.tid;
+        for (site, frag) in self.fragments.iter_mut().enumerate() {
+            frag.insert_row(tid, t.iter_at(self.scheme.attrs_of(site)))?;
+        }
+        self.current.insert(t)?;
+        let row = self.current.row_of(tid).expect("just inserted");
+        let st: RowSyms = self.current.store().row_syms(row).collect();
         let (nodes, bases) = self.needed(&matched);
         let eqids = self.walk(&st, &nodes, &bases, true)?;
         for c in matched {
@@ -478,41 +531,27 @@ impl VerticalDetector {
                         .expect("non-empty group");
                     if k != eq_xb {
                         // (t, t′) violate φ: t plus the whole class [t′]_{X∪B}.
-                        added.push(t.tid);
+                        added.push(tid);
                         added.extend(members.iter().copied());
                     }
                 }
-                _ => added.push(t.tid),
+                _ => added.push(tid),
             }
-            idx.insert(eq_x, eq_xb, t.tid);
+            idx.insert(eq_x, eq_xb, tid);
             for tid in added {
                 if self.violations.add(c, tid) {
                     dv.add(c, tid);
                 }
             }
         }
-        // Maintain data: the mirror and every fragment projection.
-        for (site, frag) in self.fragments.iter_mut().enumerate() {
-            frag.insert(t.project(self.scheme.attrs_of(site)))?;
-        }
-        self.encoded.insert(t.tid, st);
-        self.current.insert(t)?;
         Ok(())
     }
 
     /// `incVDel` for every variable CFD matching the stored tuple.
     fn delete_variable(&mut self, tid: Tid, dv: &mut DeltaV) -> Result<(), VerticalError> {
-        let t = self
-            .current
-            .get(tid)
-            .ok_or(RelError::MissingTid(tid))?
-            .clone();
-        let st = self
-            .encoded
-            .get(&tid)
-            .expect("live tuple has an encoded mirror")
-            .clone();
-        let matched = self.matched_variable(&t);
+        let row = self.current.row_of(tid).ok_or(RelError::MissingTid(tid))?;
+        let st: RowSyms = self.current.store().row_syms(row).collect();
+        let matched = self.matched_variable_at(row);
         let (nodes, bases) = self.needed(&matched);
         let eqids = self.walk(&st, &nodes, &bases, false)?;
         for c in matched {
@@ -553,12 +592,11 @@ impl VerticalDetector {
             }
         }
         self.release(&st, &nodes, &bases, &eqids);
-        self.encoded.remove(&tid);
-        self.pool.release_tuple(&st);
         for frag in &mut self.fragments {
-            frag.delete(tid)?;
+            frag.delete_quiet(tid)?;
         }
-        self.current.delete(tid)?;
+        // Deleting the mirror row releases the dictionary references.
+        self.current.delete_quiet(tid)?;
         Ok(())
     }
 }
@@ -868,8 +906,13 @@ mod tests {
         for nstore in &det.node_stores {
             assert!(nstore.is_empty(), "non-base HEVs garbage-collected");
         }
-        assert!(det.pool.is_empty(), "value dictionary garbage-collected");
-        assert!(det.encoded.is_empty(), "encoded mirror garbage-collected");
+        assert!(det.pool().is_empty(), "value dictionary garbage-collected");
+        for site in 0..det.fragments.len() {
+            assert!(
+                det.fragment(site).pool().is_empty(),
+                "fragment dictionaries garbage-collected"
+            );
+        }
     }
 
     #[test]
@@ -879,7 +922,7 @@ mod tests {
         // directly: a rejected tuple must not acquire any dictionary or
         // HEV references.
         let mut det = detector();
-        let dict_before = det.pool.len();
+        let dict_before = det.pool().len();
         let mut dv = DeltaV::default();
         let dup = emp_tuple(1, "Z", 44, 131, "ZZ9 9ZZ", "Nowhere", "GLA");
         assert!(matches!(
@@ -892,13 +935,17 @@ mod tests {
             Err(VerticalError::Rel(RelError::ArityMismatch { .. }))
         ));
         assert!(dv.is_empty());
-        assert_eq!(det.pool.len(), dict_before, "no leaked dictionary entries");
+        assert_eq!(
+            det.pool().len(),
+            dict_before,
+            "no leaked dictionary entries"
+        );
         // The detector remains usable: tearing everything down still GCs.
         let mut teardown = UpdateBatch::new();
         for tid in 1..=5 {
             teardown.delete(tid);
         }
         det.apply(&teardown).unwrap();
-        assert!(det.pool.is_empty());
+        assert!(det.pool().is_empty());
     }
 }

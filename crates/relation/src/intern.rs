@@ -30,7 +30,7 @@ pub type Sym = u32;
 /// One dictionary slot. The value payload is stored exactly once and
 /// shared with the reverse-map key through an `Arc` (`None` marks a freed,
 /// recyclable slot).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Slot {
     value: Option<Arc<Value>>,
     refs: u32,
@@ -42,7 +42,7 @@ struct Slot {
 /// first sight), `release` drops one and garbage-collects the slot at zero;
 /// freed symbol ids are recycled for later values. Resolve-back is an O(1)
 /// slot read.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ValuePool {
     /// `Value → Sym`; the `Arc` key shares its payload with the slot, so
     /// each distinct live value is heap-allocated once. Probing with a

@@ -5,7 +5,9 @@
 //!
 //! * [`Value`] — the attribute value domain (integers and strings),
 //! * [`Schema`] / [`Attribute`] — relation schemas with a designated key,
-//! * [`Tuple`] / [`Relation`] — keyed tuple storage,
+//! * [`Tuple`] / [`Relation`] — keyed tuple storage over the columnar
+//!   arena of [`store`] ([`ColumnStore`]: per-attribute `Vec<Sym>` columns,
+//!   free-list row reuse, dense `Tid ↔ RowId` map),
 //! * [`Update`] / [`UpdateBatch`] — the update model `ΔD` (insertions and
 //!   deletions, with same-tid cancellation, `ΔD⁺`, `ΔD⁻`, and `D ⊕ ΔD`),
 //! * [`predicate`] — Boolean selection predicates used to define horizontal
@@ -27,6 +29,7 @@ pub mod predicate;
 pub mod relation;
 pub mod schema;
 pub mod smallvec;
+pub mod store;
 pub mod tuple;
 pub mod update;
 pub mod value;
@@ -37,6 +40,7 @@ pub use intern::{Sym, SymTuple, ValuePool};
 pub use predicate::Predicate;
 pub use schema::{AttrId, Attribute, Schema};
 pub use smallvec::SmallVec;
+pub use store::{ColumnStore, RowId};
 pub use tuple::{Tid, Tuple};
 pub use update::{Update, UpdateBatch};
 pub use value::Value;

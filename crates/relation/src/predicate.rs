@@ -54,11 +54,17 @@ fn stable_hash(v: &Value) -> u64 {
 impl Predicate {
     /// Evaluate against a full tuple.
     pub fn eval(&self, t: &Tuple) -> bool {
+        self.eval_with(&|a| t.get(a))
+    }
+
+    /// Evaluate against any positional value accessor — lets columnar
+    /// callers route rows without materializing a [`Tuple`].
+    pub fn eval_with<'a>(&self, get: &impl Fn(AttrId) -> &'a Value) -> bool {
         match self {
             Predicate::True => true,
-            Predicate::Eq(a, v) => t.get(*a) == v,
-            Predicate::In(a, vs) => vs.contains(t.get(*a)),
-            Predicate::IntRange(a, lo, hi) => match t.get(*a) {
+            Predicate::Eq(a, v) => get(*a) == v,
+            Predicate::In(a, vs) => vs.contains(get(*a)),
+            Predicate::IntRange(a, lo, hi) => match get(*a) {
                 Value::Int(i) => lo <= i && i < hi,
                 _ => false,
             },
@@ -66,8 +72,8 @@ impl Predicate {
                 attr,
                 buckets,
                 which,
-            } => (stable_hash(t.get(*attr)) % *buckets as u64) as u32 == *which,
-            Predicate::And(ps) => ps.iter().all(|p| p.eval(t)),
+            } => (stable_hash(get(*attr)) % *buckets as u64) as u32 == *which,
+            Predicate::And(ps) => ps.iter().all(|p| p.eval_with(get)),
         }
     }
 

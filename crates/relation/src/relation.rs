@@ -1,30 +1,38 @@
 //! Keyed tuple storage.
 //!
-//! A [`Relation`] stores tuples by tuple id. Iteration order is the insertion
-//! order of tids (via `BTreeMap`), which keeps everything deterministic —
-//! important both for reproducible experiments and for the coordinator-side
-//! sort-merge of `incVer` (Fig. 5, line 7), which relies on tid order.
+//! A [`Relation`] stores tuples by tuple id on top of the columnar
+//! [`ColumnStore`] arena: per-attribute dictionary-encoded columns plus a
+//! dense `Tid ↔ RowId` map. Iteration order is ascending tid (via the
+//! dense map), which keeps everything deterministic — important both for
+//! reproducible experiments and for the coordinator-side sort-merge of
+//! `incVer` (Fig. 5, line 7), which relies on tid order.
+//!
+//! [`Relation::get`]/[`Relation::iter`] *materialize* tuples (cloning each
+//! value out of the dictionary); hot paths should use the borrow-based
+//! column accessors instead — [`Relation::col`], [`Relation::value_at`],
+//! [`Relation::scan`] and friends — which read symbols and borrowed values
+//! straight from the store.
 
 use crate::schema::Schema;
+use crate::store::{ColumnStore, RowId};
 use crate::tuple::{Tid, Tuple};
-use crate::RelError;
-use std::collections::BTreeMap;
+use crate::value::Value;
+use crate::{RelError, Sym, ValuePool};
 use std::sync::Arc;
 
-/// An instance of a schema: a set of tuples keyed by tuple id.
+/// An instance of a schema: a set of tuples keyed by tuple id, stored
+/// columnar ([`ColumnStore`]).
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: Arc<Schema>,
-    tuples: BTreeMap<Tid, Tuple>,
+    store: ColumnStore,
 }
 
 impl Relation {
     /// Empty relation over `schema`.
     pub fn new(schema: Arc<Schema>) -> Self {
-        Relation {
-            schema,
-            tuples: BTreeMap::new(),
-        }
+        let store = ColumnStore::new(schema.arity());
+        Relation { schema, store }
     }
 
     /// Build from tuples, checking arity and tid uniqueness.
@@ -44,61 +52,121 @@ impl Relation {
         &self.schema
     }
 
+    /// The columnar store backing this relation.
+    pub fn store(&self) -> &ColumnStore {
+        &self.store
+    }
+
+    /// The relation's value dictionary (symbols are local to it).
+    pub fn pool(&self) -> &ValuePool {
+        self.store.pool()
+    }
+
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.store.len()
     }
 
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.store.is_empty()
     }
 
     /// Insert a tuple; errors on arity mismatch or duplicate tid.
     pub fn insert(&mut self, t: Tuple) -> Result<(), RelError> {
-        if t.arity() != self.schema.arity() {
-            return Err(RelError::ArityMismatch {
-                expected: self.schema.arity(),
-                got: t.arity(),
-            });
-        }
-        match self.tuples.entry(t.tid) {
-            std::collections::btree_map::Entry::Occupied(_) => Err(RelError::DuplicateTid(t.tid)),
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(t);
-                Ok(())
-            }
-        }
+        self.store.insert(t.tid, t.values.iter())?;
+        Ok(())
     }
 
-    /// Delete by tuple id, returning the removed tuple.
+    /// Insert a row from borrowed values — the allocation-free ingest path
+    /// (no `Tuple` materialization; values are interned directly).
+    pub fn insert_row<'a, I>(&mut self, tid: Tid, values: I) -> Result<(), RelError>
+    where
+        I: IntoIterator<Item = &'a Value>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        self.store.insert(tid, values)?;
+        Ok(())
+    }
+
+    /// Delete by tuple id, returning the removed tuple (materialized).
     pub fn delete(&mut self, tid: Tid) -> Result<Tuple, RelError> {
-        self.tuples.remove(&tid).ok_or(RelError::MissingTid(tid))
+        let row = self.store.row_of(tid).ok_or(RelError::MissingTid(tid))?;
+        let t = self.materialize(tid, row);
+        self.store.delete(tid).expect("row was live");
+        Ok(t)
     }
 
-    /// Get a tuple by id.
-    pub fn get(&self, tid: Tid) -> Option<&Tuple> {
-        self.tuples.get(&tid)
+    /// Delete by tuple id without materializing the removed tuple.
+    pub fn delete_quiet(&mut self, tid: Tid) -> Result<(), RelError> {
+        self.store.delete(tid)
+    }
+
+    /// Get a tuple by id (materialized — prefer [`Relation::value_at`] /
+    /// [`Relation::row_syms`] on hot paths).
+    pub fn get(&self, tid: Tid) -> Option<Tuple> {
+        let row = self.store.row_of(tid)?;
+        Some(self.materialize(tid, row))
     }
 
     /// Does the relation contain `tid`?
     pub fn contains(&self, tid: Tid) -> bool {
-        self.tuples.contains_key(&tid)
+        self.store.contains(tid)
     }
 
-    /// Iterate tuples in tid order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.values()
+    /// Iterate tuples in tid order (materialized — prefer
+    /// [`Relation::scan`] on hot paths).
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        self.store
+            .rows()
+            .map(move |(tid, row)| self.materialize(tid, row))
     }
 
     /// Iterate tuple ids in order.
     pub fn tids(&self) -> impl Iterator<Item = Tid> + '_ {
-        self.tuples.keys().copied()
+        self.store.rows().map(|(t, _)| t)
+    }
+
+    /// Live `(tid, row)` pairs in ascending tid order — the columnar scan
+    /// entry point (index into [`Relation::col`] with the row).
+    pub fn scan(&self) -> impl Iterator<Item = (Tid, RowId)> + '_ {
+        self.store.rows()
+    }
+
+    /// Row of `tid`, if live.
+    pub fn row_of(&self, tid: Tid) -> Option<RowId> {
+        self.store.row_of(tid)
+    }
+
+    /// The full column of attribute `a` (includes freed rows; index with
+    /// rows from [`Relation::scan`]).
+    pub fn col(&self, a: crate::AttrId) -> &[Sym] {
+        self.store.col(a)
+    }
+
+    /// Borrowed value at `(tid, attr)` — O(1), no clone.
+    pub fn value_at(&self, tid: Tid, a: crate::AttrId) -> Option<&Value> {
+        self.store.row_of(tid).map(|row| self.store.value(row, a))
+    }
+
+    /// Symbol at `(tid, attr)`.
+    pub fn sym_at(&self, tid: Tid, a: crate::AttrId) -> Option<Sym> {
+        self.store.row_of(tid).map(|row| self.store.sym(row, a))
     }
 
     /// Largest tid present (useful for allocating fresh tids in generators).
     pub fn max_tid(&self) -> Option<Tid> {
-        self.tuples.keys().next_back().copied()
+        self.store.max_tid()
+    }
+
+    fn materialize(&self, tid: Tid, row: RowId) -> Tuple {
+        Tuple::new(
+            tid,
+            self.store
+                .row_syms(row)
+                .map(|s| self.store.pool().resolve(s).clone())
+                .collect(),
+        )
     }
 }
 
@@ -159,5 +227,31 @@ mod tests {
         let order: Vec<Tid> = r.tids().collect();
         assert_eq!(order, vec![1, 3, 5]);
         assert_eq!(r.max_tid(), Some(5));
+    }
+
+    #[test]
+    fn columnar_accessors_borrow_from_the_store() {
+        let mut r = Relation::new(schema());
+        r.insert(t(1, 7)).unwrap();
+        r.insert(t(2, 7)).unwrap();
+        assert_eq!(r.value_at(1, 1), Some(&Value::int(7)));
+        assert_eq!(r.value_at(99, 1), None);
+        // Equal values share a symbol within the relation's pool.
+        assert_eq!(r.sym_at(1, 1), r.sym_at(2, 1));
+        let rows: Vec<_> = r.scan().collect();
+        assert_eq!(rows.len(), 2);
+        let col = r.col(1);
+        assert_eq!(col[rows[0].1 as usize], col[rows[1].1 as usize]);
+    }
+
+    #[test]
+    fn insert_row_avoids_tuple_materialization() {
+        let mut r = Relation::new(schema());
+        let vals = [Value::int(9), Value::int(1)];
+        r.insert_row(9, vals.iter()).unwrap();
+        assert_eq!(r.get(9).unwrap().get(1), &Value::int(1));
+        r.delete_quiet(9).unwrap();
+        assert!(r.is_empty());
+        assert!(r.pool().is_empty());
     }
 }

@@ -131,8 +131,15 @@ impl UpdateBatch {
             match state.remove(&tid).expect("state populated above") {
                 Net::Inserted(t) => {
                     if present {
-                        // Modification: only emit if the value actually changed.
-                        if base.get(tid).map(|old| old != &t).unwrap_or(true) {
+                        // Modification: only emit if the value actually
+                        // changed (compared against the store's borrowed
+                        // values — no materialization).
+                        let unchanged = t.arity() == base.schema().arity()
+                            && t.values
+                                .iter()
+                                .enumerate()
+                                .all(|(a, v)| base.value_at(tid, a as crate::AttrId) == Some(v));
+                        if !unchanged {
                             out.delete(tid);
                             out.insert(t);
                         }

@@ -94,7 +94,7 @@ pub fn generate_modifications(
     let mut batch = UpdateBatch::new();
     for tid in tids {
         let t = base.get(tid).expect("sampled live tid");
-        let t2 = mutate(t, &mut rng);
+        let t2 = mutate(&t, &mut rng);
         assert_eq!(t2.tid, tid, "modification must keep the tuple id");
         batch.delete(tid);
         batch.insert(t2);
