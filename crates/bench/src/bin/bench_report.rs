@@ -8,7 +8,7 @@
 //!
 //! `--quick` shrinks sizes and sample budgets to a CI-smoke footprint
 //! (seconds); the default full run takes on the order of a minute and is
-//! what gets committed as `BENCH_3.json`. Without `--out` the report goes
+//! what gets committed as `BENCH_4.json`. Without `--out` the report goes
 //! to stdout only, so CI can smoke-run without touching the tree.
 //!
 //! `--compare PATH` is the regression gate: the freshly computed

@@ -564,8 +564,8 @@ fn store_rows(n: usize) -> Vec<(Tid, Vec<Value>)> {
 
 /// Bulk load from raw rows: the legacy path materializes one
 /// `Tuple` (`Arc<[Value]>`, per-value clones) per row into a
-/// `BTreeMap<Tid, Tuple>`; the columnar path interns borrowed values
-/// straight into the arena (`Relation::insert_row`).
+/// `BTreeMap<Tid, Tuple>`; the columnar path is `Relation::bulk_load` —
+/// batched column-major appends with a per-load intern cache.
 fn bulk_load_micro(rows: &[(Tid, Vec<Value>)], budget: Duration, min_iters: usize) -> Micro {
     let schema = store_schema();
     let legacy = measure(budget, min_iters, || {
@@ -578,9 +578,7 @@ fn bulk_load_micro(rows: &[(Tid, Vec<Value>)], budget: Duration, min_iters: usiz
     });
     let current = measure(budget, min_iters, || {
         let mut d = Relation::new(schema.clone());
-        for (tid, vals) in rows {
-            d.insert_row(*tid, vals.iter()).unwrap();
-        }
+        d.bulk_load(rows).unwrap();
         std::hint::black_box(d.len());
         rows.len()
     });
@@ -751,8 +749,9 @@ fn fixed_tpch(
 }
 
 /// Fig. 9 shape: incremental vs batch over both layouts, plus the
-/// md5-vs-raw wire split of the horizontal detector. All byte counts are
-/// deterministic at the fixed seed.
+/// three-way codec split (`md5` / `raw_values` / `dict`) of the
+/// horizontal detector's `|M|`. All byte counts are deterministic at the
+/// fixed seed.
 fn fig9(quick: bool) -> Json {
     let (schema, cfds, d, delta) = fixed_tpch(quick);
     let n_sites = 10;
@@ -787,16 +786,29 @@ fn fig9(quick: bool) -> Json {
         .build_dyn(&d)
         .unwrap();
     let bat = DetectorBuilder::new(schema.clone(), cfds.clone())
-        .baseline(BaselineStrategy::BatHor(hs))
+        .baseline(BaselineStrategy::BatHor(hs.clone()))
         .initial_violations(inc.violations().clone())
         .build_dyn(&d)
         .unwrap();
     let horizontal_raw = run_fixed_pair(inc, bat, &delta);
 
+    let inc = DetectorBuilder::new(schema.clone(), cfds.clone())
+        .horizontal(hs.clone())
+        .dict()
+        .build_dyn(&d)
+        .unwrap();
+    let bat = DetectorBuilder::new(schema.clone(), cfds.clone())
+        .baseline(BaselineStrategy::BatHor(hs))
+        .initial_violations(inc.violations().clone())
+        .build_dyn(&d)
+        .unwrap();
+    let horizontal_dict = run_fixed_pair(inc, bat, &delta);
+
     Json::obj(vec![
         ("vertical", vertical.json()),
         ("horizontal_md5", horizontal_md5.json()),
         ("horizontal_raw", horizontal_raw.json()),
+        ("horizontal_dict", horizontal_dict.json()),
     ])
 }
 
@@ -989,17 +1001,19 @@ pub fn build_report(quick: bool) -> Json {
 
     Json::obj(vec![
         ("schema_version", Json::Int(1)),
-        ("report", Json::Str("BENCH_3".into())),
+        ("report", Json::Str("BENCH_4".into())),
         (
             "description",
             Json::Str(
-                "Columnar arena-backed Relation storage + dictionary-backed \
-                 columnar wire format: storage micros (legacy = BTreeMap<Tid, \
-                 Tuple> re-implemented inline), the PR-2 micros re-run, \
-                 fixed-seed fig9/fig10/fig11 harness numbers, and the \
-                 BatMsg::Cols vs rows coordinator |M| split. `fig_quick` \
-                 holds the quick-scale deterministic numbers the CI \
-                 bench-smoke gate compares against (>20% regression fails)"
+                "Pluggable wire codecs (cluster::codec): fig9 now carries the \
+                 three-way horizontal |M| split (md5 / raw_values / dict — \
+                 symbols + one-time per-link dictionary deltas), with \
+                 md5/raw_values incremental bytes bit-identical to BENCH_3. \
+                 bulk_load re-measured over Relation::bulk_load (batched \
+                 column appends + per-load intern cache + hash-keyed \
+                 ValuePool). `fig_quick` holds the quick-scale deterministic \
+                 numbers the CI bench-smoke gate compares against (>20% \
+                 regression fails)"
                     .into(),
             ),
         ),
@@ -1081,6 +1095,7 @@ mod tests {
             "hev_nonbase",
             "fig9",
             "horizontal_raw",
+            "horizontal_dict",
             "fig10",
             "fig11",
             "peak_index_sizes",

@@ -1,7 +1,7 @@
 //! Centralized ground-truth detector.
 //!
 //! When `D` is centralized, "two SQL queries suffice to detect violations of
-//! a set of CFDs" (§1, [9]). This module is the algorithmic equivalent: one
+//! a set of CFDs" (§1, \[9]). This module is the algorithmic equivalent: one
 //! pass per CFD for constant patterns (the first "query") and one grouped
 //! pass for variable patterns (the second). It exists as the *oracle* that
 //! every distributed and incremental algorithm in this repository is tested

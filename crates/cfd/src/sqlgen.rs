@@ -2,7 +2,7 @@
 //!
 //! §2.3: *"When D is a centralized database, two SQL queries suffice to
 //! find V(Σ, D), no matter how many CFDs are in Σ. The SQL queries can be
-//! automatically generated [9]."* Reference [9] (Fan, Geerts, Jia,
+//! automatically generated \[9]."* Reference \[9] (Fan, Geerts, Jia,
 //! Kementsietsidis — TODS 33(2), 2008) detects violations of a CFD
 //! `(X → B, T_p)` with
 //!

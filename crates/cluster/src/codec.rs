@@ -1,0 +1,444 @@
+//! Pluggable wire codecs for value payloads.
+//!
+//! The paper's central metric is shipped data `|M|` (§2.3), and §6 spends a
+//! whole optimization on shrinking it: *"we use MD5 … by sending a 128-bit
+//! MD5 code instead of an entire tuple."* That makes the payload encoding a
+//! first-class protocol decision, not a boolean buried in one detector —
+//! this module promotes it to an API every protocol (and every future
+//! transport backend) plugs into:
+//!
+//! * [`PayloadCodec`] — encode one value for a given `(src, dst)` link,
+//!   report its wire size ([`WireValue::wire_size`]), and account any
+//!   per-link state the encoding needs;
+//! * [`RawValues`] — ship the value verbatim (the unoptimized §6 variant);
+//! * [`Md5Digest`] — the §6 optimization: ship the 128-bit code whenever
+//!   the value is wider than it, the raw value otherwise;
+//! * [`DictSyms`] — dictionary shipping: every value travels as a 4-byte
+//!   symbol, plus a **one-time per-link dictionary delta** the first time
+//!   that value crosses the link, metered exactly as
+//!   [`DictMeter`] models. Repeat values cost
+//!   4 bytes instead of their full size, which is what collapses `|M|` on
+//!   skewed update streams.
+//!
+//! Receivers never see raw protocol bytes in this in-process substrate;
+//! what they need is the *digest* of each shipped value (group keys in the
+//! §6 protocol are MD5 digests over per-attribute digests). The codec
+//! therefore also answers [`PayloadCodec::digest`] — for [`DictSyms`] that
+//! resolves through the dictionary state the deltas built up, so a symbol
+//! is digested once per distinct value rather than once per shipment.
+//!
+//! The vertical protocol (§4) is untouched by codecs: it ships equivalence
+//! ids, never attribute values — eqids *are* its encoding.
+
+use crate::md5::{md5, Digest};
+use crate::transport::DictMeter;
+use crate::SiteId;
+use relation::{FxHashMap, Sym, Value, ValuePool};
+
+/// Digest of one value (tag + payload through MD5), built in a
+/// caller-supplied scratch buffer so hot loops reuse one allocation.
+pub fn value_digest_into(v: &Value, scratch: &mut Vec<u8>) -> Digest {
+    scratch.clear();
+    v.digest_bytes(scratch);
+    md5(scratch)
+}
+
+/// [`value_digest_into`] with a fresh buffer — construction-time paths.
+pub fn value_digest(v: &Value) -> Digest {
+    value_digest_into(v, &mut Vec::with_capacity(16))
+}
+
+/// One encoded value as it crosses a link. The variant records exactly
+/// what the wire carries, so [`WireValue::wire_size`] *is* the payload's
+/// `|M|` contribution.
+#[derive(Debug, Clone)]
+pub enum WireValue {
+    /// The raw value, full wire size.
+    Raw(Value),
+    /// A 128-bit MD5 code (16 bytes).
+    Md5(Digest),
+    /// A 4-byte dictionary symbol; `Some` carries the one-time dictionary
+    /// entry (symbol id + raw value) on the value's first crossing of the
+    /// link, `None` once the destination dictionary holds it.
+    Sym(Sym, Option<Value>),
+}
+
+impl WireValue {
+    /// Serialized size in bytes — the quantity the §2.3 `|M|` meter sums.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            WireValue::Raw(v) => v.wire_size(),
+            WireValue::Md5(_) => Digest::WIRE_SIZE,
+            WireValue::Sym(_, None) => DictMeter::SYM_WIRE_SIZE,
+            WireValue::Sym(_, Some(v)) => 2 * DictMeter::SYM_WIRE_SIZE + v.wire_size(),
+        }
+    }
+}
+
+/// Selector for the built-in codecs — the public surface of
+/// `DetectorBuilder::horizontal().md5()/.raw_values()/.dict()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CodecKind {
+    /// Ship raw values ([`RawValues`]).
+    RawValues,
+    /// Ship MD5 digests when smaller ([`Md5Digest`]) — the §6 default.
+    #[default]
+    Md5,
+    /// Ship dictionary symbols with per-link deltas ([`DictSyms`]).
+    Dict,
+}
+
+impl CodecKind {
+    /// Stable name used in reports, labels and `BENCH_*.json` keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecKind::RawValues => "raw_values",
+            CodecKind::Md5 => "md5",
+            CodecKind::Dict => "dict",
+        }
+    }
+
+    /// A fresh codec instance of this kind.
+    pub fn codec(self) -> Box<dyn PayloadCodec> {
+        match self {
+            CodecKind::RawValues => Box::new(RawValues::default()),
+            CodecKind::Md5 => Box::new(Md5Digest::default()),
+            CodecKind::Dict => Box::new(DictSyms::new()),
+        }
+    }
+}
+
+/// A pluggable payload encoding for cross-site value shipment.
+///
+/// One codec instance serves one protocol session: [`encode`] is called by
+/// the sending site for every value that crosses a `(src, dst)` link and
+/// may update per-link state (dictionary residency); [`digest`] is the
+/// receiving side's view, turning the shipped payload back into the
+/// 128-bit fingerprint the §6 group-key derivation runs on. Both ends live
+/// in the same object because the substrate is in-process — a socket
+/// transport would split the same state machine across two hosts.
+///
+/// [`encode`]: PayloadCodec::encode
+/// [`digest`]: PayloadCodec::digest
+///
+/// # Worked example
+///
+/// A skewed stream re-ships the same wide value; the three codecs price it
+/// differently ([`RawValues`] pays full freight every time, [`Md5Digest`]
+/// caps it at 16 bytes, [`DictSyms`] pays the dictionary entry once and 4
+/// bytes per repeat) while the receiver-side digest — what detection
+/// actually consumes — is identical for all of them:
+///
+/// ```
+/// use cluster::codec::{value_digest, CodecKind, PayloadCodec};
+/// use relation::Value;
+///
+/// let street = Value::str("Glenna Goodacre Boulevard"); // 29 B raw
+/// let mut raw = CodecKind::RawValues.codec();
+/// let mut md5 = CodecKind::Md5.codec();
+/// let mut dict = CodecKind::Dict.codec();
+///
+/// // First crossing of link 0 → 1.
+/// assert_eq!(raw.encode(0, 1, &street).wire_size(), 29);
+/// assert_eq!(md5.encode(0, 1, &street).wire_size(), 16);
+/// let first = dict.encode(0, 1, &street);
+/// assert_eq!(first.wire_size(), 4 + 4 + 29); // symbol + one-time entry
+///
+/// // Every repeat on the same link: dict ships the bare 4-byte symbol.
+/// let repeat = dict.encode(0, 1, &street);
+/// assert_eq!(repeat.wire_size(), 4);
+///
+/// // A different link pays its own entry (dictionaries are per link)…
+/// assert_eq!(dict.encode(0, 2, &street).wire_size(), 4 + 4 + 29);
+///
+/// // …and every codec resolves to the same group-key digest.
+/// let d = value_digest(&street);
+/// let (raw_wire, md5_wire) = (raw.encode(0, 1, &street), md5.encode(0, 1, &street));
+/// assert_eq!(raw.digest(&raw_wire), d);
+/// assert_eq!(md5.digest(&md5_wire), d);
+/// assert_eq!(dict.digest(&repeat), d);
+/// ```
+pub trait PayloadCodec: std::fmt::Debug + Send {
+    /// Which built-in kind this codec is (drives labels and builder plumbing).
+    fn kind(&self) -> CodecKind;
+
+    /// Stable name for reports and tier labels.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Encode `value` for shipment from `src` to `dst`, updating any
+    /// per-link codec state. The returned payload knows its own wire size.
+    fn encode(&mut self, src: SiteId, dst: SiteId, value: &Value) -> WireValue;
+
+    /// Does the encoding depend on the `(src, dst)` link? Stateless
+    /// codecs (`false`, the default) produce identical payloads for every
+    /// peer, so senders may encode once and clone per link instead of
+    /// re-encoding — the §6 broadcast paths rely on this to avoid
+    /// re-digesting per peer.
+    fn per_link(&self) -> bool {
+        false
+    }
+
+    /// Receiver-side digest of a shipped payload, for group-key
+    /// derivation. For [`WireValue::Sym`] this resolves through the
+    /// dictionary state built by [`PayloadCodec::encode`]'s deltas.
+    fn digest(&mut self, w: &WireValue) -> Digest;
+}
+
+/// Ship values verbatim — the unoptimized §6 variant.
+#[derive(Debug, Default)]
+pub struct RawValues {
+    scratch: Vec<u8>,
+}
+
+impl PayloadCodec for RawValues {
+    fn kind(&self) -> CodecKind {
+        CodecKind::RawValues
+    }
+
+    fn encode(&mut self, _src: SiteId, _dst: SiteId, value: &Value) -> WireValue {
+        WireValue::Raw(value.clone())
+    }
+
+    fn digest(&mut self, w: &WireValue) -> Digest {
+        match w {
+            WireValue::Raw(v) => value_digest_into(v, &mut self.scratch),
+            WireValue::Md5(d) => *d,
+            WireValue::Sym(..) => unreachable!("raw_values codec never ships symbols"),
+        }
+    }
+}
+
+/// The §6 MD5 optimization: ship the 128-bit code whenever the value is
+/// wider than it ("to reduce the shipping cost" of large tuples — digesting
+/// a 4-byte integer would *grow* it), the raw value otherwise.
+#[derive(Debug, Default)]
+pub struct Md5Digest {
+    scratch: Vec<u8>,
+}
+
+impl PayloadCodec for Md5Digest {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Md5
+    }
+
+    fn encode(&mut self, _src: SiteId, _dst: SiteId, value: &Value) -> WireValue {
+        if value.wire_size() > Digest::WIRE_SIZE {
+            WireValue::Md5(value_digest_into(value, &mut self.scratch))
+        } else {
+            WireValue::Raw(value.clone())
+        }
+    }
+
+    fn digest(&mut self, w: &WireValue) -> Digest {
+        match w {
+            WireValue::Raw(v) => value_digest_into(v, &mut self.scratch),
+            WireValue::Md5(d) => *d,
+            WireValue::Sym(..) => unreachable!("md5 codec never ships symbols"),
+        }
+    }
+}
+
+/// Dictionary shipping: symbols on the wire, one-time per-link deltas.
+///
+/// The codec owns the wire dictionary (an append-only [`ValuePool`]
+/// assigning each distinct shipped value one symbol) and a [`DictMeter`]
+/// tracking which symbols are resident at which `(src, dst)` link. The
+/// first time a value crosses a link, the payload carries the dictionary
+/// entry (4 B id + the raw value) on top of the 4-byte symbol; afterwards
+/// the bare symbol suffices. Per-symbol digests are cached, so receivers
+/// pay one MD5 per distinct value instead of one per shipment.
+///
+/// The batch coordinators' columnar shipments
+/// (`incdetect::baselines::ColsMsg`) route their sizing through
+/// [`DictSyms::ship_sym`], which accounts *caller-interned* symbols (the
+/// shipping fragment's own pool ids) against the same meter. One instance
+/// must stick to one path — the symbol namespaces differ.
+/// Which of [`DictSyms`]'s two symbol namespaces an instance serves (set
+/// on first use; mixing them would corrupt the shared residency meter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DictMode {
+    /// The value-level [`PayloadCodec`] path (codec-owned dictionary).
+    Codec,
+    /// The columnar [`DictSyms::ship_sym`] path (caller-owned symbols).
+    Columnar,
+}
+
+#[derive(Debug, Default)]
+pub struct DictSyms {
+    dict: ValuePool,
+    meter: DictMeter,
+    digests: FxHashMap<Sym, Digest>,
+    scratch: Vec<u8>,
+    mode: Option<DictMode>,
+}
+
+impl DictSyms {
+    /// Fresh codec: empty dictionary, nothing resident anywhere.
+    pub fn new() -> Self {
+        DictSyms::default()
+    }
+
+    /// The underlying per-link residency meter.
+    pub fn meter(&self) -> &DictMeter {
+        &self.meter
+    }
+
+    /// Cost-account a **caller-interned** symbol crossing `src → dst`,
+    /// delegating to the inner [`DictMeter`]; returns the charged bytes
+    /// (`> `[`DictMeter::SYM_WIRE_SIZE`] exactly when the link must carry
+    /// the one-time dictionary entry). This is the columnar fast path for
+    /// senders that already hold per-value symbols (fragment stores).
+    ///
+    /// # Panics
+    /// Panics (debug builds) when the instance has already encoded
+    /// through the [`PayloadCodec`] path — the two symbol namespaces must
+    /// not share one residency meter.
+    pub fn ship_sym(&mut self, src: SiteId, dst: SiteId, sym: Sym, value: &Value) -> usize {
+        self.enter(DictMode::Columnar);
+        self.meter.ship_sym(src, dst, sym, value)
+    }
+
+    /// Record (and in debug builds enforce) which symbol namespace this
+    /// instance serves.
+    fn enter(&mut self, mode: DictMode) {
+        let entered = *self.mode.get_or_insert(mode);
+        debug_assert!(
+            entered == mode,
+            "DictSyms instance mixed codec-path and columnar-path symbols"
+        );
+        let _ = entered;
+    }
+}
+
+impl PayloadCodec for DictSyms {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Dict
+    }
+
+    fn encode(&mut self, src: SiteId, dst: SiteId, value: &Value) -> WireValue {
+        self.enter(DictMode::Codec);
+        let sym = match self.dict.lookup(value) {
+            Some(s) => s,
+            None => {
+                let s = self.dict.acquire(value);
+                self.digests
+                    .insert(s, value_digest_into(value, &mut self.scratch));
+                s
+            }
+        };
+        let cost = self.meter.ship_sym(src, dst, sym, value);
+        let delta = (cost > DictMeter::SYM_WIRE_SIZE).then(|| value.clone());
+        WireValue::Sym(sym, delta)
+    }
+
+    fn digest(&mut self, w: &WireValue) -> Digest {
+        match w {
+            WireValue::Raw(v) => value_digest_into(v, &mut self.scratch),
+            WireValue::Md5(d) => *d,
+            WireValue::Sym(s, _) => *self
+                .digests
+                .get(s)
+                .expect("symbol was assigned by this codec's encode"),
+        }
+    }
+
+    fn per_link(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_name_and_construct() {
+        for (kind, name) in [
+            (CodecKind::RawValues, "raw_values"),
+            (CodecKind::Md5, "md5"),
+            (CodecKind::Dict, "dict"),
+        ] {
+            assert_eq!(kind.name(), name);
+            let codec = kind.codec();
+            assert_eq!(codec.kind(), kind);
+            assert_eq!(codec.name(), name);
+        }
+        assert_eq!(CodecKind::default(), CodecKind::Md5, "§6 default");
+    }
+
+    #[test]
+    fn raw_ships_full_size() {
+        let mut c = RawValues::default();
+        let v = Value::str("a street name longer than a digest");
+        let w = c.encode(0, 1, &v);
+        assert_eq!(w.wire_size(), v.wire_size());
+        assert_eq!(c.digest(&w), value_digest(&v));
+    }
+
+    #[test]
+    fn md5_ships_whichever_is_smaller() {
+        let mut c = Md5Digest::default();
+        let wide = Value::str("a street name longer than a digest");
+        let narrow = Value::int(44);
+        let w = c.encode(0, 1, &wide);
+        assert!(matches!(w, WireValue::Md5(_)));
+        assert_eq!(w.wire_size(), Digest::WIRE_SIZE);
+        let n = c.encode(0, 1, &narrow);
+        assert!(matches!(n, WireValue::Raw(_)), "8 B int ships raw");
+        assert_eq!(n.wire_size(), narrow.wire_size());
+        assert_eq!(c.digest(&w), value_digest(&wide));
+        assert_eq!(c.digest(&n), value_digest(&narrow));
+    }
+
+    #[test]
+    fn dict_charges_entry_once_per_link() {
+        let mut c = DictSyms::new();
+        let v = Value::str("EH4 8LE");
+        let first = c.encode(0, 1, &v);
+        assert_eq!(
+            first.wire_size(),
+            2 * DictMeter::SYM_WIRE_SIZE + v.wire_size()
+        );
+        assert!(matches!(first, WireValue::Sym(_, Some(_))));
+        let repeat = c.encode(0, 1, &v);
+        assert_eq!(repeat.wire_size(), DictMeter::SYM_WIRE_SIZE);
+        assert!(matches!(repeat, WireValue::Sym(_, None)));
+        // A different link pays its own entry; the symbol is stable.
+        let other = c.encode(1, 0, &v);
+        assert!(matches!(other, WireValue::Sym(_, Some(_))));
+        let (WireValue::Sym(a, _), WireValue::Sym(b, _)) = (&first, &other) else {
+            unreachable!()
+        };
+        assert_eq!(a, b, "one symbol per distinct value");
+        // Digests resolve through the dictionary, identically everywhere.
+        assert_eq!(c.digest(&first), value_digest(&v));
+        assert_eq!(c.digest(&repeat), value_digest(&v));
+        assert_eq!(c.meter().dict_bytes(), 2 * (4 + v.wire_size() as u64));
+    }
+
+    #[test]
+    fn dict_repeat_heavy_stream_beats_raw_and_md5() {
+        let (mut raw, mut md5c, mut dict) =
+            (RawValues::default(), Md5Digest::default(), DictSyms::new());
+        let v = Value::str("Glenna Goodacre Boulevard");
+        let (mut r, mut m, mut d) = (0usize, 0usize, 0usize);
+        for _ in 0..1000 {
+            r += raw.encode(0, 1, &v).wire_size();
+            m += md5c.encode(0, 1, &v).wire_size();
+            d += dict.encode(0, 1, &v).wire_size();
+        }
+        assert!(d < m && m < r, "dict {d} < md5 {m} < raw {r}");
+    }
+
+    #[test]
+    fn dict_ship_sym_delegates_to_meter() {
+        let mut c = DictSyms::new();
+        let v = Value::str("caller-interned");
+        let first = c.ship_sym(0, 1, 7, &v);
+        assert_eq!(first, 2 * DictMeter::SYM_WIRE_SIZE + v.wire_size());
+        assert_eq!(c.ship_sym(0, 1, 7, &v), DictMeter::SYM_WIRE_SIZE);
+        assert_eq!(c.meter().total_bytes() as usize, first + 4);
+    }
+}

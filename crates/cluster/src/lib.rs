@@ -12,13 +12,20 @@
 //!
 //! * [`netstats`] — counters and the cost model,
 //! * [`transport`] — the generic, synchronous, metered message network,
+//! * [`codec`] — the pluggable payload codecs ([`PayloadCodec`]:
+//!   [`codec::RawValues`], [`codec::Md5Digest`], [`codec::DictSyms`])
+//!   every value-shipping protocol encodes through,
+//! * [`md5`] — RFC 1321, the digest primitive behind the §6 optimization,
 //! * [`partition`] — vertical (§2.2, projections with key, replication
 //!   allowed) and horizontal (disjoint selections) partitioners.
 
+pub mod codec;
+pub mod md5;
 pub mod netstats;
 pub mod partition;
 pub mod transport;
 
+pub use codec::{CodecKind, PayloadCodec, WireValue};
 pub use netstats::{CostModel, NetReport, NetStats};
 pub use transport::{DictMeter, Network, Wire};
 

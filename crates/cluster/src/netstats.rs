@@ -141,13 +141,29 @@ impl NetStats {
 #[derive(Debug, Clone)]
 pub struct NetReport {
     tiers: Vec<(String, NetStats)>,
+    /// Wire codec that produced the value traffic, if the strategy ships
+    /// values at all (`"raw_values"` / `"md5"` / `"dict"`; `None` for
+    /// eqid-only protocols like `incVer`).
+    codec: Option<String>,
 }
 
 impl NetReport {
     /// Report with explicit named tiers.
     pub fn from_tiers(tiers: Vec<(String, NetStats)>) -> Self {
         assert!(!tiers.is_empty(), "a report needs at least one tier");
-        NetReport { tiers }
+        NetReport { tiers, codec: None }
+    }
+
+    /// Label the report with the payload codec its traffic was encoded
+    /// with (see [`crate::codec::CodecKind::name`]).
+    pub fn with_codec(mut self, codec: impl Into<String>) -> Self {
+        self.codec = Some(codec.into());
+        self
+    }
+
+    /// The payload codec label, if the producing strategy ships values.
+    pub fn codec(&self) -> Option<&str> {
+        self.codec.as_deref()
     }
 
     /// Single-tier report (vertical/horizontal detectors, batch baselines).
@@ -306,6 +322,16 @@ mod tests {
         assert_eq!(single.simulated_seconds(&m), m.simulated_seconds(&inter));
         assert!(r.simulated_seconds(&m) > single.simulated_seconds(&m));
         assert!(r.pipelined_seconds(&m) > 0.0);
+    }
+
+    #[test]
+    fn net_report_carries_codec_label() {
+        let r = NetReport::single(NetStats::new(2));
+        assert_eq!(r.codec(), None, "unlabeled by default");
+        let r = r.with_codec("dict");
+        assert_eq!(r.codec(), Some("dict"));
+        let two = NetReport::two_tier(NetStats::new(2), NetStats::new(4)).with_codec("md5");
+        assert_eq!(two.codec(), Some("md5"));
     }
 
     #[test]

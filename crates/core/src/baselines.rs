@@ -20,6 +20,7 @@ use crate::horizontal::HorizontalDetector;
 use crate::vertical::VerticalDetector;
 use cfd::pattern::PatternValue;
 use cfd::{Cfd, CfdId, DeltaV, Violations};
+use cluster::codec::DictSyms;
 use cluster::partition::{HorizontalScheme, VerticalScheme};
 use cluster::{DictMeter, NetReport, NetStats, Network, SiteId, Wire};
 use relation::{
@@ -36,10 +37,12 @@ const SYM_NONE: Sym = Sym::MAX;
 /// A columnar, dictionary-backed shipment of projected rows: the tid
 /// vector, one symbol column per served attribute (sender-local symbols),
 /// and the **dictionary delta** — the `(sym, value)` entries this link has
-/// not carried before, charged exactly as [`cluster::DictMeter`] models
-/// (4 B per shipped symbol, one-time `4 B + |value|` per new entry).
-/// Repeat values therefore cost 4 bytes instead of their full wire size,
-/// which is what collapses the coordinators' `|M|` on skewed columns.
+/// not carried before. Sizing routes through the same
+/// [`cluster::codec::DictSyms`] codec the incremental `dict` mode uses
+/// (4 B per shipped symbol, one-time `4 B + |value|` per new entry, per
+/// ordered link). Repeat values therefore cost 4 bytes instead of their
+/// full wire size, which is what collapses the coordinators' `|M|` on
+/// skewed columns.
 #[derive(Debug, Clone)]
 pub struct ColsMsg {
     /// Row tids, in the sender's scan order (ascending).
@@ -64,14 +67,15 @@ impl ColsMsg {
     }
 
     /// Encode the `rows` of `frag` projected onto `attrs` (fragment-local
-    /// positions), updating `meter`'s per-link residency to pick the
-    /// dictionary delta. Returns the message plus what the retired
+    /// positions), updating `codec`'s per-link residency to pick the
+    /// dictionary delta ([`DictSyms::ship_sym`] — the symbols here are the
+    /// fragment store's own). Returns the message plus what the retired
     /// row-oriented format would have cost for the same shipment.
     pub fn encode(
         frag: &Relation,
         rows: &[(Tid, RowId)],
         attrs: &[AttrId],
-        meter: &mut DictMeter,
+        codec: &mut DictSyms,
         src: SiteId,
         dst: SiteId,
     ) -> (ColsMsg, u64) {
@@ -89,7 +93,7 @@ impl ColsMsg {
                 let s = store.sym(row, a);
                 let v = store.value(row, a);
                 rows_equiv += v.wire_size() as u64;
-                if meter.ship_sym(src, dst, s, v) > DictMeter::SYM_WIRE_SIZE {
+                if codec.ship_sym(src, dst, s, v) > DictMeter::SYM_WIRE_SIZE {
                     msg.dict.push((s, v.clone()));
                 }
                 msg.cols[k].push(s);
@@ -260,7 +264,7 @@ fn bat_ver_one(
 ) -> (Vec<Tid>, NetStats, u64) {
     let n = scheme.n_sites();
     let mut net: Network<BatMsg> = Network::new(n);
-    let mut meter = DictMeter::new();
+    let mut codec = DictSyms::new();
     let mut rows_equiv = 0u64;
     let mut out: Vec<Tid> = Vec::new();
 
@@ -305,7 +309,7 @@ fn bat_ver_one(
         });
         let rows = filter_rows(frag, &atoms);
         let (tids, cols) = if site != coord {
-            let (msg, re) = ColsMsg::encode(frag, &rows, &served_local, &mut meter, site, coord);
+            let (msg, re) = ColsMsg::encode(frag, &rows, &served_local, &mut codec, site, coord);
             rows_equiv += re;
             let translated = cpool.translate_msg(&msg);
             net.send(site, coord, BatMsg::Cols(msg))
@@ -422,7 +426,7 @@ pub fn bat_ver_parallel(cfds: &[Cfd], scheme: &VerticalScheme, d: &Relation) -> 
 /// coordinator (round-robin) as [`BatMsg::Cols`].
 fn bat_hor_one(cfd: &Cfd, n: usize, fragments: &[Relation]) -> (Vec<Tid>, NetStats, u64) {
     let mut net: Network<BatMsg> = Network::new(n);
-    let mut meter = DictMeter::new();
+    let mut codec = DictSyms::new();
     let mut rows_equiv = 0u64;
     let mut out: Vec<Tid> = Vec::new();
 
@@ -453,7 +457,7 @@ fn bat_hor_one(cfd: &Cfd, n: usize, fragments: &[Relation]) -> (Vec<Tid>, NetSta
         let atoms = local_atom_syms(cfd, frag, Some);
         let rows = filter_rows(frag, &atoms);
         let (tids, cols) = if site != coord {
-            let (msg, re) = ColsMsg::encode(frag, &rows, &proj, &mut meter, site, coord);
+            let (msg, re) = ColsMsg::encode(frag, &rows, &proj, &mut codec, site, coord);
             rows_equiv += re;
             let translated = cpool.translate_msg(&msg);
             net.send(site, coord, BatMsg::Cols(msg))
@@ -636,7 +640,7 @@ impl BatScheme for HorizontalScheme {
 /// fold `ΔD` into the mirror, recompute from scratch with the wrapped
 /// batch algorithm, return the settled diff).
 macro_rules! batch_detector {
-    ($(#[$doc:meta])* $name:ident, $strategy:literal, $scheme_ty:ty,
+    ($(#[$doc:meta])* $name:ident, $strategy:literal, $codec:expr, $scheme_ty:ty,
      |$self_:ident| $recompute:expr) => {
         $(#[$doc])*
         pub struct $name {
@@ -724,7 +728,11 @@ macro_rules! batch_detector {
             }
 
             fn net(&self) -> NetReport {
-                NetReport::single(self.stats.clone())
+                let report = NetReport::single(self.stats.clone());
+                match $codec {
+                    Some(codec) => report.with_codec(codec),
+                    None => report,
+                }
             }
 
             fn reset_stats(&mut self) {
@@ -737,26 +745,26 @@ macro_rules! batch_detector {
 batch_detector!(
     /// `batVer` as a maintained [`Detector`]: every `apply` recomputes
     /// `V(Σ, D ⊕ ΔD)` from scratch with [`bat_ver`] and reports the diff.
-    BatVer, "batVer", VerticalScheme,
+    BatVer, "batVer", Some("dict"), VerticalScheme,
     |det| bat_ver(&det.cfds, &det.scheme, &det.current)
 );
 
 batch_detector!(
     /// `batHor` as a maintained [`Detector`], wrapping [`bat_hor`].
-    BatHor, "batHor", HorizontalScheme,
+    BatHor, "batHor", Some("dict"), HorizontalScheme,
     |det| bat_hor(&det.cfds, &det.scheme, &det.current)
 );
 
 batch_detector!(
     /// `ibatVer` (Exp-10) as a maintained [`Detector`]: recompute through
     /// the incremental machinery via [`ibat_ver`].
-    IbatVer, "ibatVer", VerticalScheme,
+    IbatVer, "ibatVer", None::<&str>, VerticalScheme,
     |det| ibat_ver(det.schema.clone(), det.cfds.clone(), det.scheme.clone(), &det.current)?
 );
 
 batch_detector!(
     /// `ibatHor` (Exp-10) as a maintained [`Detector`], via [`ibat_hor`].
-    IbatHor, "ibatHor", HorizontalScheme,
+    IbatHor, "ibatHor", Some("md5"), HorizontalScheme,
     |det| ibat_hor(det.schema.clone(), det.cfds.clone(), det.scheme.clone(), &det.current)?
 );
 

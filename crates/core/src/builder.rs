@@ -24,6 +24,7 @@ use crate::optimize::{optimize, OptimizeConfig};
 use crate::plan::HevPlan;
 use crate::vertical::VerticalDetector;
 use cfd::{Cfd, Violations};
+use cluster::codec::CodecKind;
 use cluster::partition::{HorizontalScheme, VerticalScheme};
 use relation::{Relation, Schema};
 use std::sync::Arc;
@@ -57,7 +58,7 @@ impl DetectorBuilder {
             schema: self.schema,
             cfds: self.cfds,
             scheme,
-            use_md5: true,
+            codec: CodecKind::default(),
         }
     }
 
@@ -68,6 +69,7 @@ impl DetectorBuilder {
             schema: self.schema,
             cfds: self.cfds,
             scheme: topology,
+            codec: CodecKind::default(),
         }
     }
 
@@ -131,30 +133,45 @@ impl VerticalDetectorBuilder {
     }
 }
 
-/// Second stage for [`HorizontalDetector`].
+/// Second stage for [`HorizontalDetector`]: pick the wire codec
+/// ([`cluster::codec::PayloadCodec`]) the §6 protocol ships values with.
 #[derive(Debug, Clone)]
 pub struct HorizontalDetectorBuilder {
     schema: Arc<Schema>,
     cfds: Vec<Cfd>,
     scheme: HorizontalScheme,
-    use_md5: bool,
+    codec: CodecKind,
 }
 
 impl HorizontalDetectorBuilder {
-    /// Toggle the §6 MD5 digest-shipping optimization (default: on).
-    pub fn md5(mut self, enable: bool) -> Self {
-        self.use_md5 = enable;
-        self
+    /// Ship MD5 digests when smaller than the value — the §6 optimization
+    /// (the default).
+    pub fn md5(self) -> Self {
+        self.codec(CodecKind::Md5)
     }
 
-    /// Ship raw values instead of digests (the unoptimized §6 variant).
+    /// Ship raw values (the unoptimized §6 variant).
     pub fn raw_values(self) -> Self {
-        self.md5(false)
+        self.codec(CodecKind::RawValues)
+    }
+
+    /// Ship dictionary symbols: 4 bytes per value plus a one-time
+    /// dictionary entry per `(src, dst)` link
+    /// ([`cluster::codec::DictSyms`]).
+    pub fn dict(self) -> Self {
+        self.codec(CodecKind::Dict)
+    }
+
+    /// Explicit codec selection (what [`md5`](Self::md5) /
+    /// [`raw_values`](Self::raw_values) / [`dict`](Self::dict) set).
+    pub fn codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
     }
 
     /// Build over the initial database `d0`.
     pub fn build(self, d0: &Relation) -> Result<HorizontalDetector, DetectError> {
-        HorizontalDetector::with_options(self.schema, self.cfds, self.scheme, d0, self.use_md5)
+        HorizontalDetector::with_codec(self.schema, self.cfds, self.scheme, d0, self.codec)
     }
 
     /// Build boxed, for heterogeneous strategy collections.
@@ -163,18 +180,41 @@ impl HorizontalDetectorBuilder {
     }
 }
 
-/// Second stage for [`HybridDetector`].
+/// Second stage for [`HybridDetector`]. The codec choice applies to the
+/// inter-region §6 protocol (intra-region assembly always ships digests).
 #[derive(Debug, Clone)]
 pub struct HybridDetectorBuilder {
     schema: Arc<Schema>,
     cfds: Vec<Cfd>,
     scheme: HybridScheme,
+    codec: CodecKind,
 }
 
 impl HybridDetectorBuilder {
+    /// Ship MD5 digests between region gateways (the default).
+    pub fn md5(self) -> Self {
+        self.codec(CodecKind::Md5)
+    }
+
+    /// Ship raw values between region gateways.
+    pub fn raw_values(self) -> Self {
+        self.codec(CodecKind::RawValues)
+    }
+
+    /// Ship dictionary symbols between region gateways.
+    pub fn dict(self) -> Self {
+        self.codec(CodecKind::Dict)
+    }
+
+    /// Explicit inter-region codec selection.
+    pub fn codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
     /// Build over the initial database `d0`.
     pub fn build(self, d0: &Relation) -> Result<HybridDetector, DetectError> {
-        HybridDetector::new(self.schema, self.cfds, self.scheme, d0)
+        HybridDetector::with_codec(self.schema, self.cfds, self.scheme, d0, self.codec)
     }
 
     /// Build boxed, for heterogeneous strategy collections.

@@ -21,9 +21,13 @@
 //! **One shipment per tuple** (§6 complexity analysis: *"each tuple in ΔD
 //! is sent to other sites at most once"*): all per-CFD probes and queries
 //! triggered by one update are coalesced into a single message per peer,
-//! carrying the tuple's *per-attribute* MD5 digests (or raw values in the
-//! unoptimized mode) plus the list of CFD ids concerned. Receivers derive
-//! every CFD's group key from the attribute digests. Hence `O(n)` messages
+//! carrying the tuple's *per-attribute* payloads plus the list of CFD ids
+//! concerned. How each attribute is encoded on the wire is delegated to
+//! the session's [`cluster::codec::PayloadCodec`] — MD5 digests (§6's
+//! optimization, the default), raw values (the unoptimized variant), or
+//! dictionary symbols with one-time per-link deltas
+//! ([`cluster::codec::DictSyms`]). Receivers derive every CFD's group key
+//! from the attribute digests the codec resolves. Hence `O(n)` messages
 //! per update regardless of `|Σ|`, and `O(|ΔD| + |ΔV|)` overall
 //! (Proposition 8).
 //!
@@ -35,6 +39,10 @@
 use crate::detector::{DetectError, Detector};
 use crate::md5::{md5, Digest};
 use cfd::{Cfd, CfdId, DeltaV, Violations};
+use cluster::codec::{
+    value_digest as attr_digest, value_digest_into as attr_digest_into, CodecKind, PayloadCodec,
+    WireValue,
+};
 use cluster::partition::HorizontalScheme;
 use cluster::{ClusterError, Network, SiteId, Wire};
 use relation::{
@@ -42,19 +50,6 @@ use relation::{
     Value,
 };
 use std::sync::Arc;
-
-/// Digest of one attribute value (tag + payload through MD5), built in a
-/// caller-supplied scratch buffer so hot loops reuse one allocation.
-fn attr_digest_into(v: &Value, scratch: &mut Vec<u8>) -> Digest {
-    scratch.clear();
-    v.digest_bytes(scratch);
-    md5(scratch)
-}
-
-/// [`attr_digest_into`] with a fresh buffer — construction-time paths only.
-fn attr_digest(v: &Value) -> Digest {
-    attr_digest_into(v, &mut Vec::with_capacity(16))
-}
 
 /// Group-key digest of a CFD's LHS: MD5 over the concatenated per-attribute
 /// digests (in LHS order). Computable both from raw values and from shipped
@@ -68,59 +63,11 @@ fn key_digest_from(attr_digests: impl IntoIterator<Item = Digest>, kbuf: &mut Ve
     md5(kbuf)
 }
 
-/// A shipped attribute: its MD5 code, or the raw value (unoptimized mode).
-#[derive(Debug, Clone)]
-pub enum WireAttr {
-    /// 128-bit MD5 code (16 bytes).
-    Md5(Digest),
-    /// Raw value (full wire size).
-    Raw(Value),
-}
-
-impl WireAttr {
-    fn digest_with(&self, scratch: &mut Vec<u8>) -> Digest {
-        match self {
-            WireAttr::Md5(d) => *d,
-            WireAttr::Raw(v) => attr_digest_into(v, scratch),
-        }
-    }
-
-    fn wire_size(&self) -> usize {
-        match self {
-            WireAttr::Md5(_) => Digest::WIRE_SIZE,
-            WireAttr::Raw(v) => v.wire_size(),
-        }
-    }
-}
-
-/// A shipped RHS value in a deletion reply.
-#[derive(Debug, Clone)]
-pub enum WireBval {
-    /// Digest form.
-    Md5(Digest),
-    /// Raw form.
-    Raw(Value),
-}
-
-impl WireBval {
-    fn digest_with(&self, scratch: &mut Vec<u8>) -> Digest {
-        match self {
-            WireBval::Md5(d) => *d,
-            WireBval::Raw(v) => attr_digest_into(v, scratch),
-        }
-    }
-
-    fn wire_size(&self) -> usize {
-        match self {
-            WireBval::Md5(_) => Digest::WIRE_SIZE,
-            WireBval::Raw(v) => v.wire_size(),
-        }
-    }
-}
-
 /// Messages of the horizontal protocol. One `TupleProbe`/`TupleDelQuery`
 /// carries *all* CFD work for one update — the tuple crosses each link at
-/// most once.
+/// most once. Every value payload is a [`WireValue`] produced by the
+/// session's [`PayloadCodec`], so the same message shapes serve all three
+/// encodings.
 #[derive(Debug, Clone)]
 pub enum HorMsg {
     /// Insert-side probe/query for one updated tuple. Receivers know `Σ`,
@@ -132,7 +79,7 @@ pub enum HorMsg {
     TupleProbe {
         /// Per-attribute payload for the union of attributes the involved
         /// CFDs need (attr id + digest/raw value).
-        attrs: Vec<(AttrId, WireAttr)>,
+        attrs: Vec<(AttrId, WireValue)>,
         /// CFDs whose group gained a brand-new conflict (flip flags).
         probes: Vec<CfdId>,
     },
@@ -146,19 +93,19 @@ pub enum HorMsg {
     /// Delete-side query: report your distinct RHS values per listed CFD.
     TupleDelQuery {
         /// Attribute payload (union of the listed CFDs' LHS attributes).
-        attrs: Vec<(AttrId, WireAttr)>,
+        attrs: Vec<(AttrId, WireValue)>,
         /// CFDs whose global multiplicity is in doubt.
         queries: Vec<CfdId>,
     },
     /// Reply to [`HorMsg::TupleDelQuery`].
     DelReply {
         /// Per CFD, the distinct local RHS values of the group.
-        bvals: Vec<(CfdId, Vec<WireBval>)>,
+        bvals: Vec<(CfdId, Vec<WireValue>)>,
     },
     /// The listed CFDs' groups no longer violate anywhere: clear flags.
     ClearFlags {
         /// Attribute payload for group-key derivation.
-        attrs: Vec<(AttrId, WireAttr)>,
+        attrs: Vec<(AttrId, WireValue)>,
         /// CFDs to clear.
         cfds: Vec<CfdId>,
     },
@@ -166,7 +113,7 @@ pub enum HorMsg {
 
 impl Wire for HorMsg {
     fn wire_size(&self) -> usize {
-        let attrs_size = |attrs: &Vec<(AttrId, WireAttr)>| {
+        let attrs_size = |attrs: &Vec<(AttrId, WireValue)>| {
             attrs.iter().map(|(_, a)| 2 + a.wire_size()).sum::<usize>()
         };
         match self {
@@ -175,7 +122,7 @@ impl Wire for HorMsg {
             HorMsg::TupleDelQuery { attrs, queries } => attrs_size(attrs) + 4 * queries.len(),
             HorMsg::DelReply { bvals } => bvals
                 .iter()
-                .map(|(_, vs)| 4 + vs.iter().map(WireBval::wire_size).sum::<usize>())
+                .map(|(_, vs)| 4 + vs.iter().map(WireValue::wire_size).sum::<usize>())
                 .sum(),
             HorMsg::ClearFlags { attrs, cfds } => attrs_size(attrs) + 4 * cfds.len(),
         }
@@ -260,7 +207,9 @@ pub struct HorizontalDetector {
     current: Relation,
     violations: Violations,
     net: Network<HorMsg>,
-    use_md5: bool,
+    /// Payload encoding for every shipped value (per-link state lives in
+    /// the codec — e.g. [`cluster::codec::DictSyms`] dictionary residency).
+    codec: Box<dyn PayloadCodec>,
     /// `local_ok[cfd][site]`: `X_{F_i} ⊆ X` — no cross-site conflicts.
     local_ok: Vec<Vec<bool>>,
     /// `relevant[cfd]`: sites where `F_i ∧ F_φ` is satisfiable.
@@ -268,24 +217,26 @@ pub struct HorizontalDetector {
 }
 
 impl HorizontalDetector {
-    /// Build a detector over `d` with MD5 digest shipping enabled.
+    /// Build a detector over `d` with the default §6 MD5 digest codec.
     pub fn new(
         schema: Arc<Schema>,
         cfds: Vec<Cfd>,
         scheme: HorizontalScheme,
         d: &Relation,
     ) -> Result<Self, DetectError> {
-        Self::with_options(schema, cfds, scheme, d, true)
+        Self::with_codec(schema, cfds, scheme, d, CodecKind::Md5)
     }
 
-    /// Build with explicit MD5 mode (`false` ships raw values — the
-    /// unoptimized variant of the §6 MD5 discussion).
-    pub fn with_options(
+    /// Build with an explicit payload codec: [`CodecKind::Md5`] (the §6
+    /// optimization), [`CodecKind::RawValues`] (the unoptimized variant),
+    /// or [`CodecKind::Dict`] (symbols on the wire, one-time per-link
+    /// dictionary deltas).
+    pub fn with_codec(
         schema: Arc<Schema>,
         cfds: Vec<Cfd>,
         scheme: HorizontalScheme,
         d: &Relation,
-        use_md5: bool,
+        codec: CodecKind,
     ) -> Result<Self, DetectError> {
         let n = scheme.n_sites();
         let mut local_ok = Vec::with_capacity(cfds.len());
@@ -335,7 +286,7 @@ impl HorizontalDetector {
             current: Relation::new(schema.clone()),
             violations: Violations::new(cfds.len()),
             net: Network::new(n),
-            use_md5,
+            codec: codec.codec(),
             local_ok,
             relevant,
             schema,
@@ -356,6 +307,11 @@ impl HorizontalDetector {
     /// Current violation set `V(Σ, D)`.
     pub fn violations(&self) -> &Violations {
         &self.violations
+    }
+
+    /// The payload codec this session ships values with.
+    pub fn codec_kind(&self) -> CodecKind {
+        self.codec.kind()
     }
 
     /// Network statistics since construction (or last reset).
@@ -483,30 +439,44 @@ impl HorizontalDetector {
         key_digest_from(cfd.lhs.iter().map(|a| attrs[a]), kbuf)
     }
 
-    /// Wire payload for the union of `attr_set`, from tuple values. In MD5
-    /// mode each attribute ships as whichever representation is smaller —
-    /// the 128-bit code pays off exactly when the value is wider than it
-    /// (§6: the optimization exists "to reduce the shipping cost" of large
-    /// tuples; digesting a 4-byte integer would *grow* it).
-    fn wire_attrs(
-        &self,
+    /// Wire payload for the union of `attr_set`, from tuple values,
+    /// encoded by `codec` for the `src → dst` link. Encoding is per link
+    /// because codecs may keep per-link state (dictionary residency): the
+    /// same value can ship as a full entry to one peer and a bare symbol
+    /// to the next.
+    fn encode_attrs(
+        codec: &mut dyn PayloadCodec,
         t: &Tuple,
         attr_set: &FxHashSet<AttrId>,
-        vbuf: &mut Vec<u8>,
-    ) -> Vec<(AttrId, WireAttr)> {
+        src: SiteId,
+        dst: SiteId,
+    ) -> Vec<(AttrId, WireValue)> {
         let mut v: Vec<AttrId> = attr_set.iter().copied().collect();
         v.sort_unstable();
         v.into_iter()
-            .map(|a| {
-                let val = t.get(a);
-                let w = if self.use_md5 && val.wire_size() > Digest::WIRE_SIZE {
-                    WireAttr::Md5(attr_digest_into(val, vbuf))
-                } else {
-                    WireAttr::Raw(val.clone())
-                };
-                (a, w)
-            })
+            .map(|a| (a, codec.encode(src, dst, t.get(a))))
             .collect()
+    }
+
+    /// [`Self::encode_attrs`] for one peer of a broadcast: link-stateful
+    /// codecs ([`PayloadCodec::per_link`]) encode fresh per peer, while
+    /// stateless ones (md5/raw) encode once into `cached` and clone — the
+    /// per-attribute digests of one update are computed once, not once
+    /// per peer.
+    fn encode_attrs_for_peer(
+        codec: &mut dyn PayloadCodec,
+        t: &Tuple,
+        attr_set: &FxHashSet<AttrId>,
+        src: SiteId,
+        dst: SiteId,
+        cached: &mut Option<Vec<(AttrId, WireValue)>>,
+    ) -> Vec<(AttrId, WireValue)> {
+        if codec.per_link() {
+            return Self::encode_attrs(codec, t, attr_set, src, dst);
+        }
+        cached
+            .get_or_insert_with(|| Self::encode_attrs(codec, t, attr_set, src, dst))
+            .clone()
     }
 
     // ------------------------------------------------------------------
@@ -630,7 +600,6 @@ impl HorizontalDetector {
             attr_set.extend(cfd.lhs.iter().copied());
             attr_set.insert(cfd.rhs);
         }
-        let attrs = self.wire_attrs(t, &attr_set, &mut vbuf);
 
         // Peers: any site relevant to at least one involved CFD.
         let mut peers: FxHashSet<SiteId> = FxHashSet::default();
@@ -641,22 +610,30 @@ impl HorizontalDetector {
         let mut peers: Vec<SiteId> = peers.into_iter().collect();
         peers.sort_unstable();
 
+        let mut cached = None;
         for &j in &peers {
+            let attrs = Self::encode_attrs_for_peer(
+                self.codec.as_mut(),
+                t,
+                &attr_set,
+                site,
+                j,
+                &mut cached,
+            );
             self.net.send(
                 site,
                 j,
                 HorMsg::TupleProbe {
-                    attrs: attrs.clone(),
+                    attrs,
                     probes: probes.clone(),
                 },
             )?;
             // Peer processes immediately (synchronous round).
             for (_, msg) in self.net.drain(j) {
                 if let HorMsg::TupleProbe { attrs, probes } = msg {
-                    let digests: FxHashMap<AttrId, Digest> = attrs
-                        .iter()
-                        .map(|(a, w)| (*a, w.digest_with(&mut vbuf)))
-                        .collect();
+                    let codec = self.codec.as_mut();
+                    let digests: FxHashMap<AttrId, Digest> =
+                        attrs.iter().map(|(a, w)| (*a, codec.digest(w))).collect();
                     // Explicit probes: a brand-new conflict at the sender
                     // flips every remote group of the CFD.
                     for &c in &probes {
@@ -863,7 +840,6 @@ impl HorizontalDetector {
         for &c in &queries {
             attr_set.extend(self.cfds[c as usize].lhs.iter().copied());
         }
-        let attrs = self.wire_attrs(t, &attr_set, &mut vbuf);
 
         let mut peers: FxHashSet<SiteId> = FxHashSet::default();
         for &c in &queries {
@@ -879,37 +855,41 @@ impl HorizontalDetector {
         let mut holders: FxHashMap<CfdId, Vec<SiteId>> =
             queries.iter().map(|&c| (c, Vec::new())).collect();
 
+        let mut cached = None;
         for &j in &peers {
+            let attrs = Self::encode_attrs_for_peer(
+                self.codec.as_mut(),
+                t,
+                &attr_set,
+                site,
+                j,
+                &mut cached,
+            );
             self.net.send(
                 site,
                 j,
                 HorMsg::TupleDelQuery {
-                    attrs: attrs.clone(),
+                    attrs,
                     queries: queries.clone(),
                 },
             )?;
             for (_, msg) in self.net.drain(j) {
                 if let HorMsg::TupleDelQuery { attrs, queries } = msg {
-                    let digests: FxHashMap<AttrId, Digest> = attrs
-                        .iter()
-                        .map(|(a, w)| (*a, w.digest_with(&mut vbuf)))
-                        .collect();
-                    let mut reply: Vec<(CfdId, Vec<WireBval>)> = Vec::new();
+                    let codec = self.codec.as_mut();
+                    let digests: FxHashMap<AttrId, Digest> =
+                        attrs.iter().map(|(a, w)| (*a, codec.digest(w))).collect();
+                    let mut reply: Vec<(CfdId, Vec<WireValue>)> = Vec::new();
                     for &c in &queries {
                         let cfd = &all_cfds[c as usize];
                         let kd = Self::key_from_wire(cfd, &digests, &mut kbuf);
-                        let bvals: Vec<WireBval> = match self.state[j][c as usize].get(&kd) {
+                        let bvals: Vec<WireValue> = match self.state[j][c as usize].get(&kd) {
                             None => Vec::new(),
                             Some(h) => h
                                 .classes
-                                .iter()
-                                .map(|(d, cls)| {
-                                    let raw = cls.raw_b.clone().unwrap_or(Value::Null);
-                                    if self.use_md5 && raw.wire_size() > Digest::WIRE_SIZE {
-                                        WireBval::Md5(*d)
-                                    } else {
-                                        WireBval::Raw(raw)
-                                    }
+                                .values()
+                                .map(|cls| {
+                                    let raw = cls.raw_b.as_ref().unwrap_or(&Value::Null);
+                                    codec.encode(j, site, raw)
                                 })
                                 .collect(),
                         };
@@ -929,7 +909,7 @@ impl HorizontalDetector {
                     holders.get_mut(&c).expect("queried cfd").push(from);
                     let set = global.get_mut(&c).expect("queried cfd");
                     for v in vs {
-                        set.insert(v.digest_with(&mut vbuf));
+                        set.insert(self.codec.digest(&v));
                     }
                 }
             }
@@ -960,7 +940,7 @@ impl HorizontalDetector {
             for &c in &clear_list {
                 attr_set.extend(self.cfds[c as usize].lhs.iter().copied());
             }
-            let attrs = self.wire_attrs(t, &attr_set, &mut vbuf);
+            let attrs = Self::encode_attrs(self.codec.as_mut(), t, &attr_set, site, j);
             self.net.send(
                 site,
                 j,
@@ -975,10 +955,9 @@ impl HorizontalDetector {
                     cfds: to_clear,
                 } = msg
                 {
-                    let digests: FxHashMap<AttrId, Digest> = attrs
-                        .iter()
-                        .map(|(a, w)| (*a, w.digest_with(&mut vbuf)))
-                        .collect();
+                    let codec = self.codec.as_mut();
+                    let digests: FxHashMap<AttrId, Digest> =
+                        attrs.iter().map(|(a, w)| (*a, codec.digest(w))).collect();
                     for c in to_clear {
                         let cfd = &all_cfds[c as usize];
                         let kd = Self::key_from_wire(cfd, &digests, &mut kbuf);
@@ -1034,7 +1013,7 @@ impl Detector for HorizontalDetector {
     }
 
     fn net(&self) -> cluster::NetReport {
-        cluster::NetReport::single(self.net.stats().clone())
+        cluster::NetReport::single(self.net.stats().clone()).with_codec(self.codec.name())
     }
 
     fn reset_stats(&mut self) {
@@ -1242,17 +1221,11 @@ mod tests {
     }
 
     #[test]
-    fn md5_mode_ships_fewer_bytes_than_raw() {
+    fn md5_codec_ships_fewer_bytes_than_raw() {
         let s = emp_schema();
-        let mk = |use_md5: bool| {
-            HorizontalDetector::with_options(
-                s.clone(),
-                fig1_cfds(&s),
-                fig2_scheme(&s),
-                &d0(),
-                use_md5,
-            )
-            .unwrap()
+        let mk = |codec: CodecKind| {
+            HorizontalDetector::with_codec(s.clone(), fig1_cfds(&s), fig2_scheme(&s), &d0(), codec)
+                .unwrap()
         };
         let run = |det: &mut HorizontalDetector| {
             let mut d = UpdateBatch::new();
@@ -1268,11 +1241,69 @@ mod tests {
             det.apply(&d).unwrap();
             det.stats().total_bytes()
         };
-        let md5_bytes = run(&mut mk(true));
-        let raw_bytes = run(&mut mk(false));
+        let md5_bytes = run(&mut mk(CodecKind::Md5));
+        let raw_bytes = run(&mut mk(CodecKind::RawValues));
         assert!(
             md5_bytes > 0 && raw_bytes > md5_bytes,
             "md5 {md5_bytes} vs raw {raw_bytes}"
+        );
+    }
+
+    #[test]
+    fn dict_codec_matches_md5_violations_and_wins_on_repeats() {
+        let s = emp_schema();
+        let mk = |codec: CodecKind| {
+            HorizontalDetector::with_codec(s.clone(), fig1_cfds(&s), fig2_scheme(&s), &d0(), codec)
+                .unwrap()
+        };
+        // Insert/delete cycles of the same cross-site conflict: every
+        // cycle re-ships the same zip (probe + delete query) and street
+        // values (delete replies) over the same links. Raw pays their full
+        // width each cycle; dict pays each link's dictionary entry in
+        // cycle one and 4 B per value thereafter.
+        let run = |det: &mut HorizontalDetector| {
+            for _ in 0..8 {
+                let mut ins = UpdateBatch::new();
+                ins.insert(emp_tuple(
+                    100,
+                    "A",
+                    44,
+                    131,
+                    "a-very-long-postal-code-0001",
+                    "Mayfield Gardens Extension",
+                    "EDI",
+                ));
+                ins.insert(emp_tuple(
+                    101,
+                    "B",
+                    44,
+                    131,
+                    "a-very-long-postal-code-0001",
+                    "Crichton Street The Longer",
+                    "EDI",
+                ));
+                det.apply(&ins).unwrap();
+                let mut del = UpdateBatch::new();
+                del.delete(100);
+                del.delete(101);
+                det.apply(&del).unwrap();
+            }
+            (det.violations().marks_sorted(), det.stats().total_bytes())
+        };
+        let (v_dict, dict_bytes) = run(&mut mk(CodecKind::Dict));
+        let (v_raw, raw_bytes) = run(&mut mk(CodecKind::RawValues));
+        let (v_md5, _) = run(&mut mk(CodecKind::Md5));
+        assert_eq!(v_dict, v_raw, "codec must not change results");
+        assert_eq!(v_dict, v_md5);
+        let oracle = {
+            let mut det = mk(CodecKind::Dict);
+            run(&mut det);
+            cfd::naive::detect(det.cfds(), det.current())
+        };
+        assert_eq!(v_dict, oracle.marks_sorted());
+        assert!(
+            dict_bytes > 0 && dict_bytes < raw_bytes,
+            "dict {dict_bytes} vs raw {raw_bytes}"
         );
     }
 

@@ -27,6 +27,7 @@ use crate::detector::{DetectError, Detector};
 use crate::horizontal::HorizontalDetector;
 use crate::md5::Digest;
 use cfd::{Cfd, DeltaV, Violations};
+use cluster::codec::CodecKind;
 use cluster::partition::{HorizontalScheme, VerticalScheme};
 use cluster::{ClusterError, NetStats, Network, SiteId, Wire};
 use relation::{AttrId, FxHashSet, RelError, Relation, Schema, Tuple, Update, UpdateBatch};
@@ -141,15 +142,33 @@ pub struct HybridDetector {
 
 impl HybridDetector {
     /// Build over `d`, loading fragments and the inter-region state
-    /// (unmetered, like the other detectors).
+    /// (unmetered, like the other detectors). Ships MD5 digests between
+    /// region gateways — see [`HybridDetector::with_codec`].
     pub fn new(
         schema: Arc<Schema>,
         cfds: Vec<Cfd>,
         scheme: HybridScheme,
         d: &Relation,
     ) -> Result<Self, DetectError> {
-        let inner =
-            HorizontalDetector::new(schema.clone(), cfds.clone(), scheme.regions.clone(), d)?;
+        Self::with_codec(schema, cfds, scheme, d, CodecKind::Md5)
+    }
+
+    /// Build with an explicit wire codec for the inter-region §6 protocol
+    /// (intra-region assembly always ships fixed-size digests).
+    pub fn with_codec(
+        schema: Arc<Schema>,
+        cfds: Vec<Cfd>,
+        scheme: HybridScheme,
+        d: &Relation,
+        codec: CodecKind,
+    ) -> Result<Self, DetectError> {
+        let inner = HorizontalDetector::with_codec(
+            schema.clone(),
+            cfds.clone(),
+            scheme.regions.clone(),
+            d,
+            codec,
+        )?;
         let mut fragments: Vec<Vec<Relation>> = Vec::with_capacity(scheme.n_regions());
         let region_frags = scheme.regions.partition(d).map_err(DetectError::Cluster)?;
         for (r, frag) in region_frags.iter().enumerate() {
@@ -359,6 +378,7 @@ impl Detector for HybridDetector {
 
     fn net(&self) -> cluster::NetReport {
         cluster::NetReport::two_tier(self.inner.stats().clone(), self.intra.stats().clone())
+            .with_codec(self.inner.codec_kind().name())
     }
 
     fn reset_stats(&mut self) {

@@ -17,11 +17,15 @@
 //!   incremental machinery, Exp-10),
 //! * [`plan`] — HEV plans and the static eqid-shipment count (Fig. 10),
 //! * [`hev`], [`idx`] — the index structures themselves,
-//! * [`md5`] — RFC 1321, used to ship 128-bit digests instead of tuples.
+//! * [`md5`] — RFC 1321 (re-exported from [`cluster::md5`]), used to ship
+//!   128-bit digests instead of tuples.
 //!
 //! All strategies implement the object-safe [`Detector`] trait and are
 //! constructed through [`DetectorBuilder`]; errors cross the public
-//! boundary as [`DetectError`].
+//! boundary as [`DetectError`]. Value-shipping protocols (horizontal,
+//! hybrid, the batch coordinators) encode payloads through the pluggable
+//! [`cluster::codec::PayloadCodec`] — pick it per session with
+//! `DetectorBuilder::horizontal(..).md5()/.raw_values()/.dict()`.
 
 pub mod baselines;
 pub mod builder;

@@ -36,11 +36,11 @@ pub mod value;
 
 pub use crate::relation::Relation;
 pub use fx::{FxHashMap, FxHashSet};
-pub use intern::{Sym, SymTuple, ValuePool};
+pub use intern::{InternCache, Sym, SymTuple, ValuePool};
 pub use predicate::Predicate;
 pub use schema::{AttrId, Attribute, Schema};
 pub use smallvec::SmallVec;
-pub use store::{ColumnStore, RowId};
+pub use store::{ColumnStore, RowId, TidMap};
 pub use tuple::{Tid, Tuple};
 pub use update::{Update, UpdateBatch};
 pub use value::Value;

@@ -89,6 +89,14 @@ impl Relation {
         Ok(())
     }
 
+    /// Batched ingest of raw `(tid, values)` rows — the loaders' fast
+    /// path: per-column contiguous appends with a per-load intern cache
+    /// (see [`ColumnStore::bulk_load`]). Validates up front; errors leave
+    /// the relation untouched.
+    pub fn bulk_load(&mut self, rows: &[(Tid, Vec<Value>)]) -> Result<(), RelError> {
+        self.store.bulk_load(rows)
+    }
+
     /// Delete by tuple id, returning the removed tuple (materialized).
     pub fn delete(&mut self, tid: Tid) -> Result<Tuple, RelError> {
         let row = self.store.row_of(tid).ok_or(RelError::MissingTid(tid))?;
@@ -103,7 +111,7 @@ impl Relation {
     }
 
     /// Get a tuple by id (materialized — prefer [`Relation::value_at`] /
-    /// [`Relation::row_syms`] on hot paths).
+    /// [`ColumnStore::row_syms`] on hot paths).
     pub fn get(&self, tid: Tid) -> Option<Tuple> {
         let row = self.store.row_of(tid)?;
         Some(self.materialize(tid, row))

@@ -1,17 +1,25 @@
 //! Horizontal partitions as a CDC-style stream: a DBLP-like relation hash
 //! partitioned over 8 sites receives a stream of small update batches;
-//! violations are maintained incrementally, and the MD5 digest
-//! optimization of §6 is compared against shipping raw values.
+//! violations are maintained incrementally, and the three wire codecs of
+//! `cluster::codec` — `md5` (§6's digest optimization), `raw_values` (the
+//! unoptimized variant) and `dict` (symbols + one-time per-link
+//! dictionary deltas) — are compared on the same stream via `NetReport`.
 //!
 //! ```sh
 //! cargo run --release --example horizontal_stream [-- <rows> <batches>]
 //! ```
 
+use cluster::codec::CodecKind;
 use inc_cfd::prelude::*;
 use workload::dblp::{self, DblpConfig};
 use workload::updates::{self, UpdateMix};
 
-fn run(use_md5: bool, rows: usize, batches: usize) -> (u64, u64, usize) {
+struct CodecRun {
+    net: NetReport,
+    total_dv: usize,
+}
+
+fn run(codec: CodecKind, rows: usize, batches: usize) -> CodecRun {
     let cfg = DblpConfig {
         n_rows: rows,
         n_venues: (rows / 25).max(20),
@@ -24,7 +32,7 @@ fn run(use_md5: bool, rows: usize, batches: usize) -> (u64, u64, usize) {
     let scheme = dblp::horizontal_scheme(&schema, 8);
     let mut det = DetectorBuilder::new(schema, cfds)
         .horizontal(scheme)
-        .md5(use_md5)
+        .codec(codec)
         .build(&d)
         .expect("detector builds");
 
@@ -46,8 +54,10 @@ fn run(use_md5: bool, rows: usize, batches: usize) -> (u64, u64, usize) {
         total_dv += dv.len();
         delta.normalize(&d).apply(&mut d).expect("mirror applies");
     }
-    let net = det.net();
-    (net.total_bytes(), net.total_messages(), total_dv)
+    CodecRun {
+        net: det.net(),
+        total_dv,
+    }
 }
 
 fn main() {
@@ -56,15 +66,35 @@ fn main() {
     let batches: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20);
 
     println!("streaming {batches} batches of 100 updates over {rows} base tuples, 8 sites\n");
-    let (md5_bytes, md5_msgs, dv1) = run(true, rows, batches);
-    println!("with MD5 digests:   {md5_bytes:>10} bytes, {md5_msgs:>6} messages, |ΔV| total {dv1}");
-    let (raw_bytes, raw_msgs, dv2) = run(false, rows, batches);
-    println!("with raw values:    {raw_bytes:>10} bytes, {raw_msgs:>6} messages, |ΔV| total {dv2}");
-    assert_eq!(dv1, dv2, "optimization must not change results");
-    if raw_bytes > 0 {
+    println!(
+        "{:<12} {:>12} {:>9} {:>12} {:>8}",
+        "codec", "|M| bytes", "messages", "sim seconds", "|ΔV|"
+    );
+    let model = CostModel::default();
+    let mut results: Vec<CodecRun> = Vec::new();
+    for codec in [CodecKind::RawValues, CodecKind::Md5, CodecKind::Dict] {
+        let r = run(codec, rows, batches);
         println!(
-            "\nMD5 shipping saves {:.1}% of the bytes (§6, 'Optimization using MD5')",
-            100.0 * (raw_bytes.saturating_sub(md5_bytes)) as f64 / raw_bytes as f64
+            "{:<12} {:>12} {:>9} {:>12.4} {:>8}",
+            r.net.codec().expect("horizontal reports are codec-labeled"),
+            r.net.total_bytes(),
+            r.net.total_messages(),
+            r.net.pipelined_seconds(&model),
+            r.total_dv,
         );
+        results.push(r);
     }
+    let (raw, md5, dict) = (&results[0], &results[1], &results[2]);
+    assert_eq!(raw.total_dv, md5.total_dv, "codecs must not change results");
+    assert_eq!(
+        raw.total_dv, dict.total_dv,
+        "codecs must not change results"
+    );
+    let pct = |a: u64, b: u64| 100.0 * (b.saturating_sub(a)) as f64 / b.max(1) as f64;
+    println!(
+        "\nvs raw_values: md5 saves {:.1}% (§6, 'Optimization using MD5'), \
+         dict saves {:.1}% (symbols + one-time per-link dictionary deltas)",
+        pct(md5.net.total_bytes(), raw.net.total_bytes()),
+        pct(dict.net.total_bytes(), raw.net.total_bytes()),
+    );
 }

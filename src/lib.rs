@@ -82,6 +82,7 @@ pub use workload;
 pub mod prelude {
     pub use cfd::{Cfd, DeltaV, Violations};
     pub use cluster::{
+        codec::{CodecKind, PayloadCodec},
         partition::{HorizontalScheme, VerticalScheme},
         CostModel, NetReport, NetStats, SiteId,
     };

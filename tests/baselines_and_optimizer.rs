@@ -197,7 +197,7 @@ fn md5_and_raw_horizontal_agree_with_less_traffic_for_md5() {
 
     let mut md5 = DetectorBuilder::new(s.clone(), cfds.clone())
         .horizontal(hs.clone())
-        .md5(true)
+        .md5()
         .build(&d)
         .unwrap();
     let mut raw = DetectorBuilder::new(s, cfds)
