@@ -4,27 +4,44 @@
 //!
 //! ```text
 //! bench_report [--quick] [--out PATH] [--compare BENCH_N.json]
+//!              [--require-keys k1,k2,...]
 //! ```
 //!
 //! `--quick` shrinks sizes and sample budgets to a CI-smoke footprint
 //! (seconds); the default full run takes on the order of a minute and is
-//! what gets committed as `BENCH_4.json`. Without `--out` the report goes
+//! what gets committed as `BENCH_5.json`. Without `--out` the report goes
 //! to stdout only, so CI can smoke-run without touching the tree.
 //!
 //! `--compare PATH` is the regression gate: the freshly computed
 //! quick-scale deterministic numbers (`fig_quick`: fig9/fig10/fig11 wire
-//! bytes and eqid counts, peak index sizes, wire models, coordinator
-//! `|M|`) are checked against the committed report's `fig_quick` section;
-//! any integer leaf more than 20% above its reference fails the run with
-//! exit code 1. Wall-clock and ops/sec numbers are never gated.
+//! bytes and eqid counts, peak index sizes, wire models, coordinator and
+//! transport `|M|`) are checked against the committed report's
+//! `fig_quick` section; any integer leaf more than 20% above its
+//! reference fails the run with exit code 1. Wall-clock and ops/sec
+//! numbers are never gated.
+//!
+//! `--require-keys k1,k2,...` asserts each named key occurs somewhere in
+//! the produced report (any nesting level) and exits with code 1 and an
+//! explicit message otherwise — the robust replacement for CI `grep`ping
+//! the JSON: a renamed or dropped metric fails with its name, instead of
+//! a silent smoke pass or an inscrutable grep miss.
 
 use bench::report::{build_report, compare_deterministic, Json};
 use std::io::Write;
+
+/// Does `key` name a field anywhere in `j`?
+fn key_present(j: &Json, key: &str) -> bool {
+    match j {
+        Json::Obj(fields) => fields.iter().any(|(k, v)| k == key || key_present(v, key)),
+        _ => false,
+    }
+}
 
 fn main() {
     let mut quick = false;
     let mut out: Option<String> = None;
     let mut compare: Option<String> = None;
+    let mut require_keys: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -41,8 +58,23 @@ fn main() {
                     std::process::exit(2);
                 }))
             }
+            "--require-keys" => {
+                let list = args.next().unwrap_or_else(|| {
+                    eprintln!("--require-keys requires a comma-separated list");
+                    std::process::exit(2);
+                });
+                require_keys.extend(
+                    list.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from),
+                );
+            }
             "--help" | "-h" => {
-                eprintln!("usage: bench_report [--quick] [--out PATH] [--compare BENCH_N.json]");
+                eprintln!(
+                    "usage: bench_report [--quick] [--out PATH] [--compare BENCH_N.json] \
+                     [--require-keys k1,k2,...]"
+                );
                 return;
             }
             other => {
@@ -62,6 +94,28 @@ fn main() {
             eprintln!("wrote {path}");
         }
         None => print!("{rendered}"),
+    }
+
+    if !require_keys.is_empty() {
+        let missing: Vec<&String> = require_keys
+            .iter()
+            .filter(|k| !key_present(&report, k))
+            .collect();
+        if missing.is_empty() {
+            eprintln!(
+                "bench gate: all {} required metric keys present",
+                require_keys.len()
+            );
+        } else {
+            eprintln!(
+                "bench gate FAILED: required metric key(s) missing from the report \
+                 (renamed or dropped section?):"
+            );
+            for k in missing {
+                eprintln!("  missing key: {k}");
+            }
+            std::process::exit(1);
+        }
     }
 
     if let Some(path) = compare {

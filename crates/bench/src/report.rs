@@ -18,6 +18,8 @@
 //! the same machine produce identical deterministic sections.
 
 use cfd::Cfd;
+use cluster::codec::CodecKind;
+use cluster::net::TransportKind;
 use cluster::{CostModel, DictMeter, NetReport};
 use incdetect::baselines;
 use incdetect::hev::{BaseHev, NonBaseHev};
@@ -928,6 +930,55 @@ fn wire_model(quick: bool) -> Json {
     ])
 }
 
+/// Modeled vs **measured** bytes on the fig9 horizontal stream: the same
+/// incremental run per codec, executed over the real framed byte
+/// transport (`cluster::net::ByteNetwork`, deterministic in-process
+/// links). `modeled_bytes` is the paper's `|M|` accounting;
+/// `measured_wire_bytes` is what actually crossed the links, frame
+/// headers included; `structural_overhead_bytes` is the framing the
+/// model ignores (headers, tags, counts) and `compression_saved_bytes`
+/// what per-frame LZ recovered — the counters balance exactly
+/// (`measured == modeled + structural − saved`, asserted here). All
+/// integers are deterministic at the fixed seed.
+fn transport_section(quick: bool) -> Json {
+    let (schema, cfds, d, delta) = fixed_tpch(quick);
+    let hs = tpch::horizontal_scheme(&schema, 10);
+    let mut fields: Vec<(&str, Json)> = Vec::new();
+    for kind in [
+        CodecKind::Md5,
+        CodecKind::RawValues,
+        CodecKind::Dict,
+        CodecKind::Lz,
+    ] {
+        let mut det = DetectorBuilder::new(schema.clone(), cfds.clone())
+            .horizontal(hs.clone())
+            .codec(kind)
+            .transport(TransportKind::Framed)
+            .build(&d)
+            .expect("framed detector builds");
+        det.apply(&delta).expect("framed apply");
+        let modeled = det.stats().total_bytes();
+        let m = det.transport_meter().expect("framed runs meter the wire");
+        assert_eq!(m.modeled_bytes, modeled);
+        assert_eq!(
+            m.wire_bytes,
+            m.modeled_bytes + m.structural_bytes - m.saved_bytes,
+            "transport counters must balance"
+        );
+        fields.push((
+            kind.name(),
+            Json::obj(vec![
+                ("modeled_bytes", Json::Int(modeled)),
+                ("measured_wire_bytes", Json::Int(m.wire_bytes)),
+                ("frames", Json::Int(m.frames)),
+                ("structural_overhead_bytes", Json::Int(m.structural_bytes)),
+                ("compression_saved_bytes", Json::Int(m.saved_bytes)),
+            ]),
+        ));
+    }
+    Json::obj(fields)
+}
+
 /// Coordinator wire cost on the fig9 workload: what the `batVer`/`batHor`
 /// coordinators actually ship with the columnar, dictionary-backed
 /// `BatMsg::Cols` vs what the retired row-oriented `BatMsg::Rows` format
@@ -968,6 +1019,7 @@ pub fn build_fig_quick() -> Json {
         ("peak_index_sizes", peak_index_sizes(true)),
         ("wire_model", wire_model(true)),
         ("coordinator_wire", coordinator_wire(true)),
+        ("transport", transport_section(true)),
     ])
 }
 
@@ -1001,19 +1053,21 @@ pub fn build_report(quick: bool) -> Json {
 
     Json::obj(vec![
         ("schema_version", Json::Int(1)),
-        ("report", Json::Str("BENCH_4".into())),
+        ("report", Json::Str("BENCH_5".into())),
         (
             "description",
             Json::Str(
-                "Pluggable wire codecs (cluster::codec): fig9 now carries the \
-                 three-way horizontal |M| split (md5 / raw_values / dict — \
-                 symbols + one-time per-link dictionary deltas), with \
-                 md5/raw_values incremental bytes bit-identical to BENCH_3. \
-                 bulk_load re-measured over Relation::bulk_load (batched \
-                 column appends + per-load intern cache + hash-keyed \
-                 ValuePool). `fig_quick` holds the quick-scale deterministic \
-                 numbers the CI bench-smoke gate compares against (>20% \
-                 regression fails)"
+                "Real byte-level transport (cluster::net): the new \
+                 `transport` section runs the fig9 horizontal stream per \
+                 codec over framed in-process byte links and records \
+                 modeled |M| vs measured on-wire bytes (measured == \
+                 modeled + structural framing − LZ savings, asserted at \
+                 build time), with the fourth codec `lz` (in-tree LZ77 \
+                 per-message frame compression) undercutting raw_values \
+                 on the wire. md5/raw_values/dict modeled bytes are \
+                 bit-identical to BENCH_4. `fig_quick` holds the \
+                 quick-scale deterministic numbers the CI bench gate \
+                 compares against (>20% regression fails)"
                     .into(),
             ),
         ),
@@ -1049,6 +1103,10 @@ pub fn build_report(quick: bool) -> Json {
         (
             "coordinator_wire",
             fig_section(&fig_quick, quick, "coordinator_wire", coordinator_wire),
+        ),
+        (
+            "transport",
+            fig_section(&fig_quick, quick, "transport", transport_section),
         ),
         ("fig_quick", fig_quick),
     ])
@@ -1102,10 +1160,45 @@ mod tests {
             "wire_model",
             "coordinator_wire",
             "bat_ver_cols_bytes",
+            "transport",
+            "measured_wire_bytes",
             "fig_quick",
         ] {
             assert!(r.contains(&format!("\"{key}\"")), "missing section {key}");
         }
+    }
+
+    #[test]
+    fn transport_section_measures_real_bytes_and_lz_wins() {
+        let t = transport_section(true);
+        let bytes = |codec: &str, field: &str| match t.get(codec).and_then(|c| c.get(field)) {
+            Some(Json::Int(n)) => *n,
+            other => panic!("missing {codec}.{field}: {other:?}"),
+        };
+        for codec in ["md5", "raw_values", "dict"] {
+            assert_eq!(
+                bytes(codec, "compression_saved_bytes"),
+                0,
+                "{codec} ships uncompressed"
+            );
+            assert_eq!(
+                bytes(codec, "measured_wire_bytes"),
+                bytes(codec, "modeled_bytes") + bytes(codec, "structural_overhead_bytes"),
+                "{codec}: measured == modeled + declared overhead"
+            );
+        }
+        // The fourth codec: same model as raw_values, smaller wire.
+        assert_eq!(
+            bytes("lz", "modeled_bytes"),
+            bytes("raw_values", "modeled_bytes")
+        );
+        assert!(bytes("lz", "compression_saved_bytes") > 0);
+        assert!(
+            bytes("lz", "measured_wire_bytes") < bytes("raw_values", "measured_wire_bytes"),
+            "lz {} must undercut raw_values {} on the wire",
+            bytes("lz", "measured_wire_bytes"),
+            bytes("raw_values", "measured_wire_bytes"),
+        );
     }
 
     #[test]

@@ -12,22 +12,35 @@
 //!
 //! * [`netstats`] — counters and the cost model,
 //! * [`transport`] — the generic, synchronous, metered message network,
+//!   and the [`MsgTransport`] abstraction real byte backends plug into,
+//! * [`net`] — the **real byte-level transport**: length-prefixed framing
+//!   ([`net::ByteTransport`]), a deterministic in-process framed channel,
+//!   a `TcpListener`/`TcpStream` localhost mesh, and [`net::ByteNetwork`]
+//!   which serializes typed messages to frames and meters modeled `|M|`
+//!   and measured on-wire bytes side by side,
 //! * [`codec`] — the pluggable payload codecs ([`PayloadCodec`]:
-//!   [`codec::RawValues`], [`codec::Md5Digest`], [`codec::DictSyms`])
-//!   every value-shipping protocol encodes through,
+//!   [`codec::RawValues`], [`codec::Md5Digest`], [`codec::DictSyms`],
+//!   [`codec::LzBlock`]) every value-shipping protocol encodes through,
+//!   plus the receiver-side half ([`codec::ReceiverCodec`]) that rebuilds
+//!   digests from received payloads only,
+//! * [`lz`] — the in-tree LZ77-class block compressor behind
+//!   [`codec::CodecKind::Lz`] (no-dep, like [`md5`]),
 //! * [`md5`] — RFC 1321, the digest primitive behind the §6 optimization,
 //! * [`partition`] — vertical (§2.2, projections with key, replication
 //!   allowed) and horizontal (disjoint selections) partitioners.
 
 pub mod codec;
+pub mod lz;
 pub mod md5;
+pub mod net;
 pub mod netstats;
 pub mod partition;
 pub mod transport;
 
-pub use codec::{CodecKind, PayloadCodec, WireValue};
+pub use codec::{CodecKind, PayloadCodec, ReceiverCodec, WireValue};
+pub use net::{ByteNetwork, ByteTransport, Compression, FrameCodec, TransportKind, TransportMeter};
 pub use netstats::{CostModel, NetReport, NetStats};
-pub use transport::{DictMeter, Network, Wire};
+pub use transport::{DictMeter, MsgTransport, Network, Wire};
 
 /// Identifier of a site `S_i`. Sites are numbered `0..n`.
 pub type SiteId = usize;
@@ -41,6 +54,14 @@ pub enum ClusterError {
     Routing(String),
     /// A site id out of range.
     UnknownSite(SiteId),
+    /// A metered send addressed to the sending site itself. Local work is
+    /// never `|M|`; algorithms must branch to local processing instead.
+    /// Carries only the site id — loopback rejection sits on the metering
+    /// hot path and must not allocate.
+    Loopback(SiteId),
+    /// A byte-transport failure: truncated or oversized frame, mid-stream
+    /// disconnect, malformed payload encoding, or socket error.
+    Transport(String),
 }
 
 impl std::fmt::Display for ClusterError {
@@ -49,6 +70,10 @@ impl std::fmt::Display for ClusterError {
             ClusterError::BadScheme(s) => write!(f, "bad partition scheme: {s}"),
             ClusterError::Routing(s) => write!(f, "routing error: {s}"),
             ClusterError::UnknownSite(s) => write!(f, "unknown site {s}"),
+            ClusterError::Loopback(s) => {
+                write!(f, "site {s} attempted a metered send to itself")
+            }
+            ClusterError::Transport(s) => write!(f, "transport error: {s}"),
         }
     }
 }

@@ -1,0 +1,203 @@
+//! Localhost TCP mesh: `std::net::TcpListener`/`TcpStream` links between
+//! sites, with each site's receive side running on its own threads.
+//!
+//! Topology: one listener per site, one connection per **ordered** pair
+//! `(src, dst)` — `src` holds the write half, `dst` the read half. After
+//! the mesh is up, every site's inbound connections are serviced by
+//! dedicated reader threads that pull length-prefixed frames off the
+//! socket and push `(src, frame)` into the site's inbox channel, so
+//! receiving genuinely happens concurrently with the sender's work. A
+//! reader thread exits on a clean close and forwards any mid-stream error
+//! (truncated frame, reset connection) into the inbox, where the next
+//! drain surfaces it as a [`ClusterError::Transport`].
+//!
+//! The handshake is minimal: the connecting side's first frame body is
+//! its 4-byte site id, so the accepting side can label the link.
+
+use super::frame::{read_frame, read_frame_opt, write_frame, METHOD_STORED};
+use super::ByteTransport;
+use crate::{ClusterError, SiteId};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// The write half of one `(src, dst)` link.
+#[derive(Debug)]
+pub struct TcpLink {
+    stream: TcpStream,
+}
+
+impl TcpLink {
+    /// Wrap a connected stream (Nagle disabled — protocol rounds are
+    /// latency-bound request/reply exchanges).
+    pub fn new(stream: TcpStream) -> Result<Self, ClusterError> {
+        stream
+            .set_nodelay(true)
+            .map_err(|e| ClusterError::Transport(format!("set_nodelay: {e}")))?;
+        Ok(TcpLink { stream })
+    }
+}
+
+impl ByteTransport for TcpLink {
+    fn send_frame(&mut self, method: u8, body: &[u8]) -> Result<(), ClusterError> {
+        write_frame(&mut self.stream, method, body)
+    }
+
+    fn recv_frame(&mut self) -> Result<(u8, Vec<u8>), ClusterError> {
+        read_frame(&mut self.stream)
+    }
+}
+
+/// What a reader thread delivers into a site's inbox.
+pub(super) type Inbound = (SiteId, Result<(u8, Vec<u8>), ClusterError>);
+
+/// A fully connected localhost mesh.
+#[derive(Debug)]
+pub(super) struct TcpMesh {
+    /// Write halves, `[src][dst]` (`None` on the diagonal).
+    pub tx: Vec<Vec<Option<TcpLink>>>,
+    /// Per-site inbox fed by that site's reader threads.
+    pub rx: Vec<Receiver<Inbound>>,
+    /// Reader threads (detached on drop; they exit on link close).
+    #[allow(dead_code)]
+    readers: Vec<JoinHandle<()>>,
+}
+
+fn terr(what: &str, e: std::io::Error) -> ClusterError {
+    ClusterError::Transport(format!("{what}: {e}"))
+}
+
+/// Spawn the reader thread for one inbound `(src → dst)` connection.
+fn spawn_reader(mut stream: TcpStream, src: SiteId, inbox: Sender<Inbound>) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        match read_frame_opt(&mut stream) {
+            Ok(Some(frame)) => {
+                if inbox.send((src, Ok(frame))).is_err() {
+                    break; // mesh dropped
+                }
+            }
+            Ok(None) => break, // clean close
+            Err(e) => {
+                let _ = inbox.send((src, Err(e)));
+                break;
+            }
+        }
+    })
+}
+
+impl TcpMesh {
+    /// Stand up an `n`-site mesh on `127.0.0.1` ephemeral ports: bind one
+    /// listener per site, connect every ordered pair, handshake site ids,
+    /// and spawn each site's reader threads.
+    pub fn localhost(n: usize) -> Result<TcpMesh, ClusterError> {
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").map_err(|e| terr("bind listener", e)))
+            .collect::<Result<_, _>>()?;
+        let addrs: Vec<_> = listeners
+            .iter()
+            .map(|l| l.local_addr().map_err(|e| terr("local_addr", e)))
+            .collect::<Result<_, _>>()?;
+
+        // Connect every ordered pair; the OS accept backlog holds the
+        // connections until each site's accept loop below picks them up.
+        let mut tx: Vec<Vec<Option<TcpLink>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for (src, row) in tx.iter_mut().enumerate() {
+            for (dst, addr) in addrs.iter().enumerate() {
+                if dst == src {
+                    continue;
+                }
+                let stream = TcpStream::connect(addr)
+                    .map_err(|e| terr(&format!("connect {src}→{dst}"), e))?;
+                let mut link = TcpLink::new(stream)?;
+                link.send_frame(METHOD_STORED, &(src as u32).to_le_bytes())?;
+                row[dst] = Some(link);
+            }
+        }
+
+        // Accept side: n−1 inbound links per site, identified by the
+        // handshake frame, each serviced by its own reader thread.
+        let mut rx = Vec::with_capacity(n);
+        let mut readers = Vec::new();
+        for (dst, listener) in listeners.into_iter().enumerate() {
+            let (inbox_tx, inbox_rx) = channel();
+            let mut seen = vec![false; n];
+            for _ in 0..n.saturating_sub(1) {
+                let (mut stream, _) = listener.accept().map_err(|e| terr("accept", e))?;
+                let (_, hello) = read_frame(&mut stream)?;
+                if hello.len() != 4 {
+                    return Err(ClusterError::Transport(
+                        "malformed site-id handshake frame".into(),
+                    ));
+                }
+                let src = u32::from_le_bytes(hello.try_into().expect("4")) as usize;
+                if src >= n || src == dst || seen[src] {
+                    return Err(ClusterError::Transport(format!(
+                        "unexpected handshake: site {src} connecting to {dst}"
+                    )));
+                }
+                seen[src] = true;
+                stream
+                    .set_nodelay(true)
+                    .map_err(|e| terr("set_nodelay", e))?;
+                readers.push(spawn_reader(stream, src, inbox_tx.clone()));
+            }
+            rx.push(inbox_rx);
+        }
+        Ok(TcpMesh { tx, rx, readers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn mesh_ships_frames_between_sites() {
+        let mut mesh = TcpMesh::localhost(3).unwrap();
+        mesh.tx[0][2]
+            .as_mut()
+            .unwrap()
+            .send_frame(METHOD_STORED, b"zero to two")
+            .unwrap();
+        mesh.tx[1][2]
+            .as_mut()
+            .unwrap()
+            .send_frame(METHOD_STORED, b"one to two")
+            .unwrap();
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            let (src, frame) = mesh.rx[2]
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .expect("frame arrives");
+            got.push((src, frame.unwrap().1));
+        }
+        got.sort();
+        assert_eq!(
+            got,
+            vec![(0, b"zero to two".to_vec()), (1, b"one to two".to_vec())]
+        );
+    }
+
+    #[test]
+    fn mid_stream_disconnect_surfaces_as_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // A header promising 64 bytes, then only 3 — and hang up.
+            s.write_all(&65u32.to_le_bytes()).unwrap();
+            s.write_all(&[METHOD_STORED]).unwrap();
+            s.write_all(b"abc").unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        handle.join().unwrap();
+        let e = read_frame(&mut stream).unwrap_err();
+        assert!(
+            matches!(e, ClusterError::Transport(_)),
+            "disconnect must be an error, got {e:?}"
+        );
+        assert!(e.to_string().contains("truncated"), "{e}");
+    }
+}

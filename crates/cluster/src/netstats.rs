@@ -142,16 +142,24 @@ impl NetStats {
 pub struct NetReport {
     tiers: Vec<(String, NetStats)>,
     /// Wire codec that produced the value traffic, if the strategy ships
-    /// values at all (`"raw_values"` / `"md5"` / `"dict"`; `None` for
-    /// eqid-only protocols like `incVer`).
+    /// values at all (`"raw_values"` / `"md5"` / `"dict"` / `"lz"`;
+    /// `None` for eqid-only protocols like `incVer`).
     codec: Option<String>,
+    /// Measured on-wire traffic, when the session ran over a real byte
+    /// transport ([`crate::net::ByteNetwork`]): frame counts and actual
+    /// bytes including framing, alongside the modeled tiers.
+    measured: Option<NetStats>,
 }
 
 impl NetReport {
     /// Report with explicit named tiers.
     pub fn from_tiers(tiers: Vec<(String, NetStats)>) -> Self {
         assert!(!tiers.is_empty(), "a report needs at least one tier");
-        NetReport { tiers, codec: None }
+        NetReport {
+            tiers,
+            codec: None,
+            measured: None,
+        }
     }
 
     /// Label the report with the payload codec its traffic was encoded
@@ -164,6 +172,23 @@ impl NetReport {
     /// The payload codec label, if the producing strategy ships values.
     pub fn codec(&self) -> Option<&str> {
         self.codec.as_deref()
+    }
+
+    /// Attach the measured on-wire statistics of a real byte transport.
+    pub fn with_measured(mut self, measured: NetStats) -> Self {
+        self.measured = Some(measured);
+        self
+    }
+
+    /// Measured on-wire statistics, if the session shipped real bytes.
+    pub fn measured(&self) -> Option<&NetStats> {
+        self.measured.as_ref()
+    }
+
+    /// Measured bytes on the wire (framing included), if real bytes were
+    /// shipped.
+    pub fn measured_bytes(&self) -> Option<u64> {
+        self.measured.as_ref().map(NetStats::total_bytes)
     }
 
     /// Single-tier report (vertical/horizontal detectors, batch baselines).
@@ -332,6 +357,18 @@ mod tests {
         assert_eq!(r.codec(), Some("dict"));
         let two = NetReport::two_tier(NetStats::new(2), NetStats::new(4)).with_codec("md5");
         assert_eq!(two.codec(), Some("md5"));
+    }
+
+    #[test]
+    fn net_report_carries_measured_wire_stats() {
+        let r = NetReport::single(NetStats::new(2));
+        assert!(r.measured().is_none(), "simulated sessions have no wire");
+        assert_eq!(r.measured_bytes(), None);
+        let mut wire = NetStats::new(2);
+        wire.record(0, 1, 150, 0); // framing included
+        let r = r.with_measured(wire);
+        assert_eq!(r.measured_bytes(), Some(150));
+        assert_eq!(r.measured().unwrap().total_messages(), 1);
     }
 
     #[test]

@@ -21,8 +21,9 @@ use crate::vertical::VerticalDetector;
 use cfd::pattern::PatternValue;
 use cfd::{Cfd, CfdId, DeltaV, Violations};
 use cluster::codec::DictSyms;
+use cluster::net::{bytes as wirefmt, FrameCodec};
 use cluster::partition::{HorizontalScheme, VerticalScheme};
-use cluster::{DictMeter, NetReport, NetStats, Network, SiteId, Wire};
+use cluster::{ClusterError, DictMeter, NetReport, NetStats, Network, SiteId, Wire};
 use relation::{
     AttrId, FxHashMap, Relation, RowId, Schema, SmallVec, Sym, Tid, UpdateBatch, ValuePool,
 };
@@ -43,7 +44,7 @@ const SYM_NONE: Sym = Sym::MAX;
 /// ordered link). Repeat values therefore cost 4 bytes instead of their
 /// full wire size, which is what collapses the coordinators' `|M|` on
 /// skewed columns.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColsMsg {
     /// Row tids, in the sender's scan order (ascending).
     pub tids: Vec<Tid>,
@@ -125,7 +126,7 @@ impl ColsMsg {
 /// `BatMsg::Rows(Vec<(Tid, Vec<Value>)>)` of earlier revisions is retired;
 /// its equivalent cost is still tracked per run in
 /// [`BatchOutcome::rows_equiv_bytes`] for the benchmark report).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum BatMsg {
     /// Dictionary-backed projected columns.
     Cols(ColsMsg),
@@ -136,6 +137,69 @@ impl Wire for BatMsg {
         match self {
             BatMsg::Cols(m) => m.wire_size(),
         }
+    }
+}
+
+/// Real byte framing for the coordinator shipments, so [`BatMsg::Cols`]
+/// crosses a [`cluster::net::ByteNetwork`] as an actual frame: tids,
+/// symbol columns and the per-link dictionary delta serialize in column
+/// order and decode from received bytes alone (the receiver's link
+/// dictionary is [`ColsMsg::decode`], fed by each frame's delta). The
+/// structural overhead beyond the modeled [`Wire::wire_size`] is the
+/// message tag, three item counts and the per-value type tags.
+impl FrameCodec for BatMsg {
+    fn encode_frame(&self, out: &mut Vec<u8>) -> usize {
+        let BatMsg::Cols(m) = self;
+        out.push(0); // message tag
+        out.extend_from_slice(&(m.tids.len() as u32).to_le_bytes());
+        for t in &m.tids {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        out.extend_from_slice(&(m.cols.len() as u16).to_le_bytes());
+        for col in &m.cols {
+            debug_assert_eq!(col.len(), m.tids.len(), "columns align with tids");
+            for s in col {
+                out.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(m.dict.len() as u32).to_le_bytes());
+        let mut ovh = 1 + 4 + 2 + 4;
+        for (s, v) in &m.dict {
+            out.extend_from_slice(&s.to_le_bytes());
+            ovh += wirefmt::put_value(out, v);
+        }
+        ovh
+    }
+
+    fn decode_frame(body: &[u8]) -> Result<Self, ClusterError> {
+        let mut r = wirefmt::Reader::new(body);
+        if r.u8()? != 0 {
+            return Err(ClusterError::Transport(
+                "unknown batch-protocol message tag".into(),
+            ));
+        }
+        let n_rows = r.u32()? as usize;
+        let mut tids = Vec::with_capacity(n_rows.min(1 << 20));
+        for _ in 0..n_rows {
+            tids.push(r.u64()? as Tid);
+        }
+        let n_cols = r.u16()? as usize;
+        let mut cols = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let mut col = Vec::with_capacity(n_rows.min(1 << 20));
+            for _ in 0..n_rows {
+                col.push(r.u32()? as Sym);
+            }
+            cols.push(col);
+        }
+        let n_dict = r.u32()? as usize;
+        let mut dict = Vec::with_capacity(n_dict.min(1 << 20));
+        for _ in 0..n_dict {
+            let s = r.u32()? as Sym;
+            dict.push((s, wirefmt::get_value(&mut r)?));
+        }
+        r.finish()?;
+        Ok(BatMsg::Cols(ColsMsg { tids, cols, dict }))
     }
 }
 

@@ -25,6 +25,7 @@ use crate::plan::HevPlan;
 use crate::vertical::VerticalDetector;
 use cfd::{Cfd, Violations};
 use cluster::codec::CodecKind;
+use cluster::net::TransportKind;
 use cluster::partition::{HorizontalScheme, VerticalScheme};
 use relation::{Relation, Schema};
 use std::sync::Arc;
@@ -59,6 +60,7 @@ impl DetectorBuilder {
             cfds: self.cfds,
             scheme,
             codec: CodecKind::default(),
+            transport: TransportKind::default(),
         }
     }
 
@@ -70,6 +72,7 @@ impl DetectorBuilder {
             cfds: self.cfds,
             scheme: topology,
             codec: CodecKind::default(),
+            transport: TransportKind::default(),
         }
     }
 
@@ -134,13 +137,15 @@ impl VerticalDetectorBuilder {
 }
 
 /// Second stage for [`HorizontalDetector`]: pick the wire codec
-/// ([`cluster::codec::PayloadCodec`]) the §6 protocol ships values with.
+/// ([`cluster::codec::PayloadCodec`]) the §6 protocol ships values with,
+/// and the transport substrate the frames ride on.
 #[derive(Debug, Clone)]
 pub struct HorizontalDetectorBuilder {
     schema: Arc<Schema>,
     cfds: Vec<Cfd>,
     scheme: HorizontalScheme,
     codec: CodecKind,
+    transport: TransportKind,
 }
 
 impl HorizontalDetectorBuilder {
@@ -162,16 +167,41 @@ impl HorizontalDetectorBuilder {
         self.codec(CodecKind::Dict)
     }
 
+    /// Ship raw values with per-message LZ frame compression
+    /// ([`cluster::codec::LzBlock`]) — only a real byte transport
+    /// ([`TransportKind::Framed`]/[`TransportKind::Tcp`]) shows the
+    /// savings; on the simulated network it meters like `raw_values`.
+    pub fn lz(self) -> Self {
+        self.codec(CodecKind::Lz)
+    }
+
     /// Explicit codec selection (what [`md5`](Self::md5) /
-    /// [`raw_values`](Self::raw_values) / [`dict`](Self::dict) set).
+    /// [`raw_values`](Self::raw_values) / [`dict`](Self::dict) /
+    /// [`lz`](Self::lz) set).
     pub fn codec(mut self, codec: CodecKind) -> Self {
         self.codec = codec;
         self
     }
 
+    /// Pick the transport substrate: [`TransportKind::Simulated`]
+    /// (modeled `|M|` only, the default), [`TransportKind::Framed`]
+    /// (real byte frames over deterministic in-process channels), or
+    /// [`TransportKind::Tcp`] (localhost sockets).
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
     /// Build over the initial database `d0`.
     pub fn build(self, d0: &Relation) -> Result<HorizontalDetector, DetectError> {
-        HorizontalDetector::with_codec(self.schema, self.cfds, self.scheme, d0, self.codec)
+        HorizontalDetector::with_session(
+            self.schema,
+            self.cfds,
+            self.scheme,
+            d0,
+            self.codec,
+            self.transport,
+        )
     }
 
     /// Build boxed, for heterogeneous strategy collections.
@@ -180,14 +210,16 @@ impl HorizontalDetectorBuilder {
     }
 }
 
-/// Second stage for [`HybridDetector`]. The codec choice applies to the
-/// inter-region §6 protocol (intra-region assembly always ships digests).
+/// Second stage for [`HybridDetector`]. The codec and transport choices
+/// apply to the inter-region §6 protocol (intra-region assembly always
+/// ships digests on the modeled network).
 #[derive(Debug, Clone)]
 pub struct HybridDetectorBuilder {
     schema: Arc<Schema>,
     cfds: Vec<Cfd>,
     scheme: HybridScheme,
     codec: CodecKind,
+    transport: TransportKind,
 }
 
 impl HybridDetectorBuilder {
@@ -206,15 +238,34 @@ impl HybridDetectorBuilder {
         self.codec(CodecKind::Dict)
     }
 
+    /// Ship raw values with per-message LZ frame compression between
+    /// region gateways (effective on byte transports).
+    pub fn lz(self) -> Self {
+        self.codec(CodecKind::Lz)
+    }
+
     /// Explicit inter-region codec selection.
     pub fn codec(mut self, codec: CodecKind) -> Self {
         self.codec = codec;
         self
     }
 
+    /// Transport substrate for the inter-region gateway rounds.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
     /// Build over the initial database `d0`.
     pub fn build(self, d0: &Relation) -> Result<HybridDetector, DetectError> {
-        HybridDetector::with_codec(self.schema, self.cfds, self.scheme, d0, self.codec)
+        HybridDetector::with_session(
+            self.schema,
+            self.cfds,
+            self.scheme,
+            d0,
+            self.codec,
+            self.transport,
+        )
     }
 
     /// Build boxed, for heterogeneous strategy collections.

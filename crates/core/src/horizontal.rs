@@ -41,10 +41,11 @@ use crate::md5::{md5, Digest};
 use cfd::{Cfd, CfdId, DeltaV, Violations};
 use cluster::codec::{
     value_digest as attr_digest, value_digest_into as attr_digest_into, CodecKind, PayloadCodec,
-    WireValue,
+    ReceiverCodec, WireValue,
 };
+use cluster::net::{bytes as wirefmt, ByteNetwork, FrameCodec, TransportKind};
 use cluster::partition::HorizontalScheme;
-use cluster::{ClusterError, Network, SiteId, Wire};
+use cluster::{ClusterError, MsgTransport, Network, SiteId, Wire};
 use relation::{
     AttrId, FxHashMap, FxHashSet, RelError, Relation, Schema, Tid, Tuple, Update, UpdateBatch,
     Value,
@@ -68,7 +69,7 @@ fn key_digest_from(attr_digests: impl IntoIterator<Item = Digest>, kbuf: &mut Ve
 /// most once. Every value payload is a [`WireValue`] produced by the
 /// session's [`PayloadCodec`], so the same message shapes serve all three
 /// encodings.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum HorMsg {
     /// Insert-side probe/query for one updated tuple. Receivers know `Σ`,
     /// so the CFDs to check are *implicit*: every variable CFD whose
@@ -126,6 +127,137 @@ impl Wire for HorMsg {
                 .sum(),
             HorMsg::ClearFlags { attrs, cfds } => attrs_size(attrs) + 4 * cfds.len(),
         }
+    }
+}
+
+// Frame tags of the five message shapes.
+const HF_PROBE: u8 = 0;
+const HF_PROBE_REPLY: u8 = 1;
+const HF_DEL_QUERY: u8 = 2;
+const HF_DEL_REPLY: u8 = 3;
+const HF_CLEAR: u8 = 4;
+
+/// Serialize `(attr, payload)` pairs; returns structural overhead (the
+/// 2-byte count plus each payload's tag bytes — attr ids themselves are
+/// modeled at 2 B).
+fn put_attrs(out: &mut Vec<u8>, attrs: &[(AttrId, WireValue)]) -> usize {
+    let mut ovh = 2;
+    out.extend_from_slice(&(attrs.len() as u16).to_le_bytes());
+    for (a, w) in attrs {
+        out.extend_from_slice(&a.to_le_bytes());
+        ovh += wirefmt::put_wire_value(out, w);
+    }
+    ovh
+}
+
+fn get_attrs(r: &mut wirefmt::Reader) -> Result<Vec<(AttrId, WireValue)>, ClusterError> {
+    let n = r.u16()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = r.u16()? as AttrId;
+        out.push((a, wirefmt::get_wire_value(r)?));
+    }
+    Ok(out)
+}
+
+/// Serialize a CFD-id list; overhead is the 2-byte count (ids are
+/// modeled at 4 B each).
+fn put_cfds(out: &mut Vec<u8>, cfds: &[CfdId]) -> usize {
+    out.extend_from_slice(&(cfds.len() as u16).to_le_bytes());
+    for c in cfds {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    2
+}
+
+fn get_cfds(r: &mut wirefmt::Reader) -> Result<Vec<CfdId>, ClusterError> {
+    let n = r.u16()? as usize;
+    (0..n).map(|_| Ok(r.u32()? as CfdId)).collect()
+}
+
+/// Real byte framing for the §6 protocol: every [`HorMsg`] serializes to
+/// a self-describing frame body and decodes from received bytes alone.
+/// The structural overhead (returned by `encode_frame`) is the message
+/// tag, the item counts and the per-payload type tags — everything the
+/// `|M|` model of [`Wire::wire_size`] deliberately ignores. The probe
+/// and probe-reply shapes already model 1 byte of framing (their leading
+/// tag), so their tag contributes no overhead.
+impl FrameCodec for HorMsg {
+    fn encode_frame(&self, out: &mut Vec<u8>) -> usize {
+        match self {
+            HorMsg::TupleProbe { attrs, probes } => {
+                out.push(HF_PROBE); // modeled: wire_size counts this byte
+                put_attrs(out, attrs) + put_cfds(out, probes)
+            }
+            HorMsg::ProbeReply { conflicts } => {
+                out.push(HF_PROBE_REPLY); // modeled
+                put_cfds(out, conflicts)
+            }
+            HorMsg::TupleDelQuery { attrs, queries } => {
+                out.push(HF_DEL_QUERY);
+                1 + put_attrs(out, attrs) + put_cfds(out, queries)
+            }
+            HorMsg::DelReply { bvals } => {
+                out.push(HF_DEL_REPLY);
+                out.extend_from_slice(&(bvals.len() as u16).to_le_bytes());
+                let mut ovh = 1 + 2;
+                for (c, vs) in bvals {
+                    out.extend_from_slice(&c.to_le_bytes());
+                    out.extend_from_slice(&(vs.len() as u16).to_le_bytes());
+                    ovh += 2;
+                    for v in vs {
+                        ovh += wirefmt::put_wire_value(out, v);
+                    }
+                }
+                ovh
+            }
+            HorMsg::ClearFlags { attrs, cfds } => {
+                out.push(HF_CLEAR);
+                1 + put_attrs(out, attrs) + put_cfds(out, cfds)
+            }
+        }
+    }
+
+    fn decode_frame(body: &[u8]) -> Result<Self, ClusterError> {
+        let mut r = wirefmt::Reader::new(body);
+        let msg = match r.u8()? {
+            HF_PROBE => HorMsg::TupleProbe {
+                attrs: get_attrs(&mut r)?,
+                probes: get_cfds(&mut r)?,
+            },
+            HF_PROBE_REPLY => HorMsg::ProbeReply {
+                conflicts: get_cfds(&mut r)?,
+            },
+            HF_DEL_QUERY => HorMsg::TupleDelQuery {
+                attrs: get_attrs(&mut r)?,
+                queries: get_cfds(&mut r)?,
+            },
+            HF_DEL_REPLY => {
+                let n = r.u16()? as usize;
+                let mut bvals = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let c = r.u32()? as CfdId;
+                    let k = r.u16()? as usize;
+                    let mut vs = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        vs.push(wirefmt::get_wire_value(&mut r)?);
+                    }
+                    bvals.push((c, vs));
+                }
+                HorMsg::DelReply { bvals }
+            }
+            HF_CLEAR => HorMsg::ClearFlags {
+                attrs: get_attrs(&mut r)?,
+                cfds: get_cfds(&mut r)?,
+            },
+            _ => {
+                return Err(ClusterError::Transport(
+                    "unknown horizontal-protocol message tag".into(),
+                ))
+            }
+        };
+        r.finish()?;
+        Ok(msg)
     }
 }
 
@@ -206,10 +338,20 @@ pub struct HorizontalDetector {
     /// Mirror of the logical relation (union of fragments).
     current: Relation,
     violations: Violations,
-    net: Network<HorMsg>,
-    /// Payload encoding for every shipped value (per-link state lives in
-    /// the codec — e.g. [`cluster::codec::DictSyms`] dictionary residency).
+    /// The substrate protocol rounds ride on: the simulated metered
+    /// [`Network`] or a real [`ByteNetwork`] (framed in-process channels
+    /// or TCP sockets) that serializes every [`HorMsg`] to bytes.
+    net: Box<dyn MsgTransport<HorMsg>>,
+    transport: TransportKind,
+    /// Sender-side payload encoding for every shipped value (per-link
+    /// state lives in the codec — e.g. [`cluster::codec::DictSyms`]
+    /// dictionary residency).
     codec: Box<dyn PayloadCodec>,
+    /// Receiver-side codec state, `[receiving site][sending site]`: link
+    /// dictionaries built **only from received payloads** (deltas), so
+    /// digests derive from what actually crossed the wire — the codec
+    /// state machine split the real transport requires.
+    rx_codecs: Vec<Vec<ReceiverCodec>>,
     /// `local_ok[cfd][site]`: `X_{F_i} ⊆ X` — no cross-site conflicts.
     local_ok: Vec<Vec<bool>>,
     /// `relevant[cfd]`: sites where `F_i ∧ F_φ` is satisfiable.
@@ -229,8 +371,11 @@ impl HorizontalDetector {
 
     /// Build with an explicit payload codec: [`CodecKind::Md5`] (the §6
     /// optimization), [`CodecKind::RawValues`] (the unoptimized variant),
-    /// or [`CodecKind::Dict`] (symbols on the wire, one-time per-link
-    /// dictionary deltas).
+    /// [`CodecKind::Dict`] (symbols on the wire, one-time per-link
+    /// dictionary deltas), or [`CodecKind::Lz`] (raw values with
+    /// per-frame LZ compression on byte transports). Runs on the
+    /// simulated network; see [`HorizontalDetector::with_session`] for
+    /// real byte transports.
     pub fn with_codec(
         schema: Arc<Schema>,
         cfds: Vec<Cfd>,
@@ -238,7 +383,36 @@ impl HorizontalDetector {
         d: &Relation,
         codec: CodecKind,
     ) -> Result<Self, DetectError> {
+        Self::with_session(schema, cfds, scheme, d, codec, TransportKind::Simulated)
+    }
+
+    /// Build a full session: payload codec **and** transport substrate.
+    /// With [`TransportKind::Framed`] or [`TransportKind::Tcp`] every
+    /// protocol message is serialized to a length-prefixed byte frame,
+    /// shipped through the chosen link (in-process channel or localhost
+    /// socket), and decoded at the receiving site from the bytes alone;
+    /// the detector then meters modeled `|M|` and measured on-wire bytes
+    /// side by side ([`HorizontalDetector::wire_stats`]).
+    pub fn with_session(
+        schema: Arc<Schema>,
+        cfds: Vec<Cfd>,
+        scheme: HorizontalScheme,
+        d: &Relation,
+        codec: CodecKind,
+        transport: TransportKind,
+    ) -> Result<Self, DetectError> {
         let n = scheme.n_sites();
+        let net: Box<dyn MsgTransport<HorMsg>> = match transport {
+            TransportKind::Simulated => Box::new(Network::new(n)),
+            TransportKind::Framed => {
+                Box::new(ByteNetwork::in_memory(n).with_compression(codec.compression()))
+            }
+            TransportKind::Tcp => Box::new(
+                ByteNetwork::tcp_localhost(n)
+                    .map_err(DetectError::Cluster)?
+                    .with_compression(codec.compression()),
+            ),
+        };
         let mut local_ok = Vec::with_capacity(cfds.len());
         let mut relevant = Vec::with_capacity(cfds.len());
         for cfd in &cfds {
@@ -285,8 +459,12 @@ impl HorizontalDetector {
                 .collect(),
             current: Relation::new(schema.clone()),
             violations: Violations::new(cfds.len()),
-            net: Network::new(n),
+            net,
+            transport,
             codec: codec.codec(),
+            rx_codecs: (0..n)
+                .map(|_| (0..n).map(|_| ReceiverCodec::new()).collect())
+                .collect(),
             local_ok,
             relevant,
             schema,
@@ -314,9 +492,26 @@ impl HorizontalDetector {
         self.codec.kind()
     }
 
+    /// The transport substrate this session runs on.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.transport
+    }
+
     /// Network statistics since construction (or last reset).
     pub fn stats(&self) -> &cluster::NetStats {
         self.net.stats()
+    }
+
+    /// Measured on-wire statistics (frames, actual bytes including
+    /// framing), when the session runs over a real byte transport.
+    pub fn wire_stats(&self) -> Option<&cluster::NetStats> {
+        self.net.wire_stats()
+    }
+
+    /// Whole-run transport counters (frames, wire/modeled/structural/
+    /// saved bytes), when the session runs over a real byte transport.
+    pub fn transport_meter(&self) -> Option<cluster::TransportMeter> {
+        self.net.transport_meter()
     }
 
     /// Reset network statistics.
@@ -629,11 +824,15 @@ impl HorizontalDetector {
                 },
             )?;
             // Peer processes immediately (synchronous round).
-            for (_, msg) in self.net.drain(j) {
+            for (from, msg) in self.net.try_drain(j)? {
                 if let HorMsg::TupleProbe { attrs, probes } = msg {
-                    let codec = self.codec.as_mut();
-                    let digests: FxHashMap<AttrId, Digest> =
-                        attrs.iter().map(|(a, w)| (*a, codec.digest(w))).collect();
+                    // Receiver-side digests: resolved through the link's
+                    // own dictionary state, fed only by received deltas.
+                    let rx = &mut self.rx_codecs[j][from];
+                    let digests: FxHashMap<AttrId, Digest> = attrs
+                        .iter()
+                        .map(|(a, w)| Ok((*a, rx.digest(w)?)))
+                        .collect::<Result<_, ClusterError>>()?;
                     // Explicit probes: a brand-new conflict at the sender
                     // flips every remote group of the CFD.
                     for &c in &probes {
@@ -707,7 +906,7 @@ impl HorizontalDetector {
         }
         // Fold replies into the querying CFDs' flags.
         let mut conflicting: FxHashSet<CfdId> = FxHashSet::default();
-        for (_, msg) in self.net.drain(site) {
+        for (_, msg) in self.net.try_drain(site)? {
             if let HorMsg::ProbeReply { conflicts } = msg {
                 conflicting.extend(conflicts);
             }
@@ -873,11 +1072,14 @@ impl HorizontalDetector {
                     queries: queries.clone(),
                 },
             )?;
-            for (_, msg) in self.net.drain(j) {
+            for (from, msg) in self.net.try_drain(j)? {
                 if let HorMsg::TupleDelQuery { attrs, queries } = msg {
+                    let rx = &mut self.rx_codecs[j][from];
+                    let digests: FxHashMap<AttrId, Digest> = attrs
+                        .iter()
+                        .map(|(a, w)| Ok((*a, rx.digest(w)?)))
+                        .collect::<Result<_, ClusterError>>()?;
                     let codec = self.codec.as_mut();
-                    let digests: FxHashMap<AttrId, Digest> =
-                        attrs.iter().map(|(a, w)| (*a, codec.digest(w))).collect();
                     let mut reply: Vec<(CfdId, Vec<WireValue>)> = Vec::new();
                     for &c in &queries {
                         let cfd = &all_cfds[c as usize];
@@ -903,13 +1105,13 @@ impl HorizontalDetector {
                 }
             }
         }
-        for (from, msg) in self.net.drain(site) {
+        for (from, msg) in self.net.try_drain(site)? {
             if let HorMsg::DelReply { bvals } = msg {
                 for (c, vs) in bvals {
                     holders.get_mut(&c).expect("queried cfd").push(from);
                     let set = global.get_mut(&c).expect("queried cfd");
                     for v in vs {
-                        set.insert(self.codec.digest(&v));
+                        set.insert(self.rx_codecs[site][from].digest(&v)?);
                     }
                 }
             }
@@ -949,15 +1151,17 @@ impl HorizontalDetector {
                     cfds: clear_list,
                 },
             )?;
-            for (_, msg) in self.net.drain(j) {
+            for (from, msg) in self.net.try_drain(j)? {
                 if let HorMsg::ClearFlags {
                     attrs,
                     cfds: to_clear,
                 } = msg
                 {
-                    let codec = self.codec.as_mut();
-                    let digests: FxHashMap<AttrId, Digest> =
-                        attrs.iter().map(|(a, w)| (*a, codec.digest(w))).collect();
+                    let rx = &mut self.rx_codecs[j][from];
+                    let digests: FxHashMap<AttrId, Digest> = attrs
+                        .iter()
+                        .map(|(a, w)| Ok((*a, rx.digest(w)?)))
+                        .collect::<Result<_, ClusterError>>()?;
                     for c in to_clear {
                         let cfd = &all_cfds[c as usize];
                         let kd = Self::key_from_wire(cfd, &digests, &mut kbuf);
@@ -1013,7 +1217,12 @@ impl Detector for HorizontalDetector {
     }
 
     fn net(&self) -> cluster::NetReport {
-        cluster::NetReport::single(self.net.stats().clone()).with_codec(self.codec.name())
+        let report =
+            cluster::NetReport::single(self.net.stats().clone()).with_codec(self.codec.name());
+        match self.net.wire_stats() {
+            Some(wire) => report.with_measured(wire.clone()),
+            None => report,
+        }
     }
 
     fn reset_stats(&mut self) {

@@ -28,6 +28,7 @@ use crate::horizontal::HorizontalDetector;
 use crate::md5::Digest;
 use cfd::{Cfd, DeltaV, Violations};
 use cluster::codec::CodecKind;
+use cluster::net::TransportKind;
 use cluster::partition::{HorizontalScheme, VerticalScheme};
 use cluster::{ClusterError, NetStats, Network, SiteId, Wire};
 use relation::{AttrId, FxHashSet, RelError, Relation, Schema, Tuple, Update, UpdateBatch};
@@ -154,7 +155,8 @@ impl HybridDetector {
     }
 
     /// Build with an explicit wire codec for the inter-region §6 protocol
-    /// (intra-region assembly always ships fixed-size digests).
+    /// (intra-region assembly always ships fixed-size digests). Runs on
+    /// the simulated network; see [`HybridDetector::with_session`].
     pub fn with_codec(
         schema: Arc<Schema>,
         cfds: Vec<Cfd>,
@@ -162,12 +164,30 @@ impl HybridDetector {
         d: &Relation,
         codec: CodecKind,
     ) -> Result<Self, DetectError> {
-        let inner = HorizontalDetector::with_codec(
+        Self::with_session(schema, cfds, scheme, d, codec, TransportKind::Simulated)
+    }
+
+    /// Build a full session: inter-region codec **and** transport. The
+    /// §6 protocol between region gateways rides the chosen substrate —
+    /// real byte frames for [`TransportKind::Framed`]/[`TransportKind::Tcp`]
+    /// — while intra-region digest assembly stays on the modeled network
+    /// (its messages are fixed-size digest bundles; the gateway rounds
+    /// are where the codec and transport decisions matter).
+    pub fn with_session(
+        schema: Arc<Schema>,
+        cfds: Vec<Cfd>,
+        scheme: HybridScheme,
+        d: &Relation,
+        codec: CodecKind,
+        transport: TransportKind,
+    ) -> Result<Self, DetectError> {
+        let inner = HorizontalDetector::with_session(
             schema.clone(),
             cfds.clone(),
             scheme.regions.clone(),
             d,
             codec,
+            transport,
         )?;
         let mut fragments: Vec<Vec<Relation>> = Vec::with_capacity(scheme.n_regions());
         let region_frags = scheme.regions.partition(d).map_err(DetectError::Cluster)?;
@@ -377,8 +397,13 @@ impl Detector for HybridDetector {
     }
 
     fn net(&self) -> cluster::NetReport {
-        cluster::NetReport::two_tier(self.inner.stats().clone(), self.intra.stats().clone())
-            .with_codec(self.inner.codec_kind().name())
+        let report =
+            cluster::NetReport::two_tier(self.inner.stats().clone(), self.intra.stats().clone())
+                .with_codec(self.inner.codec_kind().name());
+        match self.inner.wire_stats() {
+            Some(wire) => report.with_measured(wire.clone()),
+            None => report,
+        }
     }
 
     fn reset_stats(&mut self) {

@@ -81,10 +81,11 @@ pub use workload;
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
     pub use cfd::{Cfd, DeltaV, Violations};
+    pub use cluster::partition::{HorizontalScheme, VerticalScheme};
     pub use cluster::{
-        codec::{CodecKind, PayloadCodec},
-        partition::{HorizontalScheme, VerticalScheme},
-        CostModel, NetReport, NetStats, SiteId,
+        codec::{CodecKind, PayloadCodec, ReceiverCodec},
+        net::{ByteNetwork, ByteTransport, Compression, FrameCodec, TransportKind},
+        CostModel, NetReport, NetStats, SiteId, TransportMeter,
     };
     pub use incdetect::{
         BaselineStrategy, DetectError, Detector, DetectorBuilder, HorizontalDetector,
