@@ -26,7 +26,7 @@ use crate::horizontal::HorizontalError;
 use crate::vertical::VerticalError;
 use cfd::{Cfd, DeltaV, Violations};
 use cluster::{ClusterError, NetReport};
-use relation::{RelError, Relation, Schema, UpdateBatch};
+use relation::{RelError, Relation, Schema, Update, UpdateBatch};
 use std::sync::Arc;
 
 /// Errors crossing the public detection boundary.
@@ -109,6 +109,20 @@ pub trait Detector {
     /// The returned delta is settled: a mark removed and re-added within
     /// the batch reports as a no-op, and both lists are sorted.
     fn apply(&mut self, delta: &UpdateBatch) -> Result<DeltaV, DetectError>;
+
+    /// Apply a single update as a one-op batch, returning its settled
+    /// `ΔV` — the unit of work the sustained-load driver (`loadgen`)
+    /// times for per-update detection latency. Semantically identical to
+    /// wrapping `op` in an [`UpdateBatch`]; strategies with a cheaper
+    /// single-update path may override.
+    fn apply_one(&mut self, op: &Update) -> Result<DeltaV, DetectError> {
+        let mut batch = UpdateBatch::new();
+        match op {
+            Update::Insert(t) => batch.insert(t.clone()),
+            Update::Delete(tid) => batch.delete(*tid),
+        }
+        self.apply(&batch)
+    }
 
     /// Cumulative network traffic since construction or the last
     /// [`reset_stats`](Self::reset_stats), normalized over tiers.

@@ -1,0 +1,140 @@
+//! Seeded skewed-key distributions (subset of `rand_distr`).
+//!
+//! The load-generation subsystem models production key popularity — a few
+//! hot keys receiving most of the traffic — with a Zipf(θ) rank-frequency
+//! law. The sampler precomputes the cumulative distribution once (floats
+//! are confined to construction), scales it to `u64` fixed point, and
+//! samples with one RNG word plus a binary search, so draws are
+//! deterministic per seed and cheap enough for per-update use.
+
+use crate::Rng;
+
+/// A Zipf-distributed rank sampler over `0..n`: rank `i` is drawn with
+/// probability proportional to `1 / (i + 1)^theta`.
+///
+/// `theta` around 1.0 is the classic "80/20" web-traffic skew; larger
+/// values concentrate more mass on the lowest ranks. `theta == 0` is the
+/// uniform distribution.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative weights scaled to `u64` fixed point;
+    /// `cum[n - 1] == u64::MAX`.
+    cum: Vec<u64>,
+}
+
+impl Zipf {
+    /// Build the sampler for `n` ranks with exponent `theta`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "Zipf exponent must be finite and non-negative"
+        );
+        let weights: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0).powf(-theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for w in &weights {
+            acc += w;
+            // Scale into u64 fixed point; the final entry is forced to the
+            // maximum so every RNG word maps to some rank.
+            cum.push(((acc / total) * u64::MAX as f64) as u64);
+        }
+        *cum.last_mut().expect("n > 0") = u64::MAX;
+        Zipf { cum }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Draw one rank in `0..n` (0 is the hottest key).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let word = rng.next_u64();
+        self.cum.partition_point(|&c| c < word)
+    }
+
+    /// Analytic probability mass of the `k` hottest ranks (`0..k`) — the
+    /// value empirical draws converge to; exposed for shape tests and for
+    /// documenting scenario skew.
+    pub fn mass_of_top(&self, k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let k = k.min(self.cum.len());
+        self.cum[k - 1] as f64 / u64::MAX as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let z = Zipf::new(1_000, 1.0);
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..1_000 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(17, 1.3);
+        let mut r = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut r) < 17);
+        }
+    }
+
+    #[test]
+    fn top_one_percent_receives_expected_mass() {
+        // The satellite's distribution-shape check: over 1000 ranks at
+        // θ=1.0 the hottest 1% (10 ranks) analytically hold
+        // H(10)/H(1000) ≈ 39% of the mass; 200k seeded draws must land
+        // within ±2 percentage points of the analytic value.
+        let z = Zipf::new(1_000, 1.0);
+        let expected = z.mass_of_top(10);
+        assert!(
+            (0.35..0.45).contains(&expected),
+            "analytic top-1% mass {expected} out of the Zipf(1.0) ballpark"
+        );
+        let mut r = StdRng::seed_from_u64(99);
+        const DRAWS: usize = 200_000;
+        let hits = (0..DRAWS).filter(|_| z.sample(&mut r) < 10).count();
+        let empirical = hits as f64 / DRAWS as f64;
+        assert!(
+            (empirical - expected).abs() < 0.02,
+            "empirical top-1% mass {empirical} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut r = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "uniform-ish draw, got {c}");
+        }
+    }
+
+    #[test]
+    fn higher_theta_concentrates_mass() {
+        let flat = Zipf::new(100, 0.5);
+        let steep = Zipf::new(100, 2.0);
+        assert!(steep.mass_of_top(1) > flat.mass_of_top(1));
+        assert!(steep.mass_of_top(5) > flat.mass_of_top(5));
+    }
+}

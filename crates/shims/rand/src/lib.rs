@@ -9,6 +9,8 @@
 
 use std::ops::Range;
 
+pub mod dist;
+
 /// Low-level source of random 64-bit words.
 pub trait RngCore {
     /// Next 64 random bits.

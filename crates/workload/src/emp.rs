@@ -207,6 +207,99 @@ pub fn emp_horizontal_scheme(schema: &Arc<Schema>) -> HorizontalScheme {
     .expect("three grade fragments")
 }
 
+/// Configuration for the *scaled* synthetic EMP generator — the Fig. 2
+/// relation grown to load-test size while keeping the Fig. 1 dependency
+/// structure: `[CC=44, zip] → street` holds via a ground-truth
+/// `zip → street` function and `[CC=44, AC=131] → city=EDI` holds by
+/// construction, each broken at `error_rate`.
+#[derive(Debug, Clone)]
+pub struct EmpConfig {
+    /// Number of tuples.
+    pub n_rows: usize,
+    /// Distinct zip codes (controls φ1 group sizes).
+    pub n_zips: usize,
+    /// Probability that a tuple corrupts one dependent attribute.
+    pub error_rate: f64,
+    /// RNG seed — same seed, same relation.
+    pub seed: u64,
+}
+
+impl Default for EmpConfig {
+    fn default() -> Self {
+        EmpConfig {
+            n_rows: 5_000,
+            n_zips: 150,
+            error_rate: 0.02,
+            seed: 2012,
+        }
+    }
+}
+
+/// Ground-truth functions for the scaled EMP hierarchy.
+pub mod truth {
+    /// Zip code of a zip index.
+    pub fn zip_code(zip_idx: i64) -> String {
+        format!("EH{zip_idx:03} {}XX", zip_idx % 9)
+    }
+
+    /// Street determined by a zip (the clean φ1 right-hand side).
+    pub fn street_of_zip(zip_idx: i64) -> String {
+        format!("Street-{zip_idx:04}")
+    }
+}
+
+fn gen_scaled_tuple(tid: Tid, cfg: &EmpConfig, rng: &mut rand::rngs::StdRng) -> Tuple {
+    use rand::Rng;
+    let zip_idx = rng.random_range(0..cfg.n_zips as i64);
+    let mut street = truth::street_of_zip(zip_idx);
+    let mut city = "EDI".to_string();
+    if rng.random_bool(cfg.error_rate) {
+        if rng.random_bool(0.5) {
+            street = format!("Street-ERR{}", rng.random_range(0..1_000));
+        } else {
+            city = format!("CITY_ERR{}", rng.random_range(0..100));
+        }
+    }
+    let grade = ["A", "B", "C"][rng.random_range(0..3usize)];
+    emp_tuple(
+        tid,
+        &format!("Emp#{tid:06}"),
+        ["M", "F"][rng.random_range(0..2usize)],
+        grade,
+        &street,
+        &city,
+        &truth::zip_code(zip_idx),
+        44,
+        131,
+        &format!("{:07}", rng.random_range(0..10_000_000i64)),
+        &format!("{}k", 40 + 10 * rng.random_range(0..12i64)),
+        "01/01/2010",
+    )
+}
+
+/// Generate the scaled base relation (schema and CFDs are the Fig. 1/2
+/// ones: [`emp_schema`], [`emp_cfds`]).
+pub fn generate(cfg: &EmpConfig) -> (Arc<Schema>, Relation) {
+    use rand::SeedableRng;
+    let schema = emp_schema();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut d = Relation::new(schema.clone());
+    for tid in 0..cfg.n_rows as Tid {
+        d.insert(gen_scaled_tuple(tid, cfg, &mut rng))
+            .expect("fresh tids");
+    }
+    (schema, d)
+}
+
+/// Generate `n` fresh tuples with tids from `start` (for insertions).
+pub fn generate_fresh(cfg: &EmpConfig, start: Tid, n: usize, seed: u64) -> Vec<Tuple> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n as Tid)
+        .map(|i| gen_scaled_tuple(start + i, cfg, &mut rng))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,5 +336,48 @@ mod tests {
         let (s, _) = emp_relation();
         let hs = emp_horizontal_scheme(&s);
         assert_eq!(hs.route(&t6()).unwrap(), 2);
+    }
+
+    #[test]
+    fn scaled_generator_is_deterministic() {
+        let cfg = EmpConfig {
+            n_rows: 400,
+            ..EmpConfig::default()
+        };
+        let (_, a) = generate(&cfg);
+        let (_, b) = generate(&cfg);
+        assert_eq!(a.len(), 400);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x, y);
+        }
+        let (_, c) = generate(&EmpConfig { seed: 1, ..cfg });
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn clean_scaled_data_satisfies_fig1_cfds() {
+        let cfg = EmpConfig {
+            n_rows: 600,
+            error_rate: 0.0,
+            ..EmpConfig::default()
+        };
+        let (s, d) = generate(&cfg);
+        let v = cfd::naive::detect(&emp_cfds(&s), &d);
+        assert!(v.is_empty(), "error-free scaled EMP must satisfy Fig. 1");
+    }
+
+    #[test]
+    fn scaled_errors_create_violations_and_partition() {
+        let cfg = EmpConfig {
+            n_rows: 1_000,
+            error_rate: 0.1,
+            ..EmpConfig::default()
+        };
+        let (s, d) = generate(&cfg);
+        assert!(!cfd::naive::detect(&emp_cfds(&s), &d).is_empty());
+        // The Fig. 2 schemes still apply at scale.
+        let frags = emp_horizontal_scheme(&s).partition(&d).unwrap();
+        assert_eq!(frags.iter().map(Relation::len).sum::<usize>(), 1_000);
+        assert!(frags.iter().all(|f| f.len() > 100), "all grades populated");
     }
 }

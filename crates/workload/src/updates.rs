@@ -102,6 +102,52 @@ pub fn generate_modifications(
     batch
 }
 
+/// Delete-then-reinsert-same-tid churn: `n` randomly chosen live tuples
+/// are each deleted and immediately re-inserted *in the same batch*. A
+/// `mutate_fraction` of the pairs come back rewritten by `mutate` (a
+/// modification); the rest re-insert the identical tuple, so
+/// [`UpdateBatch::normalize`] cancels them entirely and every detector's
+/// `DeltaV` must settle them to a no-op. This is the hostile case for the
+/// remove-then-re-add bookkeeping: the tid leaves and re-enters every
+/// index within one `ΔD`.
+///
+/// The emitted batch is valid *sequentially* too (each delete precedes its
+/// re-insert), so drivers that time single-update applies can split it.
+///
+/// # Panics
+/// Panics when `base` holds fewer than `n` tuples or `mutate` changes a
+/// tuple's id.
+pub fn generate_churn(
+    base: &Relation,
+    n: usize,
+    mutate_fraction: f64,
+    seed: u64,
+    mutate: impl Fn(&Tuple, &mut StdRng) -> Tuple,
+) -> UpdateBatch {
+    assert!(
+        base.len() >= n,
+        "need {n} churnable tuples, base has {}",
+        base.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tids: Vec<Tid> = base.tids().collect();
+    tids.shuffle(&mut rng);
+    tids.truncate(n);
+    let mut batch = UpdateBatch::new();
+    for tid in tids {
+        let t = base.get(tid).expect("sampled live tid");
+        batch.delete(tid);
+        if rng.random_bool(mutate_fraction) {
+            let t2 = mutate(&t, &mut rng);
+            assert_eq!(t2.tid, tid, "churn must re-insert the same tuple id");
+            batch.insert(t2);
+        } else {
+            batch.insert(t);
+        }
+    }
+    batch
+}
+
 /// Deterministically corrupt one attribute of a tuple (used by example
 /// binaries and tests to create violations on demand).
 pub fn corrupt_attr(t: &Tuple, attr: relation::AttrId, rng: &mut StdRng) -> Tuple {
@@ -169,6 +215,68 @@ mod tests {
         let mut base = d.clone();
         b.normalize(&base.clone()).apply(&mut base).unwrap();
         assert_eq!(base.len(), d.len());
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_pairwise() {
+        let cfg = TpchConfig {
+            n_rows: 300,
+            ..TpchConfig::default()
+        };
+        let (s, d) = tpch::generate(&cfg);
+        let region = s.attr_id("region").unwrap();
+        let b1 = generate_churn(&d, 60, 0.5, 9, |t, rng| corrupt_attr(t, region, rng));
+        let b2 = generate_churn(&d, 60, 0.5, 9, |t, rng| corrupt_attr(t, region, rng));
+        assert_eq!(format!("{b1:?}"), format!("{b2:?}"));
+        assert_eq!(b1.ops().len(), 120);
+        // Pairs are adjacent: delete(tid) immediately followed by
+        // insert(same tid) — the sequential-validity contract.
+        for pair in b1.ops().chunks(2) {
+            match (&pair[0], &pair[1]) {
+                (relation::Update::Delete(tid), relation::Update::Insert(t)) => {
+                    assert_eq!(*tid, t.tid);
+                }
+                other => panic!("expected delete-then-reinsert pair, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn identical_churn_normalizes_away() {
+        let cfg = TpchConfig {
+            n_rows: 200,
+            ..TpchConfig::default()
+        };
+        let (_, d) = tpch::generate(&cfg);
+        let b = generate_churn(&d, 50, 0.0, 4, |t, _| t.clone());
+        assert_eq!(b.ops().len(), 100);
+        assert!(
+            b.normalize(&d).is_empty(),
+            "identical delete+reinsert pairs must cancel entirely"
+        );
+        // Applying the raw batch sequentially is also a round trip.
+        let mut d2 = d.clone();
+        b.apply(&mut d2).unwrap();
+        assert_eq!(d2.len(), d.len());
+    }
+
+    #[test]
+    fn mutated_churn_normalizes_to_modifications() {
+        let cfg = TpchConfig {
+            n_rows: 200,
+            ..TpchConfig::default()
+        };
+        let (s, d) = tpch::generate(&cfg);
+        let region = s.attr_id("region").unwrap();
+        let b = generate_churn(&d, 40, 1.0, 5, |t, rng| corrupt_attr(t, region, rng));
+        let n = b.normalize(&d);
+        // Every pair survives as a delete+insert modification of the same
+        // tid (corrupt_attr always changes the value).
+        assert_eq!(n.ops().len(), 80);
+        assert_eq!(n.insertions().count(), 40);
+        let mut d2 = d.clone();
+        n.apply(&mut d2).unwrap();
+        assert_eq!(d2.len(), d.len());
     }
 
     #[test]

@@ -75,6 +75,7 @@
 pub use cfd;
 pub use cluster;
 pub use incdetect;
+pub use loadgen;
 pub use relation;
 pub use workload;
 
@@ -91,9 +92,13 @@ pub mod prelude {
         BaselineStrategy, DetectError, Detector, DetectorBuilder, HorizontalDetector,
         HybridDetector, HybridScheme, VerticalDetector,
     };
+    pub use loadgen::{
+        catalog, run_load, ArrivalShape, DirtyRate, Histogram, KeyDist, LoadConfig, LoadReport,
+        OpMix, Profile, Scenario, ScenarioCfg, UpdateStream, WorkloadKind,
+    };
     pub use relation::{
         Predicate, Relation, Schema, Sym, SymTuple, Tid, Tuple, Update, UpdateBatch, Value,
         ValuePool,
     };
-    pub use {cfd, cluster, incdetect, relation, workload};
+    pub use {cfd, cluster, incdetect, loadgen, relation, workload};
 }
