@@ -8,9 +8,11 @@
 //! ```
 //!
 //! `--quick` shrinks sizes and sample budgets to a CI-smoke footprint
-//! (seconds); the default full run takes on the order of a minute and is
-//! what gets committed as `BENCH_5.json`. Without `--out` the report goes
-//! to stdout only, so CI can smoke-run without touching the tree.
+//! (seconds); the default full run takes on the order of a minute. The
+//! committed reference file (`BENCH_7.json`, emitted by `load_gen`)
+//! carries the same `fig_quick` section this binary gates on. Without
+//! `--out` the report goes to stdout only, so CI can smoke-run without
+//! touching the tree.
 //!
 //! `--compare PATH` is the regression gate: the freshly computed
 //! quick-scale deterministic numbers (`fig_quick`: fig9/fig10/fig11 wire

@@ -1,15 +1,17 @@
-//! `load_gen` — emit the sustained-load benchmark report (`BENCH_6.json`).
+//! `load_gen` — emit the sustained-load benchmark report (`BENCH_7.json`),
+//! including the concurrency `speedup` curve.
 //!
 //! Usage:
 //!
 //! ```text
-//! load_gen [--quick] [--out PATH] [--compare BENCH_6.json]
+//! load_gen [--quick] [--out PATH] [--compare BENCH_7.json]
 //!          [--require-keys k1,k2,...]
 //! ```
 //!
-//! `--quick` runs the scenario catalog at smoke scale (seconds); the
-//! default full run is what gets committed as `BENCH_6.json`. Without
-//! `--out` the report goes to stdout only.
+//! `--quick` runs the scenario catalog at smoke scale and the speedup
+//! curve at 2/4 sites (seconds); the default full run (scenarios at
+//! 40k rows, speedup at 2/4/8/16 sites) is what gets committed as
+//! `BENCH_7.json`. Without `--out` the report goes to stdout only.
 //!
 //! `--compare PATH` is the regression gate: the freshly computed
 //! quick-scale deterministic load numbers (`load_quick`: updates

@@ -14,6 +14,7 @@
 
 pub mod load;
 pub mod report;
+pub mod speedup;
 
 use cfd::Cfd;
 use cluster::partition::{HorizontalScheme, VerticalScheme};

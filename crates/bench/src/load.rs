@@ -18,7 +18,7 @@
 use crate::report::Json;
 use cluster::codec::CodecKind;
 use cluster::net::TransportKind;
-use incdetect::{DetectError, Detector, DetectorBuilder};
+use incdetect::{BaselineStrategy, DetectError, Detector, DetectorBuilder};
 use loadgen::{catalog, run_load, Dataset, LoadConfig, LoadReport, Profile, Scenario, ScenarioCfg};
 
 /// Ticks applied before the measured window in every run.
@@ -34,12 +34,21 @@ struct Combo {
     transport: TransportKind,
     /// Which topology to build.
     topology: Topology,
+    /// Whether this combo also runs at the Full profile. The batch
+    /// baselines recompute `V(Σ, D)` from scratch on *every* update —
+    /// exactly the `O(|D|)` cost the incremental detectors avoid — so
+    /// at 40k rows they are confined to the quick matrix.
+    full: bool,
 }
 
 enum Topology {
     Vertical,
     Horizontal,
     Hybrid,
+    /// `batVer` batch recomputation (byte-transport coordinator rounds).
+    BaselineVer,
+    /// `batHor` batch recomputation (byte-transport coordinator rounds).
+    BaselineHor,
 }
 
 /// The strategy × codec matrix every scenario runs against.
@@ -50,30 +59,56 @@ fn combos() -> Vec<Combo> {
             codec: None,
             transport: TransportKind::Simulated,
             topology: Topology::Vertical,
+            full: true,
         },
         Combo {
             key: "incHor_md5",
             codec: Some(CodecKind::Md5),
             transport: TransportKind::Simulated,
             topology: Topology::Horizontal,
+            full: true,
         },
         Combo {
             key: "incHor_dict",
             codec: Some(CodecKind::Dict),
             transport: TransportKind::Simulated,
             topology: Topology::Horizontal,
+            full: true,
         },
         Combo {
             key: "incHor_lz_framed",
             codec: Some(CodecKind::Lz),
             transport: TransportKind::Framed,
             topology: Topology::Horizontal,
+            full: true,
+        },
+        Combo {
+            key: "incHor_md5_tcp",
+            codec: Some(CodecKind::Md5),
+            transport: TransportKind::Tcp,
+            topology: Topology::Horizontal,
+            full: true,
         },
         Combo {
             key: "incHyb_md5",
             codec: Some(CodecKind::Md5),
             transport: TransportKind::Simulated,
             topology: Topology::Hybrid,
+            full: true,
+        },
+        Combo {
+            key: "batVer_framed",
+            codec: None,
+            transport: TransportKind::Framed,
+            topology: Topology::BaselineVer,
+            full: false,
+        },
+        Combo {
+            key: "batHor_framed",
+            codec: None,
+            transport: TransportKind::Framed,
+            topology: Topology::BaselineHor,
+            full: false,
         },
     ]
 }
@@ -90,6 +125,14 @@ fn build_detector(ds: &Dataset, combo: &Combo) -> Result<Box<dyn Detector>, Dete
         Topology::Hybrid => b
             .hybrid(ds.hybrid.clone())
             .codec(combo.codec.unwrap_or(CodecKind::Md5))
+            .build_dyn(&ds.base),
+        Topology::BaselineVer => b
+            .baseline(BaselineStrategy::BatVer(ds.vertical.clone()))
+            .transport(combo.transport)
+            .build_dyn(&ds.base),
+        Topology::BaselineHor => b
+            .baseline(BaselineStrategy::BatHor(ds.horizontal.clone()))
+            .transport(combo.transport)
             .build_dyn(&ds.base),
     }
 }
@@ -158,6 +201,9 @@ fn run_matrix(profile: Profile, cell: fn(&LoadReport) -> Json) -> Json {
         let ds = cfg.dataset();
         let mut cells = Vec::new();
         for combo in combos() {
+            if matches!(profile, Profile::Full) && !combo.full {
+                continue; // per-update O(|D|) recompute — quick only
+            }
             let report = run_cell(&cfg, &ds, &combo);
             cells.push((combo.key.to_string(), cell(&report)));
         }
@@ -172,16 +218,16 @@ pub fn build_load_quick() -> Json {
     run_matrix(Profile::Quick, cell_json_deterministic)
 }
 
-/// Build the whole `BENCH_6.json` document. `quick` selects the
-/// scenario scale of the headline `load` section; `load_quick` is
-/// always quick-scale.
+/// Build the whole `BENCH_7.json` document. `quick` selects the
+/// scenario scale of the headline `load` section and the site counts of
+/// the `speedup` curve; `load_quick` is always quick-scale.
 pub fn build_load_report(quick: bool) -> Json {
     let profile = if quick { Profile::Quick } else { Profile::Full };
     let load = run_matrix(profile, cell_json);
     let load_quick = build_load_quick();
     Json::obj(vec![
         ("schema_version", Json::Int(1)),
-        ("report", Json::Str("BENCH_6".into())),
+        ("report", Json::Str("BENCH_7".into())),
         (
             "description",
             Json::Str(
@@ -189,16 +235,24 @@ pub fn build_load_report(quick: bool) -> Json {
                  scenario (steady_uniform, bursty_onoff, zipf_hot, \
                  churn_delete_heavy, dirty_ramp) is pushed one update at a \
                  time through incVer, incHor under md5/dict/lz codecs \
-                 (lz over the framed byte transport, so measured on-wire \
-                 bytes appear) and incHyb, recording updates/sec and \
-                 per-update detection latency percentiles from a \
-                 log-bucketed integer histogram. Floats (latency, \
-                 throughput) are machine-dependent and never gated; \
-                 `load_quick` holds the quick-scale deterministic integers \
-                 (updates, dv_marks, final_violations, modeled and \
-                 measured wire bytes) the load_gen --compare gate checks. \
-                 `fig_quick` is carried over so the bench_report gate can \
-                 target this file too"
+                 (lz over the framed byte transport, md5 additionally over \
+                 localhost TCP sockets, so measured on-wire bytes appear), \
+                 incHyb, and — at quick scale, where their per-update \
+                 O(|D|) recompute is tractable — the batVer/batHor batch \
+                 baselines over the framed byte transport. Records \
+                 updates/sec and per-update detection latency percentiles \
+                 from a log-bucketed integer histogram. Floats (latency, \
+                 throughput, wall seconds) are machine-dependent and never \
+                 gated; `load_quick` holds the quick-scale deterministic \
+                 integers (updates, dv_marks, final_violations, modeled \
+                 and measured wire bytes) the load_gen --compare gate \
+                 checks. `speedup` is the concurrency curve: the \
+                 thread-per-site TCP runtime vs the single-thread TCP \
+                 drive at 2/4/8/16 sites on the fig9-scale stream — \
+                 wall-clock floats plus deterministic message/byte/wave \
+                 counts (see crates/bench/src/speedup.rs for the elapsed \
+                 accounting). `fig_quick` is carried over so the \
+                 bench_report gate can target this file too"
                     .into(),
             ),
         ),
@@ -208,6 +262,7 @@ pub fn build_load_report(quick: bool) -> Json {
         ),
         ("load", load),
         ("load_quick", load_quick),
+        ("speedup", crate::speedup::build_speedup(quick)),
         ("fig_quick", crate::report::build_fig_quick()),
     ])
 }
@@ -238,18 +293,25 @@ mod tests {
                 "incHor_md5",
                 "incHor_dict",
                 "incHor_lz_framed",
+                "incHor_md5_tcp",
                 "incHyb_md5",
+                "batVer_framed",
+                "batHor_framed",
             ] {
                 let cell = s.get(combo).unwrap_or_else(|| panic!("{scenario}.{combo}"));
                 assert!(cell.get("updates").is_some());
                 assert!(cell.get("dv_marks").is_some());
                 assert!(cell.get("modeled_bytes").is_some());
             }
-            // The framed run must expose real wire bytes.
-            assert!(s
-                .get("incHor_lz_framed")
-                .and_then(|c| c.get("measured_wire_bytes"))
-                .is_some());
+            // The byte-transport runs must expose real wire bytes.
+            for combo in ["incHor_lz_framed", "incHor_md5_tcp", "batHor_framed"] {
+                assert!(
+                    s.get(combo)
+                        .and_then(|c| c.get("measured_wire_bytes"))
+                        .is_some(),
+                    "{scenario}.{combo} must meter the wire"
+                );
+            }
         }
     }
 

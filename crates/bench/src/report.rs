@@ -725,8 +725,9 @@ fn run_fixed_pair(
     }
 }
 
-/// Fixed-seed TPCH instance shared by the fig9/fig11 sections.
-fn fixed_tpch(
+/// Fixed-seed TPCH instance shared by the fig9/fig11 sections (and the
+/// concurrency speedup curve in [`crate::speedup`]).
+pub(crate) fn fixed_tpch(
     quick: bool,
 ) -> (
     std::sync::Arc<relation::Schema>,
@@ -1053,20 +1054,22 @@ pub fn build_report(quick: bool) -> Json {
 
     Json::obj(vec![
         ("schema_version", Json::Int(1)),
-        ("report", Json::Str("BENCH_5".into())),
+        ("report", Json::Str("BENCH_7".into())),
         (
             "description",
             Json::Str(
-                "Real byte-level transport (cluster::net): the new \
-                 `transport` section runs the fig9 horizontal stream per \
-                 codec over framed in-process byte links and records \
-                 modeled |M| vs measured on-wire bytes (measured == \
-                 modeled + structural framing − LZ savings, asserted at \
-                 build time), with the fourth codec `lz` (in-tree LZ77 \
-                 per-message frame compression) undercutting raw_values \
-                 on the wire. md5/raw_values/dict modeled bytes are \
-                 bit-identical to BENCH_4. `fig_quick` holds the \
-                 quick-scale deterministic numbers the CI bench gate \
+                "Figure-style experiment report. The `transport` section \
+                 runs the fig9 horizontal stream per codec over framed \
+                 in-process byte links and records modeled |M| vs \
+                 measured on-wire bytes (measured == modeled + structural \
+                 framing − LZ savings, asserted at build time), with the \
+                 fourth codec `lz` (in-tree LZ77 per-message frame \
+                 compression) undercutting raw_values on the wire. \
+                 md5/raw_values/dict modeled bytes are bit-identical to \
+                 BENCH_4. The committed BENCH_7.json (emitted by \
+                 load_gen) additionally carries the `speedup` concurrency \
+                 curve and the sustained-load matrix. `fig_quick` holds \
+                 the quick-scale deterministic numbers the CI bench gate \
                  compares against (>20% regression fails)"
                     .into(),
             ),

@@ -35,6 +35,7 @@ pub mod md5;
 pub mod net;
 pub mod netstats;
 pub mod partition;
+pub mod run;
 pub mod transport;
 
 pub use codec::{CodecKind, PayloadCodec, ReceiverCodec, WireValue};

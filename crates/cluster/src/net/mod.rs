@@ -38,7 +38,7 @@ use std::collections::VecDeque;
 use std::time::Duration;
 
 pub use frame::{in_mem_pair, InMemLink};
-pub use tcp::TcpLink;
+pub use tcp::{join_mesh, Inbound, NodeEndpoint, ReaderGuard, TcpLink};
 
 /// One end of one framed byte link. `send_frame` writes a complete
 /// `[len][method][body]` frame; `recv_frame` blocks for (or, on the
@@ -132,14 +132,36 @@ pub struct TransportMeter {
     pub saved_bytes: u64,
 }
 
+/// Unpack one received frame body per its method byte and decode the
+/// message — the receive half of the [`ByteNetwork::send`] recipe,
+/// shared with the per-site runtime (`cluster::run`).
+pub fn decode_body<M: FrameCodec>(method: u8, body: Vec<u8>) -> Result<M, ClusterError> {
+    let body = match method {
+        METHOD_STORED => body,
+        METHOD_LZ => lz::decompress(&body, MAX_FRAME_BYTES)
+            .map_err(|e| ClusterError::Transport(e.to_string()))?,
+        other => {
+            return Err(ClusterError::Transport(format!(
+                "unknown frame method {other}"
+            )))
+        }
+    };
+    M::decode_frame(&body)
+}
+
 /// How the receive side of a [`ByteNetwork`] is wired.
 #[derive(Debug)]
 enum RxSide {
     /// Receive halves held directly, read deterministically in site
     /// order (the in-process mesh).
     Direct(Vec<Vec<Option<Box<dyn ByteTransport>>>>),
-    /// Per-site inbox channels fed by reader threads (the TCP mesh).
-    Inboxes(Vec<std::sync::mpsc::Receiver<tcp::Inbound>>),
+    /// Per-site inbox channels fed by reader threads (the TCP mesh),
+    /// plus the guards that shut the readers down and join them when
+    /// the network is dropped.
+    Inboxes {
+        inboxes: Vec<std::sync::mpsc::Receiver<tcp::Inbound>>,
+        _guards: Vec<tcp::ReaderGuard>,
+    },
 }
 
 /// A byte-shipping drop-in for [`crate::Network`]: same send/drain
@@ -203,7 +225,14 @@ impl<M: FrameCodec> ByteNetwork<M> {
                     .collect()
             })
             .collect();
-        Ok(ByteNetwork::with_parts(n, tx, RxSide::Inboxes(mesh.rx)))
+        Ok(ByteNetwork::with_parts(
+            n,
+            tx,
+            RxSide::Inboxes {
+                inboxes: mesh.rx,
+                _guards: mesh.guards,
+            },
+        ))
     }
 
     fn with_parts(n: usize, tx: Vec<Vec<Option<Box<dyn ByteTransport>>>>, rx: RxSide) -> Self {
@@ -304,17 +333,7 @@ impl<M: FrameCodec> ByteNetwork<M> {
     }
 
     fn decode(method: u8, body: Vec<u8>) -> Result<M, ClusterError> {
-        let body = match method {
-            METHOD_STORED => body,
-            METHOD_LZ => lz::decompress(&body, MAX_FRAME_BYTES)
-                .map_err(|e| ClusterError::Transport(e.to_string()))?,
-            other => {
-                return Err(ClusterError::Transport(format!(
-                    "unknown frame method {other}"
-                )))
-            }
-        };
-        M::decode_frame(&body)
+        decode_body(method, body)
     }
 
     /// Receive and decode every in-flight frame addressed to `site`,
@@ -340,7 +359,7 @@ impl<M: FrameCodec> ByteNetwork<M> {
                     }
                 }
             }
-            RxSide::Inboxes(inboxes) => {
+            RxSide::Inboxes { inboxes, .. } => {
                 let total: usize = (0..self.n).map(|src| self.pending[src][site]).sum();
                 let mut per_src: Vec<VecDeque<M>> = (0..self.n).map(|_| VecDeque::new()).collect();
                 for _ in 0..total {
@@ -559,6 +578,20 @@ mod tests {
         let m = net.meter();
         assert_eq!(m.frames, 15);
         assert_eq!(m.wire_bytes, m.modeled_bytes + m.structural_bytes);
+    }
+
+    #[test]
+    fn tcp_network_drop_mid_round_is_clean() {
+        let mut net: ByteNetwork<Nums> = ByteNetwork::tcp_localhost(3).unwrap();
+        net.send(0, 1, Nums(vec![1, 2])).unwrap();
+        net.send(2, 1, Nums(vec![3])).unwrap();
+        // Frames still in flight — dropping must shut down and join the
+        // reader threads without panicking or hanging.
+        drop(net);
+        // And a fresh mesh stands up fine afterwards.
+        let mut net: ByteNetwork<Nums> = ByteNetwork::tcp_localhost(2).unwrap();
+        net.send(1, 0, Nums(vec![9])).unwrap();
+        assert_eq!(net.try_drain(0).unwrap(), vec![(1, Nums(vec![9]))]);
     }
 
     /// A message whose decode rejects a sentinel payload — for testing

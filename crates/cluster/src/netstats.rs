@@ -110,6 +110,42 @@ impl NetStats {
         }
     }
 
+    /// Serialize to a flat little-endian image: `n` as `u32`, then the
+    /// `n²` counters as `(messages, bytes, eqids)` `u64` triples. Used by
+    /// the multi-process runtime (`cluster::run`) so a `site` process can
+    /// report its meters to the parent over a control frame.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.matrix.len() * 24);
+        out.extend_from_slice(&(self.n as u32).to_le_bytes());
+        for c in &self.matrix {
+            out.extend_from_slice(&c.messages.to_le_bytes());
+            out.extend_from_slice(&c.bytes.to_le_bytes());
+            out.extend_from_slice(&c.eqids.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(b: &[u8]) -> Result<NetStats, crate::ClusterError> {
+        let bad = || crate::ClusterError::Transport("malformed NetStats image".into());
+        if b.len() < 4 {
+            return Err(bad());
+        }
+        let n = u32::from_le_bytes(b[..4].try_into().expect("4")) as usize;
+        if n > 1 << 16 || b.len() != 4 + n * n * 24 {
+            return Err(bad());
+        }
+        let mut s = NetStats::new(n);
+        for (i, chunk) in b[4..].chunks_exact(24).enumerate() {
+            s.matrix[i] = Counters {
+                messages: u64::from_le_bytes(chunk[..8].try_into().expect("8")),
+                bytes: u64::from_le_bytes(chunk[8..16].try_into().expect("8")),
+                eqids: u64::from_le_bytes(chunk[16..24].try_into().expect("8")),
+            };
+        }
+        Ok(s)
+    }
+
     /// Difference `self − earlier` (counters are monotone).
     pub fn since(&self, earlier: &NetStats) -> NetStats {
         assert_eq!(self.n, earlier.n);
@@ -450,6 +486,22 @@ mod tests {
         assert!((pipelined - (0.001 + 0.1)).abs() < 1e-9);
         // Idle links cost nothing.
         assert_eq!(m.pipelined_seconds(&NetStats::new(3)), 0.0);
+    }
+
+    #[test]
+    fn byte_image_round_trips() {
+        let mut s = NetStats::new(3);
+        s.record(0, 1, 100, 2);
+        s.record(2, 1, 7, 0);
+        let img = s.to_bytes();
+        let back = NetStats::from_bytes(&img).unwrap();
+        assert_eq!(back.n_sites(), 3);
+        assert_eq!(back.pair(0, 1), s.pair(0, 1));
+        assert_eq!(back.pair(2, 1), s.pair(2, 1));
+        assert_eq!(back.total(), s.total());
+        // Malformed images are rejected, not panicked on.
+        assert!(NetStats::from_bytes(&img[..img.len() - 1]).is_err());
+        assert!(NetStats::from_bytes(&[]).is_err());
     }
 
     #[test]

@@ -14,6 +14,15 @@
 //! * [`ibat_ver`] / [`ibat_hor`] — the *refined* batch algorithms of
 //!   Exp-10: recompute from scratch, but through the incremental insertion
 //!   machinery and its indices.
+//!
+//! The coordinator drives are substrate-generic ([`MsgTransport`]): the
+//! default simulated network delivers typed messages through metered
+//! inboxes, while [`bat_ver_with`] / [`bat_hor_with`] /
+//! [`ibat_hor_with`] (and [`BatVer::with_transport`] &c.) run the same
+//! protocol over [`ByteNetwork`] — every shipment crosses as a real
+//! length-prefixed frame and is decoded by the coordinator from received
+//! bytes alone, with measured wire bytes reported beside the (identical)
+//! modeled `|M|`.
 
 use crate::detector::{DetectError, Detector};
 use crate::horizontal::HorizontalDetector;
@@ -21,9 +30,11 @@ use crate::vertical::VerticalDetector;
 use cfd::pattern::PatternValue;
 use cfd::{Cfd, CfdId, DeltaV, Violations};
 use cluster::codec::DictSyms;
-use cluster::net::{bytes as wirefmt, FrameCodec};
+use cluster::net::{bytes as wirefmt, FrameCodec, TransportKind, TransportMeter};
 use cluster::partition::{HorizontalScheme, VerticalScheme};
-use cluster::{ClusterError, DictMeter, NetReport, NetStats, Network, SiteId, Wire};
+use cluster::{
+    ByteNetwork, ClusterError, DictMeter, MsgTransport, NetReport, NetStats, Network, SiteId, Wire,
+};
 use relation::{
     AttrId, FxHashMap, Relation, RowId, Schema, SmallVec, Sym, Tid, UpdateBatch, ValuePool,
 };
@@ -224,20 +235,36 @@ impl CoordPool {
         self.pool.lookup(v)
     }
 
-    /// Translate a received [`ColsMsg`] (consumes it): dictionary delta →
-    /// link map, then per-row integer remapping.
-    fn translate_msg(&mut self, msg: &ColsMsg) -> (Vec<Tid>, Vec<Vec<Sym>>) {
+    /// Translate a [`ColsMsg`] drained off the network — the receive half
+    /// of the coordinator protocol, driven purely by message content: the
+    /// dictionary delta feeds the link's value map, then every column
+    /// symbol re-interns through it (one pool acquisition per *distinct*
+    /// symbol). A symbol missing from the delta is a protocol error —
+    /// each per-CFD run opens a fresh link, so its first (and only)
+    /// message must carry the full dictionary.
+    fn translate_received(
+        &mut self,
+        msg: &ColsMsg,
+    ) -> Result<(Vec<Tid>, Vec<Vec<Sym>>), ClusterError> {
         let mut link: FxHashMap<Sym, Sym> = FxHashMap::default();
         for (s, v) in &msg.dict {
             let cs = self.pool.acquire(v);
             link.insert(*s, cs);
         }
-        let cols = msg
-            .cols
-            .iter()
-            .map(|c| c.iter().map(|s| link[s]).collect())
-            .collect();
-        (msg.tids.clone(), cols)
+        let mut cols = Vec::with_capacity(msg.cols.len());
+        for c in &msg.cols {
+            let mut out = Vec::with_capacity(c.len());
+            for s in c {
+                let cs = *link.get(s).ok_or_else(|| {
+                    ClusterError::Transport(format!(
+                        "column symbol {s} missing from the link dictionary"
+                    ))
+                })?;
+                out.push(cs);
+            }
+            cols.push(out);
+        }
+        Ok((msg.tids.clone(), cols))
     }
 
     /// Translate the coordinator's own (unshipped) rows.
@@ -305,10 +332,53 @@ pub struct BatchOutcome {
     pub violations: Violations,
     /// Shipment metered during the run ([`BatMsg::Cols`] accounting).
     pub stats: NetStats,
+    /// Measured on-wire bytes (framing included) when the run crossed a
+    /// byte transport; `None` on the simulated network.
+    pub wire: Option<NetStats>,
+    /// Whole-run transport counters of the byte transport, if one ran.
+    pub meter: Option<TransportMeter>,
     /// What the same shipments would have cost in the retired row-oriented
     /// format (`8 B` tid + full value wire sizes per row) — 0 for runs
     /// that ship no columnar messages (`ibatVer`/`ibatHor`).
     pub rows_equiv_bytes: u64,
+}
+
+/// One CFD's coordinator run: marked tids plus every meter of the net it
+/// drove (each CFD owns a private substrate, merged afterwards).
+struct CfdRun {
+    tids: Vec<Tid>,
+    stats: NetStats,
+    wire: Option<NetStats>,
+    meter: Option<TransportMeter>,
+    rows_equiv: u64,
+}
+
+/// One CFD's private substrate under the chosen transport. Simulated
+/// delivers typed messages through metered inboxes; framed/TCP serialize
+/// every [`BatMsg`] to a length-prefixed byte frame through
+/// [`ByteNetwork`] — the coordinator then decodes from received bytes
+/// alone.
+fn bat_net(
+    n: usize,
+    transport: TransportKind,
+) -> Result<Box<dyn MsgTransport<BatMsg>>, DetectError> {
+    Ok(match transport {
+        TransportKind::Simulated => Box::new(Network::new(n)),
+        TransportKind::Framed => Box::new(ByteNetwork::in_memory(n)),
+        TransportKind::Tcp => {
+            Box::new(ByteNetwork::tcp_localhost(n).map_err(DetectError::Cluster)?)
+        }
+    })
+}
+
+/// Field-wise accumulation of transport counters.
+fn merge_meter(acc: &mut Option<TransportMeter>, m: TransportMeter) {
+    let a = acc.get_or_insert_with(TransportMeter::default);
+    a.frames += m.frames;
+    a.wire_bytes += m.wire_bytes;
+    a.modeled_bytes += m.modeled_bytes;
+    a.structural_bytes += m.structural_bytes;
+    a.saved_bytes += m.saved_bytes;
 }
 
 // ----------------------------------------------------------------------
@@ -325,9 +395,10 @@ fn bat_ver_one(
     cfd: &Cfd,
     scheme: &VerticalScheme,
     fragments: &[Relation],
-) -> (Vec<Tid>, NetStats, u64) {
+    transport: TransportKind,
+) -> Result<CfdRun, DetectError> {
     let n = scheme.n_sites();
-    let mut net: Network<BatMsg> = Network::new(n);
+    let mut net = bat_net(n, transport)?;
     let mut codec = DictSyms::new();
     let mut rows_equiv = 0u64;
     let mut out: Vec<Tid> = Vec::new();
@@ -354,14 +425,14 @@ fn bat_ver_one(
         serving.entry(site).or_default().push(a);
     }
 
-    // Each serving site filters by its locally evaluable constant atoms and
-    // contributes its columns — shipped (and metered) unless it *is* the
-    // coordinator. The coordinator re-interns everything into one pool.
-    let mut cpool = CoordPool::new();
-    let mut columns: Vec<(SiteId, Vec<Tid>, Vec<Vec<Sym>>)> = Vec::new();
+    // Sending pass: each remote serving site filters by its locally
+    // evaluable constant atoms, encodes its columns and ships them as one
+    // frame; the coordinator's own rows stay local.
     let mut sites: Vec<SiteId> = serving.keys().copied().collect();
     sites.sort_unstable();
-    for site in sites {
+    let mut local_rows: Vec<(Tid, RowId)> = Vec::new();
+    let mut local_served: Vec<AttrId> = Vec::new();
+    for &site in &sites {
         let served = &serving[&site];
         let frag = &fragments[site];
         let served_local: Vec<AttrId> = served
@@ -372,15 +443,41 @@ fn bat_ver_one(
             scheme.local_pos(site, a).map(|p| p as AttrId)
         });
         let rows = filter_rows(frag, &atoms);
-        let (tids, cols) = if site != coord {
+        if site != coord {
             let (msg, re) = ColsMsg::encode(frag, &rows, &served_local, &mut codec, site, coord);
             rows_equiv += re;
-            let translated = cpool.translate_msg(&msg);
             net.send(site, coord, BatMsg::Cols(msg))
-                .expect("valid sites");
-            translated
+                .map_err(DetectError::Cluster)?;
         } else {
-            cpool.translate_local(frag, &rows, &served_local)
+            local_rows = rows;
+            local_served = served_local;
+        }
+    }
+
+    // Receiving pass: the coordinator drains its inbox — on byte
+    // transports the messages arrive as real frames and decode from the
+    // bytes alone — and re-interns every contribution into one pool, in
+    // site order so the run is deterministic across substrates.
+    let mut received: FxHashMap<SiteId, ColsMsg> = net
+        .try_drain(coord)
+        .map_err(DetectError::Cluster)?
+        .into_iter()
+        .map(|(src, BatMsg::Cols(m))| (src, m))
+        .collect();
+    let mut cpool = CoordPool::new();
+    let mut columns: Vec<(SiteId, Vec<Tid>, Vec<Vec<Sym>>)> = Vec::new();
+    for &site in &sites {
+        let (tids, cols) = if site != coord {
+            let msg = received.remove(&site).ok_or_else(|| {
+                DetectError::Cluster(ClusterError::Transport(format!(
+                    "no columns received from serving site {site}"
+                )))
+            })?;
+            cpool
+                .translate_received(&msg)
+                .map_err(DetectError::Cluster)?
+        } else {
+            cpool.translate_local(&fragments[site], &local_rows, &local_served)
         };
         columns.push((site, tids, cols));
     }
@@ -454,29 +551,49 @@ fn bat_ver_one(
             out.extend(tids);
         }
     }
-    (out, net.stats().clone(), rows_equiv)
+    Ok(CfdRun {
+        tids: out,
+        stats: net.stats().clone(),
+        wire: net.wire_stats().cloned(),
+        meter: net.transport_meter(),
+        rows_equiv,
+    })
 }
 
-/// `batVer`: batch detection over vertical fragments, CFDs checked one
-/// after another.
+/// `batVer`: batch detection over vertical fragments on the simulated
+/// network, CFDs checked one after another.
 pub fn bat_ver(cfds: &[Cfd], scheme: &VerticalScheme, d: &Relation) -> BatchOutcome {
-    let fragments = scheme.partition(d);
-    merge_results(
-        cfds.len(),
-        scheme.n_sites(),
-        cfds.iter()
-            .map(|cfd| {
-                let (tids, s, re) = bat_ver_one(cfd, scheme, &fragments);
-                (cfd.id, tids, s, re)
-            })
-            .collect(),
-    )
+    bat_ver_with(cfds, scheme, d, TransportKind::Simulated)
+        .expect("the simulated substrate cannot fail")
 }
 
-/// `batVer` with per-CFD checks on parallel threads.
+/// [`bat_ver`] over an explicit transport: with [`TransportKind::Framed`]
+/// or [`TransportKind::Tcp`] every coordinator shipment crosses a
+/// [`ByteNetwork`] as a real frame (and [`BatchOutcome::wire`] reports
+/// the measured bytes); the modeled `|M|` is identical on every
+/// substrate.
+pub fn bat_ver_with(
+    cfds: &[Cfd],
+    scheme: &VerticalScheme,
+    d: &Relation,
+    transport: TransportKind,
+) -> Result<BatchOutcome, DetectError> {
+    let fragments = scheme.partition(d);
+    let mut results = Vec::with_capacity(cfds.len());
+    for cfd in cfds {
+        results.push((cfd.id, bat_ver_one(cfd, scheme, &fragments, transport)?));
+    }
+    Ok(merge_results(cfds.len(), scheme.n_sites(), results))
+}
+
+/// `batVer` with per-CFD checks on parallel threads (simulated network —
+/// each CFD task owns a private meter, merged afterwards).
 pub fn bat_ver_parallel(cfds: &[Cfd], scheme: &VerticalScheme, d: &Relation) -> BatchOutcome {
     let fragments = scheme.partition(d);
-    let results = parallel_per_cfd(cfds, |cfd| bat_ver_one(cfd, scheme, &fragments));
+    let results = parallel_per_cfd(cfds, |cfd| {
+        bat_ver_one(cfd, scheme, &fragments, TransportKind::Simulated)
+            .expect("the simulated substrate cannot fail")
+    });
     merge_results(cfds.len(), scheme.n_sites(), results)
 }
 
@@ -488,9 +605,12 @@ pub fn bat_ver_parallel(cfds: &[Cfd], scheme: &VerticalScheme, d: &Relation) -> 
 /// (columnar scans, zero shipment); variable CFDs ship the `π_{X∪{B}}`
 /// symbol columns of each site's pattern-matching rows to the CFD's
 /// coordinator (round-robin) as [`BatMsg::Cols`].
-fn bat_hor_one(cfd: &Cfd, n: usize, fragments: &[Relation]) -> (Vec<Tid>, NetStats, u64) {
-    let mut net: Network<BatMsg> = Network::new(n);
-    let mut codec = DictSyms::new();
+fn bat_hor_one(
+    cfd: &Cfd,
+    n: usize,
+    fragments: &[Relation],
+    transport: TransportKind,
+) -> Result<CfdRun, DetectError> {
     let mut rows_equiv = 0u64;
     let mut out: Vec<Tid> = Vec::new();
 
@@ -510,25 +630,60 @@ fn bat_hor_one(cfd: &Cfd, n: usize, fragments: &[Relation]) -> (Vec<Tid>, NetSta
                 }
             }
         }
-        return (out, net.stats().clone(), rows_equiv);
+        // Constant CFDs ship nothing — no substrate is even built.
+        return Ok(CfdRun {
+            tids: out,
+            stats: NetStats::new(n),
+            wire: None,
+            meter: None,
+            rows_equiv,
+        });
     }
+    let mut net = bat_net(n, transport)?;
+    let mut codec = DictSyms::new();
     let coord = (cfd.id as usize) % n;
     let proj: Vec<AttrId> = cfd.attrs();
     let m = cfd.lhs.len();
-    let mut cpool = CoordPool::new();
-    let mut groups: FxHashMap<GroupKey, (Vec<Tid>, Sym, bool)> = FxHashMap::default();
+
+    // Sending pass: every remote fragment ships one frame of projected,
+    // pattern-matching columns to this CFD's coordinator.
+    let mut local_rows: Vec<(Tid, RowId)> = Vec::new();
     for (site, frag) in fragments.iter().enumerate() {
         let atoms = local_atom_syms(cfd, frag, Some);
         let rows = filter_rows(frag, &atoms);
-        let (tids, cols) = if site != coord {
+        if site != coord {
             let (msg, re) = ColsMsg::encode(frag, &rows, &proj, &mut codec, site, coord);
             rows_equiv += re;
-            let translated = cpool.translate_msg(&msg);
             net.send(site, coord, BatMsg::Cols(msg))
-                .expect("valid sites");
-            translated
+                .map_err(DetectError::Cluster)?;
         } else {
-            cpool.translate_local(frag, &rows, &proj)
+            local_rows = rows;
+        }
+    }
+
+    // Receiving pass: drain the coordinator's inbox (real frames on byte
+    // transports) and fold every contribution into the groups, in site
+    // order so the run is deterministic across substrates.
+    let mut received: FxHashMap<SiteId, ColsMsg> = net
+        .try_drain(coord)
+        .map_err(DetectError::Cluster)?
+        .into_iter()
+        .map(|(src, BatMsg::Cols(msg))| (src, msg))
+        .collect();
+    let mut cpool = CoordPool::new();
+    let mut groups: FxHashMap<GroupKey, (Vec<Tid>, Sym, bool)> = FxHashMap::default();
+    for (site, frag) in fragments.iter().enumerate() {
+        let (tids, cols) = if site != coord {
+            let msg = received.remove(&site).ok_or_else(|| {
+                DetectError::Cluster(ClusterError::Transport(format!(
+                    "no columns received from site {site}"
+                )))
+            })?;
+            cpool
+                .translate_received(&msg)
+                .map_err(DetectError::Cluster)?
+        } else {
+            cpool.translate_local(frag, &local_rows, &proj)
         };
         // Group by X symbols (positions 0..m of the projection) — already
         // coordinator symbols, so grouping never touches a value.
@@ -547,30 +702,46 @@ fn bat_hor_one(cfd: &Cfd, n: usize, fragments: &[Relation]) -> (Vec<Tid>, NetSta
             out.extend(tids);
         }
     }
-    (out, net.stats().clone(), rows_equiv)
+    Ok(CfdRun {
+        tids: out,
+        stats: net.stats().clone(),
+        wire: net.wire_stats().cloned(),
+        meter: net.transport_meter(),
+        rows_equiv,
+    })
 }
 
-/// `batHor`: batch detection over horizontal fragments.
+/// `batHor`: batch detection over horizontal fragments on the simulated
+/// network.
 pub fn bat_hor(cfds: &[Cfd], scheme: &HorizontalScheme, d: &Relation) -> BatchOutcome {
+    bat_hor_with(cfds, scheme, d, TransportKind::Simulated)
+        .expect("the simulated substrate cannot fail")
+}
+
+/// [`bat_hor`] over an explicit transport — see [`bat_ver_with`].
+pub fn bat_hor_with(
+    cfds: &[Cfd],
+    scheme: &HorizontalScheme,
+    d: &Relation,
+    transport: TransportKind,
+) -> Result<BatchOutcome, DetectError> {
     let n = scheme.n_sites();
     let fragments = scheme.partition(d).expect("scheme partitions D");
-    merge_results(
-        cfds.len(),
-        n,
-        cfds.iter()
-            .map(|cfd| {
-                let (tids, s, re) = bat_hor_one(cfd, n, &fragments);
-                (cfd.id, tids, s, re)
-            })
-            .collect(),
-    )
+    let mut results = Vec::with_capacity(cfds.len());
+    for cfd in cfds {
+        results.push((cfd.id, bat_hor_one(cfd, n, &fragments, transport)?));
+    }
+    Ok(merge_results(cfds.len(), n, results))
 }
 
-/// `batHor` with per-CFD checks on parallel threads.
+/// `batHor` with per-CFD checks on parallel threads (simulated network).
 pub fn bat_hor_parallel(cfds: &[Cfd], scheme: &HorizontalScheme, d: &Relation) -> BatchOutcome {
     let n = scheme.n_sites();
     let fragments = scheme.partition(d).expect("scheme partitions D");
-    let results = parallel_per_cfd(cfds, |cfd| bat_hor_one(cfd, n, &fragments));
+    let results = parallel_per_cfd(cfds, |cfd| {
+        bat_hor_one(cfd, n, &fragments, TransportKind::Simulated)
+            .expect("the simulated substrate cannot fail")
+    });
     merge_results(cfds.len(), n, results)
 }
 
@@ -580,38 +751,41 @@ pub fn bat_hor_parallel(cfds: &[Cfd], scheme: &HorizontalScheme, d: &Relation) -
 
 /// Run `work` for every CFD on a bounded scoped thread pool, preserving
 /// CFD association.
-fn parallel_per_cfd<F>(cfds: &[Cfd], work: F) -> Vec<(CfdId, Vec<Tid>, NetStats, u64)>
+fn parallel_per_cfd<F>(cfds: &[Cfd], work: F) -> Vec<(CfdId, CfdRun)>
 where
-    F: Fn(&Cfd) -> (Vec<Tid>, NetStats, u64) + Sync,
+    F: Fn(&Cfd) -> CfdRun + Sync,
 {
     let idx: Vec<usize> = (0..cfds.len()).collect();
-    let results = crate::par::par_map(idx.len(), true, &|i| {
-        let (tids, stats, re) = work(&cfds[i]);
-        (cfds[i].id, tids, stats, re)
-    });
+    let results = crate::par::par_map(idx.len(), true, &|i| (cfds[i].id, work(&cfds[i])));
     let mut results = results;
-    results.sort_by_key(|(id, _, _, _)| *id);
+    results.sort_by_key(|(id, _)| *id);
     results
 }
 
-fn merge_results(
-    n_cfds: usize,
-    n_sites: usize,
-    results: Vec<(CfdId, Vec<Tid>, NetStats, u64)>,
-) -> BatchOutcome {
+fn merge_results(n_cfds: usize, n_sites: usize, results: Vec<(CfdId, CfdRun)>) -> BatchOutcome {
     let mut violations = Violations::new(n_cfds);
     let mut stats = NetStats::new(n_sites);
+    let mut wire: Option<NetStats> = None;
+    let mut meter: Option<TransportMeter> = None;
     let mut rows_equiv_bytes = 0u64;
-    for (cfd, tids, s, re) in results {
-        for t in tids {
+    for (cfd, run) in results {
+        for t in run.tids {
             violations.add(cfd, t);
         }
-        stats.merge(&s);
-        rows_equiv_bytes += re;
+        stats.merge(&run.stats);
+        if let Some(w) = run.wire {
+            wire.get_or_insert_with(|| NetStats::new(n_sites)).merge(&w);
+        }
+        if let Some(m) = run.meter {
+            merge_meter(&mut meter, m);
+        }
+        rows_equiv_bytes += run.rows_equiv;
     }
     BatchOutcome {
         violations,
         stats,
+        wire,
+        meter,
         rows_equiv_bytes,
     }
 }
@@ -639,19 +813,42 @@ pub fn ibat_ver(
     Ok(BatchOutcome {
         violations: det.violations().clone(),
         stats: det.stats().clone(),
+        wire: None,
+        meter: None,
         rows_equiv_bytes: 0,
     })
 }
 
-/// `ibatHor` (Exp-10): horizontal counterpart of [`ibat_ver`].
+/// `ibatHor` (Exp-10): horizontal counterpart of [`ibat_ver`], on the
+/// simulated network.
 pub fn ibat_hor(
     schema: Arc<Schema>,
     cfds: Vec<Cfd>,
     scheme: HorizontalScheme,
     d: &Relation,
 ) -> Result<BatchOutcome, DetectError> {
+    ibat_hor_with(schema, cfds, scheme, d, TransportKind::Simulated)
+}
+
+/// [`ibat_hor`] over an explicit transport: the incremental reload runs
+/// its §6 rounds through the chosen substrate (real frames under
+/// [`TransportKind::Framed`]/[`TransportKind::Tcp`]).
+pub fn ibat_hor_with(
+    schema: Arc<Schema>,
+    cfds: Vec<Cfd>,
+    scheme: HorizontalScheme,
+    d: &Relation,
+    transport: TransportKind,
+) -> Result<BatchOutcome, DetectError> {
     let empty = Relation::new(schema.clone());
-    let mut det = HorizontalDetector::new(schema, cfds, scheme, &empty)?;
+    let mut det = HorizontalDetector::with_session(
+        schema,
+        cfds,
+        scheme,
+        &empty,
+        cluster::codec::CodecKind::Md5,
+        transport,
+    )?;
     let mut load = UpdateBatch::new();
     for t in d.iter() {
         load.insert(t);
@@ -660,6 +857,8 @@ pub fn ibat_hor(
     Ok(BatchOutcome {
         violations: det.violations().clone(),
         stats: det.stats().clone(),
+        wire: det.wire_stats().cloned(),
+        meter: det.transport_meter(),
         rows_equiv_bytes: 0,
     })
 }
@@ -714,6 +913,9 @@ macro_rules! batch_detector {
             current: Relation,
             violations: Violations,
             stats: NetStats,
+            transport: TransportKind,
+            wire: Option<NetStats>,
+            meter: Option<TransportMeter>,
         }
 
         impl $name {
@@ -746,15 +948,38 @@ macro_rules! batch_detector {
                     violations: initial,
                     current: d.clone(),
                     stats: NetStats::new(n),
+                    transport: TransportKind::Simulated,
+                    wire: None,
+                    meter: None,
                     schema,
                     cfds,
                     scheme,
                 })
             }
 
+            /// Recompute over an explicit transport substrate: framed or
+            /// TCP runs ship real coordinator frames and expose measured
+            /// wire bytes beside the modeled `|M|`. (`ibatVer` recomputes
+            /// through the vertical detector, which runs on the simulated
+            /// network regardless — the setting is a no-op there.)
+            pub fn with_transport(mut self, transport: TransportKind) -> Self {
+                self.transport = transport;
+                self
+            }
+
             /// Cumulative recompute traffic.
             pub fn stats(&self) -> &NetStats {
                 &self.stats
+            }
+
+            /// Cumulative measured on-wire bytes, if a byte transport ran.
+            pub fn wire_stats(&self) -> Option<&NetStats> {
+                self.wire.as_ref()
+            }
+
+            /// Cumulative transport counters, if a byte transport ran.
+            pub fn transport_meter(&self) -> Option<TransportMeter> {
+                self.meter
             }
         }
 
@@ -786,21 +1011,33 @@ macro_rules! batch_detector {
                 let $self_ = &*self;
                 let out: BatchOutcome = $recompute;
                 self.stats.merge(&out.stats);
+                if let Some(w) = &out.wire {
+                    let n = self.scheme.n_sites();
+                    self.wire.get_or_insert_with(|| NetStats::new(n)).merge(w);
+                }
+                if let Some(m) = out.meter {
+                    merge_meter(&mut self.meter, m);
+                }
                 let dv = self.violations.diff(&out.violations);
                 self.violations = out.violations;
                 Ok(dv)
             }
 
             fn net(&self) -> NetReport {
-                let report = NetReport::single(self.stats.clone());
-                match $codec {
-                    Some(codec) => report.with_codec(codec),
-                    None => report,
+                let mut report = NetReport::single(self.stats.clone());
+                if let Some(codec) = $codec {
+                    report = report.with_codec(codec);
                 }
+                if let Some(w) = &self.wire {
+                    report = report.with_measured(w.clone());
+                }
+                report
             }
 
             fn reset_stats(&mut self) {
                 self.stats.reset();
+                self.wire = None;
+                self.meter = None;
             }
         }
     };
@@ -808,28 +1045,40 @@ macro_rules! batch_detector {
 
 batch_detector!(
     /// `batVer` as a maintained [`Detector`]: every `apply` recomputes
-    /// `V(Σ, D ⊕ ΔD)` from scratch with [`bat_ver`] and reports the diff.
+    /// `V(Σ, D ⊕ ΔD)` from scratch with [`bat_ver_with`] over the
+    /// configured transport and reports the diff.
     BatVer, "batVer", Some("dict"), VerticalScheme,
-    |det| bat_ver(&det.cfds, &det.scheme, &det.current)
+    |det| bat_ver_with(&det.cfds, &det.scheme, &det.current, det.transport)?
 );
 
 batch_detector!(
-    /// `batHor` as a maintained [`Detector`], wrapping [`bat_hor`].
+    /// `batHor` as a maintained [`Detector`], wrapping [`bat_hor_with`].
     BatHor, "batHor", Some("dict"), HorizontalScheme,
-    |det| bat_hor(&det.cfds, &det.scheme, &det.current)
+    |det| bat_hor_with(&det.cfds, &det.scheme, &det.current, det.transport)?
 );
 
 batch_detector!(
     /// `ibatVer` (Exp-10) as a maintained [`Detector`]: recompute through
-    /// the incremental machinery via [`ibat_ver`].
+    /// the incremental machinery via [`ibat_ver`] (simulated network —
+    /// the vertical detector has no byte-transport mode).
     IbatVer, "ibatVer", None::<&str>, VerticalScheme,
-    |det| ibat_ver(det.schema.clone(), det.cfds.clone(), det.scheme.clone(), &det.current)?
+    |det| {
+        let _ = det.transport; // simulated regardless; see with_transport
+        ibat_ver(det.schema.clone(), det.cfds.clone(), det.scheme.clone(), &det.current)?
+    }
 );
 
 batch_detector!(
-    /// `ibatHor` (Exp-10) as a maintained [`Detector`], via [`ibat_hor`].
+    /// `ibatHor` (Exp-10) as a maintained [`Detector`], via
+    /// [`ibat_hor_with`] over the configured transport.
     IbatHor, "ibatHor", Some("md5"), HorizontalScheme,
-    |det| ibat_hor(det.schema.clone(), det.cfds.clone(), det.scheme.clone(), &det.current)?
+    |det| ibat_hor_with(
+        det.schema.clone(),
+        det.cfds.clone(),
+        det.scheme.clone(),
+        &det.current,
+        det.transport,
+    )?
 );
 
 #[cfg(test)]
@@ -968,6 +1217,74 @@ mod tests {
         let par = bat_hor_parallel(&cfds, &hscheme, &d);
         assert_eq!(seq.violations.marks_sorted(), par.violations.marks_sorted());
         assert_eq!(seq.stats.total_bytes(), par.stats.total_bytes());
+    }
+
+    #[test]
+    fn byte_transports_match_simulated_drive() {
+        // The framed and TCP drives must reproduce the simulated run
+        // exactly: same violations, bit-identical modeled |M| matrix,
+        // and a wire meter satisfying the overhead identity.
+        let s = emp_schema();
+        let d = d0();
+        let cfds = fig1_cfds(&s);
+
+        let vs = vscheme(&s);
+        let sim = bat_ver(&cfds, &vs, &d);
+        for transport in [TransportKind::Framed, TransportKind::Tcp] {
+            let byte = bat_ver_with(&cfds, &vs, &d, transport).unwrap();
+            assert_eq!(
+                sim.violations.marks_sorted(),
+                byte.violations.marks_sorted(),
+                "batVer violations must agree over {transport:?}"
+            );
+            assert_eq!(
+                sim.stats.to_bytes(),
+                byte.stats.to_bytes(),
+                "batVer modeled |M| must be bit-identical over {transport:?}"
+            );
+            let m = byte.meter.expect("byte transport meters frames");
+            assert_eq!(
+                m.wire_bytes,
+                m.modeled_bytes + m.structural_bytes - m.saved_bytes,
+                "wire overhead identity over {transport:?}"
+            );
+            let wire = byte.wire.expect("byte transport meters wire stats");
+            assert!(wire.total_bytes() > byte.stats.total_bytes());
+        }
+
+        let hs = HorizontalScheme::by_hash(s.clone(), 0, 3).unwrap();
+        let sim = bat_hor(&cfds, &hs, &d);
+        let byte = bat_hor_with(&cfds, &hs, &d, TransportKind::Framed).unwrap();
+        assert_eq!(
+            sim.violations.marks_sorted(),
+            byte.violations.marks_sorted()
+        );
+        assert_eq!(sim.stats.to_bytes(), byte.stats.to_bytes());
+        assert!(byte.wire.is_some() && byte.meter.is_some());
+    }
+
+    #[test]
+    fn batch_detector_over_framed_transport_reports_measured_wire() {
+        let s = emp_schema();
+        let d = d0();
+        let cfds = fig1_cfds(&s);
+        let hs = HorizontalScheme::by_hash(s.clone(), 0, 3).unwrap();
+
+        let mut sim = BatHor::new(s.clone(), cfds.clone(), hs.clone(), &d).unwrap();
+        let mut byte = BatHor::new(s.clone(), cfds.clone(), hs, &d)
+            .unwrap()
+            .with_transport(TransportKind::Framed);
+        let mut delta = UpdateBatch::new();
+        delta.insert(emp_tuple(6, "C", 44, 131, "EH4 8LE", "Crichton", "NYC"));
+        let dv_sim = sim.apply(&delta).unwrap();
+        let dv_byte = byte.apply(&delta).unwrap();
+        assert_eq!(dv_sim.added, dv_byte.added);
+        assert_eq!(dv_sim.removed, dv_byte.removed);
+        assert_eq!(sim.stats().to_bytes(), byte.stats().to_bytes());
+        assert!(sim.wire_stats().is_none() && sim.transport_meter().is_none());
+        let wire = byte.wire_stats().expect("framed run measures wire bytes");
+        assert!(wire.total_bytes() > byte.stats().total_bytes());
+        assert!(byte.net().measured_bytes().is_some());
     }
 
     #[test]

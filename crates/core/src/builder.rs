@@ -83,6 +83,7 @@ impl DetectorBuilder {
             cfds: self.cfds,
             strategy,
             initial: None,
+            transport: TransportKind::default(),
         }
     }
 }
@@ -294,6 +295,7 @@ pub struct BaselineDetectorBuilder {
     cfds: Vec<Cfd>,
     strategy: BaselineStrategy,
     initial: Option<Violations>,
+    transport: TransportKind,
 }
 
 impl BaselineDetectorBuilder {
@@ -305,15 +307,29 @@ impl BaselineDetectorBuilder {
         self
     }
 
+    /// Transport substrate the per-batch coordinator rounds ride on.
+    /// `batVer`/`batHor`/`ibatHor` drive real byte frames under
+    /// [`TransportKind::Framed`]/[`TransportKind::Tcp`]; `ibatVer`'s
+    /// HEV shipment stays on the simulated network regardless.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
     /// Build over the initial database `d0`. Boxed, since the concrete
     /// type depends on the chosen strategy.
     pub fn build_dyn(self, d0: &Relation) -> Result<Box<dyn Detector>, DetectError> {
         macro_rules! construct {
             ($ty:ident, $scheme:expr) => {
                 match self.initial {
-                    Some(v) => Box::new($ty::with_initial(self.schema, self.cfds, $scheme, d0, v)?)
-                        as Box<dyn Detector>,
-                    None => Box::new($ty::new(self.schema, self.cfds, $scheme, d0)?),
+                    Some(v) => Box::new(
+                        $ty::with_initial(self.schema, self.cfds, $scheme, d0, v)?
+                            .with_transport(self.transport),
+                    ) as Box<dyn Detector>,
+                    None => Box::new(
+                        $ty::new(self.schema, self.cfds, $scheme, d0)?
+                            .with_transport(self.transport),
+                    ),
                 }
             };
         }

@@ -56,7 +56,10 @@ use std::sync::Arc;
 /// digests (in LHS order). Computable both from raw values and from shipped
 /// attribute digests, which is what lets one message serve every CFD. The
 /// key buffer is caller-supplied and reused across probes.
-fn key_digest_from(attr_digests: impl IntoIterator<Item = Digest>, kbuf: &mut Vec<u8>) -> Digest {
+pub(crate) fn key_digest_from(
+    attr_digests: impl IntoIterator<Item = Digest>,
+    kbuf: &mut Vec<u8>,
+) -> Digest {
     kbuf.clear();
     for d in attr_digests {
         kbuf.extend_from_slice(&d.0);
@@ -267,22 +270,22 @@ type PreDigests = Vec<Vec<Option<(Digest, Digest)>>>;
 
 /// One RHS class within a group at one site.
 #[derive(Debug, Default)]
-struct ClassEntry {
-    tids: FxHashSet<Tid>,
+pub(crate) struct ClassEntry {
+    pub(crate) tids: FxHashSet<Tid>,
     /// Representative raw RHS value (shipped in raw-mode replies).
-    raw_b: Option<Value>,
+    pub(crate) raw_b: Option<Value>,
 }
 
 /// Per-site, per-CFD group state.
 #[derive(Debug, Default)]
-struct GroupState {
-    classes: FxHashMap<Digest, ClassEntry>,
+pub(crate) struct GroupState {
+    pub(crate) classes: FxHashMap<Digest, ClassEntry>,
     /// Does the *global* group violate? (uniform across sites)
-    violating: bool,
+    pub(crate) violating: bool,
 }
 
 impl GroupState {
-    fn members(&self) -> impl Iterator<Item = Tid> + '_ {
+    pub(crate) fn members(&self) -> impl Iterator<Item = Tid> + '_ {
         self.classes.values().flat_map(|c| c.tids.iter().copied())
     }
 }
@@ -622,7 +625,7 @@ impl HorizontalDetector {
 
     /// Group-key digest of `cfd`'s LHS for tuple `t`, built in the two
     /// caller-supplied scratch buffers (value bytes, key bytes).
-    fn key_of(cfd: &Cfd, t: &Tuple, vbuf: &mut Vec<u8>, kbuf: &mut Vec<u8>) -> Digest {
+    pub(crate) fn key_of(cfd: &Cfd, t: &Tuple, vbuf: &mut Vec<u8>, kbuf: &mut Vec<u8>) -> Digest {
         key_digest_from(
             cfd.lhs.iter().map(|&a| attr_digest_into(t.get(a), vbuf)),
             kbuf,
@@ -630,7 +633,11 @@ impl HorizontalDetector {
     }
 
     /// Group-key digest derived from shipped attribute payloads.
-    fn key_from_wire(cfd: &Cfd, attrs: &FxHashMap<AttrId, Digest>, kbuf: &mut Vec<u8>) -> Digest {
+    pub(crate) fn key_from_wire(
+        cfd: &Cfd,
+        attrs: &FxHashMap<AttrId, Digest>,
+        kbuf: &mut Vec<u8>,
+    ) -> Digest {
         key_digest_from(cfd.lhs.iter().map(|a| attrs[a]), kbuf)
     }
 
@@ -639,7 +646,7 @@ impl HorizontalDetector {
     /// because codecs may keep per-link state (dictionary residency): the
     /// same value can ship as a full entry to one peer and a bare symbol
     /// to the next.
-    fn encode_attrs(
+    pub(crate) fn encode_attrs(
         codec: &mut dyn PayloadCodec,
         t: &Tuple,
         attr_set: &FxHashSet<AttrId>,
@@ -658,7 +665,7 @@ impl HorizontalDetector {
     /// stateless ones (md5/raw) encode once into `cached` and clone — the
     /// per-attribute digests of one update are computed once, not once
     /// per peer.
-    fn encode_attrs_for_peer(
+    pub(crate) fn encode_attrs_for_peer(
         codec: &mut dyn PayloadCodec,
         t: &Tuple,
         attr_set: &FxHashSet<AttrId>,

@@ -29,6 +29,7 @@
 
 pub mod baselines;
 pub mod builder;
+pub mod concurrent;
 pub mod detector;
 pub mod hev;
 pub mod horizontal;
@@ -41,6 +42,7 @@ pub mod plan;
 pub mod vertical;
 
 pub use builder::{BaselineStrategy, DetectorBuilder};
+pub use concurrent::ConcurrentHorizontal;
 pub use detector::{DetectError, Detector};
 pub use horizontal::HorizontalDetector;
 pub use hybrid::{HybridDetector, HybridScheme};
