@@ -1,17 +1,20 @@
-//! `load_gen` — emit the sustained-load benchmark report (`BENCH_7.json`),
-//! including the concurrency `speedup` curve.
+//! `load_gen` — emit the sustained-load benchmark report (`BENCH_8.json`),
+//! including the concurrency `speedup` curve and the shared-plan
+//! `cfd_sweep`.
 //!
 //! Usage:
 //!
 //! ```text
-//! load_gen [--quick] [--out PATH] [--compare BENCH_7.json]
+//! load_gen [--quick] [--out PATH] [--compare BENCH_8.json]
 //!          [--require-keys k1,k2,...]
 //! ```
 //!
-//! `--quick` runs the scenario catalog at smoke scale and the speedup
-//! curve at 2/4 sites (seconds); the default full run (scenarios at
-//! 40k rows, speedup at 2/4/8/16 sites) is what gets committed as
-//! `BENCH_7.json`. Without `--out` the report goes to stdout only.
+//! `--quick` runs the scenario catalog at smoke scale, the speedup
+//! curve at 2/4 sites and the CFD sweep over the quick fig9 stream
+//! (seconds); the default full run (scenarios at 40k rows, speedup at
+//! 2/4/8/16 sites, sweep over the full fig9 stream) is what gets
+//! committed as `BENCH_8.json`. Without `--out` the report goes to
+//! stdout only.
 //!
 //! `--compare PATH` is the regression gate: the freshly computed
 //! quick-scale deterministic load numbers (`load_quick`: updates

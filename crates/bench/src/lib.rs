@@ -15,6 +15,7 @@
 pub mod load;
 pub mod report;
 pub mod speedup;
+pub mod sweep;
 
 use cfd::Cfd;
 use cluster::partition::{HorizontalScheme, VerticalScheme};

@@ -13,7 +13,7 @@
 //! applied, Σ|ΔV| marks, final violation marks, modeled and measured
 //! wire bytes) are duplicated at quick scale in the `load_quick`
 //! section, which the `load_gen --compare` gate checks against the
-//! committed `BENCH_6.json` exactly like the `fig_quick` gate.
+//! committed `BENCH_8.json` exactly like the `fig_quick` gate.
 
 use crate::report::Json;
 use cluster::codec::CodecKind;
@@ -218,16 +218,17 @@ pub fn build_load_quick() -> Json {
     run_matrix(Profile::Quick, cell_json_deterministic)
 }
 
-/// Build the whole `BENCH_7.json` document. `quick` selects the
-/// scenario scale of the headline `load` section and the site counts of
-/// the `speedup` curve; `load_quick` is always quick-scale.
+/// Build the whole `BENCH_8.json` document. `quick` selects the
+/// scenario scale of the headline `load` section, the site counts of
+/// the `speedup` curve and the stream scale of the `cfd_sweep`;
+/// `load_quick` is always quick-scale.
 pub fn build_load_report(quick: bool) -> Json {
     let profile = if quick { Profile::Quick } else { Profile::Full };
     let load = run_matrix(profile, cell_json);
     let load_quick = build_load_quick();
     Json::obj(vec![
         ("schema_version", Json::Int(1)),
-        ("report", Json::Str("BENCH_7".into())),
+        ("report", Json::Str("BENCH_8".into())),
         (
             "description",
             Json::Str(
@@ -251,8 +252,16 @@ pub fn build_load_report(quick: bool) -> Json {
                  drive at 2/4/8/16 sites on the fig9-scale stream — \
                  wall-clock floats plus deterministic message/byte/wave \
                  counts (see crates/bench/src/speedup.rs for the elapsed \
-                 accounting). `fig_quick` is carried over so the \
-                 bench_report gate can target this file too"
+                 accounting), with `ctrl_overhead_bytes`/`ack_overhead` \
+                 isolating the control-frame wire tax that the \
+                 piggybacked cumulative acks (`AckN`) keep near the \
+                 barrier floor. `cfd_sweep` grows `|Σ|` from 16 to 1024 \
+                 overlap-heavy generated CFDs over the fig9 stream and \
+                 compares per-update cost with operator-level sharing \
+                 (one dispatch pass, one digest per attribute, one \
+                 group-key per distinct LHS list) against the per-CFD \
+                 loop. `fig_quick` is carried over so the bench_report \
+                 gate can target this file too"
                     .into(),
             ),
         ),
@@ -263,6 +272,7 @@ pub fn build_load_report(quick: bool) -> Json {
         ("load", load),
         ("load_quick", load_quick),
         ("speedup", crate::speedup::build_speedup(quick)),
+        ("cfd_sweep", crate::sweep::build_cfd_sweep(quick)),
         ("fig_quick", crate::report::build_fig_quick()),
     ])
 }

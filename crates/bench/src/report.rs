@@ -1054,7 +1054,7 @@ pub fn build_report(quick: bool) -> Json {
 
     Json::obj(vec![
         ("schema_version", Json::Int(1)),
-        ("report", Json::Str("BENCH_7".into())),
+        ("report", Json::Str("BENCH_8".into())),
         (
             "description",
             Json::Str(
@@ -1066,11 +1066,14 @@ pub fn build_report(quick: bool) -> Json {
                  fourth codec `lz` (in-tree LZ77 per-message frame \
                  compression) undercutting raw_values on the wire. \
                  md5/raw_values/dict modeled bytes are bit-identical to \
-                 BENCH_4. The committed BENCH_7.json (emitted by \
-                 load_gen) additionally carries the `speedup` concurrency \
-                 curve and the sustained-load matrix. `fig_quick` holds \
-                 the quick-scale deterministic numbers the CI bench gate \
-                 compares against (>20% regression fails)"
+                 BENCH_4, and every detector evaluates under the shared \
+                 multi-CFD delta plan (SharingMode::Shared) — `cfd_sweep` \
+                 measures what that buys as |Σ| grows. The committed \
+                 BENCH_8.json (emitted by load_gen) additionally carries \
+                 the `speedup` concurrency curve and the sustained-load \
+                 matrix. `fig_quick` holds the quick-scale deterministic \
+                 numbers the CI bench gate compares against (>20% \
+                 regression fails)"
                     .into(),
             ),
         ),
@@ -1111,6 +1114,7 @@ pub fn build_report(quick: bool) -> Json {
             "transport",
             fig_section(&fig_quick, quick, "transport", transport_section),
         ),
+        ("cfd_sweep", crate::sweep::build_cfd_sweep(quick)),
         ("fig_quick", fig_quick),
     ])
 }
@@ -1165,6 +1169,8 @@ mod tests {
             "bat_ver_cols_bytes",
             "transport",
             "measured_wire_bytes",
+            "cfd_sweep",
+            "sharing_speedup",
             "fig_quick",
         ] {
             assert!(r.contains(&format!("\"{key}\"")), "missing section {key}");

@@ -62,7 +62,8 @@ struct Point {
     /// Measured on-wire bytes of the sequential drive (protocol frames).
     seq_wire_bytes: u64,
     /// Measured on-wire bytes of the threaded drive (protocol + control
-    /// frames: wave barriers, acks, op shipment, result collection).
+    /// frames: wave barriers, piggybacked cumulative acks, op shipment,
+    /// result collection).
     thr_wire_bytes: u64,
     /// Scheduler waves the stream decomposed into (deterministic).
     waves: u64,
@@ -86,6 +87,21 @@ impl Point {
             ("messages", Json::Int(self.messages)),
             ("seq_wire_bytes", Json::Int(self.seq_wire_bytes)),
             ("thr_wire_bytes", Json::Int(self.thr_wire_bytes)),
+            // The concurrency tax on the wire: everything the threaded
+            // drive ships beyond the sequential protocol bytes. Since the
+            // cumulative-ack PR, silent protocol rounds are acknowledged
+            // by piggybacked or idle-flushed cumulative counters (never
+            // a demand round-trip), so this overhead sits close to the
+            // barrier/shipment floor rather than growing with the probe
+            // count.
+            (
+                "ctrl_overhead_bytes",
+                Json::Int(self.thr_wire_bytes - self.seq_wire_bytes),
+            ),
+            (
+                "ack_overhead",
+                Json::Num(self.thr_wire_bytes as f64 / self.seq_wire_bytes as f64),
+            ),
             ("waves", Json::Int(self.waves)),
             ("marks", Json::Int(self.marks)),
         ])
@@ -184,7 +200,7 @@ mod tests {
     /// Full-scale curve, printed for inspection. Run explicitly with
     /// `cargo test --release -p bench -- --ignored speedup_full`.
     #[test]
-    #[ignore = "minutes-scale; the committed BENCH_7.json carries the curve"]
+    #[ignore = "minutes-scale; the committed BENCH_8.json carries the curve"]
     fn speedup_full_curve() {
         println!("{}", build_speedup(false).render());
     }
@@ -215,6 +231,11 @@ mod tests {
                 _ => panic!("wire byte fields present"),
             };
             assert!(tw > sw, "ctrl frames must show up on the wire");
+            match p.get("ctrl_overhead_bytes") {
+                Some(Json::Int(o)) => assert_eq!(*o, tw - sw),
+                other => panic!("ctrl_overhead_bytes present, got {other:?}"),
+            }
+            assert!(p.get("ack_overhead").is_some());
         }
     }
 }

@@ -1,0 +1,261 @@
+//! The `cfd_sweep` section of the benchmark report: per-update detection
+//! cost as `|Σ|` grows, with and without operator-level sharing.
+//!
+//! Families follow the paper's §7 methodology: a **fixed catalog** of
+//! [`SWEEP_LISTS`] embedded near-FDs is mined from the relation once,
+//! and `|Σ|` grows by adding *patterns* over that catalog (each rule =
+//! catalog FD + sampled constants), via
+//! [`workload::family::cfd_family`] with `overlap = 1 − lists/|Σ|`.
+//! The fig9 TPCH stream is applied **one update at a time** — the
+//! streaming regime the shared plan targets — to the §6 horizontal
+//! detector under both [`SharingMode::Shared`] and
+//! [`SharingMode::PerCfd`].
+//!
+//! The per-CFD path pays one LHS pattern scan and one fresh group-key
+//! digest per variable CFD per update, so its per-update cost is `Θ(|Σ|)`.
+//! The shared plan dispatches through the posting-list index, hashes each
+//! *attribute* once per update and each *key group* once per update —
+//! semi-naive delta evaluation over the merged plan — so its cost scales
+//! with the number of distinct LHS lists, not `|Σ|`. Both modes run the
+//! identical §6 case analysis and protocol, and the run asserts their
+//! `ΔV`, final violations and modeled `|M|` are bit-identical, so the
+//! curve isolates candidate generation.
+//!
+//! Wall-clock floats (`*_ns_per_update`, `sharing_speedup`) are
+//! machine-dependent and emitted as [`Json::Num`] — never gated; family
+//! shape and detection integers are deterministic [`Json::Int`]s.
+
+use crate::report::{fixed_tpch, Json};
+use incdetect::{DetectError, DetectorBuilder, SharingMode};
+use relation::UpdateBatch;
+use std::time::Instant;
+use workload::family::{cfd_family, FamilyConfig};
+use workload::tpch;
+
+/// CFD counts of the sweep (both modes, both report scales — the gate
+/// walks the committed full-scale keys, so quick runs keep every point).
+pub const SWEEP_NS: &[usize] = &[16, 64, 256, 1024];
+
+/// Size of the fixed near-FD catalog every sweep family patterns over:
+/// each point asks [`cfd_family`] for `1 − SWEEP_LISTS/|Σ|` overlap, so
+/// the distinct-LHS-list count stays pinned while `|Σ|` grows — more
+/// rules per group-by, the regime operator sharing targets.
+pub const SWEEP_LISTS: usize = 8;
+
+/// The overlap dial that pins a family of `n` CFDs onto the fixed
+/// [`SWEEP_LISTS`]-entry catalog.
+pub fn sweep_overlap(n: usize) -> f64 {
+    1.0 - SWEEP_LISTS.min(n) as f64 / n as f64
+}
+
+/// One CFD count, measured under one sharing mode.
+struct ModeRun {
+    ns_per_update: f64,
+    dv_marks: u64,
+    final_violations: u64,
+    modeled_bytes: u64,
+}
+
+/// Drive the stream one op at a time under `mode`, best-of-`passes`
+/// wall clock (the detector is rebuilt per pass; construction is not
+/// timed).
+fn run_mode(
+    schema: &std::sync::Arc<relation::Schema>,
+    cfds: &[cfd::Cfd],
+    d: &relation::Relation,
+    stream: &[UpdateBatch],
+    n_sites: usize,
+    mode: SharingMode,
+    passes: usize,
+) -> Result<ModeRun, DetectError> {
+    let hs = tpch::horizontal_scheme(schema, n_sites);
+    let mut best = f64::INFINITY;
+    let mut dv_marks = 0u64;
+    let mut final_violations = 0u64;
+    let mut modeled_bytes = 0u64;
+    for _ in 0..passes {
+        let mut det = DetectorBuilder::new(schema.clone(), cfds.to_vec())
+            .sharing(mode)
+            .horizontal(hs.clone())
+            .build_dyn(d)?;
+        let mut marks = 0u64;
+        let t0 = Instant::now();
+        for b in stream {
+            marks += det.apply(b)?.len() as u64;
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        best = best.min(wall / stream.len() as f64 * 1e9);
+        dv_marks = marks;
+        final_violations = det.violations().total_marks() as u64;
+        modeled_bytes = det.net().total_bytes();
+    }
+    Ok(ModeRun {
+        ns_per_update: best,
+        dv_marks,
+        final_violations,
+        modeled_bytes,
+    })
+}
+
+/// Build the `cfd_sweep` section. `quick` reuses the quick-scale fig9
+/// stream and a single timing pass; the full report runs the full-scale
+/// stream with best-of-3 timing.
+pub fn build_cfd_sweep(quick: bool) -> Json {
+    let (schema, _, d, delta) = fixed_tpch(quick);
+    let n_sites = 10;
+    let passes = if quick { 1 } else { 3 };
+    // The fig9 stream as singleton batches: per-update semantics, and the
+    // per-CFD mode stays below its batch-parallel precompute threshold,
+    // so both modes are measured on the serial per-update path.
+    let stream: Vec<UpdateBatch> = delta
+        .ops()
+        .iter()
+        .map(|op| {
+            let mut b = UpdateBatch::new();
+            match op {
+                relation::Update::Insert(t) => b.insert(t.clone()),
+                relation::Update::Delete(tid) => b.delete(*tid),
+            }
+            b
+        })
+        .collect();
+
+    let mut points = Vec::new();
+    let mut shared_16 = None;
+    for &n in SWEEP_NS {
+        let fam = cfd_family(
+            &schema,
+            &d,
+            &FamilyConfig {
+                n,
+                overlap: sweep_overlap(n),
+                seed: 0xCFD,
+            },
+        );
+        let plan = cfd::SharedPlan::new(&fam);
+        let shared = run_mode(
+            &schema,
+            &fam,
+            &d,
+            &stream,
+            n_sites,
+            SharingMode::Shared,
+            passes,
+        )
+        .expect("shared sweep point runs");
+        let per_cfd = run_mode(
+            &schema,
+            &fam,
+            &d,
+            &stream,
+            n_sites,
+            SharingMode::PerCfd,
+            passes,
+        )
+        .expect("per-CFD sweep point runs");
+        assert_eq!(
+            shared.dv_marks, per_cfd.dv_marks,
+            "ΔV must be mode-independent at {n} CFDs"
+        );
+        assert_eq!(
+            shared.final_violations, per_cfd.final_violations,
+            "V must be mode-independent at {n} CFDs"
+        );
+        assert_eq!(
+            shared.modeled_bytes, per_cfd.modeled_bytes,
+            "modeled |M| must be mode-independent at {n} CFDs"
+        );
+        if n == SWEEP_NS[0] {
+            shared_16 = Some(shared.ns_per_update);
+        }
+        let n_var = fam.iter().filter(|c| c.is_variable()).count();
+        points.push((
+            format!("cfds_{n}"),
+            Json::obj(vec![
+                ("n_cfds", Json::Int(n as u64)),
+                ("overlap", Json::Num(sweep_overlap(n))),
+                ("variable_cfds", Json::Int(n_var as u64)),
+                ("key_groups", Json::Int(plan.key_groups().len() as u64)),
+                ("shared_ns_per_update", Json::Num(shared.ns_per_update)),
+                ("per_cfd_ns_per_update", Json::Num(per_cfd.ns_per_update)),
+                (
+                    "sharing_speedup",
+                    Json::Num(per_cfd.ns_per_update / shared.ns_per_update),
+                ),
+                (
+                    "shared_cost_vs_16_cfds",
+                    Json::Num(shared.ns_per_update / shared_16.expect("first point measured")),
+                ),
+                ("dv_marks", Json::Int(shared.dv_marks)),
+                ("final_violations", Json::Int(shared.final_violations)),
+                ("modeled_bytes", Json::Int(shared.modeled_bytes)),
+            ]),
+        ));
+    }
+    let mut fields = vec![
+        ("catalog_lists".to_string(), Json::Int(SWEEP_LISTS as u64)),
+        ("updates".to_string(), Json::Int(stream.len() as u64)),
+    ];
+    fields.extend(points);
+    Json::Obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_quick_runs_and_modes_agree() {
+        let j = build_cfd_sweep(true);
+        assert!(matches!(j.get("updates"), Some(Json::Int(n)) if *n > 0));
+        let mut groups = Vec::new();
+        for n in SWEEP_NS {
+            let p = j
+                .get(&format!("cfds_{n}"))
+                .unwrap_or_else(|| panic!("cfds_{n} present"));
+            assert!(matches!(p.get("n_cfds"), Some(Json::Int(c)) if *c == *n as u64));
+            for key in [
+                "shared_ns_per_update",
+                "per_cfd_ns_per_update",
+                "sharing_speedup",
+                "shared_cost_vs_16_cfds",
+                "dv_marks",
+                "final_violations",
+                "modeled_bytes",
+            ] {
+                assert!(p.get(key).is_some(), "cfds_{n}.{key} present");
+            }
+            match p.get("key_groups") {
+                Some(Json::Int(g)) => groups.push(*g),
+                other => panic!("cfds_{n}.key_groups: {other:?}"),
+            }
+        }
+        // The family patterns a fixed near-FD catalog, so the group-by
+        // count stays pinned while |Σ| grows 64×.
+        let last = *groups.last().expect("points exist");
+        assert!(
+            last as usize <= SWEEP_LISTS,
+            "1024-CFD family must stay on the {SWEEP_LISTS}-list catalog, got {last}"
+        );
+        // Wall-clock claims only mean something optimized — debug walls
+        // are dominated by unoptimized digest code.
+        if !cfg!(debug_assertions) {
+            let num =
+                |n: usize, key: &str| match j.get(&format!("cfds_{n}")).and_then(|p| p.get(key)) {
+                    Some(Json::Num(x)) => *x,
+                    other => panic!("cfds_{n}.{key}: {other:?}"),
+                };
+            assert!(
+                num(1024, "sharing_speedup") > 1.0,
+                "sharing must win at 1024 CFDs"
+            );
+            // 16× the CFDs must cost well under 16× per update — the
+            // committed full-scale BENCH_8.json pins the tighter <8×
+            // claim; the smoke bound leaves slack for shared machines.
+            assert!(
+                num(256, "shared_cost_vs_16_cfds") < 12.0,
+                "shared per-update cost must scale sublinearly in |Σ|"
+            );
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Delta plans: an explicit operator IR for incremental CFD evaluation.
+//!
+//! Every incremental detector in this repository evaluates the same
+//! implicit query per CFD `φ = (X → B, t_p)` and per update: *restrict*
+//! the delta to the tuples matching `t_p[X]`'s constant atoms, *group*
+//! the survivors by `X`, and *probe* `B` against the group (semi-naive
+//! evaluation — one leg of the join is always the delta, base
+//! conclusions are reused from the detector's indices). This module
+//! makes that query an explicit plan of operators compiled from the
+//! CFD, so the §5 optimizer can share operators **across** CFDs instead
+//! of merging eqids only: two CFDs with the same `X` share one group-by
+//! pass, and their constant atoms become residual [`DeltaOp::Restrict`]
+//! predicates applied on the shared output (see [`crate::share`]).
+//!
+//! The IR also evaluates directly over [`ColumnStore`] column slices
+//! ([`DeltaPlan::matching_rows`]): constants are resolved to interned
+//! symbols once, so a restrict is a `u32` comparison over a contiguous
+//! column — the batch-shaped path used by tests and coordinators.
+
+use crate::cfd::{Cfd, CfdId};
+use crate::pattern::PatternValue;
+use relation::{AttrId, ColumnStore, RowId, Value};
+
+/// One operator of a compiled delta plan, in pipeline order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DeltaOp {
+    /// Source: the normalized update batch (one leg restricted to Δ).
+    ScanDelta,
+    /// Group surviving rows by the LHS attributes, in LHS order. This is
+    /// the shareable operator: identical `attrs` ⇒ identical group keys.
+    GroupBy {
+        /// `X` in LHS order (the group-key digest order of §6).
+        attrs: Vec<AttrId>,
+    },
+    /// Residual predicate: keep rows whose attribute equals the constant
+    /// LHS pattern atom. Applied per CFD on the shared group-by output.
+    Restrict {
+        /// The constrained LHS attribute.
+        attr: AttrId,
+        /// The required constant.
+        value: Value,
+    },
+    /// Sink: probe the RHS attribute against the pattern — a constant
+    /// pattern decides per tuple, a wildcard compares within the group.
+    ProbeRhs {
+        /// `B`.
+        attr: AttrId,
+        /// `t_p[B]`.
+        pattern: PatternValue,
+    },
+}
+
+/// The compiled plan of one CFD: `ScanDelta → [GroupBy] → Restrict* →
+/// ProbeRhs`. Constant CFDs have no `GroupBy` (they are decided tuple
+/// by tuple); variable CFDs group before filtering so the group-by
+/// operator is textually identical for every CFD with the same LHS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaPlan {
+    /// The CFD this plan evaluates.
+    pub cfd: CfdId,
+    /// Operators in pipeline order.
+    pub ops: Vec<DeltaOp>,
+}
+
+impl DeltaPlan {
+    /// Compile `cfd` into its delta plan.
+    pub fn compile(cfd: &Cfd) -> DeltaPlan {
+        let mut ops = vec![DeltaOp::ScanDelta];
+        if cfd.is_variable() {
+            ops.push(DeltaOp::GroupBy {
+                attrs: cfd.lhs.clone(),
+            });
+        }
+        for (attr, value) in cfd.constant_atoms() {
+            ops.push(DeltaOp::Restrict { attr, value });
+        }
+        ops.push(DeltaOp::ProbeRhs {
+            attr: cfd.rhs,
+            pattern: cfd.rhs_pattern.clone(),
+        });
+        DeltaPlan { cfd: cfd.id, ops }
+    }
+
+    /// The group-by attribute list, if this plan has one (variable CFDs).
+    pub fn group_by(&self) -> Option<&[AttrId]> {
+        self.ops.iter().find_map(|op| match op {
+            DeltaOp::GroupBy { attrs } => Some(attrs.as_slice()),
+            _ => None,
+        })
+    }
+
+    /// The residual restrict predicates, in LHS order.
+    pub fn restricts(&self) -> impl Iterator<Item = (AttrId, &Value)> {
+        self.ops.iter().filter_map(|op| match op {
+            DeltaOp::Restrict { attr, value } => Some((*attr, value)),
+            _ => None,
+        })
+    }
+
+    /// Length of the longest common operator prefix with `other` — the
+    /// number of operators a sharing compiler evaluates once for both.
+    pub fn shared_prefix_len(&self, other: &DeltaPlan) -> usize {
+        self.ops
+            .iter()
+            .zip(&other.ops)
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// Evaluate the restrict chain over column slices: the delta rows
+    /// that satisfy every residual predicate (i.e. `matches_lhs`).
+    /// Constants resolve to interned symbols once; each restrict is then
+    /// a `u32` scan over a contiguous column. Rows survive in input
+    /// order, so downstream grouping is deterministic.
+    pub fn matching_rows(&self, store: &ColumnStore, delta_rows: &[RowId]) -> Vec<RowId> {
+        let mut alive: Vec<RowId> = delta_rows.to_vec();
+        for (attr, value) in self.restricts() {
+            let Some(sym) = store.pool().lookup(value) else {
+                return Vec::new(); // constant absent from the store
+            };
+            let col = store.col(attr);
+            alive.retain(|&row| col[row as usize] == sym);
+            if alive.is_empty() {
+                break;
+            }
+        }
+        alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{Relation, Schema, Tuple};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new("R", &["id", "cc", "zip", "street", "city"], "id").unwrap()
+    }
+
+    fn variable_cfd(s: &Schema) -> Cfd {
+        // (cc=44, zip → street): one constant atom, variable RHS.
+        Cfd::from_names(
+            0,
+            s,
+            &[("cc", Some(Value::int(44))), ("zip", None)],
+            ("street", None),
+        )
+        .unwrap()
+    }
+
+    fn constant_cfd(s: &Schema) -> Cfd {
+        Cfd::from_names(
+            1,
+            s,
+            &[("cc", Some(Value::int(1)))],
+            ("city", Some(Value::str("NYC"))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compile_shapes() {
+        let s = schema();
+        let v = DeltaPlan::compile(&variable_cfd(&s));
+        assert_eq!(v.ops[0], DeltaOp::ScanDelta);
+        assert!(matches!(v.ops[1], DeltaOp::GroupBy { .. }));
+        assert!(matches!(v.ops[2], DeltaOp::Restrict { .. }));
+        assert!(matches!(v.ops[3], DeltaOp::ProbeRhs { .. }));
+        assert_eq!(v.group_by(), Some(&[1 as AttrId, 2][..]));
+
+        let c = DeltaPlan::compile(&constant_cfd(&s));
+        assert!(c.group_by().is_none(), "constant CFDs decide per tuple");
+        assert_eq!(c.restricts().count(), 1);
+    }
+
+    #[test]
+    fn shared_prefix_reflects_lhs_overlap() {
+        let s = schema();
+        // Same LHS, different residual constant: share scan + group-by.
+        let a = Cfd::from_names(
+            0,
+            &s,
+            &[("cc", Some(Value::int(44))), ("zip", None)],
+            ("street", None),
+        )
+        .unwrap();
+        let b = Cfd::from_names(
+            1,
+            &s,
+            &[("cc", Some(Value::int(1))), ("zip", None)],
+            ("street", None),
+        )
+        .unwrap();
+        let (pa, pb) = (DeltaPlan::compile(&a), DeltaPlan::compile(&b));
+        assert_eq!(pa.shared_prefix_len(&pb), 2, "ScanDelta + GroupBy shared");
+
+        // Different LHS: only the scan is common.
+        let c = Cfd::from_names(2, &s, &[("city", None)], ("street", None)).unwrap();
+        assert_eq!(pa.shared_prefix_len(&DeltaPlan::compile(&c)), 1);
+
+        // Identical plans modulo the sink share everything up to it.
+        let a2 = Cfd::from_names(
+            3,
+            &s,
+            &[("cc", Some(Value::int(44))), ("zip", None)],
+            ("city", None),
+        )
+        .unwrap();
+        assert_eq!(pa.shared_prefix_len(&DeltaPlan::compile(&a2)), 3);
+    }
+
+    #[test]
+    fn matching_rows_agrees_with_matches_lhs() {
+        let s = schema();
+        let cfds = [variable_cfd(&s), constant_cfd(&s)];
+        let mut d = Relation::new(s.clone());
+        for i in 0..50u64 {
+            d.insert(Tuple::new(
+                i,
+                vec![
+                    Value::int(i as i64),
+                    Value::int((i % 3) as i64 * 22), // cc ∈ {0, 22, 44}
+                    Value::str(format!("Z{}", i % 5)),
+                    Value::str(format!("S{}", i % 7)),
+                    Value::str(if i % 2 == 0 { "NYC" } else { "EDI" }),
+                ],
+            ))
+            .unwrap();
+        }
+        let store = d.store();
+        let rows: Vec<RowId> = store.rows().map(|(_, r)| r).collect();
+        for cfd in &cfds {
+            let plan = DeltaPlan::compile(cfd);
+            let got = plan.matching_rows(store, &rows);
+            let want: Vec<RowId> = rows
+                .iter()
+                .copied()
+                .filter(|&r| {
+                    let t = Tuple::new(
+                        store.tid_of(r),
+                        (0..s.arity() as AttrId)
+                            .map(|a| store.value(r, a).clone())
+                            .collect::<Vec<_>>(),
+                    );
+                    cfd.matches_lhs(&t)
+                })
+                .collect();
+            assert_eq!(got, want, "cfd {}", cfd.id);
+        }
+        // A constant no row carries matches nothing without scanning.
+        let ghost = Cfd::from_names(
+            9,
+            &s,
+            &[("cc", Some(Value::int(999))), ("zip", None)],
+            ("street", None),
+        )
+        .unwrap();
+        assert!(DeltaPlan::compile(&ghost)
+            .matching_rows(store, &rows)
+            .is_empty());
+    }
+}

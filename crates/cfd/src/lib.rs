@@ -9,6 +9,10 @@
 //!
 //! * [`pattern`] — pattern values and the match operator `≍`,
 //! * [`cfd`] — the [`Cfd`] type, tableau form and normalization,
+//! * [`delta`] — the per-CFD delta-plan operator IR (scan / group /
+//!   restrict / probe) with a columnar semi-naive evaluator,
+//! * [`share`] — operator-level sharing across a rule set's plans: one
+//!   dispatch scan and one group-key pass serving many CFDs,
 //! * [`parse`] — a small text format (`[CC=44, zip] -> [street]`),
 //! * [`violation`] — the violation containers `V(Σ, D)` and `ΔV`,
 //! * [`naive`] — a centralized batch detector used as the ground-truth
@@ -17,15 +21,19 @@
 
 pub mod algebra;
 pub mod cfd;
+pub mod delta;
 pub mod naive;
 pub mod parse;
 pub mod pattern;
 pub mod report;
+pub mod share;
 pub mod sqlgen;
 pub mod violation;
 
 pub use crate::cfd::{Cfd, CfdId, Tableau};
+pub use crate::delta::{DeltaOp, DeltaPlan};
 pub use crate::pattern::PatternValue;
+pub use crate::share::{MatchScratch, SharedPlan};
 pub use crate::violation::{DeltaV, Violations};
 
 /// Errors produced when building or parsing CFDs.

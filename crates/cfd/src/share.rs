@@ -1,0 +1,341 @@
+//! Operator-level sharing across the delta plans of a rule set.
+//!
+//! [`SharedPlan`] compiles every CFD's [`DeltaPlan`]
+//! and merges the shareable operators:
+//!
+//! * **One scan.** LHS matching for *all* CFDs is decided by a single
+//!   pass over the tuple's constrained attributes. Per attribute the
+//!   plan keeps a posting list `value → CFDs whose plan restricts the
+//!   attribute to that value`; a tuple LHS-matches a CFD exactly when it
+//!   hits every one of its postings (counted with generation-stamped
+//!   counters, no per-call clearing). CFDs without residual restricts
+//!   match every tuple and live on a precomputed `always` list. Cost per
+//!   tuple is `O(#constrained attrs + #matches)` instead of the naive
+//!   `O(|Σ| · |X|)` loop — the sharing that makes thousand-CFD rule
+//!   sets feasible.
+//! * **One group-by.** Variable CFDs with byte-identical `GroupBy`
+//!   operators form a *key group*: the detectors compute one group-key
+//!   digest per key group per tuple and every member CFD reuses it.
+//!
+//! Residual predicates are **never** merged: two CFDs share a key group
+//! only when their `GroupBy` attribute lists are identical, and each
+//! CFD keeps its own restrict postings — the property suite asserts the
+//! match set is exactly the per-CFD `matches_lhs` loop's.
+
+use crate::cfd::{Cfd, CfdId};
+use crate::delta::DeltaPlan;
+use relation::{AttrId, FxHashMap, Tuple, Value};
+
+/// Reusable per-caller scratch for [`SharedPlan::matched_by`]. Holding
+/// it outside the plan keeps the plan shareable (`Arc`) across sites
+/// and threads while each evaluation stays allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    /// Restrict hits per CFD in the current generation.
+    count: Vec<u32>,
+    /// Generation that last touched `count[c]`.
+    stamp: Vec<u32>,
+    /// Current generation (0 = never used).
+    generation: u32,
+    /// The sorted match list handed back to the caller.
+    hits: Vec<CfdId>,
+}
+
+/// The merged evaluation plan of a rule set. Immutable once built;
+/// evaluation needs only a [`MatchScratch`].
+#[derive(Debug, Clone)]
+pub struct SharedPlan {
+    /// The per-CFD plans the sharing was compiled from (id order).
+    plans: Vec<DeltaPlan>,
+    /// Per constrained attribute: constant → CFDs restricting to it.
+    /// Sorted by attribute; a CFD appears once per restrict atom.
+    index: Vec<(AttrId, FxHashMap<Value, Vec<CfdId>>)>,
+    /// Restrict atoms each CFD needs to hit (0 ⇒ on `always`).
+    needed: Vec<u32>,
+    /// CFDs with no restricts, ascending — they match every tuple.
+    always: Vec<CfdId>,
+    /// `is_variable` per CFD.
+    is_var: Vec<bool>,
+    /// Distinct `GroupBy` operators: `(X in LHS order, member CFDs)`,
+    /// first-seen order over ascending ids (variable CFDs only).
+    key_groups: Vec<(Vec<AttrId>, Vec<CfdId>)>,
+    /// Key group of each variable CFD.
+    group_of: Vec<Option<usize>>,
+}
+
+impl SharedPlan {
+    /// Compile the rule set. CFD ids must be contiguous and equal to
+    /// their position (the invariant `RuleSet::new` establishes and
+    /// every detector already relies on).
+    pub fn new(cfds: &[Cfd]) -> SharedPlan {
+        let n = cfds.len();
+        debug_assert!(
+            cfds.iter().enumerate().all(|(i, c)| c.id as usize == i),
+            "SharedPlan requires contiguous CFD ids"
+        );
+        let plans: Vec<DeltaPlan> = cfds.iter().map(DeltaPlan::compile).collect();
+
+        let mut by_attr: FxHashMap<AttrId, FxHashMap<Value, Vec<CfdId>>> = FxHashMap::default();
+        let mut needed = vec![0u32; n];
+        let mut always = Vec::new();
+        for (c, plan) in plans.iter().enumerate() {
+            let mut atoms = 0u32;
+            for (attr, value) in plan.restricts() {
+                by_attr
+                    .entry(attr)
+                    .or_default()
+                    .entry(value.clone())
+                    .or_default()
+                    .push(c as CfdId);
+                atoms += 1;
+            }
+            needed[c] = atoms;
+            if atoms == 0 {
+                always.push(c as CfdId);
+            }
+        }
+        let mut index: Vec<(AttrId, FxHashMap<Value, Vec<CfdId>>)> = by_attr.into_iter().collect();
+        index.sort_unstable_by_key(|(a, _)| *a);
+
+        let mut key_groups: Vec<(Vec<AttrId>, Vec<CfdId>)> = Vec::new();
+        let mut group_of = vec![None; n];
+        for (c, plan) in plans.iter().enumerate() {
+            let Some(attrs) = plan.group_by() else {
+                continue;
+            };
+            let g = match key_groups.iter().position(|(k, _)| k == attrs) {
+                Some(g) => g,
+                None => {
+                    key_groups.push((attrs.to_vec(), Vec::new()));
+                    key_groups.len() - 1
+                }
+            };
+            key_groups[g].1.push(c as CfdId);
+            group_of[c] = Some(g);
+        }
+
+        SharedPlan {
+            index,
+            needed,
+            always,
+            is_var: cfds.iter().map(Cfd::is_variable).collect(),
+            key_groups,
+            group_of,
+            plans,
+        }
+    }
+
+    /// Number of CFDs the plan covers.
+    pub fn n_cfds(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The compiled per-CFD plans, in id order.
+    pub fn plans(&self) -> &[DeltaPlan] {
+        &self.plans
+    }
+
+    /// Is `c` a variable CFD?
+    pub fn is_variable(&self, c: CfdId) -> bool {
+        self.is_var[c as usize]
+    }
+
+    /// The shared `GroupBy` operators: each entry is one group-key
+    /// computation serving every member CFD.
+    pub fn key_groups(&self) -> &[(Vec<AttrId>, Vec<CfdId>)] {
+        &self.key_groups
+    }
+
+    /// Key group of a variable CFD (`None` for constant CFDs).
+    pub fn group_of(&self, c: CfdId) -> Option<usize> {
+        self.group_of[c as usize]
+    }
+
+    /// Number of constrained attributes in the dispatch index.
+    pub fn n_indexed_attrs(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of CFDs with no residual restricts.
+    pub fn n_always(&self) -> usize {
+        self.always.len()
+    }
+
+    /// All CFDs whose LHS pattern matches the tuple described by
+    /// `value_of`, ascending by id — exactly the set the per-CFD
+    /// `matches_lhs` loop computes, via the shared dispatch pass.
+    pub fn matched_by<'s, 'v>(
+        &self,
+        mut value_of: impl FnMut(AttrId) -> &'v Value,
+        scratch: &'s mut MatchScratch,
+    ) -> &'s [CfdId] {
+        let n = self.plans.len();
+        if scratch.count.len() < n {
+            scratch.count.resize(n, 0);
+            scratch.stamp.resize(n, 0);
+        }
+        scratch.generation = match scratch.generation.checked_add(1) {
+            Some(g) => g,
+            None => {
+                scratch.stamp.fill(0);
+                1
+            }
+        };
+        let generation = scratch.generation;
+        scratch.hits.clear();
+        scratch.hits.extend_from_slice(&self.always);
+        for (attr, postings) in &self.index {
+            let Some(list) = postings.get(value_of(*attr)) else {
+                continue;
+            };
+            for &c in list {
+                let ci = c as usize;
+                if scratch.stamp[ci] != generation {
+                    scratch.stamp[ci] = generation;
+                    scratch.count[ci] = 0;
+                }
+                scratch.count[ci] += 1;
+                if scratch.count[ci] == self.needed[ci] {
+                    scratch.hits.push(c);
+                }
+            }
+        }
+        scratch.hits.sort_unstable();
+        &scratch.hits
+    }
+
+    /// [`Self::matched_by`] over a materialized tuple.
+    pub fn matched<'s>(&'s self, t: &Tuple, scratch: &'s mut MatchScratch) -> &'s [CfdId] {
+        self.matched_by(|a| t.get(a), scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::Schema;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new("R", &["id", "cc", "zip", "street", "city"], "id").unwrap()
+    }
+
+    fn rules(s: &Schema) -> Vec<Cfd> {
+        vec![
+            // Shared LHS [cc, zip], different residual constants.
+            Cfd::from_names(
+                0,
+                s,
+                &[("cc", Some(Value::int(44))), ("zip", None)],
+                ("street", None),
+            )
+            .unwrap(),
+            Cfd::from_names(
+                1,
+                s,
+                &[("cc", Some(Value::int(1))), ("zip", None)],
+                ("street", None),
+            )
+            .unwrap(),
+            // Pure FD: no restricts, same group-by as above.
+            Cfd::from_names(2, s, &[("cc", None), ("zip", None)], ("street", None)).unwrap(),
+            // Different LHS order ⇒ different group-by operator.
+            Cfd::from_names(3, s, &[("zip", None), ("cc", None)], ("street", None)).unwrap(),
+            // Constant CFD.
+            Cfd::from_names(
+                4,
+                s,
+                &[("cc", Some(Value::int(44)))],
+                ("city", Some(Value::str("EDI"))),
+            )
+            .unwrap(),
+        ]
+    }
+
+    fn tuple(cc: i64, zip: &str) -> Tuple {
+        Tuple::new(
+            0,
+            vec![
+                Value::int(0),
+                Value::int(cc),
+                Value::str(zip),
+                Value::str("s"),
+                Value::str("c"),
+            ],
+        )
+    }
+
+    #[test]
+    fn dispatch_matches_the_per_cfd_loop() {
+        let s = schema();
+        let cfds = rules(&s);
+        let plan = SharedPlan::new(&cfds);
+        let mut scratch = MatchScratch::default();
+        for (cc, zip) in [(44, "a"), (1, "a"), (7, "b"), (44, "b")] {
+            let t = tuple(cc, zip);
+            let want: Vec<CfdId> = cfds
+                .iter()
+                .filter(|c| c.matches_lhs(&t))
+                .map(|c| c.id)
+                .collect();
+            assert_eq!(plan.matched(&t, &mut scratch), &want[..], "cc={cc}");
+        }
+    }
+
+    #[test]
+    fn key_groups_merge_only_identical_group_bys() {
+        let s = schema();
+        let cfds = rules(&s);
+        let plan = SharedPlan::new(&cfds);
+        // [cc, zip] is shared by CFDs 0, 1, 2; [zip, cc] is its own
+        // group; the constant CFD has none.
+        assert_eq!(plan.key_groups().len(), 2);
+        assert_eq!(plan.key_groups()[0], (vec![1, 2], vec![0, 1, 2]));
+        assert_eq!(plan.key_groups()[1], (vec![2, 1], vec![3]));
+        assert_eq!(plan.group_of(0), Some(0));
+        assert_eq!(plan.group_of(3), Some(1));
+        assert_eq!(plan.group_of(4), None);
+        for (attrs, members) in plan.key_groups() {
+            for &c in members {
+                assert_eq!(
+                    cfds[c as usize].lhs, *attrs,
+                    "a key group must only merge byte-identical GroupBy operators"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_generations_never_leak_between_calls() {
+        let s = schema();
+        let cfds = rules(&s);
+        let plan = SharedPlan::new(&cfds);
+        let mut scratch = MatchScratch::default();
+        // Force many generations, interleaving hit/miss tuples: stale
+        // counters from earlier generations must never complete a match.
+        for round in 0..1000 {
+            let t = if round % 2 == 0 {
+                tuple(44, "x")
+            } else {
+                tuple(-1, "x")
+            };
+            let want: Vec<CfdId> = cfds
+                .iter()
+                .filter(|c| c.matches_lhs(&t))
+                .map(|c| c.id)
+                .collect();
+            assert_eq!(plan.matched(&t, &mut scratch), &want[..]);
+        }
+        // Generation wrap: restart the counter space explicitly.
+        scratch.generation = u32::MAX - 1;
+        for _ in 0..4 {
+            let t = tuple(44, "x");
+            let want: Vec<CfdId> = cfds
+                .iter()
+                .filter(|c| c.matches_lhs(&t))
+                .map(|c| c.id)
+                .collect();
+            assert_eq!(plan.matched(&t, &mut scratch), &want[..]);
+        }
+    }
+}

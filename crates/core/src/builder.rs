@@ -20,7 +20,7 @@ use crate::baselines::{BatHor, BatVer, IbatHor, IbatVer};
 use crate::detector::{DetectError, Detector};
 use crate::horizontal::HorizontalDetector;
 use crate::hybrid::{HybridDetector, HybridScheme};
-use crate::optimize::{optimize, OptimizeConfig};
+use crate::optimize::{optimize, OptimizeConfig, SharingMode};
 use crate::plan::HevPlan;
 use crate::vertical::VerticalDetector;
 use cfd::{Cfd, Violations};
@@ -35,12 +35,27 @@ use std::sync::Arc;
 pub struct DetectorBuilder {
     schema: Arc<Schema>,
     cfds: Vec<Cfd>,
+    sharing: SharingMode,
 }
 
 impl DetectorBuilder {
     /// Start a build over `schema` with rule set `cfds`.
     pub fn new(schema: Arc<Schema>, cfds: Vec<Cfd>) -> Self {
-        DetectorBuilder { schema, cfds }
+        DetectorBuilder {
+            schema,
+            cfds,
+            sharing: SharingMode::default(),
+        }
+    }
+
+    /// Multi-CFD evaluation mode for the incremental detectors:
+    /// [`SharingMode::Shared`] (the default — one shared-plan dispatch
+    /// pass per update) or [`SharingMode::PerCfd`] (the legacy per-CFD
+    /// loop, kept as a differential/benchmark baseline). Both modes
+    /// detect and meter bit-identically; batch baselines ignore this.
+    pub fn sharing(mut self, mode: SharingMode) -> Self {
+        self.sharing = mode;
+        self
     }
 
     /// Incremental detection over a vertical partition (§4, `incVer`).
@@ -50,6 +65,7 @@ impl DetectorBuilder {
             cfds: self.cfds,
             scheme,
             plan: PlanChoice::DefaultChains,
+            sharing: self.sharing,
         }
     }
 
@@ -61,6 +77,7 @@ impl DetectorBuilder {
             scheme,
             codec: CodecKind::default(),
             transport: TransportKind::default(),
+            sharing: self.sharing,
         }
     }
 
@@ -73,6 +90,7 @@ impl DetectorBuilder {
             scheme: topology,
             codec: CodecKind::default(),
             transport: TransportKind::default(),
+            sharing: self.sharing,
         }
     }
 
@@ -106,6 +124,7 @@ pub struct VerticalDetectorBuilder {
     cfds: Vec<Cfd>,
     scheme: VerticalScheme,
     plan: PlanChoice,
+    sharing: SharingMode,
 }
 
 impl VerticalDetectorBuilder {
@@ -128,7 +147,9 @@ impl VerticalDetectorBuilder {
             PlanChoice::Explicit(p) => p,
             PlanChoice::Optimized(cfg) => optimize(&self.cfds, &self.scheme, cfg),
         };
-        VerticalDetector::with_plan(self.schema, self.cfds, self.scheme, plan, d0)
+        let mut det = VerticalDetector::with_plan(self.schema, self.cfds, self.scheme, plan, d0)?;
+        det.set_sharing(self.sharing);
+        Ok(det)
     }
 
     /// Build boxed, for heterogeneous strategy collections.
@@ -147,6 +168,7 @@ pub struct HorizontalDetectorBuilder {
     scheme: HorizontalScheme,
     codec: CodecKind,
     transport: TransportKind,
+    sharing: SharingMode,
 }
 
 impl HorizontalDetectorBuilder {
@@ -195,14 +217,16 @@ impl HorizontalDetectorBuilder {
 
     /// Build over the initial database `d0`.
     pub fn build(self, d0: &Relation) -> Result<HorizontalDetector, DetectError> {
-        HorizontalDetector::with_session(
+        let mut det = HorizontalDetector::with_session(
             self.schema,
             self.cfds,
             self.scheme,
             d0,
             self.codec,
             self.transport,
-        )
+        )?;
+        det.set_sharing(self.sharing);
+        Ok(det)
     }
 
     /// Build boxed, for heterogeneous strategy collections.
@@ -221,6 +245,7 @@ pub struct HybridDetectorBuilder {
     scheme: HybridScheme,
     codec: CodecKind,
     transport: TransportKind,
+    sharing: SharingMode,
 }
 
 impl HybridDetectorBuilder {
@@ -259,14 +284,16 @@ impl HybridDetectorBuilder {
 
     /// Build over the initial database `d0`.
     pub fn build(self, d0: &Relation) -> Result<HybridDetector, DetectError> {
-        HybridDetector::with_session(
+        let mut det = HybridDetector::with_session(
             self.schema,
             self.cfds,
             self.scheme,
             d0,
             self.codec,
             self.transport,
-        )
+        )?;
+        det.set_sharing(self.sharing);
+        Ok(det)
     }
 
     /// Build boxed, for heterogeneous strategy collections.

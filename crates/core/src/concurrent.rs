@@ -34,11 +34,36 @@
 //! protocol, not the harness that schedules it. The differential suite
 //! asserts threaded, multi-process and sequential drives agree on
 //! violations, `ΔV` *and* the full per-link modeled byte matrix.
+//!
+//! # Piggybacked cumulative acks, flushed on idle
+//!
+//! Pipelining needs every round closed eventually, but a per-round ack
+//! frame for each silent request is pure overhead when several rounds
+//! could share one. A serving site therefore *accumulates* an owed-ack
+//! counter per requesting peer and closes many silent rounds at once,
+//! over two vehicles. While traffic flows, the count rides for free:
+//! every outbound protocol frame towards a peer with a non-zero owed
+//! counter is wrapped in a [`RtFrame::Piggy`] envelope (5 structural
+//! bytes; the carried message's modeled `|M|` is untouched) whose
+//! cumulative ack pops the `k` oldest outstanding rounds at the
+//! receiver *before* the payload is matched — the owed rounds are
+//! strictly older, so FIFO reply matching is preserved by construction.
+//! When the inbox goes quiet — [`Node::try_recv`] finds nothing and the
+//! site is about to block — all owed counters flush as one standalone
+//! frame per peer ([`CtrlMsg::Ack`] for a single round, the same six
+//! wire bytes a per-round scheme pays; [`CtrlMsg::AckN`] when several
+//! rounds batch up). Because every site flushes *before* it blocks, a
+//! cycle of sites each waiting on the other's acks cannot form, and no
+//! demand/poll round-trip is ever needed. Candidate generation
+//! itself runs through the shared [`SharedPlan`] dispatch (one pass over
+//! the rule set per update instead of one `matches_lhs` scan per CFD),
+//! with per-update attribute digests hashed once and shared across every
+//! CFD in the same LHS key group.
 
 use crate::detector::{DetectError, Detector};
 use crate::horizontal::{key_digest_from, ClassEntry, GroupState, HorMsg, HorizontalDetector};
 use crate::md5::Digest;
-use cfd::{Cfd, CfdId, DeltaV, Violations};
+use cfd::{Cfd, CfdId, DeltaV, MatchScratch, SharedPlan, Violations};
 use cluster::codec::{value_digest as attr_digest, CodecKind, PayloadCodec, ReceiverCodec};
 use cluster::net::{bytes as wirefmt, decode_body, FrameCodec, TransportKind};
 use cluster::partition::HorizontalScheme;
@@ -72,6 +97,9 @@ const CT_ADVANCE: u8 = 0x83;
 const CT_COLLECT: u8 = 0x84;
 const CT_RESULT: u8 = 0x85;
 const CT_SHUTDOWN: u8 = 0x86;
+const CT_ACK_N: u8 = 0x87;
+/// Piggyback envelope: `[tag][owed acks: u32][protocol frame]`.
+const CT_PIGGY: u8 = 0x89;
 
 const OP_INSERT: u8 = 0;
 const OP_DELETE: u8 = 1;
@@ -107,6 +135,11 @@ pub struct BatchImage {
 pub enum CtrlMsg {
     /// Generic round-closer where the protocol has no payload to reply.
     Ack,
+    /// Cumulative ack: closes the `k` *oldest* outstanding rounds the
+    /// receiver opened towards us (all served silently on our side).
+    /// Never sent with `k == 0`, and never with `k == 1` either — a
+    /// single owed round flushes as the smaller [`CtrlMsg::Ack`].
+    AckN(u32),
     /// The coordinator ships a site its slice of the batch, wave-tagged.
     Ops {
         /// `(wave, op)` in batch order.
@@ -166,6 +199,10 @@ impl FrameCodec for CtrlMsg {
         let start = out.len();
         match self {
             CtrlMsg::Ack => out.push(CT_ACK),
+            CtrlMsg::AckN(k) => {
+                out.push(CT_ACK_N);
+                out.extend_from_slice(&k.to_le_bytes());
+            }
             CtrlMsg::Ops { ops, n_waves } => {
                 out.push(CT_OPS);
                 out.extend_from_slice(&n_waves.to_le_bytes());
@@ -216,6 +253,7 @@ impl FrameCodec for CtrlMsg {
         let mut r = wirefmt::Reader::new(body);
         let msg = match r.u8()? {
             CT_ACK => CtrlMsg::Ack,
+            CT_ACK_N => CtrlMsg::AckN(r.u32()?),
             CT_OPS => {
                 let n_waves = r.u32()?;
                 let n = r.u32()? as usize;
@@ -276,12 +314,17 @@ pub enum RtFrame {
     Hor(HorMsg),
     /// A runtime control message.
     Ctrl(CtrlMsg),
+    /// A §6 protocol message carrying a piggybacked cumulative ack:
+    /// close the `k` oldest outstanding rounds towards the sender, then
+    /// process the payload. The envelope is pure structure — modeled
+    /// `|M|` is the carried message's.
+    Piggy(u32, HorMsg),
 }
 
 impl Wire for RtFrame {
     fn wire_size(&self) -> usize {
         match self {
-            RtFrame::Hor(m) => m.wire_size(),
+            RtFrame::Hor(m) | RtFrame::Piggy(_, m) => m.wire_size(),
             RtFrame::Ctrl(m) => m.wire_size(),
         }
     }
@@ -292,12 +335,24 @@ impl FrameCodec for RtFrame {
         match self {
             RtFrame::Hor(m) => m.encode_frame(out),
             RtFrame::Ctrl(m) => m.encode_frame(out),
+            RtFrame::Piggy(k, m) => {
+                out.push(CT_PIGGY);
+                out.extend_from_slice(&k.to_le_bytes());
+                m.encode_frame(out) + 5
+            }
         }
     }
 
     fn decode_frame(body: &[u8]) -> Result<Self, ClusterError> {
         match body.first() {
             None => Err(ClusterError::Transport("empty frame body".into())),
+            Some(&CT_PIGGY) => {
+                let k = body
+                    .get(1..5)
+                    .ok_or_else(|| ClusterError::Transport("truncated piggyback header".into()))?;
+                let k = u32::from_le_bytes(k.try_into().expect("4-byte slice"));
+                Ok(RtFrame::Piggy(k, HorMsg::decode_frame(&body[5..])?))
+            }
             Some(&t) if t >= 0x80 => Ok(RtFrame::Ctrl(CtrlMsg::decode_frame(body)?)),
             Some(_) => Ok(RtFrame::Hor(HorMsg::decode_frame(body)?)),
         }
@@ -337,6 +392,8 @@ fn add_meter(acc: &mut TransportMeter, m: [u64; 5]) {
 pub struct SiteConfig {
     pub(crate) schema: Arc<Schema>,
     pub(crate) cfds: Arc<[Cfd]>,
+    /// Operator-shared dispatch over `Σ` (one pass per update).
+    plan: Arc<SharedPlan>,
     atom_digests: Arc<[Vec<(AttrId, Digest)>]>,
     lhs_groups: Arc<[(Vec<AttrId>, Vec<CfdId>)]>,
     /// `local_ok[cfd][site]`: `X_{F_i} ⊆ X` — no cross-site conflicts.
@@ -376,21 +433,17 @@ impl SiteConfig {
             })
             .collect::<Vec<_>>()
             .into();
-        let mut groups: Vec<(Vec<AttrId>, Vec<CfdId>)> = Vec::new();
-        for c in &cfds {
-            if !c.is_variable() {
-                continue;
-            }
-            match groups.iter_mut().find(|(lhs, _)| *lhs == c.lhs) {
-                Some((_, ids)) => ids.push(c.id),
-                None => groups.push((c.lhs.clone(), vec![c.id])),
-            }
-        }
+        let plan = Arc::new(SharedPlan::new(&cfds));
+        // The receiver-side implicit-query walk groups variable CFDs by
+        // identical LHS; the shared plan's key groups are exactly that
+        // partition, in the same first-seen order.
+        let lhs_groups: Arc<[(Vec<AttrId>, Vec<CfdId>)]> = plan.key_groups().to_vec().into();
         SiteConfig {
             schema,
             cfds: cfds.into(),
+            plan,
             atom_digests,
-            lhs_groups: groups.into(),
+            lhs_groups,
             local_ok: local_ok.into(),
             relevant: relevant.into(),
         }
@@ -422,6 +475,18 @@ enum Response {
     Conflicts(Vec<CfdId>),
     Bvals(Vec<(CfdId, Vec<WireValue>)>),
     Ack,
+    /// Cumulative ack: close the `k` oldest outstanding rounds at once.
+    AckN(u32),
+}
+
+/// What one inbound frame produced: the piggybacked cumulative ack (if
+/// any — closes rounds towards `src`, strictly older than whatever the
+/// carried payload closes) plus the payload's event.
+struct Pumped {
+    src: SiteId,
+    /// Rounds towards `src` closed by a piggybacked ack count.
+    acks: u32,
+    event: Option<Event>,
 }
 
 /// One outstanding update of the current wave.
@@ -476,6 +541,14 @@ pub struct SiteRunner {
     rx: Vec<ReceiverCodec>,
     /// Coordinator only: sites done with the current wave.
     done_count: usize,
+    /// Per requesting peer: silently-served rounds not yet acked.
+    /// Piggybacked onto the next protocol frame towards that peer
+    /// ([`RtFrame::Piggy`]) while traffic flows, flushed as standalone
+    /// [`CtrlMsg::Ack`]/[`CtrlMsg::AckN`] frames the moment the inbox
+    /// goes idle ([`SiteRunner::flush_owed`]).
+    owed: Vec<u32>,
+    /// Shared-plan dispatch scratch (generation-stamped counters).
+    scratch: MatchScratch,
     vbuf: Vec<u8>,
     kbuf: Vec<u8>,
 }
@@ -495,6 +568,8 @@ impl SiteRunner {
             codec: codec.codec(),
             rx: (0..n).map(|_| ReceiverCodec::new()).collect(),
             done_count: 0,
+            owed: vec![0; n],
+            scratch: MatchScratch::default(),
             vbuf: Vec::new(),
             kbuf: Vec::new(),
             cfg,
@@ -506,50 +581,101 @@ impl SiteRunner {
 
     // -- frame pump ----------------------------------------------------
 
-    fn dispatch(
-        &mut self,
-        src: SiteId,
-        method: u8,
-        body: Vec<u8>,
-    ) -> Result<Option<Event>, DetectError> {
+    fn dispatch(&mut self, src: SiteId, method: u8, body: Vec<u8>) -> Result<Pumped, DetectError> {
         let frame: RtFrame = decode_body(method, body).map_err(DetectError::Cluster)?;
         match frame {
-            RtFrame::Hor(HorMsg::TupleProbe { attrs, probes }) => {
-                self.serve_probe(src, attrs, probes)?;
-                Ok(None)
+            RtFrame::Piggy(k, m) => {
+                let event = self.on_hor(src, m)?;
+                Ok(Pumped {
+                    src,
+                    acks: k,
+                    event,
+                })
             }
-            RtFrame::Hor(HorMsg::TupleDelQuery { attrs, queries }) => {
-                self.serve_del_query(src, attrs, queries)?;
-                Ok(None)
-            }
-            RtFrame::Hor(HorMsg::ClearFlags { attrs, cfds }) => {
-                self.serve_clear(src, attrs, cfds)?;
-                Ok(None)
-            }
-            RtFrame::Hor(HorMsg::ProbeReply { conflicts }) => {
-                Ok(Some(Event::Response(src, Response::Conflicts(conflicts))))
-            }
-            RtFrame::Hor(HorMsg::DelReply { bvals }) => {
-                Ok(Some(Event::Response(src, Response::Bvals(bvals))))
-            }
-            RtFrame::Ctrl(CtrlMsg::Ack) => Ok(Some(Event::Response(src, Response::Ack))),
-            RtFrame::Ctrl(CtrlMsg::WaveDone(_)) => {
-                self.done_count += 1;
-                Ok(None)
-            }
-            RtFrame::Ctrl(CtrlMsg::WaveAdvance(w)) => Ok(Some(Event::Advance(w))),
-            RtFrame::Ctrl(CtrlMsg::Ops { ops, n_waves }) => Ok(Some(Event::Ops(ops, n_waves))),
-            RtFrame::Ctrl(CtrlMsg::Collect) => Ok(Some(Event::Collect)),
-            RtFrame::Ctrl(CtrlMsg::BatchResult(img)) => Ok(Some(Event::Result(*img))),
-            RtFrame::Ctrl(CtrlMsg::Shutdown) => Ok(Some(Event::Shutdown)),
+            RtFrame::Hor(m) => Ok(Pumped {
+                src,
+                acks: 0,
+                event: self.on_hor(src, m)?,
+            }),
+            RtFrame::Ctrl(c) => Ok(Pumped {
+                src,
+                acks: 0,
+                event: self.on_ctrl(src, c)?,
+            }),
         }
     }
 
-    /// Block for the next frame; serve requests inline, surface
-    /// everything else.
-    fn pump(&mut self) -> Result<Option<Event>, DetectError> {
-        let (src, method, body) = self.node.recv().map_err(DetectError::Cluster)?;
+    fn on_hor(&mut self, src: SiteId, msg: HorMsg) -> Result<Option<Event>, DetectError> {
+        match msg {
+            HorMsg::TupleProbe { attrs, probes } => {
+                self.serve_probe(src, attrs, probes)?;
+                Ok(None)
+            }
+            HorMsg::TupleDelQuery { attrs, queries } => {
+                self.serve_del_query(src, attrs, queries)?;
+                Ok(None)
+            }
+            HorMsg::ClearFlags { attrs, cfds } => {
+                self.serve_clear(src, attrs, cfds)?;
+                Ok(None)
+            }
+            HorMsg::ProbeReply { conflicts } => {
+                Ok(Some(Event::Response(src, Response::Conflicts(conflicts))))
+            }
+            HorMsg::DelReply { bvals } => Ok(Some(Event::Response(src, Response::Bvals(bvals)))),
+        }
+    }
+
+    fn on_ctrl(&mut self, src: SiteId, msg: CtrlMsg) -> Result<Option<Event>, DetectError> {
+        match msg {
+            CtrlMsg::Ack => Ok(Some(Event::Response(src, Response::Ack))),
+            CtrlMsg::AckN(k) => Ok(Some(Event::Response(src, Response::AckN(k)))),
+            CtrlMsg::WaveDone(_) => {
+                self.done_count += 1;
+                Ok(None)
+            }
+            CtrlMsg::WaveAdvance(w) => Ok(Some(Event::Advance(w))),
+            CtrlMsg::Ops { ops, n_waves } => Ok(Some(Event::Ops(ops, n_waves))),
+            CtrlMsg::Collect => Ok(Some(Event::Collect)),
+            CtrlMsg::BatchResult(img) => Ok(Some(Event::Result(*img))),
+            CtrlMsg::Shutdown => Ok(Some(Event::Shutdown)),
+        }
+    }
+
+    /// Take the next frame; serve requests inline, surface everything
+    /// else (piggybacked acks included). While the inbox has frames
+    /// queued they are drained as-is — owed acks keep accumulating (and
+    /// riding piggyback on whatever we send while serving). Only when
+    /// the inbox goes idle, *before* blocking, every owed counter is
+    /// flushed: nothing else would carry those acks soon, and a peer
+    /// may be blocked on exactly them.
+    fn pump(&mut self) -> Result<Pumped, DetectError> {
+        let (src, method, body) = match self.node.try_recv().map_err(DetectError::Cluster)? {
+            Some(frame) => frame,
+            None => {
+                self.flush_owed()?;
+                self.node.recv().map_err(DetectError::Cluster)?
+            }
+        };
         self.dispatch(src, method, body)
+    }
+
+    /// Close every owed silent round with one standalone frame per
+    /// peer: the protocol-minimum [`CtrlMsg::Ack`] when a single round
+    /// is owed (the common sparse case — same cost as an unbatched
+    /// per-round ack), a cumulative [`CtrlMsg::AckN`] when several
+    /// batched up.
+    fn flush_owed(&mut self) -> Result<(), DetectError> {
+        for j in 0..self.n {
+            let k = std::mem::take(&mut self.owed[j]);
+            match k {
+                0 => continue,
+                1 => self.node.send_ctrl(j, &CtrlMsg::Ack),
+                k => self.node.send_ctrl(j, &CtrlMsg::AckN(k)),
+            }
+            .map_err(DetectError::Cluster)?;
+        }
+        Ok(())
     }
 
     fn digests_of(
@@ -566,6 +692,22 @@ impl SiteRunner {
     }
 
     // -- serving peers (mirrors the sequential receiver-side blocks) ---
+
+    /// Ship a protocol frame towards `dst`, carrying any owed
+    /// silent-round acks in a [`RtFrame::Piggy`] envelope. The owed
+    /// rounds are strictly older than anything this frame opens or
+    /// closes, and the receiver settles the piggybacked count before
+    /// matching the payload, so FIFO round matching holds without a
+    /// separate [`CtrlMsg::AckN`] frame.
+    fn send_hor(&mut self, dst: SiteId, msg: HorMsg) -> Result<(), DetectError> {
+        let k = std::mem::take(&mut self.owed[dst]);
+        if k == 0 {
+            self.node.send(dst, &msg)
+        } else {
+            self.node.send(dst, &RtFrame::Piggy(k, msg))
+        }
+        .map_err(DetectError::Cluster)
+    }
 
     fn serve_probe(
         &mut self,
@@ -640,15 +782,15 @@ impl SiteRunner {
             }
         }
         self.kbuf = kbuf;
-        // Pipelining needs a reply on every round: protocol reply when
-        // there is one, zero-|M| ack otherwise.
+        // Pipelining needs every round closed eventually: a silent round
+        // just bumps the owed counter (piggybacked later), a protocol
+        // reply carries the owed acks with it so FIFO matching holds.
         if reply.is_empty() {
-            self.node.send_ctrl(src, &CtrlMsg::Ack)
+            self.owed[src] += 1;
+            Ok(())
         } else {
-            self.node
-                .send(src, &HorMsg::ProbeReply { conflicts: reply })
+            self.send_hor(src, HorMsg::ProbeReply { conflicts: reply })
         }
-        .map_err(DetectError::Cluster)
     }
 
     fn serve_del_query(
@@ -683,11 +825,11 @@ impl SiteRunner {
         }
         self.kbuf = kbuf;
         if reply.is_empty() {
-            self.node.send_ctrl(src, &CtrlMsg::Ack)
+            self.owed[src] += 1;
+            Ok(())
         } else {
-            self.node.send(src, &HorMsg::DelReply { bvals: reply })
+            self.send_hor(src, HorMsg::DelReply { bvals: reply })
         }
-        .map_err(DetectError::Cluster)
     }
 
     fn serve_clear(
@@ -705,9 +847,9 @@ impl SiteRunner {
             self.clear_group_local(c, kd);
         }
         self.kbuf = kbuf;
-        self.node
-            .send_ctrl(src, &CtrlMsg::Ack)
-            .map_err(DetectError::Cluster)
+        // Clears never carry a payload back: always a silent round.
+        self.owed[src] += 1;
+        Ok(())
     }
 
     fn clear_group_local(&mut self, cfd: CfdId, kd: Digest) {
@@ -747,6 +889,10 @@ impl SiteRunner {
                 OpWire::Delete(tid) => self.begin_delete(tid, &mut ws)?,
             }
         }
+        // Drain: silent rounds close via (piggybacked or flushed) acks,
+        // which every peer pushes no later than its next idle moment —
+        // and `step`'s own pump flushes what *we* owe before blocking,
+        // so two draining sites can never starve each other.
         while ws.open > 0 {
             self.step(&mut ws)?;
         }
@@ -755,13 +901,21 @@ impl SiteRunner {
 
     fn begin_insert(&mut self, t: Tuple, ws: &mut WaveState) -> Result<(), DetectError> {
         let cfds = Arc::clone(&self.cfg.cfds);
+        let plan = Arc::clone(&self.cfg.plan);
+        let mut scratch = std::mem::take(&mut self.scratch);
         let mut probes: Vec<CfdId> = Vec::new();
         let mut queries: Vec<CfdId> = Vec::new();
         let (mut vbuf, mut kbuf) = (
             std::mem::take(&mut self.vbuf),
             std::mem::take(&mut self.kbuf),
         );
-        for c in 0..cfds.len() {
+        // One shared dispatch pass instead of a per-CFD `matches_lhs`
+        // scan; attribute digests are hashed once per update and key
+        // digests once per LHS group (identical bytes to `key_of`).
+        let mut attr_d: FxHashMap<AttrId, Digest> = FxHashMap::default();
+        let mut group_kd: Vec<Option<Digest>> = vec![None; plan.key_groups().len()];
+        for &cid in plan.matched(&t, &mut scratch) {
+            let c = cid as usize;
             let cfd = &cfds[c];
             if cfd.is_constant() {
                 if cfd.constant_violation(&t) && self.violations.add(cfd.id, t.tid) {
@@ -769,11 +923,21 @@ impl SiteRunner {
                 }
                 continue;
             }
-            if !cfd.matches_lhs(&t) {
-                continue;
-            }
-            let kd = HorizontalDetector::key_of(cfd, &t, &mut vbuf, &mut kbuf);
-            let bd = cluster::codec::value_digest_into(t.get(cfd.rhs), &mut vbuf);
+            let g = plan.group_of(cid).expect("variable CFD joins a key group");
+            let kd = match group_kd[g] {
+                Some(kd) => kd,
+                None => {
+                    let kd = key_digest_from(
+                        cfd.lhs.iter().map(|&a| {
+                            HorizontalDetector::digest_cached(&mut attr_d, &t, a, &mut vbuf)
+                        }),
+                        &mut kbuf,
+                    );
+                    group_kd[g] = Some(kd);
+                    kd
+                }
+            };
+            let bd = HorizontalDetector::digest_cached(&mut attr_d, &t, cfd.rhs, &mut vbuf);
             let local_only = self.cfg.local_ok[c][self.me];
 
             let g = self.state[c].entry(kd).or_default();
@@ -812,6 +976,7 @@ impl SiteRunner {
                 }
             }
         }
+        self.scratch = scratch;
         self.vbuf = vbuf;
         self.kbuf = kbuf;
 
@@ -837,15 +1002,13 @@ impl SiteRunner {
                         j,
                         &mut cached,
                     );
-                    self.node
-                        .send(
-                            j,
-                            &HorMsg::TupleProbe {
-                                attrs,
-                                probes: probes.clone(),
-                            },
-                        )
-                        .map_err(DetectError::Cluster)?;
+                    self.send_hor(
+                        j,
+                        HorMsg::TupleProbe {
+                            attrs,
+                            probes: probes.clone(),
+                        },
+                    )?;
                 }
                 let slot = ws.inflight.len();
                 for &j in &peers {
@@ -872,12 +1035,20 @@ impl SiteRunner {
             .fragment
             .get(tid)
             .ok_or(DetectError::Rel(RelError::MissingTid(tid)))?;
+        let plan = Arc::clone(&self.cfg.plan);
+        let mut scratch = std::mem::take(&mut self.scratch);
         let mut queries: Vec<CfdId> = Vec::new();
         let (mut vbuf, mut kbuf) = (
             std::mem::take(&mut self.vbuf),
             std::mem::take(&mut self.kbuf),
         );
-        for c in 0..cfds.len() {
+        let mut attr_d: FxHashMap<AttrId, Digest> = FxHashMap::default();
+        let mut group_kd: Vec<Option<Digest>> = vec![None; plan.key_groups().len()];
+        // Restricting the constant-CFD sweep to dispatched CFDs is safe:
+        // `tid ∈ V(φ)` implies the (immutable) tuple matched φ's LHS at
+        // insert time, so a non-matching φ cannot hold `tid`.
+        for &cid in plan.matched(&t, &mut scratch) {
+            let c = cid as usize;
             let cfd = &cfds[c];
             if cfd.is_constant() {
                 if self.violations.remove(cfd.id, tid) {
@@ -885,11 +1056,21 @@ impl SiteRunner {
                 }
                 continue;
             }
-            if !cfd.matches_lhs(&t) {
-                continue;
-            }
-            let kd = HorizontalDetector::key_of(cfd, &t, &mut vbuf, &mut kbuf);
-            let bd = cluster::codec::value_digest_into(t.get(cfd.rhs), &mut vbuf);
+            let g = plan.group_of(cid).expect("variable CFD joins a key group");
+            let kd = match group_kd[g] {
+                Some(kd) => kd,
+                None => {
+                    let kd = key_digest_from(
+                        cfd.lhs.iter().map(|&a| {
+                            HorizontalDetector::digest_cached(&mut attr_d, &t, a, &mut vbuf)
+                        }),
+                        &mut kbuf,
+                    );
+                    group_kd[g] = Some(kd);
+                    kd
+                }
+            };
+            let bd = HorizontalDetector::digest_cached(&mut attr_d, &t, cfd.rhs, &mut vbuf);
             let local_only = self.cfg.local_ok[c][self.me];
 
             let g = self.state[c]
@@ -924,6 +1105,7 @@ impl SiteRunner {
             }
             queries.push(cfd.id);
         }
+        self.scratch = scratch;
         self.vbuf = vbuf;
         self.kbuf = kbuf;
 
@@ -953,15 +1135,13 @@ impl SiteRunner {
                         j,
                         &mut cached,
                     );
-                    self.node
-                        .send(
-                            j,
-                            &HorMsg::TupleDelQuery {
-                                attrs,
-                                queries: queries.clone(),
-                            },
-                        )
-                        .map_err(DetectError::Cluster)?;
+                    self.send_hor(
+                        j,
+                        HorMsg::TupleDelQuery {
+                            attrs,
+                            queries: queries.clone(),
+                        },
+                    )?;
                 }
                 let slot = ws.inflight.len();
                 for &j in &peers {
@@ -995,14 +1175,39 @@ impl SiteRunner {
         peers
     }
 
-    /// Pump one frame and, if it completes a round, fold it.
+    /// Pump one frame and, if it completes rounds, fold them. A
+    /// cumulative ack — piggybacked or a standalone
+    /// [`Response::AckN`]`(k)` — closes the `k` oldest outstanding
+    /// rounds towards `src`; piggybacked acks settle *before* the
+    /// carried payload (they cover strictly older rounds).
     fn step(&mut self, ws: &mut WaveState) -> Result<(), DetectError> {
-        let Some(event) = self.pump()? else {
+        let p = self.pump()?;
+        for _ in 0..p.acks {
+            self.settle(p.src, Response::Ack, ws)?;
+        }
+        let Some(event) = p.event else {
             return Ok(());
         };
         let Event::Response(src, resp) = event else {
             return Err(proto("unexpected control frame mid-wave"));
         };
+        if let Response::AckN(k) = resp {
+            for _ in 0..k {
+                self.settle(src, Response::Ack, ws)?;
+            }
+            return Ok(());
+        }
+        self.settle(src, resp, ws)
+    }
+
+    /// Fold one reply (or ack) into the oldest outstanding round
+    /// towards `src`.
+    fn settle(
+        &mut self,
+        src: SiteId,
+        resp: Response,
+        ws: &mut WaveState,
+    ) -> Result<(), DetectError> {
         let slot = *ws.queues[src]
             .front()
             .ok_or_else(|| proto(format!("reply from site {src} with no outstanding round")))?;
@@ -1069,15 +1274,13 @@ impl SiteRunner {
                             self.me,
                             j,
                         );
-                        self.node
-                            .send(
-                                j,
-                                &HorMsg::ClearFlags {
-                                    attrs,
-                                    cfds: clear_list,
-                                },
-                            )
-                            .map_err(DetectError::Cluster)?;
+                        self.send_hor(
+                            j,
+                            HorMsg::ClearFlags {
+                                attrs,
+                                cfds: clear_list,
+                            },
+                        )?;
                         ws.queues[j].push_back(slot);
                         pend += 1;
                     }
@@ -1186,18 +1389,20 @@ impl SiteRunner {
                 .send_ctrl(COORD, &CtrlMsg::WaveDone(w as u32))
                 .map_err(DetectError::Cluster)?;
             loop {
-                match self.pump()? {
-                    None => {}
-                    Some(Event::Advance(x)) if x == w as u32 => break,
-                    Some(_) => return Err(proto("unexpected frame at a wave barrier")),
+                let p = self.pump()?;
+                match (p.acks, p.event) {
+                    (0, None) => {}
+                    (0, Some(Event::Advance(x))) if x == w as u32 => break,
+                    _ => return Err(proto("unexpected frame at a wave barrier")),
                 }
             }
         }
         loop {
-            match self.pump()? {
-                None => {}
-                Some(Event::Collect) => break,
-                Some(_) => return Err(proto("unexpected frame before collection")),
+            let p = self.pump()?;
+            match (p.acks, p.event) {
+                (0, None) => {}
+                (0, Some(Event::Collect)) => break,
+                _ => return Err(proto("unexpected frame before collection")),
             }
         }
         let img = BatchImage {
@@ -1215,18 +1420,28 @@ impl SiteRunner {
     }
 
     /// The site main loop: serve batches until shutdown. This is what a
-    /// spawned site thread (or a `site` process) runs.
+    /// spawned site thread (or a `site` process) runs. Same idle-flush
+    /// discipline as the frame pump: a peer's wave-0 probe can
+    /// outrace our own `Ops` frame across links, so rounds served here
+    /// must still ack the moment the inbox goes quiet.
     pub fn serve(mut self) -> Result<(), DetectError> {
         loop {
-            let Some((src, method, body)) = self.node.recv_opt().map_err(DetectError::Cluster)?
-            else {
-                continue; // idle between batches
+            let (src, method, body) = match self.node.try_recv().map_err(DetectError::Cluster)? {
+                Some(frame) => frame,
+                None => {
+                    self.flush_owed()?;
+                    match self.node.recv_opt().map_err(DetectError::Cluster)? {
+                        Some(frame) => frame,
+                        None => continue, // idle between batches
+                    }
+                }
             };
-            match self.dispatch(src, method, body)? {
-                None => {}
-                Some(Event::Ops(ops, n_waves)) => self.run_batch(ops, n_waves)?,
-                Some(Event::Shutdown) => return Ok(()),
-                Some(_) => return Err(proto("unexpected frame while idle")),
+            let p = self.dispatch(src, method, body)?;
+            match (p.acks, p.event) {
+                (0, None) => {}
+                (0, Some(Event::Ops(ops, n_waves))) => self.run_batch(ops, n_waves)?,
+                (0, Some(Event::Shutdown)) => return Ok(()),
+                _ => return Err(proto("unexpected frame while idle")),
             }
         }
     }
@@ -1392,6 +1607,8 @@ impl ConcurrentHorizontal {
     /// `delete + insert` of one tid, possibly at *different* homes).
     fn schedule(&mut self, delta: &UpdateBatch) -> Result<(Vec<WaveOps>, u32), DetectError> {
         let cfds = Arc::clone(&self.runner.cfg.cfds);
+        let plan = Arc::clone(&self.runner.cfg.plan);
+        let mut scratch = std::mem::take(&mut self.runner.scratch);
         let mut last_fp: FxHashMap<(CfdId, Digest), u32> = FxHashMap::default();
         let mut last_tid: FxHashMap<Tid, u32> = FxHashMap::default();
         let mut per_site: Vec<WaveOps> = (0..self.n).map(|_| Vec::new()).collect();
@@ -1418,15 +1635,31 @@ impl ConcurrentHorizontal {
             };
             let mut w = last_tid.get(&t.tid).map_or(0, |&x| x + 1);
             let mut keys: Vec<(CfdId, Digest)> = Vec::new();
-            for cfd in cfds.iter() {
-                if !cfd.is_variable() || !cfd.matches_lhs(&t) {
+            let mut attr_d: FxHashMap<AttrId, Digest> = FxHashMap::default();
+            let mut group_kd: Vec<Option<Digest>> = vec![None; plan.key_groups().len()];
+            for &cid in plan.matched(&t, &mut scratch) {
+                if !plan.is_variable(cid) {
                     continue;
                 }
-                let kd = HorizontalDetector::key_of(cfd, &t, &mut vbuf, &mut kbuf);
-                if let Some(&x) = last_fp.get(&(cfd.id, kd)) {
+                let cfd = &cfds[cid as usize];
+                let g = plan.group_of(cid).expect("variable CFD joins a key group");
+                let kd = match group_kd[g] {
+                    Some(kd) => kd,
+                    None => {
+                        let kd = key_digest_from(
+                            cfd.lhs.iter().map(|&a| {
+                                HorizontalDetector::digest_cached(&mut attr_d, &t, a, &mut vbuf)
+                            }),
+                            &mut kbuf,
+                        );
+                        group_kd[g] = Some(kd);
+                        kd
+                    }
+                };
+                if let Some(&x) = last_fp.get(&(cid, kd)) {
                     w = w.max(x + 1);
                 }
-                keys.push((cfd.id, kd));
+                keys.push((cid, kd));
             }
             for k in keys {
                 last_fp.insert(k, w);
@@ -1435,6 +1668,7 @@ impl ConcurrentHorizontal {
             n_waves = n_waves.max(w + 1);
             per_site[home].push((w, opw));
         }
+        self.runner.scratch = scratch;
         Ok((per_site, n_waves))
     }
 
@@ -1476,9 +1710,9 @@ impl ConcurrentHorizontal {
         for (w, ops) in mine.into_iter().enumerate() {
             self.runner.run_wave(ops)?;
             while self.runner.done_count < self.n - 1 {
-                match self.runner.pump()? {
-                    None => {}
-                    Some(_) => return Err(proto("unexpected frame at a wave barrier")),
+                let p = self.runner.pump()?;
+                if p.acks > 0 || p.event.is_some() {
+                    return Err(proto("unexpected frame at a wave barrier"));
                 }
             }
             self.runner.done_count = 0;
@@ -1501,9 +1735,10 @@ impl ConcurrentHorizontal {
         self.absorb_runner_meters();
         let mut got = 0;
         while got < self.n - 1 {
-            match self.runner.pump()? {
-                None => {}
-                Some(Event::Result(img)) => {
+            let p = self.runner.pump()?;
+            match (p.acks, p.event) {
+                (0, None) => {}
+                (0, Some(Event::Result(img))) => {
                     dv.added.extend(img.added);
                     dv.removed.extend(img.removed);
                     self.stats
@@ -1513,7 +1748,7 @@ impl ConcurrentHorizontal {
                     add_meter(&mut self.meter, img.meter);
                     got += 1;
                 }
-                Some(_) => return Err(proto("unexpected frame during collection")),
+                _ => return Err(proto("unexpected frame during collection")),
             }
         }
         dv.settle();
@@ -1914,6 +2149,8 @@ mod tests {
     fn ctrl_frames_round_trip() {
         let msgs = vec![
             CtrlMsg::Ack,
+            CtrlMsg::AckN(2),
+            CtrlMsg::AckN(129),
             CtrlMsg::Ops {
                 ops: vec![
                     (
@@ -1946,8 +2183,35 @@ mod tests {
             // The runtime dispatcher routes it to the ctrl arm.
             match RtFrame::decode_frame(&buf).unwrap() {
                 RtFrame::Ctrl(c) => assert_eq!(c, m),
-                RtFrame::Hor(_) => panic!("ctrl frame dispatched as protocol"),
+                RtFrame::Hor(_) | RtFrame::Piggy(..) => {
+                    panic!("ctrl frame dispatched as protocol")
+                }
             }
+        }
+    }
+
+    #[test]
+    fn piggy_envelope_keeps_the_carried_frames_modeled_size() {
+        let inner = HorMsg::ProbeReply {
+            conflicts: vec![3, 5, 8],
+        };
+        let plain_size = inner.wire_size();
+        let mut plain = Vec::new();
+        let plain_structural = inner.encode_frame(&mut plain);
+        let wrapped = RtFrame::Piggy(42, inner);
+        // Modeled |M| is the carried message's — the envelope is pure
+        // structural overhead (tag + u32 count = 5 bytes).
+        assert_eq!(wrapped.wire_size(), plain_size);
+        let mut buf = Vec::new();
+        let structural = wrapped.encode_frame(&mut buf);
+        assert_eq!(structural, plain_structural + 5);
+        assert_eq!(buf.len(), wrapped.wire_size() + structural);
+        match RtFrame::decode_frame(&buf).unwrap() {
+            RtFrame::Piggy(k, HorMsg::ProbeReply { conflicts }) => {
+                assert_eq!(k, 42);
+                assert_eq!(conflicts, vec![3, 5, 8]);
+            }
+            other => panic!("piggy frame decoded as {other:?}"),
         }
     }
 

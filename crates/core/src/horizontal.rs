@@ -38,7 +38,8 @@
 
 use crate::detector::{DetectError, Detector};
 use crate::md5::{md5, Digest};
-use cfd::{Cfd, CfdId, DeltaV, Violations};
+use crate::optimize::SharingMode;
+use cfd::{Cfd, CfdId, DeltaV, MatchScratch, SharedPlan, Violations};
 use cluster::codec::{
     value_digest as attr_digest, value_digest_into as attr_digest_into, CodecKind, PayloadCodec,
     ReceiverCodec, WireValue,
@@ -331,7 +332,17 @@ pub struct HorizontalDetector {
     atom_digests: Arc<[Vec<(AttrId, Digest)>]>,
     /// Variable CFDs grouped by identical LHS attribute list, so receivers
     /// compute one group-key digest per distinct LHS rather than per CFD.
+    /// Derived from the shared plan's key groups.
     lhs_groups: Arc<[(Vec<AttrId>, Vec<CfdId>)]>,
+    /// The merged multi-CFD evaluation plan: one dispatch scan decides
+    /// LHS matching for the whole rule set, one key-group digest serves
+    /// every CFD with the same `GroupBy` operator ([`cfd::SharedPlan`]).
+    plan: Arc<SharedPlan>,
+    /// Reusable scratch for the shared dispatch pass.
+    scratch: MatchScratch,
+    /// Sender-side multi-CFD evaluation mode: shared plan (default) or
+    /// the legacy per-CFD loop (kept as a differential baseline).
+    sharing: SharingMode,
     scheme: HorizontalScheme,
     fragments: Vec<Relation>,
     /// Which fragment holds each live tuple.
@@ -442,17 +453,8 @@ impl HorizontalDetector {
             })
             .collect::<Vec<_>>()
             .into();
-        let mut groups: Vec<(Vec<AttrId>, Vec<CfdId>)> = Vec::new();
-        for c in &cfds {
-            if !c.is_variable() {
-                continue;
-            }
-            match groups.iter_mut().find(|(lhs, _)| *lhs == c.lhs) {
-                Some((_, ids)) => ids.push(c.id),
-                None => groups.push((c.lhs.clone(), vec![c.id])),
-            }
-        }
-        let lhs_groups: Arc<[(Vec<AttrId>, Vec<CfdId>)]> = groups.into();
+        let plan = Arc::new(SharedPlan::new(&cfds));
+        let lhs_groups: Arc<[(Vec<AttrId>, Vec<CfdId>)]> = plan.key_groups().to_vec().into();
         let cfds: Arc<[Cfd]> = cfds.into();
         let mut det = HorizontalDetector {
             fragments: (0..n).map(|_| Relation::new(schema.clone())).collect(),
@@ -474,6 +476,9 @@ impl HorizontalDetector {
             cfds,
             atom_digests,
             lhs_groups,
+            plan,
+            scratch: MatchScratch::default(),
+            sharing: SharingMode::default(),
             scheme,
         };
         let mut load = UpdateBatch::new();
@@ -527,6 +532,23 @@ impl HorizontalDetector {
         &self.cfds
     }
 
+    /// The merged multi-CFD evaluation plan.
+    pub fn shared_plan(&self) -> &Arc<SharedPlan> {
+        &self.plan
+    }
+
+    /// Current multi-CFD evaluation mode.
+    pub fn sharing_mode(&self) -> SharingMode {
+        self.sharing
+    }
+
+    /// Select the multi-CFD evaluation mode. Both modes produce
+    /// bit-identical violations, `ΔV` and shipments — [`SharingMode::PerCfd`]
+    /// only re-enables the legacy `O(|Σ| · |X|)` loop as a baseline.
+    pub fn set_sharing(&mut self, mode: SharingMode) {
+        self.sharing = mode;
+    }
+
     /// The global schema.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
@@ -575,8 +597,14 @@ impl HorizontalDetector {
     /// otherwise, and everywhere for constant CFDs). Deletion digests read
     /// the store's borrowed values — normalization guarantees every
     /// deleted tid is live in the pre-batch relation. Returns `None`
-    /// (compute inline) below the parallel threshold.
+    /// (compute inline) below the parallel threshold, and always under
+    /// [`SharingMode::Shared`]: the shared dispatch pass hashes each
+    /// attribute once per update instead of once per CFD, so the per-CFD
+    /// fan-out this precompute parallelizes no longer exists.
     fn precompute_digests(&self, delta: &UpdateBatch) -> Option<PreDigests> {
+        if self.sharing == SharingMode::Shared {
+            return None;
+        }
         let ops = delta.ops();
         let n_var = self.cfds.iter().filter(|c| c.is_variable()).count();
         if ops.len() * n_var < crate::par::PAR_THRESHOLD {
@@ -630,6 +658,25 @@ impl HorizontalDetector {
             cfd.lhs.iter().map(|&a| attr_digest_into(t.get(a), vbuf)),
             kbuf,
         )
+    }
+
+    /// Digest of `t[a]`, memoized across the CFDs sharing the attribute:
+    /// under the shared plan each attribute of an update is hashed once,
+    /// no matter how many plans read it.
+    pub(crate) fn digest_cached(
+        cache: &mut FxHashMap<AttrId, Digest>,
+        t: &Tuple,
+        a: AttrId,
+        vbuf: &mut Vec<u8>,
+    ) -> Digest {
+        match cache.get(&a) {
+            Some(d) => *d,
+            None => {
+                let d = attr_digest_into(t.get(a), vbuf);
+                cache.insert(a, d);
+                d
+            }
+        }
     }
 
     /// Group-key digest derived from shipped attribute payloads.
@@ -698,74 +745,66 @@ impl HorizontalDetector {
         // Scratch buffers reused across every digest this update computes.
         let (mut vbuf, mut kbuf) = (Vec::new(), Vec::new());
 
-        for c in 0..self.cfds.len() {
-            let cfd = &cfds[c];
-            if cfd.is_constant() {
-                if cfd.constant_violation(&t) && self.violations.add(cfd.id, t.tid) {
-                    dv.add(cfd.id, t.tid);
-                }
-                continue;
-            }
-            let (kd, bd) = match pre {
-                Some((p, i)) => match p[c][i] {
-                    Some(x) => x,
-                    None => continue, // pattern does not match
-                },
-                None => {
-                    if !cfd.matches_lhs(&t) {
+        match self.sharing {
+            SharingMode::PerCfd => {
+                for c in 0..cfds.len() {
+                    let cfd = &cfds[c];
+                    if cfd.is_constant() {
+                        if cfd.constant_violation(&t) && self.violations.add(cfd.id, t.tid) {
+                            dv.add(cfd.id, t.tid);
+                        }
                         continue;
                     }
-                    (
-                        Self::key_of(cfd, &t, &mut vbuf, &mut kbuf),
-                        attr_digest_into(t.get(cfd.rhs), &mut vbuf),
-                    )
+                    let (kd, bd) = match pre {
+                        Some((p, i)) => match p[c][i] {
+                            Some(x) => x,
+                            None => continue, // pattern does not match
+                        },
+                        None => {
+                            if !cfd.matches_lhs(&t) {
+                                continue;
+                            }
+                            (
+                                Self::key_of(cfd, &t, &mut vbuf, &mut kbuf),
+                                attr_digest_into(t.get(cfd.rhs), &mut vbuf),
+                            )
+                        }
+                    };
+                    self.insert_case(c, site, &t, kd, bd, dv, &mut probes, &mut queries);
                 }
-            };
-            let local_only = self.local_ok[c][site];
-
-            let g = self.state[site][c].entry(kd).or_default();
-            let n = g.classes.len();
-            let has_other = g.classes.keys().any(|&k| k != bd);
-            let was_violating = g.violating;
-
-            // Mutate local state first.
-            let entry = g.classes.entry(bd).or_insert_with(|| ClassEntry {
-                tids: FxHashSet::default(),
-                raw_b: Some(t.get(cfd.rhs).clone()),
-            });
-            entry.tids.insert(t.tid);
-
-            if n == 0 {
-                // Group unknown locally.
-                if !local_only {
-                    queries.push(cfd.id);
-                }
-            } else if !has_other {
-                // Single class agreeing with t.
-                if was_violating && self.violations.add(cfd.id, t.tid) {
-                    dv.add(cfd.id, t.tid);
-                }
-            } else if was_violating {
-                // Conflicting class exists but everyone concerned is
-                // already in V (≥2 classes, or a known remote conflict):
-                // only t is new. Zero shipment — Examples 2(1)(b)/9.
-                if self.violations.add(cfd.id, t.tid) {
-                    dv.add(cfd.id, t.tid);
-                }
-            } else {
-                // Exactly one clashing class and the group was satisfied:
-                // a brand-new conflict. Everyone in the group joins V.
-                let g = self.state[site][c].get_mut(&kd).expect("group touched");
-                g.violating = true;
-                let members: Vec<Tid> = g.members().collect();
-                for m in members {
-                    if self.violations.add(cfd.id, m) {
-                        dv.add(cfd.id, m);
+            }
+            SharingMode::Shared => {
+                // One dispatch pass decides LHS matching for every CFD;
+                // the hit list is ascending by id, so the case analysis
+                // runs in the exact order of the per-CFD loop.
+                let plan = Arc::clone(&self.plan);
+                let mut scratch = std::mem::take(&mut self.scratch);
+                let mut attr_d: FxHashMap<AttrId, Digest> = FxHashMap::default();
+                let mut group_kd: Vec<Option<Digest>> = vec![None; plan.key_groups().len()];
+                for &cid in plan.matched(&t, &mut scratch) {
+                    let c = cid as usize;
+                    let cfd = &cfds[c];
+                    if cfd.is_constant() {
+                        if cfd.constant_violation(&t) && self.violations.add(cid, t.tid) {
+                            dv.add(cid, t.tid);
+                        }
+                        continue;
                     }
+                    // One group-key digest per key group, one value digest
+                    // per attribute — the shared group-by pass.
+                    let g = plan.group_of(cid).expect("variable CFD joins a key group");
+                    let kd = *group_kd[g].get_or_insert_with(|| {
+                        key_digest_from(
+                            cfd.lhs
+                                .iter()
+                                .map(|&a| Self::digest_cached(&mut attr_d, &t, a, &mut vbuf)),
+                            &mut kbuf,
+                        )
+                    });
+                    let bd = Self::digest_cached(&mut attr_d, &t, cfd.rhs, &mut vbuf);
+                    self.insert_case(c, site, &t, kd, bd, dv, &mut probes, &mut queries);
                 }
-                if !local_only {
-                    probes.push(cfd.id);
-                }
+                self.scratch = scratch;
             }
         }
 
@@ -777,6 +816,72 @@ impl HorizontalDetector {
         self.site_of_tid.insert(t.tid, site);
         self.current.insert(t)?;
         Ok(())
+    }
+
+    /// The §6 insertion case analysis for one variable CFD whose pattern
+    /// matches `t`, given the group-key and RHS digests. Both evaluation
+    /// modes funnel here, so the state transitions (and the probe/query
+    /// lists that drive shipping) are identical by construction.
+    #[allow(clippy::too_many_arguments)]
+    fn insert_case(
+        &mut self,
+        c: usize,
+        site: SiteId,
+        t: &Tuple,
+        kd: Digest,
+        bd: Digest,
+        dv: &mut DeltaV,
+        probes: &mut Vec<CfdId>,
+        queries: &mut Vec<CfdId>,
+    ) {
+        let cfds = Arc::clone(&self.cfds);
+        let cfd = &cfds[c];
+        let local_only = self.local_ok[c][site];
+
+        let g = self.state[site][c].entry(kd).or_default();
+        let n = g.classes.len();
+        let has_other = g.classes.keys().any(|&k| k != bd);
+        let was_violating = g.violating;
+
+        // Mutate local state first.
+        let entry = g.classes.entry(bd).or_insert_with(|| ClassEntry {
+            tids: FxHashSet::default(),
+            raw_b: Some(t.get(cfd.rhs).clone()),
+        });
+        entry.tids.insert(t.tid);
+
+        if n == 0 {
+            // Group unknown locally.
+            if !local_only {
+                queries.push(cfd.id);
+            }
+        } else if !has_other {
+            // Single class agreeing with t.
+            if was_violating && self.violations.add(cfd.id, t.tid) {
+                dv.add(cfd.id, t.tid);
+            }
+        } else if was_violating {
+            // Conflicting class exists but everyone concerned is
+            // already in V (≥2 classes, or a known remote conflict):
+            // only t is new. Zero shipment — Examples 2(1)(b)/9.
+            if self.violations.add(cfd.id, t.tid) {
+                dv.add(cfd.id, t.tid);
+            }
+        } else {
+            // Exactly one clashing class and the group was satisfied:
+            // a brand-new conflict. Everyone in the group joins V.
+            let g = self.state[site][c].get_mut(&kd).expect("group touched");
+            g.violating = true;
+            let members: Vec<Tid> = g.members().collect();
+            for m in members {
+                if self.violations.add(cfd.id, m) {
+                    dv.add(cfd.id, m);
+                }
+            }
+            if !local_only {
+                probes.push(cfd.id);
+            }
+        }
     }
 
     /// Ship one coalesced `TupleProbe` per peer covering every CFD that
@@ -953,71 +1058,66 @@ impl HorizontalDetector {
 
         let mut queries: Vec<CfdId> = Vec::new();
         let (mut vbuf, mut kbuf) = (Vec::new(), Vec::new());
-        for c in 0..self.cfds.len() {
-            let cfd = &cfds[c];
-            if cfd.is_constant() {
-                if self.violations.remove(cfd.id, tid) {
-                    dv.remove(cfd.id, tid);
-                }
-                continue;
-            }
-            let (kd, bd) = match pre {
-                Some((p, i)) => match p[c][i] {
-                    Some(x) => x,
-                    None => continue, // pattern does not match
-                },
-                None => {
-                    if !cfd.matches_lhs(&t) {
+        match self.sharing {
+            SharingMode::PerCfd => {
+                for c in 0..cfds.len() {
+                    let cfd = &cfds[c];
+                    if cfd.is_constant() {
+                        if self.violations.remove(cfd.id, tid) {
+                            dv.remove(cfd.id, tid);
+                        }
                         continue;
                     }
-                    (
-                        Self::key_of(cfd, &t, &mut vbuf, &mut kbuf),
-                        attr_digest_into(t.get(cfd.rhs), &mut vbuf),
-                    )
+                    let (kd, bd) = match pre {
+                        Some((p, i)) => match p[c][i] {
+                            Some(x) => x,
+                            None => continue, // pattern does not match
+                        },
+                        None => {
+                            if !cfd.matches_lhs(&t) {
+                                continue;
+                            }
+                            (
+                                Self::key_of(cfd, &t, &mut vbuf, &mut kbuf),
+                                attr_digest_into(t.get(cfd.rhs), &mut vbuf),
+                            )
+                        }
+                    };
+                    self.delete_case(c, site, tid, kd, bd, dv, &mut queries);
                 }
-            };
-            let local_only = self.local_ok[c][site];
-
-            let g = self.state[site][c]
-                .get_mut(&kd)
-                .expect("deleted tuple's group must exist");
-            let cls = g
-                .classes
-                .get_mut(&bd)
-                .expect("deleted tuple's class must exist");
-            let was_violating = g.violating;
-            cls.tids.remove(&tid);
-            let class_empty = cls.tids.is_empty();
-            if class_empty {
-                g.classes.remove(&bd);
             }
-            let n_rem = g.classes.len();
-            if n_rem == 0 {
-                // An empty group carries no information: future inserts
-                // will re-query. Dropping it keeps state proportional to
-                // the live fragment.
-                self.state[site][c].remove(&kd);
+            SharingMode::Shared => {
+                // Dispatch restricted to LHS-matching CFDs is sound for
+                // the constant-CFD removals too: `tid ∈ V(φ)` implies the
+                // (immutable) tuple matched `φ`'s LHS at insert, so a CFD
+                // outside the hit list cannot hold a mark for `tid`.
+                let plan = Arc::clone(&self.plan);
+                let mut scratch = std::mem::take(&mut self.scratch);
+                let mut attr_d: FxHashMap<AttrId, Digest> = FxHashMap::default();
+                let mut group_kd: Vec<Option<Digest>> = vec![None; plan.key_groups().len()];
+                for &cid in plan.matched(&t, &mut scratch) {
+                    let c = cid as usize;
+                    let cfd = &cfds[c];
+                    if cfd.is_constant() {
+                        if self.violations.remove(cid, tid) {
+                            dv.remove(cid, tid);
+                        }
+                        continue;
+                    }
+                    let g = plan.group_of(cid).expect("variable CFD joins a key group");
+                    let kd = *group_kd[g].get_or_insert_with(|| {
+                        key_digest_from(
+                            cfd.lhs
+                                .iter()
+                                .map(|&a| Self::digest_cached(&mut attr_d, &t, a, &mut vbuf)),
+                            &mut kbuf,
+                        )
+                    });
+                    let bd = Self::digest_cached(&mut attr_d, &t, cfd.rhs, &mut vbuf);
+                    self.delete_case(c, site, tid, kd, bd, dv, &mut queries);
+                }
+                self.scratch = scratch;
             }
-
-            if !was_violating {
-                continue; // deletions never create violations
-            }
-            // t was a violation; it leaves V in every remaining case.
-            if self.violations.remove(cfd.id, tid) {
-                dv.remove(cfd.id, tid);
-            }
-            if !class_empty || n_rem >= 2 {
-                // Same-RHS witness survives or ≥2 local RHS values remain:
-                // global multiplicity still ≥ 2. Zero shipment —
-                // Example 2(2).
-                continue;
-            }
-            if local_only {
-                // Global = local: the group dropped to ≤ 1 RHS value.
-                self.clear_group_local(cfd.id, site, kd, dv);
-                continue;
-            }
-            queries.push(cfd.id);
         }
 
         if !queries.is_empty() {
@@ -1028,6 +1128,64 @@ impl HorizontalDetector {
         self.site_of_tid.remove(&tid);
         self.current.delete(tid)?;
         Ok(())
+    }
+
+    /// The §6 deletion case analysis for one variable CFD whose pattern
+    /// matches the deleted tuple, given its group-key and RHS digests.
+    #[allow(clippy::too_many_arguments)]
+    fn delete_case(
+        &mut self,
+        c: usize,
+        site: SiteId,
+        tid: Tid,
+        kd: Digest,
+        bd: Digest,
+        dv: &mut DeltaV,
+        queries: &mut Vec<CfdId>,
+    ) {
+        let cfd_id = c as CfdId;
+        let local_only = self.local_ok[c][site];
+
+        let g = self.state[site][c]
+            .get_mut(&kd)
+            .expect("deleted tuple's group must exist");
+        let cls = g
+            .classes
+            .get_mut(&bd)
+            .expect("deleted tuple's class must exist");
+        let was_violating = g.violating;
+        cls.tids.remove(&tid);
+        let class_empty = cls.tids.is_empty();
+        if class_empty {
+            g.classes.remove(&bd);
+        }
+        let n_rem = g.classes.len();
+        if n_rem == 0 {
+            // An empty group carries no information: future inserts
+            // will re-query. Dropping it keeps state proportional to
+            // the live fragment.
+            self.state[site][c].remove(&kd);
+        }
+
+        if !was_violating {
+            return; // deletions never create violations
+        }
+        // t was a violation; it leaves V in every remaining case.
+        if self.violations.remove(cfd_id, tid) {
+            dv.remove(cfd_id, tid);
+        }
+        if !class_empty || n_rem >= 2 {
+            // Same-RHS witness survives or ≥2 local RHS values remain:
+            // global multiplicity still ≥ 2. Zero shipment —
+            // Example 2(2).
+            return;
+        }
+        if local_only {
+            // Global = local: the group dropped to ≤ 1 RHS value.
+            self.clear_group_local(cfd_id, site, kd, dv);
+            return;
+        }
+        queries.push(cfd_id);
     }
 
     /// One coalesced `TupleDelQuery` per peer; fold the per-CFD RHS-value

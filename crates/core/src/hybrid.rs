@@ -26,7 +26,8 @@
 use crate::detector::{DetectError, Detector};
 use crate::horizontal::HorizontalDetector;
 use crate::md5::Digest;
-use cfd::{Cfd, DeltaV, Violations};
+use crate::optimize::SharingMode;
+use cfd::{Cfd, CfdId, DeltaV, MatchScratch, Violations};
 use cluster::codec::CodecKind;
 use cluster::net::TransportKind;
 use cluster::partition::{HorizontalScheme, VerticalScheme};
@@ -139,6 +140,13 @@ pub struct HybridDetector {
     const_attrs: Vec<Option<Vec<AttrId>>>,
     /// Reusable scratch for the per-update needed-attribute union.
     needed_buf: FxHashSet<AttrId>,
+    /// Reusable scratch for the shared dispatch pass.
+    scratch: MatchScratch,
+    /// Reusable buffer holding the dispatch hit list of one update.
+    hits_buf: Vec<CfdId>,
+    /// Multi-CFD evaluation mode for the assembly metering (the inner
+    /// inter-region detector keeps its own copy, set in lockstep).
+    sharing: SharingMode,
 }
 
 impl HybridDetector {
@@ -217,7 +225,23 @@ impl HybridDetector {
             var_attrs,
             const_attrs,
             needed_buf: FxHashSet::default(),
+            scratch: MatchScratch::default(),
+            hits_buf: Vec::new(),
+            sharing: SharingMode::default(),
         })
+    }
+
+    /// Current multi-CFD evaluation mode.
+    pub fn sharing_mode(&self) -> SharingMode {
+        self.sharing
+    }
+
+    /// Select the multi-CFD evaluation mode for both the intra-region
+    /// assembly metering and the inner inter-region §6 protocol. Both
+    /// modes meter and detect bit-identically.
+    pub fn set_sharing(&mut self, mode: SharingMode) {
+        self.sharing = mode;
+        self.inner.set_sharing(mode);
     }
 
     /// Current violation set.
@@ -313,17 +337,40 @@ impl HybridDetector {
         // buffer — no per-update set allocation).
         let mut needed = std::mem::take(&mut self.needed_buf);
         needed.clear();
-        for (c, attrs) in self.var_attrs.iter().enumerate() {
-            if let Some(attrs) = attrs {
-                if self.inner.cfds()[c].matches_lhs(t) {
-                    needed.extend(attrs.iter().copied());
+        match self.sharing {
+            SharingMode::PerCfd => {
+                for (c, attrs) in self.var_attrs.iter().enumerate() {
+                    if let Some(attrs) = attrs {
+                        if self.inner.cfds()[c].matches_lhs(t) {
+                            needed.extend(attrs.iter().copied());
+                        }
+                    }
                 }
+                // One digest message per contributing non-gateway sub-site.
+                let result = self.meter_assembly_inner(region, t, &needed, None);
+                self.needed_buf = needed;
+                result
+            }
+            SharingMode::Shared => {
+                // One dispatch pass serves both the variable-attribute
+                // union here and the constant-candidate shipping below.
+                let mut hits = std::mem::take(&mut self.hits_buf);
+                hits.clear();
+                {
+                    let plan = Arc::clone(self.inner.shared_plan());
+                    hits.extend_from_slice(plan.matched(t, &mut self.scratch));
+                }
+                for &cid in &hits {
+                    if let Some(attrs) = &self.var_attrs[cid as usize] {
+                        needed.extend(attrs.iter().copied());
+                    }
+                }
+                let result = self.meter_assembly_inner(region, t, &needed, Some(&hits));
+                self.needed_buf = needed;
+                self.hits_buf = hits;
+                result
             }
         }
-        // One digest message per contributing non-gateway sub-site.
-        let result = self.meter_assembly_inner(region, t, &needed);
-        self.needed_buf = needed;
-        result
     }
 
     fn meter_assembly_inner(
@@ -331,6 +378,7 @@ impl HybridDetector {
         region: usize,
         t: &Tuple,
         needed: &FxHashSet<AttrId>,
+        matched: Option<&[CfdId]>,
     ) -> Result<(), DetectError> {
         let vs = &self.scheme.verticals[region];
         let gateway = self.scheme.gateway(region);
@@ -349,20 +397,41 @@ impl HybridDetector {
                     .map_err(DetectError::Cluster)?;
             }
         }
-        // Constant CFDs: candidate tids from atom-owning sub-sites.
-        for (c, attrs) in self.const_attrs.iter().enumerate() {
-            if let Some(attrs) = attrs {
-                let cfd = &self.inner.cfds()[c];
-                if !cfd.matches_lhs(t) {
-                    continue;
+        // Constant CFDs: candidate tids from atom-owning sub-sites. The
+        // dispatch hit list (ascending by id, like the loop) replaces the
+        // per-CFD `matches_lhs` scan when the shared plan ran.
+        match matched {
+            None => {
+                for (c, attrs) in self.const_attrs.iter().enumerate() {
+                    if let Some(attrs) = attrs {
+                        let cfd = &self.inner.cfds()[c];
+                        if !cfd.matches_lhs(t) {
+                            continue;
+                        }
+                        for &a in attrs {
+                            let sub = vs.primary_site(a);
+                            let gsite = self.scheme.global_site(region, sub);
+                            if gsite != gateway {
+                                self.intra
+                                    .ship(gsite, gateway, &AsmMsg::Cand)
+                                    .map_err(DetectError::Cluster)?;
+                            }
+                        }
+                    }
                 }
-                for &a in attrs {
-                    let sub = vs.primary_site(a);
-                    let gsite = self.scheme.global_site(region, sub);
-                    if gsite != gateway {
-                        self.intra
-                            .ship(gsite, gateway, &AsmMsg::Cand)
-                            .map_err(DetectError::Cluster)?;
+            }
+            Some(hits) => {
+                for &cid in hits {
+                    if let Some(attrs) = &self.const_attrs[cid as usize] {
+                        for &a in attrs {
+                            let sub = vs.primary_site(a);
+                            let gsite = self.scheme.global_site(region, sub);
+                            if gsite != gateway {
+                                self.intra
+                                    .ship(gsite, gateway, &AsmMsg::Cand)
+                                    .map_err(DetectError::Cluster)?;
+                            }
+                        }
                     }
                 }
             }

@@ -46,5 +46,6 @@ pub use concurrent::ConcurrentHorizontal;
 pub use detector::{DetectError, Detector};
 pub use horizontal::HorizontalDetector;
 pub use hybrid::{HybridDetector, HybridScheme};
+pub use optimize::{share_operators, sharing_stats, SharingMode, SharingStats};
 pub use plan::HevPlan;
 pub use vertical::VerticalDetector;

@@ -25,8 +25,9 @@
 use crate::detector::{DetectError, Detector};
 use crate::hev::{BaseHev, EqId, EqKey, NonBaseHev};
 use crate::idx::Idx;
+use crate::optimize::SharingMode;
 use crate::plan::{HevPlan, Input, NodeId};
-use cfd::{Cfd, CfdId, DeltaV, Violations};
+use cfd::{Cfd, CfdId, DeltaV, MatchScratch, SharedPlan, Violations};
 use cluster::partition::VerticalScheme;
 use cluster::{ClusterError, Network, SiteId, Wire};
 use relation::{
@@ -38,6 +39,10 @@ use std::sync::Arc;
 /// One tuple's dictionary symbols, copied out of the store so the HEV walk
 /// can run while the detector is mutably borrowed.
 type RowSyms = SmallVec<Sym, 8>;
+
+/// One constant CFD's shipment plan: the coordinator site plus each
+/// participating site's tid-ordered candidate list.
+type ConstPlan = (SiteId, Vec<(SiteId, Vec<Tid>)>);
 
 /// Messages exchanged by the vertical detector.
 #[derive(Debug, Clone)]
@@ -118,6 +123,14 @@ pub struct VerticalDetector {
     fragments: Vec<Relation>,
     violations: Violations,
     net: Network<VerMsg>,
+    /// The merged multi-CFD evaluation plan: one dispatch scan decides
+    /// which variable CFDs a tuple falls under ([`cfd::SharedPlan`]).
+    shared_plan: Arc<SharedPlan>,
+    /// Reusable scratch for the shared dispatch pass.
+    scratch: MatchScratch,
+    /// Multi-CFD evaluation mode: shared plan (default) or the legacy
+    /// per-CFD loop (kept as a differential baseline).
+    sharing: SharingMode,
 }
 
 impl VerticalDetector {
@@ -143,6 +156,7 @@ impl VerticalDetector {
         d: &Relation,
     ) -> Result<Self, DetectError> {
         let n = scheme.n_sites();
+        let shared_plan = Arc::new(SharedPlan::new(&cfds));
         let mut det = VerticalDetector {
             bases: FxHashMap::default(),
             node_stores: plan.nodes().iter().map(|_| NonBaseHev::new()).collect(),
@@ -157,6 +171,9 @@ impl VerticalDetector {
                 .collect(),
             violations: Violations::new(cfds.len()),
             net: Network::new(n),
+            shared_plan,
+            scratch: MatchScratch::default(),
+            sharing: SharingMode::default(),
             schema,
             cfds,
             scheme,
@@ -191,6 +208,23 @@ impl VerticalDetector {
     /// The HEV plan in use.
     pub fn plan(&self) -> &HevPlan {
         &self.plan
+    }
+
+    /// The merged multi-CFD evaluation plan.
+    pub fn shared_plan(&self) -> &Arc<SharedPlan> {
+        &self.shared_plan
+    }
+
+    /// Current multi-CFD evaluation mode.
+    pub fn sharing_mode(&self) -> SharingMode {
+        self.sharing
+    }
+
+    /// Select the multi-CFD evaluation mode. Both modes produce
+    /// bit-identical violations, `ΔV` and shipments — [`SharingMode::PerCfd`]
+    /// only re-enables the legacy `O(|Σ| · |X|)` loop as a baseline.
+    pub fn set_sharing(&mut self, mode: SharingMode) {
+        self.sharing = mode;
     }
 
     /// The rule set.
@@ -270,11 +304,39 @@ impl VerticalDetector {
         let insertions: Vec<&Tuple> = delta.insertions().collect();
         let cfds = &self.cfds;
         let scheme = &self.scheme;
-        let plans = crate::par::par_map(
-            const_idx.len(),
-            insertions.len() * const_idx.len() >= crate::par::PAR_THRESHOLD,
-            &|i| {
-                let cfd = &cfds[const_idx[i]];
+        // Operator sharing for the candidate scan: constant CFDs whose
+        // plans carry identical restrict operators (same atoms, same
+        // coordinator) produce identical candidate lists, so compute the
+        // list once per distinct signature. This shares computation only
+        // — phase 2 below still meters and ships per CFD, keeping `|M|`
+        // bit-identical to the per-CFD loop.
+        let mut uniq: Vec<usize> = Vec::new(); // representative positions
+        let mut slot_of: Vec<usize> = Vec::with_capacity(const_idx.len());
+        if self.sharing == SharingMode::Shared {
+            let mut seen: FxHashMap<(SiteId, Vec<(AttrId, relation::Value)>), usize> =
+                FxHashMap::default();
+            for (pos, &c) in const_idx.iter().enumerate() {
+                let cfd = &cfds[c];
+                let mut atoms = cfd.constant_atoms();
+                atoms.sort_unstable_by_key(|(a, _)| *a);
+                match seen.entry((scheme.primary_site(cfd.rhs), atoms)) {
+                    std::collections::hash_map::Entry::Occupied(e) => slot_of.push(*e.get()),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(uniq.len());
+                        slot_of.push(uniq.len());
+                        uniq.push(pos);
+                    }
+                }
+            }
+        } else {
+            uniq.extend(0..const_idx.len());
+            slot_of.extend(0..const_idx.len());
+        }
+        let computed = crate::par::par_map(
+            uniq.len(),
+            insertions.len() * uniq.len() >= crate::par::PAR_THRESHOLD,
+            &|u| {
+                let cfd = &cfds[const_idx[uniq[u]]];
                 let coord = scheme.primary_site(cfd.rhs);
                 let atoms = cfd.constant_atoms();
                 // Group atoms by evaluation site (prefer the coordinator
@@ -311,6 +373,7 @@ impl VerticalDetector {
                 (coord, cands)
             },
         );
+        let plans: Vec<ConstPlan> = slot_of.iter().map(|&u| computed[u].clone()).collect();
 
         // Phase 2: metering, sort-merge and violation maintenance, in CFD
         // order.
@@ -354,30 +417,54 @@ impl VerticalDetector {
     // Variable CFDs (incVIns / incVDel, Fig. 4)
     // ------------------------------------------------------------------
 
-    /// Variable CFDs whose LHS pattern matches `t`, in id order.
-    fn matched_variable(&self, t: &Tuple) -> Vec<CfdId> {
-        self.cfds
-            .iter()
-            .filter(|c| c.is_variable() && c.matches_lhs(t))
-            .map(|c| c.id)
-            .collect()
+    /// Variable CFDs whose LHS pattern matches `t`, in id order — under
+    /// [`SharingMode::Shared`] via one dispatch pass over the shared
+    /// plan's posting index instead of the per-CFD loop.
+    fn matched_variable(&mut self, t: &Tuple) -> Vec<CfdId> {
+        match self.sharing {
+            SharingMode::PerCfd => self
+                .cfds
+                .iter()
+                .filter(|c| c.is_variable() && c.matches_lhs(t))
+                .map(|c| c.id)
+                .collect(),
+            SharingMode::Shared => {
+                let plan = &self.shared_plan;
+                plan.matched(t, &mut self.scratch)
+                    .iter()
+                    .copied()
+                    .filter(|&c| plan.is_variable(c))
+                    .collect()
+            }
+        }
     }
 
     /// [`Self::matched_variable`] for a live stored tuple, checking
     /// patterns against the store's borrowed values (no materialization).
-    fn matched_variable_at(&self, row: relation::RowId) -> Vec<CfdId> {
+    fn matched_variable_at(&mut self, row: relation::RowId) -> Vec<CfdId> {
         let store = self.current.store();
-        self.cfds
-            .iter()
-            .filter(|c| {
-                c.is_variable()
-                    && c.lhs
-                        .iter()
-                        .zip(&c.lhs_pattern)
-                        .all(|(&a, p)| p.matches(store.value(row, a)))
-            })
-            .map(|c| c.id)
-            .collect()
+        match self.sharing {
+            SharingMode::PerCfd => self
+                .cfds
+                .iter()
+                .filter(|c| {
+                    c.is_variable()
+                        && c.lhs
+                            .iter()
+                            .zip(&c.lhs_pattern)
+                            .all(|(&a, p)| p.matches(store.value(row, a)))
+                })
+                .map(|c| c.id)
+                .collect(),
+            SharingMode::Shared => {
+                let plan = &self.shared_plan;
+                plan.matched_by(|a| store.value(row, a), &mut self.scratch)
+                    .iter()
+                    .copied()
+                    .filter(|&c| plan.is_variable(c))
+                    .collect()
+            }
+        }
     }
 
     /// Nodes and base attributes needed to anchor `cfds` for one tuple.

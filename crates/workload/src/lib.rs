@@ -11,11 +11,14 @@
 //!   paper's 320 MB DBLP extract.
 //! * [`rules`] — CFD generation following the paper's methodology:
 //!   "we first designed FDs, and then produced CFDs by adding patterns".
+//! * [`family`] — seeded synthetic CFD families with a controllable
+//!   LHS-overlap dial, for sweeping `|Σ|` under operator sharing.
 //! * [`updates`] — batch-update generation (the paper uses 80% insertions
 //!   / 20% deletions by default; Exp-10 uses 60/40).
 
 pub mod dblp;
 pub mod emp;
+pub mod family;
 pub mod rules;
 pub mod tpch;
 pub mod updates;

@@ -90,7 +90,7 @@ pub mod prelude {
     };
     pub use incdetect::{
         BaselineStrategy, DetectError, Detector, DetectorBuilder, HorizontalDetector,
-        HybridDetector, HybridScheme, VerticalDetector,
+        HybridDetector, HybridScheme, SharingMode, VerticalDetector,
     };
     pub use loadgen::{
         catalog, run_load, ArrivalShape, DirtyRate, Histogram, KeyDist, LoadConfig, LoadReport,

@@ -1,0 +1,328 @@
+//! Shared-plan differential suite: operator-level sharing must be a pure
+//! execution strategy. For every detection strategy and every workload,
+//! driving the same update stream under [`SharingMode::Shared`] and
+//! [`SharingMode::PerCfd`] must produce bit-identical violations, `ΔV`
+//! *and* modeled network traffic — sharing changes how candidates are
+//! generated, never what ships or what is detected.
+//!
+//! Plus the structural property tests: the shared dispatch agrees with a
+//! naive `matches_lhs` scan on random tuples, and key groups only ever
+//! merge CFDs whose LHS attribute lists are *identical* (residual
+//! restricts stay per-CFD — incompatible patterns are never merged).
+
+use cfd::{Cfd, MatchScratch, SharedPlan};
+use inc_cfd::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use workload::family::{cfd_family, FamilyConfig};
+use workload::updates::{self, UpdateMix};
+
+/// All nine strategies over one instance, pinned to one sharing mode.
+fn strategies(
+    schema: &Arc<Schema>,
+    cfds: &[Cfd],
+    vscheme: VerticalScheme,
+    hscheme: HorizontalScheme,
+    yscheme: HybridScheme,
+    d0: &Relation,
+    mode: SharingMode,
+) -> Vec<Box<dyn Detector>> {
+    let b = || DetectorBuilder::new(schema.clone(), cfds.to_vec()).sharing(mode);
+    vec![
+        b().vertical(vscheme.clone()).build_dyn(d0).expect("incVer"),
+        b().vertical(vscheme.clone())
+            .optimized(incdetect::optimize::OptimizeConfig::default())
+            .build_dyn(d0)
+            .expect("incVer/optVer"),
+        b().horizontal(hscheme.clone())
+            .build_dyn(d0)
+            .expect("incHor"),
+        b().horizontal(hscheme.clone())
+            .raw_values()
+            .build_dyn(d0)
+            .expect("incHor/raw"),
+        b().hybrid(yscheme).build_dyn(d0).expect("incHyb"),
+        b().baseline(BaselineStrategy::BatVer(vscheme.clone()))
+            .build_dyn(d0)
+            .expect("batVer"),
+        b().baseline(BaselineStrategy::BatHor(hscheme.clone()))
+            .build_dyn(d0)
+            .expect("batHor"),
+        b().baseline(BaselineStrategy::IbatVer(vscheme))
+            .build_dyn(d0)
+            .expect("ibatVer"),
+        b().baseline(BaselineStrategy::IbatHor(hscheme))
+            .build_dyn(d0)
+            .expect("ibatHor"),
+    ]
+}
+
+/// Drive both modes in lockstep over `batches`, asserting bit-identity
+/// after every batch: `V`, `ΔV`, and the full per-tier modeled traffic.
+fn assert_modes_identical(
+    schema: &Arc<Schema>,
+    cfds: &[Cfd],
+    vscheme: VerticalScheme,
+    hscheme: HorizontalScheme,
+    yscheme: HybridScheme,
+    d0: &Relation,
+    batches: &[UpdateBatch],
+) {
+    let mut shared = strategies(
+        schema,
+        cfds,
+        vscheme.clone(),
+        hscheme.clone(),
+        yscheme.clone(),
+        d0,
+        SharingMode::Shared,
+    );
+    let mut per_cfd = strategies(
+        schema,
+        cfds,
+        vscheme,
+        hscheme,
+        yscheme,
+        d0,
+        SharingMode::PerCfd,
+    );
+    for (s, p) in shared.iter_mut().zip(&mut per_cfd) {
+        assert_eq!(s.strategy(), p.strategy());
+        let name = s.strategy();
+        assert_eq!(
+            s.violations().marks_sorted(),
+            p.violations().marks_sorted(),
+            "{name}: initial V diverged"
+        );
+        for (i, b) in batches.iter().enumerate() {
+            let dv_s = s.apply(b).expect("shared apply");
+            let dv_p = p.apply(b).expect("per-CFD apply");
+            assert_eq!(dv_s, dv_p, "{name}: ΔV diverged at batch {i}");
+            assert_eq!(
+                s.violations().marks_sorted(),
+                p.violations().marks_sorted(),
+                "{name}: V diverged at batch {i}"
+            );
+            let (net_s, net_p) = (s.net(), p.net());
+            assert_eq!(
+                net_s.total_bytes(),
+                net_p.total_bytes(),
+                "{name}: modeled |M| diverged at batch {i}"
+            );
+            assert_eq!(
+                net_s.total_eqids(),
+                net_p.total_eqids(),
+                "{name}: eqid shipment diverged at batch {i}"
+            );
+            for (tier, stats) in net_s.tiers() {
+                let other = net_p.tier(tier).expect("same tiers in both modes");
+                assert_eq!(
+                    stats.to_bytes(),
+                    other.to_bytes(),
+                    "{name}: tier {tier} byte matrix diverged at batch {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharing_is_invisible_on_emp() {
+    let (schema, d0) = workload::emp::emp_relation();
+    let sigma = workload::emp::emp_cfds(&schema);
+    let vscheme = workload::emp::emp_vertical_scheme(&schema);
+    let hscheme = workload::emp::emp_horizontal_scheme(&schema);
+    let yscheme = HybridScheme::uniform(schema.clone(), 2, 2).expect("hybrid scheme");
+
+    let mut b1 = UpdateBatch::new();
+    b1.insert(workload::emp::t6());
+    let mut b2 = UpdateBatch::new();
+    b2.delete(4);
+    b2.delete(2);
+    let mut b3 = UpdateBatch::new();
+    b3.delete(5);
+    b3.insert(workload::emp::t6()); // modification of tid 6
+    assert_modes_identical(
+        &schema,
+        &sigma,
+        vscheme,
+        hscheme,
+        yscheme,
+        &d0,
+        &[b1, b2, b3],
+    );
+}
+
+#[test]
+fn sharing_is_invisible_on_dblp() {
+    let cfg = workload::dblp::DblpConfig {
+        n_rows: 300,
+        n_venues: 25,
+        n_authors: 100,
+        error_rate: 0.06,
+        seed: 9,
+    };
+    let (schema, d0) = workload::dblp::generate(&cfg);
+    let sigma = workload::rules::dblp_rules(&schema, 12, 4);
+    let vscheme = workload::dblp::vertical_scheme(&schema, 4);
+    let hscheme = workload::dblp::horizontal_scheme(&schema, 4);
+    let yscheme = HybridScheme::uniform(schema.clone(), 2, 2).expect("hybrid scheme");
+
+    let mut mirror = d0.clone();
+    let mut batches = Vec::new();
+    let mut next_tid = 1_000_000u64;
+    for round in 0..3u64 {
+        let fresh = workload::dblp::generate_fresh(&cfg, next_tid, 30, round + 1);
+        next_tid += 30;
+        let delta = updates::generate(
+            &mirror,
+            &fresh,
+            40,
+            UpdateMix {
+                insert_fraction: 0.7,
+            },
+            round ^ 0x55,
+        );
+        delta
+            .normalize(&mirror.clone())
+            .apply(&mut mirror)
+            .expect("mirror applies");
+        batches.push(delta);
+    }
+    assert_modes_identical(&schema, &sigma, vscheme, hscheme, yscheme, &d0, &batches);
+}
+
+#[test]
+fn sharing_is_invisible_on_a_generated_64_cfd_family() {
+    let tcfg = workload::tpch::TpchConfig {
+        n_rows: 300,
+        seed: 13,
+        ..workload::tpch::TpchConfig::default()
+    };
+    let (schema, d0) = workload::tpch::generate(&tcfg);
+    let sigma = cfd_family(
+        &schema,
+        &d0,
+        &FamilyConfig {
+            n: 64,
+            overlap: 0.85,
+            seed: 21,
+        },
+    );
+    let vscheme = workload::tpch::vertical_scheme(&schema, 5);
+    let hscheme = workload::tpch::horizontal_scheme(&schema, 5);
+    let yscheme = HybridScheme::uniform(schema.clone(), 2, 3).expect("hybrid scheme");
+
+    let mut mirror = d0.clone();
+    let mut batches = Vec::new();
+    let mut next_tid = 1_000_000u64;
+    for round in 0..2u64 {
+        let fresh = workload::tpch::generate_fresh(&tcfg, next_tid, 60, round + 3);
+        next_tid += 60;
+        let delta = updates::generate(
+            &mirror,
+            &fresh,
+            60,
+            UpdateMix {
+                insert_fraction: 0.8,
+            },
+            round ^ 0xA1,
+        );
+        delta
+            .normalize(&mirror.clone())
+            .apply(&mut mirror)
+            .expect("mirror applies");
+        batches.push(delta);
+    }
+    assert_modes_identical(&schema, &sigma, vscheme, hscheme, yscheme, &d0, &batches);
+}
+
+// ---------------------------------------------------------------------
+// Structural properties of the shared plan itself
+// ---------------------------------------------------------------------
+
+/// The shared dispatch pass is exactly the set `{φ : t ⊨ lhs(φ)}`, in
+/// ascending id order, on random tuples against random families.
+#[test]
+fn dispatch_agrees_with_naive_matches_lhs() {
+    let tcfg = workload::tpch::TpchConfig {
+        n_rows: 150,
+        seed: 29,
+        ..workload::tpch::TpchConfig::default()
+    };
+    let (schema, d0) = workload::tpch::generate(&tcfg);
+    let mut rng = StdRng::seed_from_u64(0xD15);
+    for trial in 0..8u64 {
+        let fam = cfd_family(
+            &schema,
+            &d0,
+            &FamilyConfig {
+                n: 1 + (trial as usize * 7) % 50,
+                overlap: (trial as f64) / 8.0,
+                seed: trial,
+            },
+        );
+        let plan = SharedPlan::new(&fam);
+        let mut scratch = MatchScratch::default();
+        let rows: Vec<Tuple> = d0.iter().collect();
+        for _ in 0..40 {
+            let t = &rows[rng.random_range(0..rows.len())];
+            let naive: Vec<u32> = fam
+                .iter()
+                .filter(|c| c.matches_lhs(t))
+                .map(|c| c.id)
+                .collect();
+            assert_eq!(
+                plan.matched(t, &mut scratch),
+                &naive[..],
+                "dispatch diverged on trial {trial}"
+            );
+        }
+    }
+}
+
+/// Key groups merge *only* CFDs with identical LHS attribute lists:
+/// same-group CFDs share one group-by pass but keep their own residual
+/// restricts, so no two CFDs with different LHSs (or any constant CFD)
+/// ever land in one group.
+#[test]
+fn key_groups_only_merge_identical_lhs_lists() {
+    let tcfg = workload::tpch::TpchConfig {
+        n_rows: 100,
+        seed: 31,
+        ..workload::tpch::TpchConfig::default()
+    };
+    let (schema, d0) = workload::tpch::generate(&tcfg);
+    for seed in 0..6u64 {
+        let fam = cfd_family(
+            &schema,
+            &d0,
+            &FamilyConfig {
+                n: 48,
+                overlap: 0.7,
+                seed,
+            },
+        );
+        let plan = SharedPlan::new(&fam);
+        for c in &fam {
+            match plan.group_of(c.id) {
+                None => assert!(c.is_constant(), "variable CFD must join a group"),
+                Some(g) => {
+                    assert!(c.is_variable(), "constant CFDs never group");
+                    let (lhs, ids) = &plan.key_groups()[g];
+                    assert_eq!(lhs, &c.lhs, "grouped under a foreign LHS list");
+                    assert!(ids.contains(&c.id));
+                    // Every sibling shares the LHS list bit-for-bit, even
+                    // when its residual constant pattern differs.
+                    for &sib in ids {
+                        assert_eq!(
+                            fam[sib as usize].lhs, c.lhs,
+                            "group merged two distinct LHS lists"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
