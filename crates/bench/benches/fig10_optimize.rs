@@ -22,7 +22,7 @@ fn optimizer_runtime(c: &mut Criterion) {
     for n_cfds in [16usize, 50] {
         let cfds = workload::rules::tpch_rules(&schema, n_cfds, 1);
         group.bench_with_input(BenchmarkId::new("optVer", n_cfds), &n_cfds, |b, _| {
-            b.iter(|| optimize(&cfds, &scheme, OptimizeConfig::default()))
+            b.iter(|| optimize(&cfds, &scheme, OptimizeConfig::default()));
         });
     }
     group.finish();
@@ -69,7 +69,7 @@ fn apply_under_plans(c: &mut Criterion) {
                 },
                 |mut det| det.apply(&dd).unwrap(),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();

@@ -53,14 +53,14 @@ fn fig11a_vertical(c: &mut Criterion) {
                 || VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap(),
                 |mut det| det.apply(&dd).unwrap(),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
         let mut d_new = d.clone();
         dd.normalize(&d).apply(&mut d_new).unwrap();
         group.bench_with_input(BenchmarkId::new("ibatVer", dn), &dn, |b, _| {
             b.iter(|| {
                 baselines::ibat_ver(schema.clone(), cfds.clone(), scheme.clone(), &d_new).unwrap()
-            })
+            });
         });
     }
     group.finish();
@@ -86,14 +86,14 @@ fn fig11b_horizontal(c: &mut Criterion) {
                 },
                 |mut det| det.apply(&dd).unwrap(),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
         let mut d_new = d.clone();
         dd.normalize(&d).apply(&mut d_new).unwrap();
         group.bench_with_input(BenchmarkId::new("ibatHor", dn), &dn, |b, _| {
             b.iter(|| {
                 baselines::ibat_hor(schema.clone(), cfds.clone(), scheme.clone(), &d_new).unwrap()
-            })
+            });
         });
     }
     group.finish();

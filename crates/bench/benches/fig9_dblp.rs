@@ -49,12 +49,12 @@ fn fig9k(c: &mut Criterion) {
                 || VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap(),
                 |mut det| det.apply(&dd).unwrap(),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
         let mut d_new = d.clone();
         dd.normalize(&d).apply(&mut d_new).unwrap();
         group.bench_with_input(BenchmarkId::new("batVer", dn), &dn, |b, _| {
-            b.iter(|| baselines::bat_ver(&cfds, &scheme, &d_new))
+            b.iter(|| baselines::bat_ver(&cfds, &scheme, &d_new));
         });
     }
     group.finish();
@@ -78,7 +78,7 @@ fn fig9l(c: &mut Criterion) {
                 || VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap(),
                 |mut det| det.apply(&dd).unwrap(),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();

@@ -53,12 +53,12 @@ fn fig9f(c: &mut Criterion) {
                 },
                 |mut det| det.apply(&dd).unwrap(),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
         let mut d_new = d.clone();
         dd.normalize(&d).apply(&mut d_new).unwrap();
         group.bench_with_input(BenchmarkId::new("batHor", rows), &rows, |b, _| {
-            b.iter(|| baselines::bat_hor(&cfds, &scheme, &d_new))
+            b.iter(|| baselines::bat_hor(&cfds, &scheme, &d_new));
         });
     }
     group.finish();
@@ -85,7 +85,7 @@ fn fig9g(c: &mut Criterion) {
                 },
                 |mut det| det.apply(&dd).unwrap(),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();
@@ -112,7 +112,7 @@ fn fig9i(c: &mut Criterion) {
                 },
                 |mut det| det.apply(&dd).unwrap(),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();

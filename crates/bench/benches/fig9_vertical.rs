@@ -51,12 +51,12 @@ fn fig9a(c: &mut Criterion) {
                 || VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap(),
                 |mut det| det.apply(&dd).unwrap(),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
         let mut d_new = d.clone();
         dd.normalize(&d).apply(&mut d_new).unwrap();
         group.bench_with_input(BenchmarkId::new("batVer", rows), &rows, |b, _| {
-            b.iter(|| baselines::bat_ver(&cfds, &scheme, &d_new))
+            b.iter(|| baselines::bat_ver(&cfds, &scheme, &d_new));
         });
     }
     group.finish();
@@ -80,7 +80,7 @@ fn fig9b(c: &mut Criterion) {
                 || VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap(),
                 |mut det| det.apply(&dd).unwrap(),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();
@@ -104,7 +104,7 @@ fn fig9d(c: &mut Criterion) {
                 || VerticalDetector::new(schema.clone(), cfds.clone(), scheme.clone(), &d).unwrap(),
                 |mut det| det.apply(&dd).unwrap(),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();

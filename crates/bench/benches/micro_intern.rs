@@ -26,7 +26,7 @@ fn pool_ops(c: &mut Criterion) {
                 p.release(s);
             }
             black_box(acc)
-        })
+        });
     });
     group.bench_function("encode_tuples", |b| {
         let tuples: Vec<Tuple> = (0..512u64)
@@ -45,7 +45,7 @@ fn pool_ops(c: &mut Criterion) {
             let mut p = ValuePool::new();
             let encoded: Vec<_> = tuples.iter().map(|t| p.encode(t)).collect();
             black_box(encoded.len())
-        })
+        });
     });
     group.finish();
 }
@@ -80,7 +80,7 @@ fn grouping(c: &mut Criterion) {
                 }
             }
             black_box(groups.len())
-        })
+        });
     });
     group.bench_function("interned", |b| {
         b.iter(|| {
@@ -97,7 +97,7 @@ fn grouping(c: &mut Criterion) {
                 }
             }
             black_box(groups.len())
-        })
+        });
     });
     group.finish();
 }
@@ -115,7 +115,7 @@ fn nonbase_keys(c: &mut Criterion) {
                 let key: EqKey = [i % 61, i % 13, i % 7].into_iter().collect();
                 h.release(&key);
             }
-        })
+        });
     });
     group.finish();
 }

@@ -29,7 +29,7 @@ fn hashing_ablation(c: &mut Criterion) {
                 acc ^= *m.get(&k).unwrap();
             }
             black_box(acc)
-        })
+        });
     });
     group.bench_function("std_hashmap_insert_get", |b| {
         b.iter(|| {
@@ -42,7 +42,7 @@ fn hashing_ablation(c: &mut Criterion) {
                 acc ^= *m.get(&k).unwrap();
             }
             black_box(acc)
-        })
+        });
     });
     group.finish();
 }
@@ -68,7 +68,7 @@ fn hev_stores(c: &mut Criterion) {
             for &s in &syms {
                 h.release(s);
             }
-        })
+        });
     });
     group.bench_function("nonbase_acquire_release_cycle", |b| {
         b.iter(|| {
@@ -79,7 +79,7 @@ fn hev_stores(c: &mut Criterion) {
             for i in 0..512u64 {
                 h.release(&[i % 37, i % 11, i]);
             }
-        })
+        });
     });
     group.finish();
 }
@@ -100,7 +100,7 @@ fn idx_ops(c: &mut Criterion) {
                 idx.remove(i % 37, i % 5, i);
             }
             black_box(acc)
-        })
+        });
     });
     group.finish();
 }
@@ -116,7 +116,7 @@ fn md5_digests(c: &mut Criterion) {
     let bytes = vec![0xabu8; 256];
     let mut group = c.benchmark_group("md5");
     group.bench_function("digest_value_vector", |b| {
-        b.iter(|| black_box(digest_values(&tuple_vals)))
+        b.iter(|| black_box(digest_values(&tuple_vals)));
     });
     group.bench_function("md5_256_bytes", |b| b.iter(|| black_box(md5(&bytes))));
     group.finish();

@@ -1,0 +1,287 @@
+//! The `analysis` section of the benchmark report: static-analysis cost
+//! and what pruning buys at detection time.
+//!
+//! Three sub-sections:
+//!
+//! * `analyze_scaling` — wall time of the full `cfd::analysis::analyze`
+//!   pass (per-rule status, duplicates, conflicts, satisfiability,
+//!   minimal cover, prune plan) as `|Σ|` grows over the same generated
+//!   families as `cfd_sweep`. The structural outputs (kept/pruned/
+//!   duplicate counts) are deterministic integers; wall times are
+//!   machine-dependent floats, never gated.
+//! * `minimal_cover` — cover sizes on a redundancy-dialed family, plus a
+//!   re-verification of the machine-checkable equivalence certificate.
+//! * `prune_speedup` — the headline Off-vs-Prune point: a redundant
+//!   catalog (half the rules are LHS-reordered duplicates / refinements
+//!   of always-matching embedded FDs) streamed one update at a time
+//!   through the §6 horizontal detector under `AnalysisMode::Off` and
+//!   `AnalysisMode::Prune`. ΔV and the final violation surface are
+//!   asserted bit-identical; the wall-clock cut is the point of the
+//!   exercise — the pruned rules sit at the expensive end of the family,
+//!   so the committed full-scale run cuts per-update wall by at least
+//!   the pruned-rule fraction.
+
+use crate::report::{fixed_tpch, Json};
+use crate::sweep::{sweep_overlap, SWEEP_NS};
+use cfd::analysis::{analyze, PrunePlan, Sat};
+use cfd::{AnalysisConfig, Domains};
+use incdetect::{AnalysisMode, DetectError, DetectorBuilder, SharingMode};
+use relation::UpdateBatch;
+use std::time::Instant;
+use workload::family::{cfd_family, FamilyConfig};
+use workload::tpch;
+
+/// The redundancy dial of the `prune_speedup` catalog: half the family is
+/// the prunable block.
+const PRUNE_REDUNDANCY: f64 = 0.5;
+
+/// CFD count of the `prune_speedup` catalog (a mid-sweep size: large
+/// enough that per-rule work dominates fixed overheads, small enough for
+/// the quick profile).
+const PRUNE_N_CFDS: usize = 256;
+
+/// Best-of-`reps` wall time of one full `analyze` pass, in nanoseconds.
+fn analyze_ns(
+    schema: &relation::Schema,
+    cfds: &[cfd::Cfd],
+    domains: &Domains,
+    reps: usize,
+) -> (f64, cfd::CatalogAnalysis) {
+    let cfg = AnalysisConfig::default();
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let a = analyze(schema, cfds, domains, &cfg);
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9);
+        out = Some(a);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+/// Wall time of `analyze` vs `|Σ|` over the sweep families. Catalog
+/// shapes are scale-independent, so the integer leaves match between
+/// quick and full runs.
+fn analyze_scaling(quick: bool) -> Json {
+    let (schema, _, d, _) = fixed_tpch(true);
+    let reps = if quick { 1 } else { 5 };
+    let domains = Domains::open(&schema);
+    let mut fields = Vec::new();
+    for &n in SWEEP_NS {
+        let fam = cfd_family(
+            &schema,
+            &d,
+            &FamilyConfig {
+                n,
+                overlap: sweep_overlap(n),
+                seed: 0xCFD,
+                ..FamilyConfig::default()
+            },
+        );
+        let (ns, a) = analyze_ns(&schema, &fam, &domains, reps);
+        let sat = match &a.sat {
+            Sat::Satisfiable { .. } => "satisfiable",
+            Sat::Unsatisfiable { .. } => "unsatisfiable",
+            Sat::Unknown => "unknown",
+        };
+        fields.push((
+            format!("cfds_{n}"),
+            Json::obj(vec![
+                ("n_cfds", Json::Int(n as u64)),
+                ("analyze_ns", Json::Num(ns)),
+                ("sat", Json::Str(sat.into())),
+                ("duplicates", Json::Int(a.duplicates.len() as u64)),
+                ("conflicts", Json::Int(a.conflicts.len() as u64)),
+                ("cover_kept", Json::Int(a.cover.kept.len() as u64)),
+                ("plan_pruned", Json::Int(a.prune.n_pruned() as u64)),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+/// Cover sizes and certificate verification on a redundancy-dialed
+/// family.
+fn minimal_cover_section() -> Json {
+    let (schema, _, d, _) = fixed_tpch(true);
+    let fam = cfd_family(
+        &schema,
+        &d,
+        &FamilyConfig {
+            n: 64,
+            overlap: 0.9,
+            seed: 7,
+            redundancy: 0.5,
+            conflicts: 0,
+        },
+    );
+    let domains = Domains::open(&schema);
+    let cfg = AnalysisConfig::default();
+    let a = analyze(&schema, &fam, &domains, &cfg);
+    let certificate_ok = a.cover.verify(&schema, &fam, &domains, &cfg).is_ok();
+    assert!(certificate_ok, "cover certificate must re-verify");
+    Json::obj(vec![
+        ("rules", Json::Int(fam.len() as u64)),
+        ("kept", Json::Int(a.cover.kept.len() as u64)),
+        ("removed", Json::Int(a.cover.removed.len() as u64)),
+        ("certificate_ok", Json::Int(u64::from(certificate_ok))),
+    ])
+}
+
+struct PruneRun {
+    ns_per_update: f64,
+    dv_marks: u64,
+    final_violations: u64,
+}
+
+/// Stream `stream` one batch at a time through the shared-plan horizontal
+/// detector built under `mode`, best-of-`passes` wall clock.
+fn run_prune_mode(
+    schema: &std::sync::Arc<relation::Schema>,
+    cfds: &[cfd::Cfd],
+    d: &relation::Relation,
+    stream: &[UpdateBatch],
+    n_sites: usize,
+    mode: AnalysisMode,
+    passes: usize,
+) -> Result<PruneRun, DetectError> {
+    let hs = tpch::horizontal_scheme(schema, n_sites);
+    let mut best = f64::INFINITY;
+    let mut dv_marks = 0u64;
+    let mut final_violations = 0u64;
+    for _ in 0..passes {
+        let mut det = DetectorBuilder::new(schema.clone(), cfds.to_vec())
+            .sharing(SharingMode::Shared)
+            .analyze(mode)
+            .horizontal(hs.clone())
+            .build_dyn(d)?;
+        let mut marks = 0u64;
+        let t0 = Instant::now();
+        for b in stream {
+            marks += det.apply(b)?.len() as u64;
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        best = best.min(wall / stream.len() as f64 * 1e9);
+        dv_marks = marks;
+        final_violations = det.violations().total_marks() as u64;
+    }
+    Ok(PruneRun {
+        ns_per_update: best,
+        dv_marks,
+        final_violations,
+    })
+}
+
+/// The Off-vs-Prune point on the redundant catalog.
+fn prune_speedup(quick: bool) -> Json {
+    let (schema, _, d, delta) = fixed_tpch(quick);
+    let passes = if quick { 1 } else { 3 };
+    let fam = cfd_family(
+        &schema,
+        &d,
+        &FamilyConfig {
+            n: PRUNE_N_CFDS,
+            overlap: sweep_overlap(PRUNE_N_CFDS),
+            seed: 0xCFD,
+            redundancy: PRUNE_REDUNDANCY,
+            conflicts: 0,
+        },
+    );
+    let plan = PrunePlan::compute(&fam);
+    let stream: Vec<UpdateBatch> = delta
+        .ops()
+        .iter()
+        .map(|op| {
+            let mut b = UpdateBatch::new();
+            match op {
+                relation::Update::Insert(t) => b.insert(t.clone()),
+                relation::Update::Delete(tid) => b.delete(*tid),
+            }
+            b
+        })
+        .collect();
+
+    let off =
+        run_prune_mode(&schema, &fam, &d, &stream, 10, AnalysisMode::Off, passes).expect("Off run");
+    let prune = run_prune_mode(&schema, &fam, &d, &stream, 10, AnalysisMode::Prune, passes)
+        .expect("Prune run");
+    assert_eq!(
+        off.dv_marks, prune.dv_marks,
+        "ΔV must be mode-independent under pruning"
+    );
+    assert_eq!(
+        off.final_violations, prune.final_violations,
+        "V must be mode-independent under pruning"
+    );
+
+    Json::obj(vec![
+        ("n_cfds", Json::Int(PRUNE_N_CFDS as u64)),
+        ("redundancy", Json::Num(PRUNE_REDUNDANCY)),
+        ("pruned_rules", Json::Int(plan.n_pruned() as u64)),
+        ("pruned_fraction", Json::Num(plan.pruned_fraction())),
+        ("updates", Json::Int(stream.len() as u64)),
+        ("off_ns_per_update", Json::Num(off.ns_per_update)),
+        ("prune_ns_per_update", Json::Num(prune.ns_per_update)),
+        (
+            "prune_speedup",
+            Json::Num(off.ns_per_update / prune.ns_per_update),
+        ),
+        (
+            "wall_cut",
+            Json::Num(1.0 - prune.ns_per_update / off.ns_per_update),
+        ),
+        ("dv_marks", Json::Int(off.dv_marks)),
+        ("final_violations", Json::Int(off.final_violations)),
+    ])
+}
+
+/// Build the `analysis` section.
+pub fn build_analysis(quick: bool) -> Json {
+    Json::obj(vec![
+        ("analyze_scaling", analyze_scaling(quick)),
+        ("minimal_cover", minimal_cover_section()),
+        ("prune_speedup", prune_speedup(quick)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analysis_section_has_expected_shape_and_modes_agree() {
+        let j = build_analysis(true);
+        let scaling = j.get("analyze_scaling").expect("scaling section");
+        for n in SWEEP_NS {
+            let p = scaling
+                .get(&format!("cfds_{n}"))
+                .unwrap_or_else(|| panic!("cfds_{n} present"));
+            assert!(
+                matches!(p.get("sat"), Some(Json::Str(s)) if s == "satisfiable"),
+                "sweep families must be satisfiable"
+            );
+        }
+        let cover = j.get("minimal_cover").expect("cover section");
+        assert!(matches!(cover.get("certificate_ok"), Some(Json::Int(1))));
+        let ps = j.get("prune_speedup").expect("prune section");
+        let frac = match ps.get("pruned_fraction") {
+            Some(Json::Num(f)) => *f,
+            other => panic!("pruned_fraction: {other:?}"),
+        };
+        assert!(
+            (0.3..=0.7).contains(&frac),
+            "redundancy dial must land near its setting, got {frac}"
+        );
+        // Wall-clock claims only mean something optimized.
+        if !cfg!(debug_assertions) {
+            let speedup = match ps.get("prune_speedup") {
+                Some(Json::Num(x)) => *x,
+                other => panic!("prune_speedup: {other:?}"),
+            };
+            assert!(
+                speedup > 1.0,
+                "pruning half the (expensive) rules must win, got {speedup}"
+            );
+        }
+    }
+}

@@ -1,11 +1,11 @@
-//! `load_gen` — emit the sustained-load benchmark report (`BENCH_8.json`),
+//! `load_gen` — emit the sustained-load benchmark report (`BENCH_9.json`),
 //! including the concurrency `speedup` curve and the shared-plan
 //! `cfd_sweep`.
 //!
 //! Usage:
 //!
 //! ```text
-//! load_gen [--quick] [--out PATH] [--compare BENCH_8.json]
+//! load_gen [--quick] [--out PATH] [--compare BENCH_9.json]
 //!          [--require-keys k1,k2,...]
 //! ```
 //!
@@ -13,7 +13,7 @@
 //! curve at 2/4 sites and the CFD sweep over the quick fig9 stream
 //! (seconds); the default full run (scenarios at 40k rows, speedup at
 //! 2/4/8/16 sites, sweep over the full fig9 stream) is what gets
-//! committed as `BENCH_8.json`. Without `--out` the report goes to
+//! committed as `BENCH_9.json`. Without `--out` the report goes to
 //! stdout only.
 //!
 //! `--compare PATH` is the regression gate: the freshly computed
@@ -53,13 +53,13 @@ fn main() {
                 out = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--out requires a path");
                     std::process::exit(2);
-                }))
+                }));
             }
             "--compare" => {
                 compare = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--compare requires a path");
                     std::process::exit(2);
-                }))
+                }));
             }
             "--require-keys" => {
                 let list = args.next().unwrap_or_else(|| {

@@ -12,6 +12,7 @@
 //! EXPERIMENTS.md: incremental flat in `|D|`, linear in `|ΔD|`/`|Σ|`,
 //! batch growing with `|D|` and shipping orders of magnitude more data.
 
+pub mod analysis;
 pub mod load;
 pub mod report;
 pub mod speedup;

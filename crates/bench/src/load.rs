@@ -13,7 +13,7 @@
 //! applied, Σ|ΔV| marks, final violation marks, modeled and measured
 //! wire bytes) are duplicated at quick scale in the `load_quick`
 //! section, which the `load_gen --compare` gate checks against the
-//! committed `BENCH_8.json` exactly like the `fig_quick` gate.
+//! committed `BENCH_9.json` exactly like the `fig_quick` gate.
 
 use crate::report::Json;
 use cluster::codec::CodecKind;
@@ -218,7 +218,7 @@ pub fn build_load_quick() -> Json {
     run_matrix(Profile::Quick, cell_json_deterministic)
 }
 
-/// Build the whole `BENCH_8.json` document. `quick` selects the
+/// Build the whole `BENCH_9.json` document. `quick` selects the
 /// scenario scale of the headline `load` section, the site counts of
 /// the `speedup` curve and the stream scale of the `cfd_sweep`;
 /// `load_quick` is always quick-scale.
@@ -228,7 +228,7 @@ pub fn build_load_report(quick: bool) -> Json {
     let load_quick = build_load_quick();
     Json::obj(vec![
         ("schema_version", Json::Int(1)),
-        ("report", Json::Str("BENCH_8".into())),
+        ("report", Json::Str("BENCH_9".into())),
         (
             "description",
             Json::Str(
@@ -260,7 +260,12 @@ pub fn build_load_report(quick: bool) -> Json {
                  compares per-update cost with operator-level sharing \
                  (one dispatch pass, one digest per attribute, one \
                  group-key per distinct LHS list) against the per-CFD \
-                 loop. `fig_quick` is carried over so the bench_report \
+                 loop. `analysis` is the static-analysis section (PR 9): \
+                 `analyze` wall time vs |Σ|, minimal-cover sizes with a \
+                 re-verified equivalence certificate, and the Off-vs-Prune \
+                 point where AnalysisMode::Prune detects over the minimal \
+                 cover of a half-redundant catalog with bit-identical ΔV \
+                 and V. `fig_quick` is carried over so the bench_report \
                  gate can target this file too"
                     .into(),
             ),
@@ -273,6 +278,7 @@ pub fn build_load_report(quick: bool) -> Json {
         ("load_quick", load_quick),
         ("speedup", crate::speedup::build_speedup(quick)),
         ("cfd_sweep", crate::sweep::build_cfd_sweep(quick)),
+        ("analysis", crate::analysis::build_analysis(quick)),
         ("fig_quick", crate::report::build_fig_quick()),
     ])
 }

@@ -1054,7 +1054,7 @@ pub fn build_report(quick: bool) -> Json {
 
     Json::obj(vec![
         ("schema_version", Json::Int(1)),
-        ("report", Json::Str("BENCH_8".into())),
+        ("report", Json::Str("BENCH_9".into())),
         (
             "description",
             Json::Str(
@@ -1068,10 +1068,13 @@ pub fn build_report(quick: bool) -> Json {
                  md5/raw_values/dict modeled bytes are bit-identical to \
                  BENCH_4, and every detector evaluates under the shared \
                  multi-CFD delta plan (SharingMode::Shared) — `cfd_sweep` \
-                 measures what that buys as |Σ| grows. The committed \
-                 BENCH_8.json (emitted by load_gen) additionally carries \
-                 the `speedup` concurrency curve and the sustained-load \
-                 matrix. `fig_quick` holds the quick-scale deterministic \
+                 measures what that buys as |Σ| grows, and `analysis` \
+                 measures the static analysis of Σ itself plus the \
+                 Off-vs-Prune detection point over its minimal cover. The \
+                 committed BENCH_9.json (emitted by load_gen) additionally \
+                 carries the `speedup` concurrency curve and the \
+                 sustained-load matrix. \
+                 `fig_quick` holds the quick-scale deterministic \
                  numbers the CI bench gate compares against (>20% \
                  regression fails)"
                     .into(),
@@ -1115,6 +1118,7 @@ pub fn build_report(quick: bool) -> Json {
             fig_section(&fig_quick, quick, "transport", transport_section),
         ),
         ("cfd_sweep", crate::sweep::build_cfd_sweep(quick)),
+        ("analysis", crate::analysis::build_analysis(quick)),
         ("fig_quick", fig_quick),
     ])
 }
@@ -1171,6 +1175,9 @@ mod tests {
             "measured_wire_bytes",
             "cfd_sweep",
             "sharing_speedup",
+            "analysis",
+            "prune_speedup",
+            "minimal_cover",
             "fig_quick",
         ] {
             assert!(r.contains(&format!("\"{key}\"")), "missing section {key}");

@@ -130,6 +130,7 @@ pub fn build_cfd_sweep(quick: bool) -> Json {
                 n,
                 overlap: sweep_overlap(n),
                 seed: 0xCFD,
+                ..FamilyConfig::default()
             },
         );
         let plan = cfd::SharedPlan::new(&fam);
@@ -250,7 +251,7 @@ mod tests {
                 "sharing must win at 1024 CFDs"
             );
             // 16× the CFDs must cost well under 16× per update — the
-            // committed full-scale BENCH_8.json pins the tighter <8×
+            // committed full-scale BENCH_9.json pins the tighter <8×
             // claim; the smoke bound leaves slack for shared machines.
             assert!(
                 num(256, "shared_cost_vs_16_cfds") < 12.0,

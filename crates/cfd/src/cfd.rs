@@ -164,6 +164,56 @@ impl Cfd {
     pub fn display<'a>(&'a self, schema: &'a Schema) -> CfdDisplay<'a> {
         CfdDisplay { cfd: self, schema }
     }
+
+    /// The canonical [`NormalForm`] of this rule: LHS atoms sorted by
+    /// attribute (then pattern) with exact duplicate atoms removed. Two
+    /// rules with equal normal forms match the same tuples and violate on
+    /// the same tuples — the identity [`crate::share::SharedPlan`] and
+    /// [`crate::analysis`] dedupe through.
+    pub fn normal_form(&self) -> NormalForm {
+        let mut lhs: Vec<(AttrId, PatternValue)> = self
+            .lhs
+            .iter()
+            .copied()
+            .zip(self.lhs_pattern.iter().cloned())
+            .collect();
+        lhs.sort_unstable();
+        lhs.dedup();
+        NormalForm {
+            lhs,
+            rhs: self.rhs,
+            rhs_pattern: self.rhs_pattern.clone(),
+        }
+    }
+
+    /// A copy of this rule in canonical atom order (the [`NormalForm`]'s
+    /// LHS order), keeping the id. Normalizing never changes which tuples
+    /// a rule matches or violates.
+    pub fn normalized(&self) -> Cfd {
+        let nf = self.normal_form();
+        let (lhs, lhs_pattern) = nf.lhs.into_iter().unzip();
+        Cfd {
+            id: self.id,
+            lhs,
+            rhs: self.rhs,
+            lhs_pattern,
+            rhs_pattern: self.rhs_pattern.clone(),
+        }
+    }
+}
+
+/// The canonical form of a [`Cfd`]: sorted, deduplicated LHS atoms plus
+/// the RHS atom. `Eq`/`Hash`/`Ord` are stable across LHS attribute order
+/// and repeated atoms, so this is the dedupe key for "the same rule
+/// written twice" (duplicate-modulo-LHS-order catalogs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NormalForm {
+    /// LHS `(attr, pattern)` atoms, sorted by attribute then pattern.
+    pub lhs: Vec<(AttrId, PatternValue)>,
+    /// RHS attribute `B`.
+    pub rhs: AttrId,
+    /// Pattern over `B`.
+    pub rhs_pattern: PatternValue,
 }
 
 /// Helper for [`Cfd::display`].
@@ -208,17 +258,23 @@ pub struct Tableau {
 
 impl Tableau {
     /// Normalize into single-RHS, single-row CFDs with ids starting at
-    /// `first_id`. Returns the normalized rules in deterministic order.
+    /// `first_id`. Exact duplicate rows collapse to their first
+    /// occurrence (a repeated row adds no constraint). Returns the
+    /// normalized rules in deterministic order.
     pub fn normalize(&self, schema: &Schema, first_id: CfdId) -> Result<Vec<Cfd>, CfdError> {
         let width = self.lhs.len() + self.rhs.len();
         let mut out = Vec::new();
         let mut id = first_id;
+        let mut seen_rows: std::collections::HashSet<&[PatternValue]> = Default::default();
         for row in &self.rows {
             if row.len() != width {
                 return Err(CfdError::PatternArity {
                     expected: width,
                     got: row.len(),
                 });
+            }
+            if !seen_rows.insert(row.as_slice()) {
+                continue;
             }
             for (j, &b) in self.rhs.iter().enumerate() {
                 let cfd = Cfd::new(
@@ -468,6 +524,67 @@ mod tests {
         assert_eq!(cfds[3].id, 13);
         assert!(cfds[0].is_constant());
         assert!(cfds[1].is_variable());
+    }
+
+    #[test]
+    fn normal_form_is_order_and_duplicate_blind() {
+        let s = schema();
+        let a = Cfd::from_names(
+            0,
+            &s,
+            &[("CC", Some(Value::int(44))), ("zip", None)],
+            ("street", None),
+        )
+        .unwrap();
+        let b = Cfd::from_names(
+            1,
+            &s,
+            &[("zip", None), ("CC", Some(Value::int(44)))],
+            ("street", None),
+        )
+        .unwrap();
+        assert_eq!(a.normal_form(), b.normal_form());
+        // A repeated identical atom adds nothing.
+        let c = Cfd::from_names(
+            2,
+            &s,
+            &[("zip", None), ("CC", Some(Value::int(44))), ("zip", None)],
+            ("street", None),
+        )
+        .unwrap();
+        assert_eq!(a.normal_form(), c.normal_form());
+        // Different residual constant ⇒ different rule.
+        let d = Cfd::from_names(
+            3,
+            &s,
+            &[("CC", Some(Value::int(1))), ("zip", None)],
+            ("street", None),
+        )
+        .unwrap();
+        assert_ne!(a.normal_form(), d.normal_form());
+        // normalized() keeps the id and sorts atoms by attribute.
+        let nb = b.normalized();
+        assert_eq!(nb.id, 1);
+        assert_eq!(nb.lhs, a.lhs);
+        assert_eq!(nb.lhs_pattern, a.lhs_pattern);
+    }
+
+    #[test]
+    fn tableau_dedupes_exact_duplicate_rows() {
+        let s = schema();
+        let row = vec![
+            PatternValue::Const(Value::int(44)),
+            PatternValue::Wildcard,
+            PatternValue::Wildcard,
+        ];
+        let tab = Tableau {
+            lhs: vec![s.attr_id("CC").unwrap(), s.attr_id("AC").unwrap()],
+            rhs: vec![s.attr_id("city").unwrap()],
+            rows: vec![row.clone(), row],
+        };
+        let cfds = tab.normalize(&s, 0).unwrap();
+        assert_eq!(cfds.len(), 1, "a repeated row adds no constraint");
+        assert_eq!(cfds[0].id, 0);
     }
 
     #[test]

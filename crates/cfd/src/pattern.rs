@@ -8,7 +8,11 @@ use relation::Value;
 use std::fmt;
 
 /// One entry of a pattern tuple: a constant or the unnamed variable `_`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// The `Ord` instance (wildcard first, then constants by value order) gives
+/// [`crate::cfd::NormalForm`] a stable sort key; it carries no semantic
+/// meaning beyond determinism.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PatternValue {
     /// The unnamed variable `_`: matches any value.
     Wildcard,
@@ -36,6 +40,17 @@ impl PatternValue {
         match self {
             PatternValue::Wildcard => None,
             PatternValue::Const(c) => Some(c),
+        }
+    }
+
+    /// Does every value matching `other` also match `self`? (`_`
+    /// generalizes everything; a constant generalizes only itself.) The
+    /// pointwise order behind pattern-tableau subsumption in
+    /// [`crate::analysis`].
+    pub fn generalizes(&self, other: &PatternValue) -> bool {
+        match self {
+            PatternValue::Wildcard => true,
+            PatternValue::Const(_) => self == other,
         }
     }
 }

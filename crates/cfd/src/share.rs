@@ -21,8 +21,14 @@
 //! only when their `GroupBy` attribute lists are identical, and each
 //! CFD keeps its own restrict postings — the property suite asserts the
 //! match set is exactly the per-CFD `matches_lhs` loop's.
+//!
+//! **Duplicate dedupe.** Rules with equal [`NormalForm`]s (the same rule
+//! written twice, possibly with reordered LHS atoms) match exactly the
+//! same tuples, so only the first occurrence of each class registers
+//! postings; a dispatch hit on the representative expands to every class
+//! member. Duplicate-free catalogs take the zero-overhead fast path.
 
-use crate::cfd::{Cfd, CfdId};
+use crate::cfd::{Cfd, CfdId, NormalForm};
 use crate::delta::DeltaPlan;
 use relation::{AttrId, FxHashMap, Tuple, Value};
 
@@ -39,6 +45,8 @@ pub struct MatchScratch {
     generation: u32,
     /// The sorted match list handed back to the caller.
     hits: Vec<CfdId>,
+    /// Duplicate-expanded match list (used only when the plan deduped).
+    expanded: Vec<CfdId>,
 }
 
 /// The merged evaluation plan of a rule set. Immutable once built;
@@ -61,6 +69,11 @@ pub struct SharedPlan {
     key_groups: Vec<(Vec<AttrId>, Vec<CfdId>)>,
     /// Key group of each variable CFD.
     group_of: Vec<Option<usize>>,
+    /// For each class representative, every member id (itself included,
+    /// ascending); empty for non-representatives.
+    expand: Vec<Vec<CfdId>>,
+    /// Number of rules deduped onto an earlier equal-normal-form rule.
+    n_deduped: usize,
 }
 
 impl SharedPlan {
@@ -75,10 +88,26 @@ impl SharedPlan {
         );
         let plans: Vec<DeltaPlan> = cfds.iter().map(DeltaPlan::compile).collect();
 
+        // Duplicate classes: rules sharing a normal form match the same
+        // tuples, so only the first of each class enters the dispatch
+        // structures; its hits expand to the whole class.
+        let mut rep_of: Vec<CfdId> = (0..n as CfdId).collect();
+        let mut expand: Vec<Vec<CfdId>> = vec![Vec::new(); n];
+        let mut first: FxHashMap<NormalForm, CfdId> = FxHashMap::default();
+        for (c, cfd) in cfds.iter().enumerate() {
+            let rep = *first.entry(cfd.normal_form()).or_insert(c as CfdId);
+            rep_of[c] = rep;
+            expand[rep as usize].push(c as CfdId);
+        }
+        let n_deduped = n - first.len();
+
         let mut by_attr: FxHashMap<AttrId, FxHashMap<Value, Vec<CfdId>>> = FxHashMap::default();
         let mut needed = vec![0u32; n];
         let mut always = Vec::new();
         for (c, plan) in plans.iter().enumerate() {
+            if rep_of[c] != c as CfdId {
+                continue;
+            }
             let mut atoms = 0u32;
             for (attr, value) in plan.restricts() {
                 by_attr
@@ -122,6 +151,8 @@ impl SharedPlan {
             key_groups,
             group_of,
             plans,
+            expand,
+            n_deduped,
         }
     }
 
@@ -159,6 +190,13 @@ impl SharedPlan {
     /// Number of CFDs with no residual restricts.
     pub fn n_always(&self) -> usize {
         self.always.len()
+    }
+
+    /// Number of rules deduped onto an earlier rule with the same
+    /// [`NormalForm`] — they ride their representative's postings instead
+    /// of being evaluated by the dispatch pass.
+    pub fn n_deduped(&self) -> usize {
+        self.n_deduped
     }
 
     /// All CFDs whose LHS pattern matches the tuple described by
@@ -200,8 +238,18 @@ impl SharedPlan {
                 }
             }
         }
-        scratch.hits.sort_unstable();
-        &scratch.hits
+        if self.n_deduped == 0 {
+            scratch.hits.sort_unstable();
+            return &scratch.hits;
+        }
+        scratch.expanded.clear();
+        for &rep in &scratch.hits {
+            scratch
+                .expanded
+                .extend_from_slice(&self.expand[rep as usize]);
+        }
+        scratch.expanded.sort_unstable();
+        &scratch.expanded
     }
 
     /// [`Self::matched_by`] over a materialized tuple.
@@ -303,6 +351,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn duplicate_rules_ride_their_representative() {
+        let s = schema();
+        let mut cfds = rules(&s);
+        // Exact duplicate of CFD 0 with reordered LHS atoms, and a
+        // byte-identical duplicate of the constant CFD 4.
+        cfds.push(
+            Cfd::from_names(
+                5,
+                &s,
+                &[("zip", None), ("cc", Some(Value::int(44)))],
+                ("street", None),
+            )
+            .unwrap(),
+        );
+        cfds.push(
+            Cfd::from_names(
+                6,
+                &s,
+                &[("cc", Some(Value::int(44)))],
+                ("city", Some(Value::str("EDI"))),
+            )
+            .unwrap(),
+        );
+        let plan = SharedPlan::new(&cfds);
+        // Rule 3 of the base set is already rule 2 modulo LHS order, so
+        // the two appended duplicates bring the count to three.
+        assert_eq!(plan.n_deduped(), 3);
+        let mut scratch = MatchScratch::default();
+        for (cc, zip) in [(44, "a"), (1, "a"), (7, "b"), (44, "b")] {
+            let t = tuple(cc, zip);
+            let want: Vec<CfdId> = cfds
+                .iter()
+                .filter(|c| c.matches_lhs(&t))
+                .map(|c| c.id)
+                .collect();
+            assert_eq!(plan.matched(&t, &mut scratch), &want[..], "cc={cc}");
+        }
+        // Duplicate-free plans report zero dedupe (fast path).
+        assert_eq!(SharedPlan::new(&rules(&s)[..3]).n_deduped(), 0);
     }
 
     #[test]

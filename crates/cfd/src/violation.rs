@@ -81,7 +81,10 @@ impl Violations {
     /// Total number of (cfd, tid) marks — the size `|V|` used in the cost
     /// analyses (a tuple violating two CFDs is "two" units of output change).
     pub fn total_marks(&self) -> usize {
-        self.per_cfd.iter().map(|s| s.len()).sum()
+        self.per_cfd
+            .iter()
+            .map(std::collections::HashSet::len)
+            .sum()
     }
 
     /// Is the violation set empty?

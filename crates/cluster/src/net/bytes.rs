@@ -125,7 +125,7 @@ pub fn put_value(out: &mut Vec<u8>, v: &Value) -> usize {
 }
 
 /// Deserialize a [`Value`].
-pub fn get_value(r: &mut Reader) -> Result<Value, ClusterError> {
+pub fn get_value(r: &mut Reader<'_>) -> Result<Value, ClusterError> {
     match r.u8()? {
         TAG_VALUE_NULL => Ok(Value::Null),
         TAG_VALUE_INT => Ok(Value::Int(r.u64()? as i64)),
@@ -145,7 +145,7 @@ pub fn put_digest(out: &mut Vec<u8>, d: &Digest) {
 }
 
 /// Deserialize a [`Digest`].
-pub fn get_digest(r: &mut Reader) -> Result<Digest, ClusterError> {
+pub fn get_digest(r: &mut Reader<'_>) -> Result<Digest, ClusterError> {
     let bytes = r.take(Digest::WIRE_SIZE)?;
     Ok(Digest(bytes.try_into().expect("16")))
 }
@@ -179,7 +179,7 @@ pub fn put_wire_value(out: &mut Vec<u8>, w: &WireValue) -> usize {
 }
 
 /// Deserialize a [`WireValue`].
-pub fn get_wire_value(r: &mut Reader) -> Result<WireValue, ClusterError> {
+pub fn get_wire_value(r: &mut Reader<'_>) -> Result<WireValue, ClusterError> {
     match r.u8()? {
         TAG_WIRE_RAW => Ok(WireValue::Raw(get_value(r)?)),
         TAG_WIRE_MD5 => Ok(WireValue::Md5(get_digest(r)?)),

@@ -432,7 +432,7 @@ impl<M: FrameCodec> MsgTransport<M> for ByteNetwork<M> {
     }
 
     fn reset_stats(&mut self) {
-        ByteNetwork::reset_stats(self)
+        ByteNetwork::reset_stats(self);
     }
 }
 

@@ -128,7 +128,7 @@ impl TcpMesh {
     /// Stand up an `n`-site mesh on `127.0.0.1` ephemeral ports: bind one
     /// listener per site, connect every ordered pair, handshake site ids,
     /// and spawn each site's reader threads.
-    pub fn localhost(n: usize) -> Result<TcpMesh, ClusterError> {
+    pub(crate) fn localhost(n: usize) -> Result<TcpMesh, ClusterError> {
         let listeners: Vec<TcpListener> = (0..n)
             .map(|_| TcpListener::bind("127.0.0.1:0").map_err(|e| terr("bind listener", e)))
             .collect::<Result<_, _>>()?;

@@ -188,7 +188,7 @@ impl<M: Wire + std::fmt::Debug + Send> MsgTransport<M> for Network<M> {
     }
 
     fn reset_stats(&mut self) {
-        Network::reset_stats(self)
+        Network::reset_stats(self);
     }
 }
 

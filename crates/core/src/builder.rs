@@ -22,6 +22,7 @@ use crate::horizontal::HorizontalDetector;
 use crate::hybrid::{HybridDetector, HybridScheme};
 use crate::optimize::{optimize, OptimizeConfig, SharingMode};
 use crate::plan::HevPlan;
+use crate::pruned::{preflight, AnalysisMode, Pruned};
 use crate::vertical::VerticalDetector;
 use cfd::{Cfd, Violations};
 use cluster::codec::CodecKind;
@@ -36,6 +37,7 @@ pub struct DetectorBuilder {
     schema: Arc<Schema>,
     cfds: Vec<Cfd>,
     sharing: SharingMode,
+    analysis: AnalysisMode,
 }
 
 impl DetectorBuilder {
@@ -45,7 +47,20 @@ impl DetectorBuilder {
             schema,
             cfds,
             sharing: SharingMode::default(),
+            analysis: AnalysisMode::default(),
         }
+    }
+
+    /// Static analysis of Σ before plan compilation:
+    /// [`AnalysisMode::Off`] (default), [`AnalysisMode::Warn`] (report
+    /// findings, build over the full catalog), or [`AnalysisMode::Prune`]
+    /// (refuse unsatisfiable catalogs and detect over the minimal kept
+    /// rules, reconstructing pruned rules' marks — `build_dyn` only,
+    /// since the result is a wrapper type). Violations and ΔV are
+    /// bit-identical across all three modes on satisfiable catalogs.
+    pub fn analyze(mut self, mode: AnalysisMode) -> Self {
+        self.analysis = mode;
+        self
     }
 
     /// Multi-CFD evaluation mode for the incremental detectors:
@@ -66,6 +81,7 @@ impl DetectorBuilder {
             scheme,
             plan: PlanChoice::DefaultChains,
             sharing: self.sharing,
+            analysis: self.analysis,
         }
     }
 
@@ -78,6 +94,7 @@ impl DetectorBuilder {
             codec: CodecKind::default(),
             transport: TransportKind::default(),
             sharing: self.sharing,
+            analysis: self.analysis,
         }
     }
 
@@ -91,6 +108,7 @@ impl DetectorBuilder {
             codec: CodecKind::default(),
             transport: TransportKind::default(),
             sharing: self.sharing,
+            analysis: self.analysis,
         }
     }
 
@@ -102,8 +120,17 @@ impl DetectorBuilder {
             strategy,
             initial: None,
             transport: TransportKind::default(),
+            analysis: self.analysis,
         }
     }
+}
+
+/// The error returned when a concrete `build` meets a catalog that
+/// `AnalysisMode::Prune` would actually shrink.
+fn prune_needs_dyn() -> DetectError {
+    DetectError::Analysis(
+        "AnalysisMode::Prune wraps the detector; use build_dyn instead of build".into(),
+    )
 }
 
 /// How the vertical builder obtains its HEV plan.
@@ -125,6 +152,7 @@ pub struct VerticalDetectorBuilder {
     scheme: VerticalScheme,
     plan: PlanChoice,
     sharing: SharingMode,
+    analysis: AnalysisMode,
 }
 
 impl VerticalDetectorBuilder {
@@ -142,6 +170,9 @@ impl VerticalDetectorBuilder {
 
     /// Build over the initial database `d0`.
     pub fn build(self, d0: &Relation) -> Result<VerticalDetector, DetectError> {
+        if preflight(&self.schema, &self.cfds, self.analysis)?.is_some() {
+            return Err(prune_needs_dyn());
+        }
         let plan = match self.plan {
             PlanChoice::DefaultChains => HevPlan::default_chains(&self.cfds, &self.scheme),
             PlanChoice::Explicit(p) => p,
@@ -152,9 +183,20 @@ impl VerticalDetectorBuilder {
         Ok(det)
     }
 
-    /// Build boxed, for heterogeneous strategy collections.
-    pub fn build_dyn(self, d0: &Relation) -> Result<Box<dyn Detector>, DetectError> {
-        Ok(Box::new(self.build(d0)?))
+    /// Build boxed, for heterogeneous strategy collections. This is also
+    /// the entry point for [`AnalysisMode::Prune`], which wraps the
+    /// detector in [`Pruned`].
+    pub fn build_dyn(mut self, d0: &Relation) -> Result<Box<dyn Detector>, DetectError> {
+        let prep = preflight(&self.schema, &self.cfds, self.analysis)?;
+        self.analysis = AnalysisMode::Off;
+        match prep {
+            None => Ok(Box::new(self.build(d0)?)),
+            Some(prep) => {
+                self.cfds = prep.kept.clone();
+                let inner: Box<dyn Detector> = Box::new(self.build(d0)?);
+                Ok(Box::new(Pruned::new(inner, prep)))
+            }
+        }
     }
 }
 
@@ -169,6 +211,7 @@ pub struct HorizontalDetectorBuilder {
     codec: CodecKind,
     transport: TransportKind,
     sharing: SharingMode,
+    analysis: AnalysisMode,
 }
 
 impl HorizontalDetectorBuilder {
@@ -217,6 +260,9 @@ impl HorizontalDetectorBuilder {
 
     /// Build over the initial database `d0`.
     pub fn build(self, d0: &Relation) -> Result<HorizontalDetector, DetectError> {
+        if preflight(&self.schema, &self.cfds, self.analysis)?.is_some() {
+            return Err(prune_needs_dyn());
+        }
         let mut det = HorizontalDetector::with_session(
             self.schema,
             self.cfds,
@@ -229,9 +275,20 @@ impl HorizontalDetectorBuilder {
         Ok(det)
     }
 
-    /// Build boxed, for heterogeneous strategy collections.
-    pub fn build_dyn(self, d0: &Relation) -> Result<Box<dyn Detector>, DetectError> {
-        Ok(Box::new(self.build(d0)?))
+    /// Build boxed, for heterogeneous strategy collections. This is also
+    /// the entry point for [`AnalysisMode::Prune`], which wraps the
+    /// detector in [`Pruned`].
+    pub fn build_dyn(mut self, d0: &Relation) -> Result<Box<dyn Detector>, DetectError> {
+        let prep = preflight(&self.schema, &self.cfds, self.analysis)?;
+        self.analysis = AnalysisMode::Off;
+        match prep {
+            None => Ok(Box::new(self.build(d0)?)),
+            Some(prep) => {
+                self.cfds = prep.kept.clone();
+                let inner: Box<dyn Detector> = Box::new(self.build(d0)?);
+                Ok(Box::new(Pruned::new(inner, prep)))
+            }
+        }
     }
 }
 
@@ -246,6 +303,7 @@ pub struct HybridDetectorBuilder {
     codec: CodecKind,
     transport: TransportKind,
     sharing: SharingMode,
+    analysis: AnalysisMode,
 }
 
 impl HybridDetectorBuilder {
@@ -284,6 +342,9 @@ impl HybridDetectorBuilder {
 
     /// Build over the initial database `d0`.
     pub fn build(self, d0: &Relation) -> Result<HybridDetector, DetectError> {
+        if preflight(&self.schema, &self.cfds, self.analysis)?.is_some() {
+            return Err(prune_needs_dyn());
+        }
         let mut det = HybridDetector::with_session(
             self.schema,
             self.cfds,
@@ -296,9 +357,20 @@ impl HybridDetectorBuilder {
         Ok(det)
     }
 
-    /// Build boxed, for heterogeneous strategy collections.
-    pub fn build_dyn(self, d0: &Relation) -> Result<Box<dyn Detector>, DetectError> {
-        Ok(Box::new(self.build(d0)?))
+    /// Build boxed, for heterogeneous strategy collections. This is also
+    /// the entry point for [`AnalysisMode::Prune`], which wraps the
+    /// detector in [`Pruned`].
+    pub fn build_dyn(mut self, d0: &Relation) -> Result<Box<dyn Detector>, DetectError> {
+        let prep = preflight(&self.schema, &self.cfds, self.analysis)?;
+        self.analysis = AnalysisMode::Off;
+        match prep {
+            None => Ok(Box::new(self.build(d0)?)),
+            Some(prep) => {
+                self.cfds = prep.kept.clone();
+                let inner: Box<dyn Detector> = Box::new(self.build(d0)?);
+                Ok(Box::new(Pruned::new(inner, prep)))
+            }
+        }
     }
 }
 
@@ -323,6 +395,7 @@ pub struct BaselineDetectorBuilder {
     strategy: BaselineStrategy,
     initial: Option<Violations>,
     transport: TransportKind,
+    analysis: AnalysisMode,
 }
 
 impl BaselineDetectorBuilder {
@@ -344,8 +417,15 @@ impl BaselineDetectorBuilder {
     }
 
     /// Build over the initial database `d0`. Boxed, since the concrete
-    /// type depends on the chosen strategy.
-    pub fn build_dyn(self, d0: &Relation) -> Result<Box<dyn Detector>, DetectError> {
+    /// type depends on the chosen strategy. Under
+    /// [`AnalysisMode::Prune`], any supplied initial violations (over the
+    /// full Σ) are remapped onto the kept rules for the inner detector.
+    pub fn build_dyn(mut self, d0: &Relation) -> Result<Box<dyn Detector>, DetectError> {
+        let prep = preflight(&self.schema, &self.cfds, self.analysis)?;
+        if let Some(prep) = &prep {
+            self.initial = self.initial.map(|v| prep.remap_initial(&v));
+            self.cfds = prep.kept.clone();
+        }
         macro_rules! construct {
             ($ty:ident, $scheme:expr) => {
                 match self.initial {
@@ -360,11 +440,15 @@ impl BaselineDetectorBuilder {
                 }
             };
         }
-        Ok(match self.strategy {
+        let inner = match self.strategy {
             BaselineStrategy::BatVer(s) => construct!(BatVer, s),
             BaselineStrategy::BatHor(s) => construct!(BatHor, s),
             BaselineStrategy::IbatVer(s) => construct!(IbatVer, s),
             BaselineStrategy::IbatHor(s) => construct!(IbatHor, s),
+        };
+        Ok(match prep {
+            None => inner,
+            Some(prep) => Box::new(Pruned::new(inner, prep)),
         })
     }
 }

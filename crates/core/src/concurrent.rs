@@ -173,7 +173,7 @@ fn put_marks(out: &mut Vec<u8>, marks: &[(CfdId, Tid)]) {
     }
 }
 
-fn get_marks(r: &mut wirefmt::Reader) -> Result<Vec<(CfdId, Tid)>, ClusterError> {
+fn get_marks(r: &mut wirefmt::Reader<'_>) -> Result<Vec<(CfdId, Tid)>, ClusterError> {
     let n = r.u32()? as usize;
     let mut v = Vec::with_capacity(n.min(1 << 16));
     for _ in 0..n {
@@ -189,7 +189,7 @@ fn put_blob(out: &mut Vec<u8>, b: &[u8]) {
     out.extend_from_slice(b);
 }
 
-fn get_blob(r: &mut wirefmt::Reader) -> Result<Vec<u8>, ClusterError> {
+fn get_blob(r: &mut wirefmt::Reader<'_>) -> Result<Vec<u8>, ClusterError> {
     let n = r.u32()? as usize;
     Ok(r.take(n)?.to_vec())
 }
@@ -884,7 +884,7 @@ impl SiteRunner {
             }
             match op {
                 OpWire::Insert(tid, values) => {
-                    self.begin_insert(Tuple::new(tid, values), &mut ws)?
+                    self.begin_insert(Tuple::new(tid, values), &mut ws)?;
                 }
                 OpWire::Delete(tid) => self.begin_delete(tid, &mut ws)?,
             }

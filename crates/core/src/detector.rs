@@ -36,6 +36,10 @@ pub enum DetectError {
     Rel(RelError),
     /// Underlying cluster error (bad scheme, routing, unknown site).
     Cluster(ClusterError),
+    /// The catalog failed static analysis (Σ unsatisfiable under
+    /// `AnalysisMode::Prune`), or an analysis mode needs a build path the
+    /// caller didn't use (`Prune` requires `build_dyn`).
+    Analysis(String),
 }
 
 impl std::fmt::Display for DetectError {
@@ -43,6 +47,7 @@ impl std::fmt::Display for DetectError {
         match self {
             DetectError::Rel(e) => write!(f, "{e}"),
             DetectError::Cluster(e) => write!(f, "{e}"),
+            DetectError::Analysis(msg) => write!(f, "static analysis: {msg}"),
         }
     }
 }

@@ -154,7 +154,7 @@ fn put_attrs(out: &mut Vec<u8>, attrs: &[(AttrId, WireValue)]) -> usize {
     ovh
 }
 
-fn get_attrs(r: &mut wirefmt::Reader) -> Result<Vec<(AttrId, WireValue)>, ClusterError> {
+fn get_attrs(r: &mut wirefmt::Reader<'_>) -> Result<Vec<(AttrId, WireValue)>, ClusterError> {
     let n = r.u16()? as usize;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
@@ -174,7 +174,7 @@ fn put_cfds(out: &mut Vec<u8>, cfds: &[CfdId]) -> usize {
     2
 }
 
-fn get_cfds(r: &mut wirefmt::Reader) -> Result<Vec<CfdId>, ClusterError> {
+fn get_cfds(r: &mut wirefmt::Reader<'_>) -> Result<Vec<CfdId>, ClusterError> {
     let n = r.u16()? as usize;
     (0..n).map(|_| Ok(r.u32()? as CfdId)).collect()
 }
@@ -1391,7 +1391,7 @@ impl Detector for HorizontalDetector {
     }
 
     fn reset_stats(&mut self) {
-        HorizontalDetector::reset_stats(self)
+        HorizontalDetector::reset_stats(self);
     }
 }
 

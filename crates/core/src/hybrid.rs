@@ -476,7 +476,7 @@ impl Detector for HybridDetector {
     }
 
     fn reset_stats(&mut self) {
-        HybridDetector::reset_stats(self)
+        HybridDetector::reset_stats(self);
     }
 }
 

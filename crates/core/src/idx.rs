@@ -32,7 +32,9 @@ impl Idx {
 
     /// Number of distinct `X∪{B}` classes in the group (`|set(t[X])|`).
     pub fn n_classes(&self, eq_x: EqId) -> usize {
-        self.groups.get(&eq_x).map_or(0, |g| g.len())
+        self.groups
+            .get(&eq_x)
+            .map_or(0, std::collections::HashMap::len)
     }
 
     /// Size of the class `[t]_{X∪B}` within the group.
@@ -40,7 +42,7 @@ impl Idx {
         self.groups
             .get(&eq_x)
             .and_then(|g| g.get(&eq_xb))
-            .map_or(0, |s| s.len())
+            .map_or(0, std::collections::HashSet::len)
     }
 
     /// Member tids of one class.

@@ -39,6 +39,7 @@ pub mod md5;
 pub mod optimize;
 pub mod par;
 pub mod plan;
+pub mod pruned;
 pub mod vertical;
 
 pub use builder::{BaselineStrategy, DetectorBuilder};
@@ -48,4 +49,5 @@ pub use horizontal::HorizontalDetector;
 pub use hybrid::{HybridDetector, HybridScheme};
 pub use optimize::{share_operators, sharing_stats, SharingMode, SharingStats};
 pub use plan::HevPlan;
+pub use pruned::{AnalysisMode, Pruned};
 pub use vertical::VerticalDetector;

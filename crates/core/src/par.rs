@@ -23,8 +23,7 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
+        .map_or(1, std::num::NonZero::get)
         .min(n);
     if !parallel || workers <= 1 {
         return (0..n).map(f).collect();

@@ -718,7 +718,7 @@ impl Detector for VerticalDetector {
     }
 
     fn reset_stats(&mut self) {
-        VerticalDetector::reset_stats(self)
+        VerticalDetector::reset_stats(self);
     }
 }
 

@@ -90,7 +90,7 @@ impl Predicate {
         match self {
             Predicate::True => {}
             Predicate::Eq(a, _) | Predicate::In(a, _) | Predicate::IntRange(a, _, _) => {
-                out.push(*a)
+                out.push(*a);
             }
             Predicate::HashMod { attr, .. } => out.push(*attr),
             Predicate::And(ps) => ps.iter().for_each(|p| p.collect_attrs(out)),

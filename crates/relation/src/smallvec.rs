@@ -127,7 +127,7 @@ impl<T: Copy + Default + Eq, const N: usize> Eq for SmallVec<T, N> {}
 
 impl<T: Copy + Default + Hash, const N: usize> Hash for SmallVec<T, N> {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.as_slice().hash(state)
+        self.as_slice().hash(state);
     }
 }
 

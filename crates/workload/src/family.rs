@@ -35,6 +35,33 @@ pub struct FamilyConfig {
     pub overlap: f64,
     /// RNG seed; families are bit-deterministic per `(schema, seed)`.
     pub seed: u64,
+    /// Redundancy in `[0, 1]`: this fraction of the family is rewritten
+    /// as a block of prunable rules — per LHS list, one all-wildcard FD
+    /// generalization (kept by a `cfd::analysis::PrunePlan`) followed by
+    /// LHS-reordered duplicates and patterned refinements of it (all
+    /// pruned). The FDs match every tuple, so the pruned rules are the
+    /// *expensive* ones — the workload behind the Off-vs-Prune benchmark
+    /// point. `0.0` (the default) leaves the family byte-identical to
+    /// the dial-free generator.
+    pub redundancy: f64,
+    /// Number of constant-rule conflict *pairs* appended: two rules with
+    /// the same pinned LHS and different RHS constants on the same
+    /// attribute (the first holds on the anchor row, the second
+    /// deliberately contradicts it). Fodder for `cfdlint`'s conflict
+    /// table; satisfiable over open domains.
+    pub conflicts: usize,
+}
+
+impl Default for FamilyConfig {
+    fn default() -> Self {
+        FamilyConfig {
+            n: 64,
+            overlap: 0.5,
+            seed: 0,
+            redundancy: 0.0,
+            conflicts: 0,
+        }
+    }
 }
 
 /// Number of `lhs`-groups of `d` holding more than one distinct `rhs`
@@ -149,8 +176,16 @@ pub fn cfd_family(schema: &Schema, d: &Relation, cfg: &FamilyConfig) -> Vec<Cfd>
         })
         .collect();
 
+    // Dial accounting: the redundancy block and the conflict pairs are
+    // carved out of the same `cfg.n` total so sweeps compare catalogs of
+    // equal size. At least one base rule always survives.
+    let redundancy = cfg.redundancy.clamp(0.0, 1.0);
+    let pairs = cfg.conflicts.min(cfg.n.saturating_sub(1) / 2);
+    let n_red = (((redundancy * cfg.n as f64).round()) as usize).min(cfg.n - 1 - 2 * pairs);
+    let base_n = cfg.n - n_red - 2 * pairs;
+
     let mut out: Vec<Cfd> = Vec::with_capacity(cfg.n);
-    for i in 0..cfg.n {
+    for i in 0..base_n {
         let id = i as CfdId;
         // Round-robin over the lists keeps every key group populated.
         let (lhs_attrs, rhs_pool) = &lists[i % n_lists];
@@ -198,6 +233,89 @@ pub fn cfd_family(schema: &Schema, d: &Relation, cfg: &FamilyConfig) -> Vec<Cfd>
             .expect("family attributes come from the schema");
         out.push(cfd);
     }
+
+    // The dial rules draw from a *derived* RNG so turning a dial never
+    // perturbs the base stream — `redundancy: 0.0, conflicts: 0` is
+    // byte-identical to the dial-free generator.
+    if n_red > 0 || pairs > 0 {
+        let mut drng = StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+
+        // Redundancy block: round-robin over a few lists; round 0 emits
+        // each list's representative (a pure FD `X → B`, all wildcards —
+        // matches every tuple, so the whole block sits at the expensive
+        // end of the family), later rounds emit LHS-reordered duplicates
+        // and patterned refinements of it, all of which a
+        // `cfd::analysis::PrunePlan` drops onto the representative.
+        let n_fd_lists = (n_red / 8).clamp(1, lists.len());
+        for k in 0..n_red {
+            let id = (base_n + k) as CfdId;
+            let (lhs_attrs, rhs_pool) = &lists[k % n_fd_lists];
+            let rhs = rhs_pool[0];
+            let round = k / n_fd_lists;
+            let mut order: Vec<AttrId> = lhs_attrs.clone();
+            let mut lhs_pat: Vec<Option<Value>> = vec![None; order.len()];
+            if round == 0 {
+                // The kept representative: leave everything wildcard.
+            } else if round % 4 == 0 && !rows.is_empty() {
+                // A patterned refinement of the FD (pruned): restrict
+                // the most selective LHS attribute to a live constant.
+                let restrict = order
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &a)| card.get(&a).copied().unwrap_or(0))
+                    .map(|(pos, _)| pos)
+                    .expect("LHS lists are non-empty");
+                let anchor = &rows[drng.random_range(0..rows.len())];
+                lhs_pat[restrict] = Some(anchor.get(order[restrict]).clone());
+            } else {
+                // An LHS-reordered duplicate of the FD (pruned).
+                order.reverse();
+            }
+            let lhs_named: Vec<(&str, Option<Value>)> = order
+                .iter()
+                .zip(lhs_pat)
+                .map(|(&a, p)| (schema.attr_name(a), p))
+                .collect();
+            out.push(
+                Cfd::from_names(id, schema, &lhs_named, (schema.attr_name(rhs), None))
+                    .expect("family attributes come from the schema"),
+            );
+        }
+
+        // Conflict pairs: two constant rules with the same pinned LHS
+        // and different RHS constants on the same attribute. The first
+        // holds on its anchor row; the second contradicts it with
+        // another live value from the column (or a synthetic one when
+        // the column is constant).
+        for p in 0..pairs {
+            let id = (base_n + n_red + 2 * p) as CfdId;
+            let (lhs_attrs, rhs_pool) = &lists[p % lists.len()];
+            let rhs = rhs_pool[0];
+            let anchor = (!rows.is_empty()).then(|| &rows[drng.random_range(0..rows.len())]);
+            let val = |a: AttrId| anchor.map_or_else(|| Value::int(0), |t| t.get(a).clone());
+            let v1 = val(rhs);
+            let v2 = rows
+                .iter()
+                .map(|t| t.get(rhs).clone())
+                .find(|v| *v != v1)
+                .unwrap_or_else(|| Value::int(-1 - p as i64));
+            let lhs_named: Vec<(&str, Option<Value>)> = lhs_attrs
+                .iter()
+                .map(|&a| (schema.attr_name(a), Some(val(a))))
+                .collect();
+            for (off, v) in [v1, v2].into_iter().enumerate() {
+                out.push(
+                    Cfd::from_names(
+                        id + off as CfdId,
+                        schema,
+                        &lhs_named,
+                        (schema.attr_name(rhs), Some(v)),
+                    )
+                    .expect("family attributes come from the schema"),
+                );
+            }
+        }
+    }
     out
 }
 
@@ -220,6 +338,7 @@ mod tests {
             n: 64,
             overlap: 0.9,
             seed: 7,
+            ..FamilyConfig::default()
         };
         let a = cfd_family(&s, &d, &cfg);
         let b = cfd_family(&s, &d, &cfg);
@@ -241,6 +360,7 @@ mod tests {
                     n: 64,
                     overlap,
                     seed: 3,
+                    ..FamilyConfig::default()
                 },
             );
             let lists: FxHashSet<Vec<AttrId>> = fam.iter().map(|c| c.lhs.clone()).collect();
@@ -261,10 +381,11 @@ mod tests {
                 n: 32,
                 overlap: 0.5,
                 seed: 11,
+                ..FamilyConfig::default()
             },
         );
-        assert!(fam.iter().any(|c| c.is_constant()));
-        assert!(fam.iter().any(|c| c.is_variable()));
+        assert!(fam.iter().any(cfd::Cfd::is_constant));
+        assert!(fam.iter().any(cfd::Cfd::is_variable));
         for c in &fam {
             for (a, v) in c.constant_atoms() {
                 assert!(
@@ -285,6 +406,7 @@ mod tests {
                 n: 64,
                 overlap: 0.9,
                 seed: 5,
+                ..FamilyConfig::default()
             },
         );
         // Every mined embedded FD conflicts on at most the seeded-error
@@ -302,6 +424,49 @@ mod tests {
     }
 
     #[test]
+    fn dials_leave_the_base_stream_untouched_and_seed_findings() {
+        let (s, d) = tpch_base();
+        let plain = cfd_family(
+            &s,
+            &d,
+            &FamilyConfig {
+                n: 64,
+                overlap: 0.9,
+                seed: 7,
+                ..FamilyConfig::default()
+            },
+        );
+        let dialed = cfd_family(
+            &s,
+            &d,
+            &FamilyConfig {
+                n: 64,
+                overlap: 0.9,
+                seed: 7,
+                redundancy: 0.5,
+                conflicts: 2,
+            },
+        );
+        assert_eq!(dialed.len(), 64);
+        for (i, c) in dialed.iter().enumerate() {
+            assert_eq!(c.id, i as CfdId);
+        }
+        // The dial rules draw from a derived RNG, so the surviving base
+        // prefix (64 - 32 redundant - 2·2 conflict rules) is
+        // bit-identical to the dial-free stream.
+        let base_n = 64 - 32 - 4;
+        assert_eq!(&dialed[..base_n], &plain[..base_n]);
+        // The redundancy block is actually prunable, at roughly the
+        // dialed fraction (4 of the 32 block rules are kept reps).
+        let plan = cfd::analysis::PrunePlan::compute(&dialed);
+        let f = plan.pruned_fraction();
+        assert!((0.4..=0.6).contains(&f), "pruned fraction {f}");
+        // The conflict pairs are visible to the analyzer.
+        let pairs = cfd::analysis::conflict_pairs(&dialed, &cfd::Domains::open(&s));
+        assert!(pairs.len() >= 2, "expected seeded conflicts, got {pairs:?}");
+    }
+
+    #[test]
     fn family_forms_a_valid_shared_plan() {
         let (s, d) = tpch_base();
         let fam = cfd_family(
@@ -311,6 +476,7 @@ mod tests {
                 n: 64,
                 overlap: 0.9,
                 seed: 5,
+                ..FamilyConfig::default()
             },
         );
         let plan = cfd::SharedPlan::new(&fam);

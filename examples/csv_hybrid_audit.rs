@@ -71,8 +71,8 @@ fn main() {
     let net = det.net();
     println!(
         "traffic: inter-region {} B, intra-region assembly {} B ({} B total)",
-        net.tier("inter").map(NetStats::total_bytes).unwrap_or(0),
-        net.tier("intra").map(NetStats::total_bytes).unwrap_or(0),
+        net.tier("inter").map_or(0, NetStats::total_bytes),
+        net.tier("intra").map_or(0, NetStats::total_bytes),
         net.total_bytes()
     );
 

@@ -1,0 +1,390 @@
+//! `cfdlint` — static analysis of a CFD catalog, as a lint tool.
+//!
+//! Reads catalogs in the `cfd::parse` text format (or generates a seeded
+//! `workload::family` catalog with `--family`), runs the `cfd::analysis`
+//! procedures — per-rule status, duplicate detection, conflict pairs,
+//! satisfiability with a witness or minimal conflicting core, and the
+//! minimal cover with its equivalence certificate — and prints the
+//! findings as `file:line:` diagnostics.
+//!
+//! ```sh
+//! cargo run --release --bin cfdlint -- examples/catalogs/fig1.cfd
+//! cargo run --release --bin cfdlint -- --schema emp --domains observed bad.cfd
+//! cargo run --release --bin cfdlint -- --family 64 --redundancy 0.5 \
+//!     --conflict-pairs 2 --expect conflicts=2 --expect unsat=false
+//! ```
+//!
+//! Exit status: `0` when the catalog is clean, `1` when there are
+//! findings, `2` on usage or I/O errors. With `--expect KEY=VAL`
+//! assertions the status is instead `0` iff every assertion holds — the
+//! shape the CI static-analysis job relies on to check that a seeded
+//! catalog produces exactly the expected findings.
+
+use cfd::analysis::{self, RemovalReason, RuleStatus};
+use cfd::{AnalysisConfig, Cfd, Domains, Sat};
+use relation::{Relation, Schema};
+use std::sync::Arc;
+use workload::family::{cfd_family, FamilyConfig};
+use workload::{dblp, emp, tpch};
+
+struct Args {
+    files: Vec<String>,
+    schema: String,
+    observed: bool,
+    family: Option<usize>,
+    overlap: f64,
+    seed: u64,
+    redundancy: f64,
+    conflict_pairs: usize,
+    expect: Vec<(String, String)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cfdlint [FILES...] [options]\n\
+         \x20      cfdlint --family N [options]\n\
+         \n\
+         options:\n\
+         \x20 --schema emp|tpch|dblp   attribute names resolve against this schema (default: emp)\n\
+         \x20 --domains open|observed  attribute domains for the analysis (default: open;\n\
+         \x20                          observed = active domain of the schema's base relation)\n\
+         \x20 --family N               lint a seeded workload::family catalog of N rules\n\
+         \x20 --overlap F              family LHS-overlap dial (default 0.9)\n\
+         \x20 --seed S                 family seed (default 7)\n\
+         \x20 --redundancy F           family redundancy dial (default 0)\n\
+         \x20 --conflict-pairs K       family conflict-pair dial (default 0)\n\
+         \x20 --expect KEY=VAL         assert a summary counter; exit 0 iff all assertions\n\
+         \x20                          hold. keys: rules errors duplicates conflicts vacuous\n\
+         \x20                          unsat-rhs removed kept pruned unsat"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        files: Vec::new(),
+        schema: "emp".into(),
+        observed: false,
+        family: None,
+        overlap: 0.9,
+        seed: 7,
+        redundancy: 0.0,
+        conflict_pairs: 0,
+        expect: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("cfdlint: {name} needs an argument");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--schema" => args.schema = val("--schema"),
+            "--domains" => match val("--domains").as_str() {
+                "open" => args.observed = false,
+                "observed" => args.observed = true,
+                other => {
+                    eprintln!("cfdlint: unknown domain mode `{other}`");
+                    usage()
+                }
+            },
+            "--family" => args.family = val("--family").parse().ok().or_else(|| usage()),
+            "--overlap" => args.overlap = val("--overlap").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--redundancy" => {
+                args.redundancy = val("--redundancy").parse().unwrap_or_else(|_| usage());
+            }
+            "--conflict-pairs" => {
+                args.conflict_pairs = val("--conflict-pairs").parse().unwrap_or_else(|_| usage());
+            }
+            "--expect" => {
+                let kv = val("--expect");
+                let Some((k, v)) = kv.split_once('=') else {
+                    eprintln!("cfdlint: --expect wants KEY=VAL, got `{kv}`");
+                    usage()
+                };
+                args.expect.push((k.to_string(), v.to_string()));
+            }
+            "--help" | "-h" => usage(),
+            f if f.starts_with('-') => {
+                eprintln!("cfdlint: unknown flag `{f}`");
+                usage()
+            }
+            _ => args.files.push(flag),
+        }
+    }
+    if args.files.is_empty() == args.family.is_none() {
+        eprintln!("cfdlint: pass catalog FILES or --family N (not both, not neither)");
+        usage()
+    }
+    args
+}
+
+fn base_instance(schema: &str) -> (Arc<Schema>, Relation) {
+    match schema {
+        "emp" => emp::emp_relation(),
+        "tpch" => tpch::generate(&tpch::TpchConfig {
+            n_rows: 200,
+            ..tpch::TpchConfig::default()
+        }),
+        "dblp" => dblp::generate(&dblp::DblpConfig {
+            n_rows: 500,
+            ..dblp::DblpConfig::default()
+        }),
+        other => {
+            eprintln!("cfdlint: unknown schema `{other}` (use emp, tpch or dblp)");
+            usage()
+        }
+    }
+}
+
+/// Summary counters, keyed for `--expect`.
+#[derive(Default)]
+struct Counts {
+    rules: usize,
+    errors: usize,
+    duplicates: usize,
+    conflicts: usize,
+    vacuous: usize,
+    unsat_rhs: usize,
+    removed: usize,
+    kept: usize,
+    pruned: usize,
+    unsat: bool,
+}
+
+impl Counts {
+    fn get(&self, key: &str) -> Option<String> {
+        Some(match key {
+            "rules" => self.rules.to_string(),
+            "errors" => self.errors.to_string(),
+            "duplicates" => self.duplicates.to_string(),
+            "conflicts" => self.conflicts.to_string(),
+            "vacuous" => self.vacuous.to_string(),
+            "unsat-rhs" => self.unsat_rhs.to_string(),
+            "removed" => self.removed.to_string(),
+            "kept" => self.kept.to_string(),
+            "pruned" => self.pruned.to_string(),
+            "unsat" => self.unsat.to_string(),
+            _ => return None,
+        })
+    }
+
+    fn findings(&self) -> usize {
+        self.errors
+            + self.duplicates
+            + self.conflicts
+            + self.vacuous
+            + self.unsat_rhs
+            + self.removed
+            + usize::from(self.unsat)
+    }
+}
+
+/// Lint one catalog: print every finding, return the counters.
+/// `lines[i]` is the 1-based source line of rule `i` (empty in family
+/// mode, where diagnostics cite rule ids only).
+fn lint(name: &str, schema: &Schema, cfds: &[Cfd], lines: &[usize], domains: &Domains) -> Counts {
+    let cfg = AnalysisConfig::default();
+    let a = analysis::analyze(schema, cfds, domains, &cfg);
+    let at = |id: cfd::CfdId| -> String {
+        lines
+            .get(id as usize)
+            .map_or_else(|| name.to_string(), |l| format!("{name}:{l}"))
+    };
+    let mut counts = Counts {
+        rules: cfds.len(),
+        ..Counts::default()
+    };
+
+    for (i, status) in a.per_rule.iter().enumerate() {
+        let id = i as cfd::CfdId;
+        match status {
+            RuleStatus::Ok => {}
+            RuleStatus::Vacuous => {
+                counts.vacuous += 1;
+                println!(
+                    "{}: warning: rule {id} is vacuous — no tuple over the domains matches its LHS",
+                    at(id)
+                );
+            }
+            RuleStatus::UnsatRhs => {
+                counts.unsat_rhs += 1;
+                println!(
+                    "{}: error: rule {id} can never be satisfied — its RHS constant lies outside the attribute's domain",
+                    at(id)
+                );
+            }
+        }
+    }
+    for &(dup, first) in &a.duplicates {
+        counts.duplicates += 1;
+        println!(
+            "{}: warning: rule {dup} duplicates rule {first} (equal modulo LHS atom order)",
+            at(dup)
+        );
+    }
+    for pair in &a.conflicts {
+        counts.conflicts += 1;
+        println!(
+            "{}: error: rules {} and {} conflict on `{}` — unifiable LHS patterns, different RHS constants",
+            at(pair.b),
+            pair.a,
+            pair.b,
+            schema.attr_name(pair.attr)
+        );
+    }
+    match &a.sat {
+        Sat::Satisfiable { .. } => {}
+        Sat::Unsatisfiable { core } => {
+            counts.unsat = true;
+            if core.is_empty() {
+                println!("{name}: error: no tuple exists — some attribute has an empty domain");
+            } else {
+                println!("{name}: error: Σ is unsatisfiable; minimal conflicting core: {core:?}");
+                for &id in core {
+                    println!(
+                        "{}: note: rule {id} is part of the conflicting core: {}",
+                        at(id),
+                        cfds[id as usize].display(schema)
+                    );
+                }
+            }
+        }
+        Sat::Unknown => {
+            println!("{name}: note: satisfiability undecided within the node budget");
+        }
+    }
+    for r in &a.cover.removed {
+        // Duplicates and vacuous rules are already reported above under
+        // their own categories; the cover's genuinely new findings are
+        // the subsumption / implication chains.
+        match r.reason {
+            RemovalReason::Vacuous | RemovalReason::Duplicate => {}
+            RemovalReason::Subsumed => {
+                counts.removed += 1;
+                println!(
+                    "{}: warning: rule {} is subsumed by rule {} — the minimal cover drops it",
+                    at(r.id),
+                    r.id,
+                    r.implied_by[0]
+                );
+            }
+            RemovalReason::Implied => {
+                counts.removed += 1;
+                println!(
+                    "{}: warning: rule {} is implied by the rest of Σ (certificate: {:?})",
+                    at(r.id),
+                    r.id,
+                    r.implied_by
+                );
+            }
+        }
+    }
+    counts.kept = a.cover.kept.len();
+    counts.pruned = a.prune.n_pruned();
+
+    // The cover ships a machine-checkable certificate — re-derive it.
+    if let Err(e) = a.cover.verify(schema, cfds, domains, &cfg) {
+        counts.errors += 1;
+        println!("{name}: error: cover certificate failed verification: {e}");
+    }
+
+    println!(
+        "{name}: {} rules · {} findings · cover keeps {}/{} · prune plan drops {} ({:.1}%)",
+        counts.rules,
+        counts.findings(),
+        counts.kept,
+        counts.rules,
+        counts.pruned,
+        100.0 * a.prune.pruned_fraction(),
+    );
+    counts
+}
+
+fn main() {
+    let args = parse_args();
+    let (schema, base) = base_instance(&args.schema);
+    let domains = if args.observed {
+        Domains::observed(&base)
+    } else {
+        Domains::open(&schema)
+    };
+
+    let mut total_findings = 0usize;
+    let mut merged = Counts::default();
+    fn merge(merged: &mut Counts, total_findings: &mut usize, c: &Counts) {
+        *total_findings += c.findings();
+        merged.rules += c.rules;
+        merged.errors += c.errors;
+        merged.duplicates += c.duplicates;
+        merged.conflicts += c.conflicts;
+        merged.vacuous += c.vacuous;
+        merged.unsat_rhs += c.unsat_rhs;
+        merged.removed += c.removed;
+        merged.kept += c.kept;
+        merged.pruned += c.pruned;
+        merged.unsat |= c.unsat;
+    }
+
+    if let Some(n) = args.family {
+        let fam = cfd_family(
+            &schema,
+            &base,
+            &FamilyConfig {
+                n,
+                overlap: args.overlap,
+                seed: args.seed,
+                redundancy: args.redundancy,
+                conflicts: args.conflict_pairs,
+            },
+        );
+        let c = lint("<family>", &schema, &fam, &[], &domains);
+        merge(&mut merged, &mut total_findings, &c);
+    } else {
+        for file in &args.files {
+            let text = match std::fs::read_to_string(file) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cfdlint: {file}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let cat = cfd::parse_catalog(&schema, &text);
+            for e in &cat.errors {
+                merged.errors += 1;
+                total_findings += 1;
+                match e.span() {
+                    Some(s) => println!("{file}:{}:{}: error: {e}", s.line, s.col),
+                    None => println!("{file}: error: {e}"),
+                }
+            }
+            let c = lint(file, &schema, &cat.cfds, &cat.lines, &domains);
+            merge(&mut merged, &mut total_findings, &c);
+        }
+    }
+
+    if args.expect.is_empty() {
+        std::process::exit(i32::from(total_findings > 0));
+    }
+    let mut failed = false;
+    for (k, want) in &args.expect {
+        match merged.get(k) {
+            Some(got) if &got == want => {}
+            Some(got) => {
+                failed = true;
+                eprintln!("cfdlint: expectation failed: {k} = {got}, wanted {want}");
+            }
+            None => {
+                failed = true;
+                eprintln!("cfdlint: unknown --expect key `{k}`");
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("cfdlint: all {} expectations hold", args.expect.len());
+}

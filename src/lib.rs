@@ -89,7 +89,7 @@ pub mod prelude {
         CostModel, NetReport, NetStats, SiteId, TransportMeter,
     };
     pub use incdetect::{
-        BaselineStrategy, DetectError, Detector, DetectorBuilder, HorizontalDetector,
+        AnalysisMode, BaselineStrategy, DetectError, Detector, DetectorBuilder, HorizontalDetector,
         HybridDetector, HybridScheme, SharingMode, VerticalDetector,
     };
     pub use loadgen::{

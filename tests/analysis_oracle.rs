@@ -1,0 +1,310 @@
+//! Brute-force oracle suite for `cfd::analysis`: over tiny finite
+//! domains (4 attributes × 3 values) the small-model theorems make
+//! exhaustive enumeration complete —
+//!
+//! * Σ is satisfiable iff some **single tuple** over the domains
+//!   satisfies every rule (CFD satisfaction is closed under
+//!   sub-instances, so a nonempty model shrinks to one tuple);
+//! * `Σ ⊨ φ` fails iff some **≤2-tuple** instance satisfies Σ and
+//!   violates φ (a violation of φ involves at most two tuples, and the
+//!   offending pair is itself a model of Σ).
+//!
+//! The suite enumerates every 1-tuple (3⁴ = 81) and 2-tuple
+//! (81·80/2 = 3240) instance and cross-checks `satisfiable`, `implies`
+//! and `minimal_cover` on seeded random catalogs, including rules with
+//! out-of-domain constants (vacuous LHSs, unsatisfiable RHSs). Every
+//! verdict is also self-checked: witnesses must satisfy what they claim,
+//! unsat cores must be unsat and 1-minimal, covers must be equivalent.
+
+use cfd::analysis::{analyze, implies, minimal_cover, satisfiable, Implication, Sat};
+use cfd::{AnalysisConfig, Cfd, Domains, PatternValue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relation::{Schema, Tuple, Value};
+use std::sync::Arc;
+
+const N_ATTRS: usize = 4;
+const N_VALUES: i64 = 3;
+
+fn tiny_schema() -> Arc<Schema> {
+    Schema::new("T", &["a", "b", "c", "d"], "a").expect("tiny schema")
+}
+
+fn tiny_domains(schema: &Schema) -> Domains {
+    let mut d = Domains::open(schema);
+    for a in 0..N_ATTRS {
+        d.set(a as u16, (0..N_VALUES).map(Value::int));
+    }
+    d
+}
+
+/// Every single tuple over the finite domains (3⁴ = 81).
+fn all_tuples() -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for i in 0..N_VALUES.pow(N_ATTRS as u32) {
+        let mut v = Vec::with_capacity(N_ATTRS);
+        let mut x = i;
+        for _ in 0..N_ATTRS {
+            v.push(Value::int(x % N_VALUES));
+            x /= N_VALUES;
+        }
+        out.push(Tuple::new(out.len() as u64, v));
+    }
+    out
+}
+
+/// `I ⊨ φ` by definition: every pair (and every single tuple) matching
+/// the LHS pattern and agreeing on `X` must agree on `B` and match the
+/// RHS pattern.
+fn instance_satisfies(phi: &Cfd, instance: &[&Tuple]) -> bool {
+    for t in instance {
+        if !phi.matches_lhs(t) {
+            continue;
+        }
+        if !phi.rhs_pattern.is_wildcard() && !phi.rhs_pattern.matches(t.get(phi.rhs)) {
+            return false;
+        }
+        for u in instance {
+            if !phi.matches_lhs(u) {
+                continue;
+            }
+            let same_x = phi.lhs.iter().all(|&a| t.get(a) == u.get(a));
+            if same_x && t.get(phi.rhs) != u.get(phi.rhs) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn instance_satisfies_all(cfds: &[Cfd], instance: &[&Tuple]) -> bool {
+    cfds.iter().all(|c| instance_satisfies(c, instance))
+}
+
+/// Oracle: Σ satisfiable ⟺ ∃ single tuple over the domains ⊨ Σ.
+fn oracle_satisfiable(cfds: &[Cfd], tuples: &[Tuple]) -> bool {
+    tuples.iter().any(|t| instance_satisfies_all(cfds, &[t]))
+}
+
+/// Oracle: `Σ ⊨ φ` ⟺ no ≤2-tuple instance over the domains satisfies
+/// Σ and violates φ.
+fn oracle_implies(sigma: &[Cfd], phi: &Cfd, tuples: &[Tuple]) -> bool {
+    for (i, t) in tuples.iter().enumerate() {
+        if instance_satisfies_all(sigma, &[t]) && !instance_satisfies(phi, &[t]) {
+            return false;
+        }
+        for u in &tuples[i + 1..] {
+            if instance_satisfies_all(sigma, &[t, u]) && !instance_satisfies(phi, &[t, u]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// A seeded random catalog over the tiny schema. Constants are drawn
+/// from `0..N_VALUES + 1` so out-of-domain constants (vacuous LHSs,
+/// unsatisfiable RHSs) appear with positive probability.
+fn random_catalog(schema: &Schema, rng: &mut StdRng, n: usize) -> Vec<Cfd> {
+    let mut out = Vec::with_capacity(n);
+    for id in 0..n {
+        let rhs = rng.random_range(0..N_ATTRS) as u16;
+        let n_lhs = rng.random_range(1..3usize);
+        let mut lhs = Vec::new();
+        while lhs.len() < n_lhs {
+            let a = rng.random_range(0..N_ATTRS) as u16;
+            if a != rhs && !lhs.contains(&a) {
+                lhs.push(a);
+            }
+        }
+        let pat = |rng: &mut StdRng| {
+            if rng.random_bool(0.5) {
+                PatternValue::Wildcard
+            } else {
+                // One value past the domain: out-of-domain with p = 1/4.
+                PatternValue::Const(Value::int(rng.random_range(0..N_VALUES + 1)))
+            }
+        };
+        let lhs_pattern: Vec<PatternValue> = lhs.iter().map(|_| pat(rng)).collect();
+        let rhs_pattern = pat(rng);
+        out.push(
+            Cfd::new(id as u32, schema, lhs, rhs, lhs_pattern, rhs_pattern)
+                .expect("random catalog rule"),
+        );
+    }
+    out
+}
+
+#[test]
+fn satisfiability_matches_the_single_tuple_oracle() {
+    let schema = tiny_schema();
+    let domains = tiny_domains(&schema);
+    let tuples = all_tuples();
+    let cfg = AnalysisConfig::default();
+    let mut rng = StdRng::seed_from_u64(0x5A7);
+    let mut n_unsat = 0;
+    for trial in 0..60 {
+        let sigma = random_catalog(&schema, &mut rng, 2 + trial % 5);
+        let expected = oracle_satisfiable(&sigma, &tuples);
+        match satisfiable(&schema, &sigma, &domains, &cfg) {
+            Sat::Satisfiable { witness } => {
+                assert!(expected, "trial {trial}: claimed sat, oracle says unsat");
+                assert!(
+                    instance_satisfies_all(&sigma, &[&witness]),
+                    "trial {trial}: witness does not satisfy Σ"
+                );
+                for a in 0..N_ATTRS as u16 {
+                    assert!(
+                        (0..N_VALUES).any(|v| Value::int(v) == *witness.get(a)),
+                        "trial {trial}: witness leaves the finite domain on attr {a}"
+                    );
+                }
+            }
+            Sat::Unsatisfiable { core } => {
+                assert!(!expected, "trial {trial}: claimed unsat, oracle says sat");
+                n_unsat += 1;
+                let core_rules: Vec<Cfd> =
+                    core.iter().map(|&id| sigma[id as usize].clone()).collect();
+                assert!(
+                    !oracle_satisfiable(&core_rules, &tuples),
+                    "trial {trial}: core is satisfiable"
+                );
+                // 1-minimality: dropping any single rule frees the core.
+                for drop in 0..core_rules.len() {
+                    let rest: Vec<Cfd> = core_rules
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != drop)
+                        .map(|(_, c)| c.clone())
+                        .collect();
+                    assert!(
+                        oracle_satisfiable(&rest, &tuples),
+                        "trial {trial}: core not minimal (rule {drop} is slack)"
+                    );
+                }
+            }
+            Sat::Unknown => panic!("trial {trial}: budget exhausted at toy scale"),
+        }
+    }
+    assert!(
+        n_unsat >= 5,
+        "suite never exercised the unsat path ({n_unsat})"
+    );
+}
+
+#[test]
+fn implication_matches_the_two_tuple_oracle() {
+    let schema = tiny_schema();
+    let domains = tiny_domains(&schema);
+    let tuples = all_tuples();
+    let cfg = AnalysisConfig::default();
+    let mut rng = StdRng::seed_from_u64(0x1A9);
+    let (mut n_implied, mut n_independent) = (0, 0);
+    for trial in 0..40 {
+        let sigma = random_catalog(&schema, &mut rng, 3 + trial % 3);
+        for i in 0..sigma.len() {
+            let phi = &sigma[i];
+            let rest: Vec<Cfd> = sigma
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, c)| c.clone())
+                .collect();
+            let expected = oracle_implies(&rest, phi, &tuples);
+            match implies(&schema, &rest, phi, &domains, &cfg) {
+                Implication::Implied => {
+                    assert!(
+                        expected,
+                        "trial {trial}/rule {i}: claimed implied, oracle found a countermodel"
+                    );
+                    n_implied += 1;
+                }
+                Implication::Independent { witness } => {
+                    assert!(
+                        !expected,
+                        "trial {trial}/rule {i}: claimed independent, oracle says implied"
+                    );
+                    let refs: Vec<&Tuple> = witness.iter().collect();
+                    assert!(
+                        instance_satisfies_all(&rest, &refs),
+                        "trial {trial}/rule {i}: countermodel violates Σ"
+                    );
+                    assert!(
+                        !instance_satisfies(phi, &refs),
+                        "trial {trial}/rule {i}: countermodel satisfies φ"
+                    );
+                    n_independent += 1;
+                }
+                Implication::Unknown => {
+                    panic!("trial {trial}/rule {i}: budget exhausted at toy scale")
+                }
+            }
+        }
+    }
+    assert!(
+        n_implied >= 10,
+        "implied path barely exercised ({n_implied})"
+    );
+    assert!(
+        n_independent >= 10,
+        "independent path barely exercised ({n_independent})"
+    );
+}
+
+#[test]
+fn minimal_cover_is_equivalent_under_the_two_tuple_oracle() {
+    let schema = tiny_schema();
+    let domains = tiny_domains(&schema);
+    let tuples = all_tuples();
+    let cfg = AnalysisConfig::default();
+    let mut rng = StdRng::seed_from_u64(0xC0F);
+    let mut n_removed = 0;
+    for trial in 0..30 {
+        let sigma = random_catalog(&schema, &mut rng, 4 + trial % 4);
+        let cover = minimal_cover(&schema, &sigma, &domains, &cfg);
+        cover
+            .verify(&schema, &sigma, &domains, &cfg)
+            .unwrap_or_else(|e| panic!("trial {trial}: certificate rejected: {e}"));
+        n_removed += cover.removed.len();
+        let kept: Vec<Cfd> = cover
+            .kept
+            .iter()
+            .map(|&id| sigma[id as usize].clone())
+            .collect();
+        // Σ_min ≡ Σ over every ≤2-tuple instance. (⊨ one way is free:
+        // kept ⊆ Σ; the other way is what the cover certifies.)
+        for (i, t) in tuples.iter().enumerate() {
+            assert_eq!(
+                instance_satisfies_all(&sigma, &[t]),
+                instance_satisfies_all(&kept, &[t]),
+                "trial {trial}: cover diverges on a 1-tuple instance"
+            );
+            for u in &tuples[i + 1..] {
+                assert_eq!(
+                    instance_satisfies_all(&sigma, &[t, u]),
+                    instance_satisfies_all(&kept, &[t, u]),
+                    "trial {trial}: cover diverges on a 2-tuple instance"
+                );
+            }
+        }
+    }
+    assert!(
+        n_removed >= 10,
+        "cover never removed anything ({n_removed})"
+    );
+}
+
+#[test]
+fn analyze_agrees_with_its_parts_on_random_catalogs() {
+    let schema = tiny_schema();
+    let domains = tiny_domains(&schema);
+    let cfg = AnalysisConfig::default();
+    let mut rng = StdRng::seed_from_u64(0xA11);
+    for trial in 0..20 {
+        let sigma = random_catalog(&schema, &mut rng, 3 + trial % 4);
+        let a = analyze(&schema, &sigma, &domains, &cfg);
+        assert_eq!(a.sat, satisfiable(&schema, &sigma, &domains, &cfg));
+        assert_eq!(a.cover, minimal_cover(&schema, &sigma, &domains, &cfg));
+        assert_eq!(a.per_rule.len(), sigma.len());
+    }
+}

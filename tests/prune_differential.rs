@@ -1,0 +1,325 @@
+//! Prune differential suite: `AnalysisMode::Prune` must be a pure
+//! execution strategy. For every one of the nine detection strategies,
+//! driving the same update stream with the detector built over the full
+//! catalog (`Off`), with findings merely reported (`Warn`), and over the
+//! minimal cover with riders reconstructed (`Prune`) must produce
+//! bit-identical `ΔV` and violations — pruning changes what is
+//! *evaluated*, never what is *detected*.
+//!
+//! Plus the refusal paths: an unsatisfiable catalog must fail to build
+//! under `Prune` (detection over it is vacuous — everything violates),
+//! and a concrete (non-boxed) `build()` must refuse a catalog that
+//! `Prune` would actually shrink, pointing at `build_dyn`.
+
+use inc_cfd::prelude::*;
+use std::sync::Arc;
+use workload::family::{cfd_family, FamilyConfig};
+use workload::updates::{self, UpdateMix};
+
+/// All nine strategies over one instance, pinned to one analysis mode.
+fn strategies(
+    schema: &Arc<Schema>,
+    cfds: &[Cfd],
+    vscheme: VerticalScheme,
+    hscheme: HorizontalScheme,
+    yscheme: HybridScheme,
+    d0: &Relation,
+    mode: AnalysisMode,
+) -> Vec<Box<dyn Detector>> {
+    let b = || DetectorBuilder::new(schema.clone(), cfds.to_vec()).analyze(mode);
+    vec![
+        b().vertical(vscheme.clone()).build_dyn(d0).expect("incVer"),
+        b().vertical(vscheme.clone())
+            .optimized(incdetect::optimize::OptimizeConfig::default())
+            .build_dyn(d0)
+            .expect("incVer/optVer"),
+        b().horizontal(hscheme.clone())
+            .build_dyn(d0)
+            .expect("incHor"),
+        b().horizontal(hscheme.clone())
+            .raw_values()
+            .build_dyn(d0)
+            .expect("incHor/raw"),
+        b().hybrid(yscheme).build_dyn(d0).expect("incHyb"),
+        b().baseline(BaselineStrategy::BatVer(vscheme.clone()))
+            .build_dyn(d0)
+            .expect("batVer"),
+        b().baseline(BaselineStrategy::BatHor(hscheme.clone()))
+            .build_dyn(d0)
+            .expect("batHor"),
+        b().baseline(BaselineStrategy::IbatVer(vscheme))
+            .build_dyn(d0)
+            .expect("ibatVer"),
+        b().baseline(BaselineStrategy::IbatHor(hscheme))
+            .build_dyn(d0)
+            .expect("ibatHor"),
+    ]
+}
+
+/// Drive all three analysis modes in lockstep over `batches`, asserting
+/// `ΔV` and `V` bit-identity after every batch. (Modeled traffic is
+/// deliberately *not* compared: the pruned detector ships less — that
+/// is the point.)
+fn assert_modes_identical(
+    schema: &Arc<Schema>,
+    cfds: &[Cfd],
+    vscheme: VerticalScheme,
+    hscheme: HorizontalScheme,
+    yscheme: HybridScheme,
+    d0: &Relation,
+    batches: &[UpdateBatch],
+) {
+    // The suite is vacuous unless something is actually pruned.
+    let plan = cfd::PrunePlan::compute(cfds);
+    assert!(
+        plan.n_pruned() > 0,
+        "fixture must contain prunable rules ({} rules, 0 pruned)",
+        cfds.len()
+    );
+    let mut off = strategies(
+        schema,
+        cfds,
+        vscheme.clone(),
+        hscheme.clone(),
+        yscheme.clone(),
+        d0,
+        AnalysisMode::Off,
+    );
+    let mut warn = strategies(
+        schema,
+        cfds,
+        vscheme.clone(),
+        hscheme.clone(),
+        yscheme.clone(),
+        d0,
+        AnalysisMode::Warn,
+    );
+    let mut prune = strategies(
+        schema,
+        cfds,
+        vscheme,
+        hscheme,
+        yscheme,
+        d0,
+        AnalysisMode::Prune,
+    );
+    for ((o, w), p) in off.iter_mut().zip(&mut warn).zip(&mut prune) {
+        assert_eq!(o.strategy(), p.strategy());
+        let name = o.strategy();
+        assert_eq!(
+            o.violations().marks_sorted(),
+            p.violations().marks_sorted(),
+            "{name}: initial V diverged under Prune"
+        );
+        for (i, b) in batches.iter().enumerate() {
+            let dv_o = o.apply(b).expect("Off apply");
+            let dv_w = w.apply(b).expect("Warn apply");
+            let dv_p = p.apply(b).expect("Prune apply");
+            assert_eq!(dv_o, dv_w, "{name}: ΔV diverged under Warn at batch {i}");
+            assert_eq!(dv_o, dv_p, "{name}: ΔV diverged under Prune at batch {i}");
+            assert_eq!(
+                o.violations().marks_sorted(),
+                p.violations().marks_sorted(),
+                "{name}: V diverged under Prune at batch {i}"
+            );
+        }
+    }
+}
+
+/// A redundancy-dialed TPCH family over a small instance, with an update
+/// stream that includes churn: delete-heavy batches and same-tid
+/// delete+reinsert flips — the cases the pruned wrapper's touched-tid
+/// recheck exists for.
+#[test]
+fn pruning_is_invisible_across_all_nine_strategies() {
+    let tcfg = workload::tpch::TpchConfig {
+        n_rows: 300,
+        seed: 13,
+        ..workload::tpch::TpchConfig::default()
+    };
+    let (schema, d0) = workload::tpch::generate(&tcfg);
+    let sigma = cfd_family(
+        &schema,
+        &d0,
+        &FamilyConfig {
+            n: 48,
+            overlap: 0.85,
+            seed: 21,
+            redundancy: 0.4,
+            conflicts: 0,
+        },
+    );
+    let vscheme = workload::tpch::vertical_scheme(&schema, 5);
+    let hscheme = workload::tpch::horizontal_scheme(&schema, 5);
+    let yscheme = HybridScheme::uniform(schema.clone(), 2, 3).expect("hybrid scheme");
+
+    let mut mirror = d0.clone();
+    let mut batches = Vec::new();
+    let mut next_tid = 1_000_000u64;
+    for round in 0..3u64 {
+        // Delete-heavy churn: marks must *retreat* correctly too.
+        let fresh = workload::tpch::generate_fresh(&tcfg, next_tid, 40, round + 3);
+        next_tid += 40;
+        let delta = updates::generate(
+            &mirror,
+            &fresh,
+            50,
+            UpdateMix {
+                insert_fraction: 0.4,
+            },
+            round ^ 0xBEE,
+        );
+        delta
+            .normalize(&mirror.clone())
+            .apply(&mut mirror)
+            .expect("mirror applies");
+        batches.push(delta);
+    }
+    // Same-tid flips: delete a live tuple and reinsert a mutated copy in
+    // one batch — the violation surface of untouched rules can change
+    // while the rule never sees the delta rule-locally.
+    let victims: Vec<Tuple> = mirror.iter().take(4).collect();
+    let mut flip = UpdateBatch::new();
+    for t in &victims {
+        flip.delete(t.tid);
+        let mut vals: Vec<Value> = (0..schema.arity() as u16)
+            .map(|a| t.get(a).clone())
+            .collect();
+        let last = schema.arity() - 1;
+        vals[last] = Value::int(9_999);
+        flip.insert(Tuple::new(t.tid, vals));
+    }
+    batches.push(flip);
+    assert_modes_identical(&schema, &sigma, vscheme, hscheme, yscheme, &d0, &batches);
+}
+
+#[test]
+fn pruning_is_invisible_on_emp_with_an_added_duplicate() {
+    let (schema, d0) = workload::emp::emp_relation();
+    let mut sigma = workload::emp::emp_cfds(&schema);
+    // Append an LHS-reordered duplicate of rule 0 — the minimal prunable
+    // catalog — so the wrapper must reconstruct its marks.
+    let dup = {
+        let c = &sigma[0];
+        let mut lhs = c.lhs.clone();
+        let mut pat = c.lhs_pattern.clone();
+        lhs.reverse();
+        pat.reverse();
+        Cfd::new(
+            sigma.len() as u32,
+            &schema,
+            lhs,
+            c.rhs,
+            pat,
+            c.rhs_pattern.clone(),
+        )
+        .expect("reordered duplicate")
+    };
+    sigma.push(dup);
+    let vscheme = workload::emp::emp_vertical_scheme(&schema);
+    let hscheme = workload::emp::emp_horizontal_scheme(&schema);
+    let yscheme = HybridScheme::uniform(schema.clone(), 2, 2).expect("hybrid scheme");
+
+    let mut b1 = UpdateBatch::new();
+    b1.insert(workload::emp::t6());
+    let mut b2 = UpdateBatch::new();
+    b2.delete(4);
+    b2.delete(2);
+    let mut b3 = UpdateBatch::new();
+    b3.delete(5);
+    b3.insert(workload::emp::t6());
+    assert_modes_identical(
+        &schema,
+        &sigma,
+        vscheme,
+        hscheme,
+        yscheme,
+        &d0,
+        &[b1, b2, b3],
+    );
+}
+
+/// An unsatisfiable catalog (two all-wildcard-LHS constant rules forcing
+/// different constants on one attribute) must refuse to build under
+/// `Prune` — and build fine under `Off`.
+#[test]
+fn prune_refuses_an_unsatisfiable_catalog() {
+    let (schema, d0) = workload::emp::emp_relation();
+    let sigma = vec![
+        Cfd::from_names(
+            0,
+            &schema,
+            &[("CC", None)],
+            ("city", Some(Value::str("EDI"))),
+        )
+        .expect("rule 0"),
+        Cfd::from_names(
+            1,
+            &schema,
+            &[("CC", None)],
+            ("city", Some(Value::str("LDN"))),
+        )
+        .expect("rule 1"),
+    ];
+    let hscheme = workload::emp::emp_horizontal_scheme(&schema);
+    let Err(err) = DetectorBuilder::new(schema.clone(), sigma.clone())
+        .analyze(AnalysisMode::Prune)
+        .horizontal(hscheme.clone())
+        .build_dyn(&d0)
+    else {
+        panic!("unsat catalog must not build under Prune")
+    };
+    assert!(
+        matches!(&err, DetectError::Analysis(msg) if msg.contains("unsatisfiable")),
+        "wrong error: {err}"
+    );
+    // Off detects over it as-is (everything matching CC violates one of
+    // the two rules — a legal, if silly, catalog to *detect* with).
+    DetectorBuilder::new(schema, sigma)
+        .horizontal(hscheme)
+        .build_dyn(&d0)
+        .expect("Off must still build");
+}
+
+/// A concrete (non-boxed) `build()` cannot carry the pruning wrapper, so
+/// it must refuse a catalog that `Prune` would shrink — and keep working
+/// when there is nothing to prune.
+#[test]
+fn concrete_build_refuses_prune_with_a_prunable_catalog() {
+    let (schema, d0) = workload::emp::emp_relation();
+    let mut sigma = workload::emp::emp_cfds(&schema);
+    let c = &sigma[0];
+    let mut lhs = c.lhs.clone();
+    let mut pat = c.lhs_pattern.clone();
+    lhs.reverse();
+    pat.reverse();
+    let dup = Cfd::new(
+        sigma.len() as u32,
+        &schema,
+        lhs,
+        c.rhs,
+        pat,
+        c.rhs_pattern.clone(),
+    )
+    .expect("reordered duplicate");
+    sigma.push(dup);
+    let vscheme = workload::emp::emp_vertical_scheme(&schema);
+    let Err(err) = DetectorBuilder::new(schema.clone(), sigma)
+        .analyze(AnalysisMode::Prune)
+        .vertical(vscheme.clone())
+        .build(&d0)
+    else {
+        panic!("concrete build must refuse a shrinkable catalog")
+    };
+    assert!(
+        matches!(&err, DetectError::Analysis(msg) if msg.contains("build_dyn")),
+        "wrong error: {err}"
+    );
+    // Nothing prunable: the concrete build is allowed even under Prune.
+    let sigma = workload::emp::emp_cfds(&schema);
+    DetectorBuilder::new(schema, sigma)
+        .analyze(AnalysisMode::Prune)
+        .vertical(vscheme)
+        .build(&d0)
+        .expect("nothing to prune: concrete build stays legal");
+}

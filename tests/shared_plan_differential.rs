@@ -208,6 +208,7 @@ fn sharing_is_invisible_on_a_generated_64_cfd_family() {
             n: 64,
             overlap: 0.85,
             seed: 21,
+            ..FamilyConfig::default()
         },
     );
     let vscheme = workload::tpch::vertical_scheme(&schema, 5);
@@ -261,6 +262,7 @@ fn dispatch_agrees_with_naive_matches_lhs() {
                 n: 1 + (trial as usize * 7) % 50,
                 overlap: (trial as f64) / 8.0,
                 seed: trial,
+                ..FamilyConfig::default()
             },
         );
         let plan = SharedPlan::new(&fam);
@@ -302,6 +304,7 @@ fn key_groups_only_merge_identical_lhs_lists() {
                 n: 48,
                 overlap: 0.7,
                 seed,
+                ..FamilyConfig::default()
             },
         );
         let plan = SharedPlan::new(&fam);
