@@ -9,7 +9,7 @@
 //!
 //! `--quick` shrinks sizes and sample budgets to a CI-smoke footprint
 //! (seconds); the default full run takes on the order of a minute. The
-//! committed reference file (`BENCH_9.json`, emitted by `load_gen`)
+//! committed reference file (`BENCH_10.json`, emitted by `load_gen`)
 //! carries the same `fig_quick` section this binary gates on. Without
 //! `--out` the report goes to stdout only, so CI can smoke-run without
 //! touching the tree.

@@ -1,11 +1,11 @@
-//! `load_gen` — emit the sustained-load benchmark report (`BENCH_9.json`),
-//! including the concurrency `speedup` curve and the shared-plan
-//! `cfd_sweep`.
+//! `load_gen` — emit the sustained-load benchmark report (`BENCH_10.json`),
+//! including the concurrency `speedup` curve, the shared-plan
+//! `cfd_sweep` and the validation-suite `suite` section.
 //!
 //! Usage:
 //!
 //! ```text
-//! load_gen [--quick] [--out PATH] [--compare BENCH_9.json]
+//! load_gen [--quick] [--out PATH] [--compare BENCH_10.json]
 //!          [--require-keys k1,k2,...]
 //! ```
 //!
@@ -13,15 +13,17 @@
 //! curve at 2/4 sites and the CFD sweep over the quick fig9 stream
 //! (seconds); the default full run (scenarios at 40k rows, speedup at
 //! 2/4/8/16 sites, sweep over the full fig9 stream) is what gets
-//! committed as `BENCH_9.json`. Without `--out` the report goes to
+//! committed as `BENCH_10.json`. Without `--out` the report goes to
 //! stdout only.
 //!
 //! `--compare PATH` is the regression gate: the freshly computed
 //! quick-scale deterministic load numbers (`load_quick`: updates
 //! applied, Σ|ΔV| marks, final violation marks, modeled and measured
 //! wire bytes per scenario × strategy × codec) are checked against the
-//! committed report's `load_quick` section; any integer leaf more than
-//! 20% above its reference fails the run with exit code 1. Latency and
+//! committed report's `load_quick` section, and the validation-suite
+//! integers (`suite.quick`: updates, finding marks, inclusion probe
+//! bytes) against its `suite.quick`; any integer leaf more than 20%
+//! above its reference fails the run with exit code 1. Latency and
 //! throughput floats are never gated.
 //!
 //! `--require-keys k1,k2,...` asserts each named key occurs somewhere in
@@ -133,9 +135,18 @@ fn main() {
         let cur_quick = report
             .get("load_quick")
             .expect("load reports always embed load_quick");
-        let regressions = compare_deterministic(cur_quick, ref_quick, 0.2);
+        let mut regressions = compare_deterministic(cur_quick, ref_quick, 0.2);
+        // The validation-suite quick integers gate the same way; an old
+        // reference without the section (pre-BENCH_10) is not an error.
+        if let Some(ref_suite) = reference.get("suite").and_then(|s| s.get("quick")) {
+            let cur_suite = report
+                .get("suite")
+                .and_then(|s| s.get("quick"))
+                .expect("load reports always embed suite.quick");
+            regressions.extend(compare_deterministic(cur_suite, ref_suite, 0.2));
+        }
         if regressions.is_empty() {
-            eprintln!("load gate: deterministic load numbers within 20% of {path}");
+            eprintln!("load gate: deterministic load and suite numbers within 20% of {path}");
         } else {
             eprintln!("load gate FAILED against {path}:");
             for r in &regressions {

@@ -16,6 +16,7 @@ pub mod analysis;
 pub mod load;
 pub mod report;
 pub mod speedup;
+pub mod suite;
 pub mod sweep;
 
 use cfd::Cfd;

@@ -13,7 +13,7 @@
 //! applied, Σ|ΔV| marks, final violation marks, modeled and measured
 //! wire bytes) are duplicated at quick scale in the `load_quick`
 //! section, which the `load_gen --compare` gate checks against the
-//! committed `BENCH_9.json` exactly like the `fig_quick` gate.
+//! committed `BENCH_10.json` exactly like the `fig_quick` gate.
 
 use crate::report::Json;
 use cluster::codec::CodecKind;
@@ -218,7 +218,7 @@ pub fn build_load_quick() -> Json {
     run_matrix(Profile::Quick, cell_json_deterministic)
 }
 
-/// Build the whole `BENCH_9.json` document. `quick` selects the
+/// Build the whole `BENCH_10.json` document. `quick` selects the
 /// scenario scale of the headline `load` section, the site counts of
 /// the `speedup` curve and the stream scale of the `cfd_sweep`;
 /// `load_quick` is always quick-scale.
@@ -228,7 +228,7 @@ pub fn build_load_report(quick: bool) -> Json {
     let load_quick = build_load_quick();
     Json::obj(vec![
         ("schema_version", Json::Int(1)),
-        ("report", Json::Str("BENCH_9".into())),
+        ("report", Json::Str("BENCH_10".into())),
         (
             "description",
             Json::Str(
@@ -265,7 +265,16 @@ pub fn build_load_report(quick: bool) -> Json {
                  re-verified equivalence certificate, and the Off-vs-Prune \
                  point where AnalysisMode::Prune detects over the minimal \
                  cover of a half-redundant catalog with bit-identical ΔV \
-                 and V. `fig_quick` is carried over so the bench_report \
+                 and V. `suite` is the validation-suite section (PR 10): \
+                 each non-CFD constraint kind (key, completeness, \
+                 inclusion, aggregate) and a mixed CFD+checks catalog \
+                 driven through incdetect::Suite over the same churn \
+                 stream, with per-update latency floats, finding-mark \
+                 deltas, the `ind` tier's inclusion probe bytes, and the \
+                 completeness null-count fast path; its `quick` \
+                 subsection holds the always-quick deterministic \
+                 integers the load_gen --compare gate checks. \
+                 `fig_quick` is carried over so the bench_report \
                  gate can target this file too"
                     .into(),
             ),
@@ -279,6 +288,7 @@ pub fn build_load_report(quick: bool) -> Json {
         ("speedup", crate::speedup::build_speedup(quick)),
         ("cfd_sweep", crate::sweep::build_cfd_sweep(quick)),
         ("analysis", crate::analysis::build_analysis(quick)),
+        ("suite", crate::suite::build_suite_bench(quick)),
         ("fig_quick", crate::report::build_fig_quick()),
     ])
 }

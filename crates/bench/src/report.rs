@@ -1054,7 +1054,7 @@ pub fn build_report(quick: bool) -> Json {
 
     Json::obj(vec![
         ("schema_version", Json::Int(1)),
-        ("report", Json::Str("BENCH_9".into())),
+        ("report", Json::Str("BENCH_10".into())),
         (
             "description",
             Json::Str(
@@ -1071,7 +1071,7 @@ pub fn build_report(quick: bool) -> Json {
                  measures what that buys as |Σ| grows, and `analysis` \
                  measures the static analysis of Σ itself plus the \
                  Off-vs-Prune detection point over its minimal cover. The \
-                 committed BENCH_9.json (emitted by load_gen) additionally \
+                 committed BENCH_10.json (emitted by load_gen) additionally \
                  carries the `speedup` concurrency curve and the \
                  sustained-load matrix. \
                  `fig_quick` holds the quick-scale deterministic \

@@ -200,7 +200,7 @@ mod tests {
     /// Full-scale curve, printed for inspection. Run explicitly with
     /// `cargo test --release -p bench -- --ignored speedup_full`.
     #[test]
-    #[ignore = "minutes-scale; the committed BENCH_9.json carries the curve"]
+    #[ignore = "minutes-scale; the committed BENCH_10.json carries the curve"]
     fn speedup_full_curve() {
         println!("{}", build_speedup(false).render());
     }

@@ -1,0 +1,218 @@
+//! The `suite` section of the benchmark report: sustained-load runs of
+//! the validation-suite API (`incdetect::Suite`) — each non-CFD
+//! constraint kind alone, and a mixed catalog riding the EMP CFDs.
+//!
+//! Every cell drives the same deterministic churn stream through a
+//! [`SuiteSession`] over the scenario's horizontal scheme (md5 codec,
+//! simulated transport) via [`loadgen::run_suite_load`]. Floats
+//! (latency, throughput) are machine-dependent and never gated; the
+//! deterministic integers (updates, finding marks added/removed, final
+//! findings, modeled bytes — including the `ind` tier's probe traffic —
+//! and the completeness fast-path null count) are duplicated at quick
+//! scale under `"quick"`, which `load_gen --compare` gates at ±20%
+//! exactly like `load_quick`.
+
+use crate::report::Json;
+use cfd::Check;
+use incdetect::{Strategy, Suite, SuiteSession};
+use loadgen::{
+    run_suite_load, ArrivalShape, DirtyRate, KeyDist, LoadConfig, OpMix, Scenario, ScenarioCfg,
+    SuiteLoadReport, WorkloadKind,
+};
+
+/// Ticks applied before the measured window in every run.
+const WARMUP_TICKS: usize = 2;
+
+/// One suite configuration in the matrix.
+struct Cell {
+    /// Report key, also the constraint kind it isolates.
+    key: &'static str,
+    /// The checks of this cell.
+    checks: Vec<Check>,
+    /// Whether the EMP CFD catalog rides along.
+    with_cfds: bool,
+}
+
+fn cells() -> Vec<Cell> {
+    vec![
+        Cell {
+            key: "key",
+            checks: vec![Check::key(["zip", "phn"])],
+            with_cfds: false,
+        },
+        Cell {
+            key: "completeness",
+            checks: vec![Check::complete("city"), Check::complete("phn")],
+            with_cfds: false,
+        },
+        Cell {
+            key: "inclusion",
+            checks: vec![Check::inclusion(["city"], "CITIES", ["city"])],
+            with_cfds: false,
+        },
+        Cell {
+            key: "aggregate",
+            checks: vec![
+                Check::row_count(["grade"], Some(1), None),
+                Check::sum_range("AC", ["city"], Some(0), Some(1 << 40)),
+            ],
+            with_cfds: false,
+        },
+        Cell {
+            key: "mixed",
+            checks: vec![
+                Check::key(["zip", "phn"]),
+                Check::complete("city"),
+                Check::inclusion(["city"], "CITIES", ["city"]),
+                Check::row_count(["grade"], Some(1), None),
+            ],
+            with_cfds: true,
+        },
+    ]
+}
+
+/// The one scenario all cells share, at `quick` or full scale.
+fn scenario(quick: bool) -> ScenarioCfg {
+    ScenarioCfg {
+        name: "suite_churn",
+        workload: WorkloadKind::Emp,
+        n_rows: if quick { 600 } else { 8_000 },
+        n_sites: 3,
+        ticks: if quick { 8 } else { 24 },
+        shape: ArrivalShape::Steady {
+            per_tick: if quick { 25 } else { 120 },
+        },
+        keys: KeyDist::Uniform,
+        mix: OpMix {
+            insert: 5,
+            delete: 3,
+            modify: 2,
+            churn: 1,
+        },
+        dirty: DirtyRate::Fixed(0.1),
+        seed: 10,
+    }
+}
+
+fn run_cell(quick: bool, cell: &Cell) -> (SuiteLoadReport, SuiteSession) {
+    let cfg = scenario(quick);
+    let ds = cfg.dataset();
+    // Half the base cities are listed: inclusion findings flow both ways
+    // as churn inserts known and unknown cities.
+    let cities = workload::emp::city_reference(&ds.base, 0.5);
+    let mut suite = Suite::on(ds.schema.clone())
+        .checks(cell.checks.iter().cloned())
+        .reference(cities)
+        .strategy(Strategy::Horizontal(ds.horizontal.clone()));
+    if cell.with_cfds {
+        suite = suite.cfds(ds.cfds.clone());
+    }
+    let mut session = suite.build(&ds.base).expect("suite builds");
+    let report = run_suite_load(
+        cfg.name,
+        &mut session,
+        cfg.stream(&ds),
+        &LoadConfig {
+            warmup_ticks: WARMUP_TICKS,
+        },
+    )
+    .expect("suite load run succeeds");
+    (report, session)
+}
+
+/// Deterministic integers of one cell — the gated subset.
+fn cell_ints(r: &SuiteLoadReport, session: &SuiteSession) -> Vec<(&'static str, Json)> {
+    let mut fields = vec![
+        ("updates", Json::Int(r.updates)),
+        ("findings_added", Json::Int(r.findings_added)),
+        ("findings_removed", Json::Int(r.findings_removed)),
+        ("final_findings", Json::Int(r.final_findings)),
+        ("modeled_bytes", Json::Int(r.net.total_bytes())),
+    ];
+    if let Some(ind) = r.net.tier("ind") {
+        fields.push(("ind_probe_bytes", Json::Int(ind.total_bytes())));
+    }
+    let nulls: u64 = session
+        .completeness_counts()
+        .iter()
+        .map(|&(_, _, n)| n)
+        .sum();
+    if !session.completeness_counts().is_empty() {
+        fields.push(("null_count_fast_path", Json::Int(nulls)));
+    }
+    fields
+}
+
+fn cell_json(r: &SuiteLoadReport, session: &SuiteSession) -> Json {
+    let mut fields = vec![
+        ("strategy", Json::Str(r.strategy.to_string())),
+        ("ticks", Json::Int(r.ticks)),
+        ("updates_per_sec", Json::Num(r.updates_per_sec())),
+        ("wall_seconds", Json::Num(r.wall_seconds)),
+        ("mean_ns", Json::Num(r.latency.mean())),
+        ("p50_ns", Json::Num(r.latency.p50() as f64)),
+        ("p99_ns", Json::Num(r.latency.p99() as f64)),
+    ];
+    fields.extend(cell_ints(r, session));
+    Json::obj(fields)
+}
+
+/// The always-quick deterministic subsection the `--compare` gate reads.
+pub fn build_suite_quick() -> Json {
+    let mut out = Vec::new();
+    for cell in cells() {
+        let (report, session) = run_cell(true, &cell);
+        out.push((
+            cell.key.to_string(),
+            Json::obj(cell_ints(&report, &session)),
+        ));
+    }
+    Json::Obj(out)
+}
+
+/// Build the whole `suite` section. `quick` scales the headline cells;
+/// the `"quick"` subsection is always quick-scale.
+pub fn build_suite_bench(quick: bool) -> Json {
+    let mut out = Vec::new();
+    for cell in cells() {
+        let (report, session) = run_cell(quick, &cell);
+        out.push((cell.key.to_string(), cell_json(&report, &session)));
+    }
+    out.push(("quick".to_string(), build_suite_quick()));
+    Json::Obj(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::compare_deterministic;
+
+    #[test]
+    fn suite_quick_is_deterministic_and_complete() {
+        let a = build_suite_quick();
+        let b = build_suite_quick();
+        assert!(
+            compare_deterministic(&a, &b, 0.0).is_empty(),
+            "same-seed suite quick section must be identical"
+        );
+        for kind in ["key", "completeness", "inclusion", "aggregate", "mixed"] {
+            let cell = a.get(kind).unwrap_or_else(|| panic!("{kind} cell"));
+            assert!(cell.get("updates").is_some());
+            assert!(cell.get("findings_added").is_some());
+            assert!(cell.get("final_findings").is_some());
+        }
+        // The inclusion cells meter cross-site probe traffic.
+        for kind in ["inclusion", "mixed"] {
+            let bytes = match a.get(kind).and_then(|c| c.get("ind_probe_bytes")) {
+                Some(Json::Int(n)) => *n,
+                other => panic!("{kind}.ind_probe_bytes: {other:?}"),
+            };
+            assert!(bytes > 0, "{kind} must probe the partitioned reference");
+        }
+        // The completeness cell exposes the O(1) null-count fast path.
+        assert!(a
+            .get("completeness")
+            .and_then(|c| c.get("null_count_fast_path"))
+            .is_some());
+    }
+}

@@ -251,7 +251,7 @@ mod tests {
                 "sharing must win at 1024 CFDs"
             );
             // 16× the CFDs must cost well under 16× per update — the
-            // committed full-scale BENCH_9.json pins the tighter <8×
+            // committed full-scale BENCH_10.json pins the tighter <8×
             // claim; the smoke bound leaves slack for shared machines.
             assert!(
                 num(256, "shared_cost_vs_16_cfds") < 12.0,

@@ -11,6 +11,9 @@
 //! * [`cfd`] — the [`Cfd`] type, tableau form and normalization,
 //! * [`delta`] — the per-CFD delta-plan operator IR (scan / group /
 //!   restrict / probe) with a columnar semi-naive evaluator,
+//! * [`constraint`] — the non-CFD constraint vocabulary (keys,
+//!   completeness, inclusion dependencies, aggregates) compiled onto the
+//!   same delta plans, plus the unified [`Finding`] reporting surface,
 //! * [`share`] — operator-level sharing across a rule set's plans: one
 //!   dispatch scan and one group-key pass serving many CFDs,
 //! * [`parse`] — a small text format (`[CC=44, zip] -> [street]`),
@@ -24,6 +27,7 @@
 pub mod algebra;
 pub mod analysis;
 pub mod cfd;
+pub mod constraint;
 pub mod delta;
 pub mod naive;
 pub mod parse;
@@ -37,6 +41,10 @@ pub use crate::analysis::{
     AnalysisConfig, CatalogAnalysis, CoverCertificate, Domain, Domains, Implication, PrunePlan, Sat,
 };
 pub use crate::cfd::{Cfd, CfdId, NormalForm, Tableau};
+pub use crate::constraint::{
+    AggFunc, Check, Constraint, ConstraintError, ConstraintKind, DeltaFindings, Finding,
+    FindingSet, RuleId,
+};
 pub use crate::delta::{DeltaOp, DeltaPlan};
 pub use crate::parse::{parse_catalog, ParsedCatalog};
 pub use crate::pattern::PatternValue;

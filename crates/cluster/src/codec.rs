@@ -412,7 +412,8 @@ impl PayloadCodec for LzBlock {
 ///   symbols (`Sym(s, None)`) resolve from the link dictionary.
 ///
 /// A bare symbol the link never taught is a protocol error
-/// ([`ClusterError`]), not a panic — byte streams can be malformed.
+/// ([`ClusterError::UntaughtSymbol`], naming the ordered link and the
+/// symbol), not a panic — byte streams can be malformed.
 ///
 /// ```
 /// use cluster::codec::{value_digest, CodecKind, ReceiverCodec};
@@ -420,7 +421,7 @@ impl PayloadCodec for LzBlock {
 ///
 /// let street = Value::str("Glenna Goodacre Boulevard");
 /// let mut tx = CodecKind::Dict.codec(); // sender half
-/// let mut rx = ReceiverCodec::default(); // receiver half, link 0 → 1
+/// let mut rx = ReceiverCodec::for_link(0, 1); // receiver half, link 0 → 1
 ///
 /// let first = tx.encode(0, 1, &street); // carries the delta
 /// let repeat = tx.encode(0, 1, &street); // bare symbol
@@ -429,15 +430,35 @@ impl PayloadCodec for LzBlock {
 /// ```
 #[derive(Debug, Default)]
 pub struct ReceiverCodec {
+    /// The ordered `(src, dst)` link this state machine decodes, named
+    /// in protocol-error diagnostics.
+    link: (SiteId, SiteId),
     /// Link dictionary built from received deltas.
     dict: FxHashMap<Sym, Digest>,
     scratch: Vec<u8>,
 }
 
 impl ReceiverCodec {
-    /// Fresh receiver state: empty link dictionary.
+    /// Fresh receiver state: empty link dictionary, anonymous link
+    /// `0 → 0`. Prefer [`ReceiverCodec::for_link`] so protocol errors
+    /// name the real link.
     pub fn new() -> Self {
         ReceiverCodec::default()
+    }
+
+    /// Fresh receiver state for the ordered link `src → dst`; an
+    /// untaught bare symbol then reports exactly which per-sender
+    /// session lost its delta.
+    pub fn for_link(src: SiteId, dst: SiteId) -> Self {
+        ReceiverCodec {
+            link: (src, dst),
+            ..ReceiverCodec::default()
+        }
+    }
+
+    /// The ordered `(src, dst)` link this receiver decodes.
+    pub fn link(&self) -> (SiteId, SiteId) {
+        self.link
     }
 
     /// Distinct symbols this link has been taught.
@@ -455,11 +476,16 @@ impl ReceiverCodec {
                 self.dict.insert(*s, d);
                 Ok(d)
             }
-            WireValue::Sym(s, None) => self.dict.get(s).copied().ok_or_else(|| {
-                ClusterError::Transport(format!(
-                    "bare dictionary symbol {s} arrived before its delta on this link"
-                ))
-            }),
+            WireValue::Sym(s, None) => {
+                self.dict
+                    .get(s)
+                    .copied()
+                    .ok_or(ClusterError::UntaughtSymbol {
+                        src: self.link.0,
+                        dst: self.link.1,
+                        sym: *s,
+                    })
+            }
         }
     }
 }
@@ -571,17 +597,30 @@ mod tests {
     fn receiver_codec_resolves_all_payload_shapes() {
         let v = Value::str("Glenna Goodacre Boulevard");
         let d = value_digest(&v);
-        let mut rx = ReceiverCodec::new();
+        let mut rx = ReceiverCodec::for_link(2, 7);
+        assert_eq!(rx.link(), (2, 7));
         assert_eq!(rx.digest(&WireValue::Raw(v.clone())).unwrap(), d);
         assert_eq!(rx.digest(&WireValue::Md5(d)).unwrap(), d);
         // Delta teaches the link; bare symbol then resolves.
         assert_eq!(rx.digest(&WireValue::Sym(5, Some(v.clone()))).unwrap(), d);
         assert_eq!(rx.digest(&WireValue::Sym(5, None)).unwrap(), d);
         assert_eq!(rx.resident_symbols(), 1);
-        // An untaught bare symbol is an error, not a panic.
+        // An untaught bare symbol is a structured error naming the
+        // ordered link and the symbol, not a panic.
         let e = rx.digest(&WireValue::Sym(99, None)).unwrap_err();
-        assert!(matches!(e, ClusterError::Transport(_)));
-        assert!(e.to_string().contains("99"));
+        assert_eq!(
+            e,
+            ClusterError::UntaughtSymbol {
+                src: 2,
+                dst: 7,
+                sym: 99
+            }
+        );
+        let msg = e.to_string();
+        assert!(
+            msg.contains("99") && msg.contains('2') && msg.contains('7'),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -63,6 +63,19 @@ pub enum ClusterError {
     /// A byte-transport failure: truncated or oversized frame, mid-stream
     /// disconnect, malformed payload encoding, or socket error.
     Transport(String),
+    /// A bare dictionary symbol arrived on an ordered link before the
+    /// delta that teaches it — a receiver-side codec protocol error
+    /// ([`codec::ReceiverCodec`]). Carries the link and the symbol so a
+    /// multi-site codec bug names the exact `(src, dst)` session at
+    /// fault.
+    UntaughtSymbol {
+        /// Sending site of the link.
+        src: SiteId,
+        /// Receiving site of the link.
+        dst: SiteId,
+        /// The unresolvable dictionary symbol.
+        sym: relation::Sym,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -75,6 +88,10 @@ impl std::fmt::Display for ClusterError {
                 write!(f, "site {s} attempted a metered send to itself")
             }
             ClusterError::Transport(s) => write!(f, "transport error: {s}"),
+            ClusterError::UntaughtSymbol { src, dst, sym } => write!(
+                f,
+                "bare dictionary symbol {sym} arrived on link {src} → {dst} before its delta"
+            ),
         }
     }
 }

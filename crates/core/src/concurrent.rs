@@ -566,7 +566,7 @@ impl SiteRunner {
             violations: Violations::new(n_cfds),
             dv: DeltaV::default(),
             codec: codec.codec(),
-            rx: (0..n).map(|_| ReceiverCodec::new()).collect(),
+            rx: (0..n).map(|src| ReceiverCodec::for_link(src, me)).collect(),
             done_count: 0,
             owed: vec![0; n],
             scratch: MatchScratch::default(),

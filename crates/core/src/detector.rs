@@ -24,6 +24,7 @@
 
 use crate::horizontal::HorizontalError;
 use crate::vertical::VerticalError;
+use cfd::constraint::FindingSet;
 use cfd::{Cfd, DeltaV, Violations};
 use cluster::{ClusterError, NetReport};
 use relation::{RelError, Relation, Schema, Update, UpdateBatch};
@@ -127,6 +128,15 @@ pub trait Detector {
             Update::Delete(tid) => batch.delete(*tid),
         }
         self.apply(&batch)
+    }
+
+    /// The violation set lifted into the unified validation-suite
+    /// surface: one [`FindingSet`] whose rules are the CFD ids, all of
+    /// kind [`Cfd`](cfd::constraint::ConstraintKind::Cfd). Pure-CFD
+    /// detectors and mixed-kind [`Suite`](crate::suite::Suite) sessions
+    /// thereby report findings through the same type.
+    fn finding_set(&self) -> FindingSet {
+        FindingSet::from(self.violations())
     }
 
     /// Cumulative network traffic since construction or the last

@@ -468,7 +468,11 @@ impl HorizontalDetector {
             transport,
             codec: codec.codec(),
             rx_codecs: (0..n)
-                .map(|_| (0..n).map(|_| ReceiverCodec::new()).collect())
+                .map(|dst| {
+                    (0..n)
+                        .map(|src| ReceiverCodec::for_link(src, dst))
+                        .collect()
+                })
                 .collect(),
             local_ok,
             relevant,

@@ -40,6 +40,7 @@ pub mod optimize;
 pub mod par;
 pub mod plan;
 pub mod pruned;
+pub mod suite;
 pub mod vertical;
 
 pub use builder::{BaselineStrategy, DetectorBuilder};
@@ -50,4 +51,5 @@ pub use hybrid::{HybridDetector, HybridScheme};
 pub use optimize::{share_operators, sharing_stats, SharingMode, SharingStats};
 pub use plan::HevPlan;
 pub use pruned::{AnalysisMode, Pruned};
+pub use suite::{RuleInfo, Strategy, Suite, SuiteDelta, SuiteSession};
 pub use vertical::VerticalDetector;

@@ -26,7 +26,7 @@ pub mod hist;
 pub mod scenario;
 pub mod stream;
 
-pub use driver::{run_load, LoadConfig, LoadReport};
+pub use driver::{run_load, run_suite_load, LoadConfig, LoadReport, SuiteLoadReport};
 pub use hist::Histogram;
 pub use scenario::{
     catalog, ArrivalShape, Dataset, DirtyRate, KeyDist, OpMix, Profile, Scenario, ScenarioCfg,

@@ -167,6 +167,13 @@ impl Relation {
         self.store.max_tid()
     }
 
+    /// Live tuples with a null at attribute `a` — O(1) completeness
+    /// metadata maintained by every mutation path (see
+    /// [`ColumnStore::null_count`]).
+    pub fn null_count(&self, a: crate::AttrId) -> u64 {
+        self.store.null_count(a)
+    }
+
     fn materialize(&self, tid: Tid, row: RowId) -> Tuple {
         Tuple::new(
             tid,

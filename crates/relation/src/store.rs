@@ -169,6 +169,11 @@ pub struct ColumnStore {
     /// Freed, reusable rows.
     free: Vec<RowId>,
     tids: TidMap,
+    /// Live null occurrences per attribute, maintained by
+    /// insert/bulk_load/delete — the completeness metadata column
+    /// consumed by the validation suite (`cfd::constraint`): a not-null
+    /// check over an attribute with `null_count == 0` needs no scan.
+    null_counts: Vec<u64>,
 }
 
 impl ColumnStore {
@@ -181,7 +186,14 @@ impl ColumnStore {
             row_tids: Vec::new(),
             free: Vec::new(),
             tids: TidMap::default(),
+            null_counts: vec![0; arity],
         }
+    }
+
+    /// Live tuples with a null at attribute `a` — O(1), maintained by
+    /// every mutation path.
+    pub fn null_count(&self, a: AttrId) -> u64 {
+        self.null_counts[a as usize]
     }
 
     /// Attribute count.
@@ -303,16 +315,18 @@ impl ColumnStore {
         }
         let row = match self.free.pop() {
             Some(r) => {
-                for (c, v) in self.cols.iter_mut().zip(values) {
+                for ((c, nulls), v) in self.cols.iter_mut().zip(&mut self.null_counts).zip(values) {
                     c[r as usize] = self.pool.acquire(v);
+                    *nulls += u64::from(v.is_null());
                 }
                 self.row_tids[r as usize] = tid;
                 r
             }
             None => {
                 let r = self.row_tids.len() as RowId;
-                for (c, v) in self.cols.iter_mut().zip(values) {
+                for ((c, nulls), v) in self.cols.iter_mut().zip(&mut self.null_counts).zip(values) {
                     c.push(self.pool.acquire(v));
+                    *nulls += u64::from(v.is_null());
                 }
                 self.row_tids.push(tid);
                 r
@@ -394,6 +408,7 @@ impl ColumnStore {
                 }
             }
             cache.flush_refs(&mut self.pool);
+            self.null_counts[a] += rows.iter().filter(|(_, vals)| vals[a].is_null()).count() as u64;
         }
         self.row_tids.reserve(rows.len());
         for (i, (tid, _)) in rows.iter().enumerate() {
@@ -407,8 +422,10 @@ impl ColumnStore {
     /// Delete `tid`: release its dictionary references and recycle the row.
     pub fn delete(&mut self, tid: Tid) -> Result<(), RelError> {
         let row = self.tids.remove(tid).ok_or(RelError::MissingTid(tid))?;
-        for c in &self.cols {
-            self.pool.release(c[row as usize]);
+        for (c, nulls) in self.cols.iter().zip(&mut self.null_counts) {
+            let sym = c[row as usize];
+            *nulls -= u64::from(self.pool.resolve(sym).is_null());
+            self.pool.release(sym);
         }
         self.free.push(row);
         Ok(())
@@ -492,6 +509,31 @@ mod tests {
         s.insert(9, [&v("c"), &v("z")]).unwrap();
         assert_eq!(s.n_rows(), 3, "arena reuses the freed slot");
         assert_eq!(s.row_of(9), Some(r3));
+    }
+
+    #[test]
+    fn null_counts_track_every_mutation_path() {
+        let mut s = ColumnStore::new(2);
+        assert_eq!(s.null_count(0), 0);
+        s.insert(1, [&Value::Null, &v("x")]).unwrap();
+        s.insert(2, [&v("a"), &Value::Null]).unwrap();
+        assert_eq!((s.null_count(0), s.null_count(1)), (1, 1));
+        s.bulk_load(&[
+            (3, vec![Value::Null, Value::Null]),
+            (4, vec![v("b"), v("y")]),
+        ])
+        .unwrap();
+        assert_eq!((s.null_count(0), s.null_count(1)), (2, 2));
+        s.delete(1).unwrap();
+        s.delete(3).unwrap();
+        assert_eq!((s.null_count(0), s.null_count(1)), (0, 1));
+        // Free-list reuse keeps the meter exact.
+        s.insert(5, [&Value::Null, &v("z")]).unwrap();
+        assert_eq!((s.null_count(0), s.null_count(1)), (1, 1));
+        s.delete(5).unwrap();
+        s.delete(2).unwrap();
+        s.delete(4).unwrap();
+        assert_eq!((s.null_count(0), s.null_count(1)), (0, 0));
     }
 
     #[test]

@@ -36,6 +36,14 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// The integer payload, if this is an integer value.
+    pub const fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
     /// Number of bytes this value occupies on the wire. Used by the metered
     /// transport to account data shipment the way the paper does (§2.3).
     pub fn wire_size(&self) -> usize {

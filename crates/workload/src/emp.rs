@@ -300,6 +300,32 @@ pub fn generate_fresh(cfg: &EmpConfig, start: Tid, n: usize, seed: u64) -> Vec<T
         .collect()
 }
 
+/// A `CITIES(cid, city)` reference relation for the inclusion dependency
+/// `EMP[city] ⊆ CITIES[city]` of the validation suite: one row per
+/// distinct city of `d0`, with `coverage` in `[0, 1]` controlling how many
+/// of those cities are actually listed (1.0 ⇒ the IND holds on `d0`;
+/// lower ⇒ deterministic tail of dangling cities). Tids are `1..`.
+pub fn city_reference(d0: &Relation, coverage: f64) -> Relation {
+    let city = d0.schema().attr_id("city").expect("EMP has a city column");
+    let mut cities: Vec<Value> = Vec::new();
+    for t in d0.iter() {
+        let v = t.get(city).clone();
+        if !cities.contains(&v) {
+            cities.push(v);
+        }
+    }
+    cities.sort();
+    let keep = ((cities.len() as f64) * coverage).round() as usize;
+    let schema = Schema::new("CITIES", &["cid", "city"], "cid").expect("CITIES schema is valid");
+    let mut r = Relation::new(schema);
+    for (i, c) in cities.into_iter().take(keep).enumerate() {
+        let tid = i as Tid + 1;
+        r.insert(Tuple::new(tid, vec![Value::int(tid as i64), c]))
+            .expect("fresh tids");
+    }
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +362,20 @@ mod tests {
         let (s, _) = emp_relation();
         let hs = emp_horizontal_scheme(&s);
         assert_eq!(hs.route(&t6()).unwrap(), 2);
+    }
+
+    #[test]
+    fn city_reference_covers_exactly_the_requested_fraction() {
+        let (_, d) = emp_relation(); // cities: EDI, NYC
+        let full = city_reference(&d, 1.0);
+        assert_eq!(full.len(), 2);
+        let half = city_reference(&d, 0.5);
+        assert_eq!(half.len(), 1);
+        // Deterministic: same coverage, same rows.
+        let again = city_reference(&d, 0.5);
+        for (a, b) in half.iter().zip(again.iter()) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! * [`incdetect`] — the paper's contribution: HEV/IDX indices, the optimal
 //!   incremental detectors for vertical (§4) and horizontal (§6) partitions,
 //!   the HEV-plan optimizer (§5), and the batch baselines — all behind the
-//!   unified [`Detector`](incdetect::Detector) trait;
+//!   unified [`Detector`](incdetect::Detector) trait — plus the
+//!   validation-suite API ([`Suite`](incdetect::Suite)) that runs keys,
+//!   completeness, inclusion dependencies and aggregates alongside CFDs in
+//!   one incremental session;
 //! * [`workload`] — TPCH-like / DBLP-like / EMP generators, CFD rule
 //!   generators and update generators used by the experiment harness.
 //!
@@ -81,7 +84,10 @@ pub use workload;
 
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
-    pub use cfd::{Cfd, DeltaV, Violations};
+    pub use cfd::{
+        AggFunc, Cfd, Check, ConstraintKind, DeltaFindings, DeltaV, Finding, FindingSet, RuleId,
+        Violations,
+    };
     pub use cluster::partition::{HorizontalScheme, VerticalScheme};
     pub use cluster::{
         codec::{CodecKind, PayloadCodec, ReceiverCodec},
@@ -90,11 +96,13 @@ pub mod prelude {
     };
     pub use incdetect::{
         AnalysisMode, BaselineStrategy, DetectError, Detector, DetectorBuilder, HorizontalDetector,
-        HybridDetector, HybridScheme, SharingMode, VerticalDetector,
+        HybridDetector, HybridScheme, RuleInfo, SharingMode, Strategy, Suite, SuiteDelta,
+        SuiteSession, VerticalDetector,
     };
     pub use loadgen::{
-        catalog, run_load, ArrivalShape, DirtyRate, Histogram, KeyDist, LoadConfig, LoadReport,
-        OpMix, Profile, Scenario, ScenarioCfg, UpdateStream, WorkloadKind,
+        catalog, run_load, run_suite_load, ArrivalShape, DirtyRate, Histogram, KeyDist, LoadConfig,
+        LoadReport, OpMix, Profile, Scenario, ScenarioCfg, SuiteLoadReport, UpdateStream,
+        WorkloadKind,
     };
     pub use relation::{
         Predicate, Relation, Schema, Sym, SymTuple, Tid, Tuple, Update, UpdateBatch, Value,
