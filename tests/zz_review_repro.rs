@@ -1,0 +1,33 @@
+use inc_cfd::prelude::*;
+use incdetect::{Check, Suite};
+use relation::{Tuple, Value};
+
+fn row(tid: u64, city: &str, grade: &str, salary: i64) -> Tuple {
+    Tuple::new(
+        tid,
+        vec![
+            Value::int(tid as i64),
+            Value::str(city),
+            Value::str(grade),
+            Value::int(salary),
+        ],
+    )
+}
+
+#[test]
+fn insert_curing_lo_bound_violation() {
+    let s = relation::Schema::new("R", &["id", "city", "grade", "salary"], "id").unwrap();
+    let mut d = relation::Relation::new(s.clone());
+    d.insert(row(1, "EDI", "B", 50)).unwrap();
+    // row_count per grade must be >= 2: group B with one row violates at seed.
+    let mut session = Suite::on(s.clone())
+        .check(Check::row_count(["grade"], Some(2), None))
+        .build(&d)
+        .unwrap();
+    assert_eq!(session.findings().len(), 1);
+    // Insert a second B row: cures the lo-bound violation.
+    let mut b = UpdateBatch::new();
+    b.insert(row(2, "EDI", "B", 60));
+    let dv = session.apply(&b).unwrap();
+    assert!(session.findings().is_empty(), "{:?}", dv);
+}
